@@ -1,0 +1,34 @@
+use std::fmt;
+
+/// Error type for hardware-abstraction construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// A parameter that must be nonzero was zero.
+    ZeroParameter(&'static str),
+    /// A parameter combination is inconsistent.
+    Inconsistent(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::ZeroParameter(name) => write!(f, "parameter {name} must be nonzero"),
+            ArchError::Inconsistent(msg) => write!(f, "inconsistent configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ArchError::ZeroParameter("n_arrays")
+            .to_string()
+            .contains("n_arrays"));
+        assert!(ArchError::Inconsistent("x".into()).to_string().contains('x'));
+    }
+}

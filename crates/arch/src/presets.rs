@@ -1,0 +1,94 @@
+//! Architecture presets used in the paper's evaluation.
+
+use crate::{DualModeArch, SwitchMethod};
+
+/// The DynaPlasia configuration of Table 2: 96 switchable 320×320 arrays,
+/// 8×10 KB buffer, 32 b/cycle internal bandwidth, 1-cycle mode switch via
+/// the global wordline (GIA/GIAb) drivers.
+pub fn dynaplasia() -> DualModeArch {
+    DualModeArch::builder("dynaplasia")
+        .n_arrays(96)
+        .array_size(320, 320)
+        .buffer_bytes(8 * 10 * 1024)
+        .internal_bw(4) // 32 b/cycle
+        .extern_bw(32)
+        .buffer_bw(32)
+        .compute_pass_cycles(64)
+        .switch_cycles(1, 1)
+        .write_row_cycles(1)
+        .write_parallelism(8)
+        .write_cost_factor(1)
+        .switch_method(SwitchMethod::GlobalWordline)
+        .build()
+        .expect("dynaplasia preset is valid")
+}
+
+/// A PRIME-like ReRAM configuration (§5.5 scalability study): "larger and
+/// more CIM arrays that can contain large network segments", but "higher
+/// write overhead as it uses ReRAM as the memory device".
+pub fn prime() -> DualModeArch {
+    DualModeArch::builder("prime")
+        .n_arrays(128)
+        .array_size(512, 512)
+        .buffer_bytes(256 * 1024)
+        .internal_bw(4)
+        .extern_bw(32)
+        .buffer_bw(32)
+        .compute_pass_cycles(64)
+        .switch_cycles(2, 2)
+        // ReRAM cell writes cost several times an eDRAM write and have
+        // narrower write parallelism: 512 cycles/array vs DynaPlasia's 40.
+        .write_row_cycles(1)
+        .write_parallelism(4)
+        .write_cost_factor(4)
+        .switch_method(SwitchMethod::BitlineDriver)
+        .build()
+        .expect("prime preset is valid")
+}
+
+/// A deliberately tiny configuration for unit tests and quick examples
+/// (8 arrays of 64×64).
+pub fn tiny() -> DualModeArch {
+    DualModeArch::builder("tiny")
+        .n_arrays(8)
+        .array_size(64, 64)
+        .buffer_bytes(4 * 1024)
+        .internal_bw(4)
+        .extern_bw(16)
+        .buffer_bw(16)
+        .compute_pass_cycles(16)
+        .switch_cycles(1, 1)
+        .write_parallelism(4)
+        .write_cost_factor(1)
+        .build()
+        .expect("tiny preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynaplasia_matches_table2() {
+        let a = dynaplasia();
+        assert_eq!(a.n_arrays(), 96);
+        assert_eq!((a.array_rows(), a.array_cols()), (320, 320));
+        assert_eq!(a.buffer_bytes(), 81920);
+        assert_eq!(a.switch_m2c_cycles(), 1);
+    }
+
+    #[test]
+    fn prime_has_more_capacity_but_costlier_writes() {
+        let d = dynaplasia();
+        let p = prime();
+        assert!(p.chip_weight_capacity() > d.chip_weight_capacity());
+        assert!(p.lat_write_array() > d.lat_write_array());
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let t = tiny();
+        assert!(t.n_arrays() <= 8);
+        assert!(t.chip_weight_capacity() < dynaplasia().chip_weight_capacity());
+    }
+}

@@ -1,0 +1,73 @@
+use cmswitch_arch::DualModeArch;
+use cmswitch_core::{CompileError, CompiledProgram, Compiler, CompilerOptions};
+use cmswitch_graph::Graph;
+
+/// A compilation strategy producing a full [`CompiledProgram`].
+///
+/// Implemented by the three baselines and by CMSwitch itself, so the
+/// experiment harness can sweep over backends uniformly.
+pub trait Backend: Send + Sync {
+    /// Short backend name (`puma`, `occ`, `cim-mlc`, `cmswitch`).
+    fn name(&self) -> &str;
+
+    /// The architecture this backend targets.
+    fn arch(&self) -> &DualModeArch;
+
+    /// Compiles `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] for infeasible or malformed inputs.
+    fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError>;
+}
+
+/// CMSwitch as a [`Backend`].
+#[derive(Debug, Clone)]
+pub struct CmSwitch {
+    compiler: Compiler,
+}
+
+impl CmSwitch {
+    /// Creates the backend with default compiler options.
+    pub fn new(arch: DualModeArch) -> Self {
+        CmSwitch {
+            compiler: Compiler::new(arch, CompilerOptions::default()),
+        }
+    }
+
+    /// Creates the backend with explicit options.
+    pub fn with_options(arch: DualModeArch, options: CompilerOptions) -> Self {
+        CmSwitch {
+            compiler: Compiler::new(arch, options),
+        }
+    }
+}
+
+impl Backend for CmSwitch {
+    fn name(&self) -> &str {
+        "cmswitch"
+    }
+
+    fn arch(&self) -> &DualModeArch {
+        self.compiler.arch()
+    }
+
+    fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
+        self.compiler.compile(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+
+    #[test]
+    fn cmswitch_backend_compiles() {
+        let g = cmswitch_models::mlp::mlp(2, &[128, 256, 64]).unwrap();
+        let b = CmSwitch::new(presets::tiny());
+        let p = b.compile(&g).unwrap();
+        assert!(p.predicted_latency > 0.0);
+        assert_eq!(b.name(), "cmswitch");
+    }
+}

@@ -1,0 +1,233 @@
+//! Shared machinery for the all-compute baselines.
+
+use cmswitch_arch::DualModeArch;
+use cmswitch_core::allocation::{OpAllocation, SegmentAllocation};
+use cmswitch_core::cost::CostModel;
+use cmswitch_core::frontend::{OpList, SegOp};
+use cmswitch_core::segment::Segment;
+
+/// All-compute allocation for a slice of ops: every operator gets its
+/// minimal weight tiles; with `duplicate`, leftover arrays are granted
+/// greedily to the operator with the highest current latency (weight
+/// duplication).
+pub fn all_compute_alloc(
+    ops: &[SegOp],
+    cm: &CostModel<'_>,
+    duplicate: bool,
+) -> Option<SegmentAllocation> {
+    let n = cm.arch().n_arrays();
+    let mut allocs: Vec<OpAllocation> = ops
+        .iter()
+        .map(|o| OpAllocation {
+            compute: o.min_tiles.max(1),
+            mem_in: 0,
+            mem_out: 0,
+        })
+        .collect();
+    let used: usize = allocs.iter().map(|a| a.compute).sum();
+    if used > n {
+        return None;
+    }
+    if duplicate {
+        let mut leftover = n - used;
+        while leftover > 0 {
+            let (worst, cur) = allocs
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (i, cm.op_latency(&ops[i], a)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("comparable"))?;
+            let mut trial = allocs[worst];
+            trial.compute += 1;
+            if cm.op_latency(&ops[worst], &trial) < cur - 1e-12 {
+                allocs[worst] = trial;
+                leftover -= 1;
+            } else {
+                break;
+            }
+        }
+        balance_reload(ops, cm, &mut allocs);
+    }
+    let mut alloc = SegmentAllocation {
+        ops: allocs,
+        reuse: Vec::new(),
+        latency: 0.0,
+    };
+    alloc.latency = cm.intra_latency(ops, &alloc);
+    Some(alloc)
+}
+
+/// Duplication-vs-reload balancing: shrink the largest static-weight
+/// compute allocations while `intra + max(Com)·Latency_write` improves —
+/// the same trade the dual-mode allocator makes, applied here so that
+/// CMSwitch-vs-baseline comparisons isolate the dual-mode dimension
+/// rather than reload awareness.
+fn balance_reload(
+    ops: &[SegOp],
+    cm: &CostModel<'_>,
+    allocs: &mut Vec<OpAllocation>,
+) {
+    let lat_write = cm.arch().lat_write_array() as f64;
+    let intra = |a: &[OpAllocation]| -> f64 {
+        ops.iter()
+            .zip(a)
+            .map(|(op, al)| cm.op_latency(op, al))
+            .fold(0.0, f64::max)
+    };
+    let reload = |a: &[OpAllocation]| -> f64 {
+        ops.iter()
+            .zip(a)
+            .filter(|(op, _)| op.weight_static)
+            .map(|(_, al)| al.compute as f64 * lat_write)
+            .fold(0.0, f64::max)
+    };
+    loop {
+        let cur = intra(allocs) + reload(allocs);
+        let max_com = ops
+            .iter()
+            .zip(allocs.iter())
+            .filter(|(op, _)| op.weight_static)
+            .map(|(_, a)| a.compute)
+            .max()
+            .unwrap_or(0);
+        if max_com == 0 {
+            break;
+        }
+        let mut trial = allocs.clone();
+        let mut changed = false;
+        for (op, a) in ops.iter().zip(trial.iter_mut()) {
+            if op.weight_static && a.compute == max_com && a.compute > op.min_tiles.max(1) {
+                a.compute -= 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if intra(&trial) + reload(&trial) < cur - 1e-9 {
+            *allocs = trial;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Greedy segmentation: pack consecutive operators while their minimal
+/// tiles fit the chip (capped at `max_ops` per segment).
+pub fn greedy_ranges(list: &OpList, arch: &DualModeArch, max_ops: usize) -> Vec<(usize, usize)> {
+    let n = arch.n_arrays();
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut tiles = 0usize;
+    for (i, op) in list.ops.iter().enumerate() {
+        let need = op.min_tiles.max(1);
+        if i > start && (tiles + need > n || i - start >= max_ops) {
+            ranges.push((start, i - 1));
+            start = i;
+            tiles = 0;
+        }
+        tiles += need;
+    }
+    if start < list.ops.len() {
+        ranges.push((start, list.ops.len() - 1));
+    }
+    ranges
+}
+
+/// Chains ranges+allocations into [`Segment`]s, charging the Eq. 4 inter
+/// costs with the shared cost model (baselines pay the same physics:
+/// write-backs to main memory, mode switches for the initial
+/// all-to-compute flip, and weight reloads).
+pub fn chain_segments(
+    list: &OpList,
+    cm: &CostModel<'_>,
+    parts: Vec<((usize, usize), SegmentAllocation)>,
+) -> Vec<Segment> {
+    let mut segments: Vec<Segment> = Vec::with_capacity(parts.len());
+    let mut prev: Option<((usize, usize), SegmentAllocation)> = None;
+    for (range, alloc) in parts {
+        let ops = &list.ops[range.0..=range.1];
+        let inter_before = match &prev {
+            None => {
+                let empty = SegmentAllocation {
+                    ops: Vec::new(),
+                    reuse: Vec::new(),
+                    latency: 0.0,
+                };
+                cm.switch_cost(&empty, &alloc) + cm.reload_cost(ops, &alloc)
+            }
+            Some((prange, palloc)) => cm.inter_cost(list, *prange, palloc, range, ops, &alloc),
+        };
+        segments.push(Segment {
+            range,
+            intra: alloc.latency,
+            inter_before,
+            alloc: alloc.clone(),
+        });
+        prev = Some((range, alloc));
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_core::frontend::lower_graph;
+    use cmswitch_core::partition::partition;
+    use cmswitch_arch::presets;
+
+    fn list() -> (OpList, cmswitch_arch::DualModeArch) {
+        let g = cmswitch_models::mlp::mlp(2, &[128, 256, 128, 64]).unwrap();
+        let arch = presets::tiny();
+        let l = lower_graph(&g, &arch).unwrap();
+        (partition(&l, &arch, 1.0).unwrap(), arch)
+    }
+
+    #[test]
+    fn all_compute_has_no_memory_arrays() {
+        let (l, arch) = list();
+        let cm = CostModel::new(&arch);
+        let a = all_compute_alloc(&l.ops[0..1], &cm, true).unwrap();
+        assert_eq!(a.total_memory(), 0);
+        assert!(a.total_compute() >= 1);
+    }
+
+    #[test]
+    fn duplication_improves_or_matches() {
+        let (l, arch) = list();
+        let cm = CostModel::new(&arch);
+        let base = all_compute_alloc(&l.ops[0..1], &cm, false).unwrap();
+        let dup = all_compute_alloc(&l.ops[0..1], &cm, true).unwrap();
+        assert!(dup.latency <= base.latency + 1e-9);
+    }
+
+    #[test]
+    fn greedy_ranges_cover_contiguously() {
+        let (l, arch) = list();
+        let ranges = greedy_ranges(&l, &arch, 8);
+        let mut next = 0;
+        for (lo, hi) in &ranges {
+            assert_eq!(*lo, next);
+            next = hi + 1;
+        }
+        assert_eq!(next, l.ops.len());
+    }
+
+    #[test]
+    fn chain_charges_inter_costs() {
+        let (l, arch) = list();
+        let cm = CostModel::new(&arch);
+        let ranges = greedy_ranges(&l, &arch, 2);
+        let parts: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let a = all_compute_alloc(&l.ops[r.0..=r.1], &cm, true).unwrap();
+                (r, a)
+            })
+            .collect();
+        let segments = chain_segments(&l, &cm, parts);
+        assert!(segments[0].inter_before > 0.0); // initial switch + load
+        if segments.len() > 1 {
+            assert!(segments[1].inter_before > 0.0); // reload at least
+        }
+    }
+}

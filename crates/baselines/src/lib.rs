@@ -1,0 +1,62 @@
+//! Baseline CIM compilation strategies (§5.1 of the paper).
+//!
+//! Three prior compilers are re-implemented as scheduling policies over
+//! the same IR, hardware abstraction, cost model and code generator as
+//! CMSwitch, so benchmark comparisons isolate exactly the dual-mode
+//! contribution. All three treat every CIM array as a *compute* array
+//! (the paper's central criticism):
+//!
+//! * [`Puma`] — operator duplication and coarse pipeline scheduling
+//!   (Ankit et al., ASPLOS'19): greedy segment packing, leftover arrays
+//!   duplicate the hottest operators, operators pipeline within a
+//!   segment.
+//! * [`Occ`] — tiling/loop-unrolling mapping (Siemieniuk et al., TCAD'21):
+//!   greedy packing with minimal-tile mapping and *sequential* operator
+//!   execution (no cross-operator pipeline, no duplication).
+//! * [`CimMlc`] — multi-grained pipelining + duplication (Qu et al.,
+//!   ASPLOS'24), the paper's main baseline: the same segmentation DP as
+//!   CMSwitch, but restricted to compute-mode-only allocations.
+//!
+//! All backends implement [`Backend`], as does CMSwitch itself via
+//! [`CmSwitch`].
+
+mod backend;
+
+pub mod cim_mlc;
+pub mod common;
+pub mod occ;
+pub mod puma;
+
+pub use backend::{Backend, CmSwitch};
+pub use cim_mlc::CimMlc;
+pub use occ::Occ;
+pub use puma::Puma;
+
+/// All baseline names in the paper's plotting order.
+pub const BASELINE_NAMES: &[&str] = &["puma", "occ", "cim-mlc"];
+
+/// Builds a backend by name (`puma`, `occ`, `cim-mlc`, `cmswitch`).
+pub fn by_name(name: &str, arch: cmswitch_arch::DualModeArch) -> Option<Box<dyn Backend>> {
+    match name {
+        "puma" => Some(Box::new(Puma::new(arch))),
+        "occ" => Some(Box::new(Occ::new(arch))),
+        "cim-mlc" => Some(Box::new(CimMlc::new(arch))),
+        "cmswitch" => Some(Box::new(CmSwitch::new(arch))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+
+    #[test]
+    fn by_name_resolves_all() {
+        for name in ["puma", "occ", "cim-mlc", "cmswitch"] {
+            let b = by_name(name, presets::tiny()).unwrap();
+            assert_eq!(b.name(), name);
+        }
+        assert!(by_name("tvm", presets::tiny()).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! PUMA-style backend: operator duplication + pipeline scheduling over
+//! all-compute arrays (Ankit et al., ASPLOS'19).
+
+use cmswitch_arch::DualModeArch;
+use cmswitch_core::cost::CostModel;
+use cmswitch_core::frontend::lower_graph;
+use cmswitch_core::partition::partition;
+use cmswitch_core::{assemble_program, CompileError, CompiledProgram, CompileStats};
+use cmswitch_graph::Graph;
+
+use crate::common::{all_compute_alloc, chain_segments, greedy_ranges};
+use crate::Backend;
+
+/// The PUMA baseline.
+#[derive(Debug, Clone)]
+pub struct Puma {
+    arch: DualModeArch,
+    max_segment_ops: usize,
+}
+
+impl Puma {
+    /// Creates the backend.
+    pub fn new(arch: DualModeArch) -> Self {
+        Puma {
+            arch,
+            max_segment_ops: 12,
+        }
+    }
+}
+
+impl Backend for Puma {
+    fn name(&self) -> &str {
+        "puma"
+    }
+
+    fn arch(&self) -> &DualModeArch {
+        &self.arch
+    }
+
+    fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
+        let start = std::time::Instant::now();
+        let list = lower_graph(graph, &self.arch)?;
+        let list = partition(&list, &self.arch, 1.0)?;
+        let cm = CostModel::new(&self.arch);
+        // PUMA packs greedily and duplicates into leftover arrays, but its
+        // pipeline is coarse: it synchronizes at operator granularity, so
+        // each segment additionally pays the slowest op once more as a
+        // fill/drain penalty.
+        let ranges = greedy_ranges(&list, &self.arch, self.max_segment_ops);
+        let mut parts = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            let ops = &list.ops[r.0..=r.1];
+            let mut alloc =
+                all_compute_alloc(ops, &cm, true).ok_or(CompileError::NoFeasibleSchedule)?;
+            // Coarse synchronization penalty: one extra bottleneck pass.
+            alloc.latency *= 2.0;
+            parts.push((r, alloc));
+        }
+        let segments = chain_segments(&list, &cm, parts);
+        assemble_program(
+            graph.name(),
+            list,
+            &segments,
+            &self.arch,
+            CompileStats {
+                wall: start.elapsed(),
+                ..CompileStats::default()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+
+    #[test]
+    fn compiles_all_compute() {
+        let g = cmswitch_models::mlp::mlp(2, &[128, 256, 64]).unwrap();
+        let p = Puma::new(presets::tiny()).compile(&g).unwrap();
+        for s in &p.segments {
+            assert_eq!(s.alloc.total_memory(), 0);
+        }
+        assert!(p.predicted_latency.is_finite());
+        cmswitch_metaop::validate(&p.flow).unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 18 bench: compilation time, CMSwitch vs CIM-MLC, per benchmark
+//! network (depth-scaled transformers; full CNNs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cmswitch_arch::presets;
+use cmswitch_baselines::{by_name, Backend};
+use cmswitch_bench::workloads::{build, Workload};
+
+fn compile_once(backend: &dyn Backend, w: &Workload) {
+    match w {
+        Workload::Single(g) => {
+            let _ = backend.compile(g).expect("compiles");
+        }
+        Workload::Generative(gen) => {
+            let _ = backend.compile(&gen.prefill).expect("compiles");
+        }
+    }
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let arch = presets::dynaplasia();
+    let mut group = c.benchmark_group("fig18_compile_time");
+    group.sample_size(10);
+    for model in ["bert-large", "opt-6.7b", "mobilenetv2", "resnet18"] {
+        let Ok(w) = build(model, 1, 64, 64, 0.08, 1) else {
+            continue;
+        };
+        for backend_name in ["cim-mlc", "cmswitch"] {
+            let backend = by_name(backend_name, arch.clone()).expect("known");
+            group.bench_with_input(
+                BenchmarkId::new(backend_name, model),
+                &w,
+                |b, w| b.iter(|| compile_once(backend.as_ref(), w)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Fig. 14-shaped end-to-end bench: wall time of the full
+//! compile-and-simulate pipeline per backend, and (printed once) the
+//! simulated-cycle comparison that regenerates the figure's ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cmswitch_arch::presets;
+use cmswitch_baselines::by_name;
+use cmswitch_bench::harness::run_workload;
+use cmswitch_bench::workloads::build;
+
+fn bench_e2e(c: &mut Criterion) {
+    let arch = presets::dynaplasia();
+    // Print the figure-shaped comparison once, so `cargo bench` output
+    // carries the paper's metric (simulated cycles), not only wall time.
+    eprintln!("\nfig14-shaped simulated-cycle comparison (depth scale 0.08):");
+    for model in ["bert-large", "opt-6.7b", "resnet18"] {
+        let Ok(w) = build(model, 1, 64, 64, 0.08, 1) else {
+            continue;
+        };
+        let mut line = format!("  {model}:");
+        let mut mlc_cycles = 0.0;
+        for backend_name in ["puma", "occ", "cim-mlc", "cmswitch"] {
+            let backend = by_name(backend_name, arch.clone()).expect("known");
+            let r = run_workload(backend.as_ref(), &w).expect("runs");
+            if backend_name == "cim-mlc" {
+                mlc_cycles = r.cycles;
+            }
+            if backend_name == "cmswitch" && mlc_cycles > 0.0 {
+                line.push_str(&format!(
+                    " {}={:.3e} (speedup vs mlc {:.2}x)",
+                    backend_name,
+                    r.cycles,
+                    mlc_cycles / r.cycles
+                ));
+            } else {
+                line.push_str(&format!(" {}={:.3e}", backend_name, r.cycles));
+            }
+        }
+        eprintln!("{line}");
+    }
+
+    let mut group = c.benchmark_group("fig14_e2e_pipeline");
+    group.sample_size(10);
+    for model in ["bert-large", "resnet18"] {
+        let Ok(w) = build(model, 1, 64, 64, 0.08, 1) else {
+            continue;
+        };
+        for backend_name in ["cim-mlc", "cmswitch"] {
+            let backend = by_name(backend_name, arch.clone()).expect("known");
+            group.bench_with_input(
+                BenchmarkId::new(backend_name, model),
+                &w,
+                |b, w| b.iter(|| run_workload(backend.as_ref(), w).expect("runs")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

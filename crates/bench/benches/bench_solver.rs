@@ -1,0 +1,74 @@
+//! Solver micro-benches: LP simplex, branch-and-bound MIP, and the
+//! specialized allocation solver on segment-shaped instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cmswitch_solver::{alloc, LinearProgram, MipProblem, Relation};
+
+fn lp_instance(n: usize) -> LinearProgram {
+    let mut lp = LinearProgram::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| lp.add_var(0.0, 10.0, 1.0 + (i % 7) as f64))
+        .collect();
+    for i in 0..n {
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, 1.0 + ((i + j) % 5) as f64))
+            .collect();
+        lp.add_constraint(terms, Relation::Le, 50.0 + i as f64).unwrap();
+    }
+    lp
+}
+
+fn mip_instance(n: usize) -> MipProblem {
+    let mut mip = MipProblem::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| mip.add_int_var(0.0, 8.0, 1.0 + (i % 5) as f64))
+        .collect();
+    for i in 0..n {
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, 1.0 + ((i * j) % 4) as f64))
+            .collect();
+        mip.add_constraint(terms, Relation::Le, 30.0).unwrap();
+    }
+    mip
+}
+
+fn alloc_instance(p: usize) -> (Vec<alloc::AllocOp>, alloc::AllocChip) {
+    let ops = (0..p)
+        .map(|i| alloc::AllocOp {
+            work: 1e6 * (1.0 + i as f64),
+            min_compute: 1 + i % 4,
+            ai: 10.0 + (i * 37 % 300) as f64,
+            d_main: 64.0,
+        })
+        .collect();
+    (
+        ops,
+        alloc::AllocChip {
+            op_cim: 1600.0,
+            d_cim: 4.0,
+            n_arrays: 96,
+        },
+    )
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(20);
+    let lp = lp_instance(20);
+    group.bench_function("simplex_20x20", |b| b.iter(|| lp.solve().unwrap()));
+    let mip = mip_instance(8);
+    group.bench_function("branch_bound_8int", |b| b.iter(|| mip.solve().unwrap()));
+    let (ops, chip) = alloc_instance(12);
+    group.bench_function("alloc_binary_search_12ops", |b| {
+        b.iter(|| alloc::solve(&ops, &chip, 0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p cmswitch-bench --release --bin experiments -- <name> [--full] [--quick] [--scale F]
+//! cargo run -p cmswitch-bench --release --bin experiments -- all
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use cmswitch_bench::experiments::{run_experiment, ExpConfig, ALL_EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut cfg = ExpConfig::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--full" => cfg.scale = 1.0,
+            "--scale" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v <= 1.0 => cfg.scale = v,
+                _ => {
+                    eprintln!("--scale needs a value in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--samples" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v > 0 => cfg.decode_samples = v,
+                _ => {
+                    eprintln!("--samples needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            name if !name.starts_with('-') => names.push(name.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if names.is_empty() {
+        eprintln!(
+            "usage: experiments <name>... [--quick] [--full] [--scale F] [--samples N]\n\
+             experiments: {}  (or `all`)",
+            ALL_EXPERIMENTS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    if names.iter().any(|n| n == "all") {
+        names = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+        // fig1b and fig5 alias to the same sweep; drop the duplicate.
+        names.retain(|n| n != "fig1b");
+    }
+    println!(
+        "# CMSwitch experiments (depth scale {:.2}, {} mode)\n",
+        cfg.scale,
+        if cfg.quick { "quick" } else { "standard" }
+    );
+    for name in &names {
+        match run_experiment(name, &cfg) {
+            Some(report) => println!("{report}"),
+            None => {
+                eprintln!("unknown experiment {name}; known: {ALL_EXPERIMENTS:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,83 @@
+//! One module per paper figure/table. Every module exposes
+//! `run(&ExpConfig) -> String` returning a markdown report; the
+//! `experiments` binary dispatches by name via [`run_experiment`].
+
+pub mod ablation;
+pub mod allocation_viz;
+pub mod arith;
+pub mod compile_time;
+pub mod e2e;
+pub mod generative;
+pub mod mode_sweep;
+pub mod overhead;
+pub mod prime;
+pub mod scale_sweep;
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Transformer depth scale (1.0 = paper-exact layer counts; smaller
+    /// values keep per-layer shapes and shrink depth for fast sweeps).
+    pub scale: f64,
+    /// Use reduced parameter grids.
+    pub quick: bool,
+    /// Decode-trajectory samples for generative workloads.
+    pub decode_samples: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: 0.1,
+            quick: false,
+            decode_samples: 2,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// The quick test configuration used by unit tests.
+    pub fn quick_test() -> Self {
+        ExpConfig {
+            scale: 0.05,
+            quick: true,
+            decode_samples: 1,
+        }
+    }
+}
+
+/// All experiment names accepted by [`run_experiment`].
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig1b", "fig5", "fig5c", "fig6a", "fig6b", "fig14", "fig15", "fig16", "fig17", "fig18",
+    "overhead", "prime", "ablation",
+];
+
+/// Runs one experiment by name, returning its markdown report (or `None`
+/// for unknown names).
+pub fn run_experiment(name: &str, cfg: &ExpConfig) -> Option<String> {
+    Some(match name {
+        "fig1b" | "fig5" => mode_sweep::run(cfg),
+        "fig5c" => arith::run_fig5c(cfg),
+        "fig6a" => arith::run_fig6a(cfg),
+        "fig6b" => arith::run_fig6b(cfg),
+        "fig14" => e2e::run(cfg),
+        "fig15" => allocation_viz::run(cfg),
+        "fig16" => scale_sweep::run(cfg),
+        "fig17" => generative::run(cfg),
+        "fig18" => compile_time::run(cfg),
+        "overhead" => overhead::run(cfg),
+        "prime" => prime::run(cfg),
+        "ablation" => ablation::run(cfg),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_rejects_unknown() {
+        assert!(run_experiment("fig99", &ExpConfig::quick_test()).is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! Compile-and-simulate driver shared by all experiments.
+
+use std::time::Duration;
+
+use cmswitch_baselines::Backend;
+use cmswitch_core::CompileError;
+use cmswitch_sim::timing::simulate;
+
+use crate::workloads::Workload;
+
+/// Outcome of running one workload through one backend.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Backend name.
+    pub backend: String,
+    /// Workload name.
+    pub workload: String,
+    /// Simulated end-to-end cycles (generative: prefill + weighted decode).
+    pub cycles: f64,
+    /// The compiler's own latency prediction (cycles).
+    pub predicted: f64,
+    /// Total compilation wall time.
+    pub compile_time: Duration,
+    /// Segments in the plan (prefill plan for generative workloads).
+    pub segments: usize,
+    /// Average memory-mode array ratio across segments (averaged over
+    /// phases for generative workloads, weighted by cycles).
+    pub memory_ratio: f64,
+    /// Fraction of simulated time in the mode-switch process (§5.5).
+    pub switch_fraction: f64,
+}
+
+/// Compiles and simulates `workload` on `backend`.
+///
+/// Generative workloads compile the prefill graph and every decode
+/// sample, summing simulated cycles weighted by the steps each sample
+/// represents.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] (simulation failures of validated flows
+/// are compiler bugs and surface as [`CompileError::InvalidFlow`]).
+pub fn run_workload(backend: &dyn Backend, workload: &Workload) -> Result<RunResult, CompileError> {
+    match workload {
+        Workload::Single(graph) => {
+            let program = backend.compile(graph)?;
+            let report =
+                simulate(&program.flow, backend.arch()).map_err(CompileError::InvalidFlow)?;
+            Ok(RunResult {
+                backend: backend.name().to_string(),
+                workload: graph.name().to_string(),
+                cycles: report.total_cycles,
+                predicted: program.predicted_latency,
+                compile_time: program.stats.wall,
+                segments: program.stats.n_segments,
+                memory_ratio: program.average_memory_ratio(),
+                switch_fraction: report.switch_process_fraction(),
+            })
+        }
+        Workload::Generative(gen) => {
+            let mut cycles = 0.0;
+            let mut predicted = 0.0;
+            let mut compile_time = Duration::ZERO;
+            let mut mem_ratio_weighted = 0.0;
+            let mut switch_weighted = 0.0;
+
+            let prefill = backend.compile(&gen.prefill)?;
+            let report =
+                simulate(&prefill.flow, backend.arch()).map_err(CompileError::InvalidFlow)?;
+            cycles += report.total_cycles;
+            predicted += prefill.predicted_latency;
+            compile_time += prefill.stats.wall;
+            let segments = prefill.stats.n_segments;
+            mem_ratio_weighted += prefill.average_memory_ratio() * report.total_cycles;
+            switch_weighted += report.switch_process_fraction() * report.total_cycles;
+
+            for sample in &gen.decode_samples {
+                let program = backend.compile(&sample.graph)?;
+                let report = simulate(&program.flow, backend.arch())
+                    .map_err(CompileError::InvalidFlow)?;
+                let step_cycles = report.total_cycles * sample.steps;
+                cycles += step_cycles;
+                predicted += program.predicted_latency * sample.steps;
+                compile_time += program.stats.wall;
+                mem_ratio_weighted += program.average_memory_ratio() * step_cycles;
+                switch_weighted += report.switch_process_fraction() * step_cycles;
+            }
+            Ok(RunResult {
+                backend: backend.name().to_string(),
+                workload: gen.name.clone(),
+                predicted,
+                compile_time,
+                segments,
+                memory_ratio: if cycles > 0.0 {
+                    mem_ratio_weighted / cycles
+                } else {
+                    0.0
+                },
+                switch_fraction: if cycles > 0.0 {
+                    switch_weighted / cycles
+                } else {
+                    0.0
+                },
+                cycles,
+            })
+        }
+    }
+}
+
+/// Runs `workload` through several backends, returning results in the
+/// same order. Backends run in parallel (scoped threads).
+///
+/// # Errors
+///
+/// Propagates the first [`CompileError`] encountered.
+pub fn run_backends(
+    backends: &[Box<dyn Backend>],
+    workload: &Workload,
+) -> Result<Vec<RunResult>, CompileError> {
+    let mut slots: Vec<Option<Result<RunResult, CompileError>>> =
+        (0..backends.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot, backend) in slots.iter_mut().zip(backends) {
+            s.spawn(move |_| {
+                *slot = Some(run_workload(backend.as_ref(), workload));
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    slots
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Speedup of `ours` relative to `baseline` (higher = ours faster).
+pub fn speedup(baseline: &RunResult, ours: &RunResult) -> f64 {
+    if ours.cycles <= 0.0 {
+        return f64::INFINITY;
+    }
+    baseline.cycles / ours.cycles
+}
+
+/// Geometric mean of a set of ratios.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::build;
+    use cmswitch_arch::presets;
+    use cmswitch_baselines::by_name;
+
+    #[test]
+    fn runs_single_and_generative() {
+        let arch = presets::dynaplasia();
+        let backend = by_name("cmswitch", arch).unwrap();
+        let w = build("bert-base", 1, 16, 0, 0.1, 1).unwrap();
+        let r = run_workload(backend.as_ref(), &w).unwrap();
+        assert!(r.cycles > 0.0);
+        let w = build("llama2-7b", 1, 8, 8, 0.06, 1).unwrap();
+        let r = run_workload(backend.as_ref(), &w).unwrap();
+        assert!(r.cycles > 0.0);
+        assert!(r.memory_ratio >= 0.0 && r.memory_ratio <= 1.0);
+    }
+
+    #[test]
+    fn geomean_of_constant_is_constant() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn parallel_backends_agree_with_serial() {
+        let arch = presets::dynaplasia();
+        let backends: Vec<_> = ["cim-mlc", "cmswitch"]
+            .iter()
+            .map(|n| by_name(n, arch.clone()).unwrap())
+            .collect();
+        let w = build("bert-base", 1, 16, 0, 0.1, 1).unwrap();
+        let par = run_backends(&backends, &w).unwrap();
+        let ser: Vec<_> = backends
+            .iter()
+            .map(|b| run_workload(b.as_ref(), &w).unwrap())
+            .collect();
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.backend, s.backend);
+            assert!((p.cycles - s.cycles).abs() < 1e-6 * s.cycles.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Benchmark workload construction with optional depth scaling.
+//!
+//! Full-depth LLMs (32-40 layers) compile fine but make sweeps slow; the
+//! paper itself exploits that transformer layers repeat ("compilation
+//! results of a single block reused across all layers", §5.6). Scaling
+//! keeps every per-layer shape identical and only reduces the layer
+//! count, so speedup *ratios* are preserved while sweeps stay fast. Use
+//! scale 1.0 (or the `--full` flag of the experiments binary) for
+//! full-depth runs.
+
+use cmswitch_graph::{Graph, GraphError};
+use cmswitch_models::generative::{workload as gen_workload, GenerativeWorkload};
+use cmswitch_models::registry;
+use cmswitch_models::transformer::{stack, TransformerConfig};
+
+/// A benchmark workload: one forward graph, or a generative
+/// prefill+decode bundle.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// A single forward pass.
+    Single(Graph),
+    /// A prefill + sampled decode trajectory.
+    Generative(GenerativeWorkload),
+}
+
+impl Workload {
+    /// The workload's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Workload::Single(g) => g.name(),
+            Workload::Generative(w) => &w.name,
+        }
+    }
+}
+
+/// Scales a transformer config's depth by `scale` (keeping ≥ 2 layers).
+pub fn scaled(cfg: TransformerConfig, scale: f64) -> TransformerConfig {
+    let layers = ((cfg.layers as f64 * scale).round() as usize).clamp(2, cfg.layers);
+    TransformerConfig { layers, ..cfg }
+}
+
+/// Builds the standard benchmark workload for `model`.
+///
+/// * CNNs: one forward pass at `batch` (sequence arguments ignored).
+/// * BERT: one encoder pass over `seq_in` tokens.
+/// * Decoder LLMs: prefill over `seq_in` + `seq_out` decode steps
+///   (sampled at `decode_samples` KV lengths).
+///
+/// `scale` shrinks transformer depth for fast sweeps (1.0 = full depth).
+///
+/// # Errors
+///
+/// Propagates construction errors for unknown models or bad parameters.
+pub fn build(
+    model: &str,
+    batch: usize,
+    seq_in: usize,
+    seq_out: usize,
+    scale: f64,
+    decode_samples: usize,
+) -> Result<Workload, GraphError> {
+    if registry::is_generative(model) {
+        let cfg = scaled(
+            registry::transformer_config(model).expect("generative implies transformer"),
+            scale,
+        );
+        Ok(Workload::Generative(gen_workload(
+            &cfg,
+            batch,
+            seq_in.max(1),
+            seq_out.max(1),
+            decode_samples,
+        )?))
+    } else if let Some(cfg) = registry::transformer_config(model) {
+        Ok(Workload::Single(stack(&scaled(cfg, scale), batch, seq_in.max(1))?))
+    } else {
+        Ok(Workload::Single(registry::build(model, batch, seq_in)?))
+    }
+}
+
+/// The paper's Fig. 14 benchmark set.
+pub const FIG14_MODELS: &[&str] = &[
+    "bert-large",
+    "llama2-7b",
+    "opt-13b",
+    "mobilenetv2",
+    "resnet18",
+    "vgg16",
+];
+
+/// The paper's Fig. 16 benchmark set.
+pub const FIG16_MODELS: &[&str] = &["bert-large", "llama2-7b", "opt-6.7b", "opt-13b"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_cnn_and_encoder_and_decoder() {
+        assert!(matches!(
+            build("resnet18", 1, 0, 0, 1.0, 1).unwrap(),
+            Workload::Single(_)
+        ));
+        assert!(matches!(
+            build("bert-base", 1, 32, 0, 0.2, 1).unwrap(),
+            Workload::Single(_)
+        ));
+        assert!(matches!(
+            build("llama2-7b", 1, 16, 16, 0.1, 2).unwrap(),
+            Workload::Generative(_)
+        ));
+    }
+
+    #[test]
+    fn scaling_reduces_depth() {
+        let cfg = cmswitch_models::bert::large_config();
+        assert_eq!(scaled(cfg.clone(), 1.0).layers, 24);
+        assert_eq!(scaled(cfg.clone(), 0.25).layers, 6);
+        assert_eq!(scaled(cfg, 0.01).layers, 2);
+    }
+
+    #[test]
+    fn workload_names() {
+        let w = build("resnet18", 1, 0, 0, 1.0, 1).unwrap();
+        assert_eq!(w.name(), "resnet18");
+    }
+}

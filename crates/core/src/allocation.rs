@@ -1,0 +1,661 @@
+//! Unified dual-mode allocation with scheduling (§4.3.2).
+//!
+//! For one candidate segment, decides how many arrays each operator gets
+//! in compute mode (`Com_Oi`) and memory mode as input/output buffers
+//! (`λ_min`/`λ_mout`), maximizing pipeline throughput:
+//!
+//! * **MIP path** (the paper's formulation, solved with the
+//!   branch-and-bound substitute for Gurobi): integer array counts with
+//!   the array-overlap (Eq. 5), dependency-reuse (Eq. 6), disjointness
+//!   (Eq. 7) and resource-limit (Eq. 8) constraints, optimizing the
+//!   min-max objective (Eq. 9) linearized as max-min throughput —
+//!   minimizing `max_i OP_i/x_i` is equivalent to maximizing
+//!   `min_i x_i/OP_i` since `t ↦ 1/t` is monotone.
+//! * **Fast path**: the exact specialized binary-search allocator from
+//!   `cmswitch-solver`, used as fallback and for compile-time ablation.
+//!
+//! Results are cached by segment *shape signature*: transformer layers
+//! repeat identical segments, so one solve serves all layers — the
+//! paper's §5.6 observation that "compilation results of a single block
+//! are reused across all layers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use cmswitch_solver::{alloc as fast, MipProblem, Relation};
+
+use crate::cost::CostModel;
+use crate::frontend::SegOp;
+use crate::AllocatorKind;
+
+/// Arrays assigned to one operator (the per-op aggregation of the λ
+/// variables of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpAllocation {
+    /// Compute-mode arrays (`Com_Oi`).
+    pub compute: usize,
+    /// Memory-mode arrays buffering inputs (`Σλ_min`).
+    pub mem_in: usize,
+    /// Memory-mode arrays buffering outputs (`Σλ_mout`).
+    pub mem_out: usize,
+}
+
+/// Allocation decided for a whole segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentAllocation {
+    /// Per-op allocations, in segment order.
+    pub ops: Vec<OpAllocation>,
+    /// Buffer reuse between dependent ops: `((producer, consumer),
+    /// shared_arrays)` with local indices (the `H_{i,j}` of Eq. 8).
+    pub reuse: Vec<((usize, usize), usize)>,
+    /// Pipeline bottleneck latency (Eq. 9 objective, cycles).
+    pub latency: f64,
+}
+
+impl SegmentAllocation {
+    /// Total compute arrays.
+    pub fn total_compute(&self) -> usize {
+        self.ops.iter().map(|o| o.compute).sum()
+    }
+
+    /// Total memory arrays (input + output buffers, reuse counted once).
+    pub fn total_memory(&self) -> usize {
+        let raw: usize = self.ops.iter().map(|o| o.mem_in + o.mem_out).sum();
+        let shared: usize = self.reuse.iter().map(|&(_, r)| r).sum();
+        raw.saturating_sub(shared)
+    }
+
+    /// Physical arrays used (Eq. 8 left-hand side).
+    pub fn arrays_used(&self) -> usize {
+        self.total_compute() + self.total_memory()
+    }
+
+    /// Fraction of used arrays that are in memory mode (the Fig. 16
+    /// bottom-row metric).
+    pub fn memory_ratio(&self) -> f64 {
+        let used = self.arrays_used();
+        if used == 0 {
+            0.0
+        } else {
+            self.total_memory() as f64 / used as f64
+        }
+    }
+}
+
+/// Solver statistics accumulated over a compilation.
+#[derive(Debug, Default)]
+pub struct AllocatorStats {
+    /// MIP solves performed.
+    pub mip_solves: AtomicU64,
+    /// Fast-path solves performed (including MIP fallbacks).
+    pub fast_solves: AtomicU64,
+    /// Cache hits.
+    pub cache_hits: AtomicU64,
+}
+
+impl AllocatorStats {
+    /// Snapshot as plain counters `(mip, fast, cache_hits)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.mip_solves.load(Ordering::Relaxed),
+            self.fast_solves.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The per-segment allocator with its signature cache.
+pub struct Allocator<'a> {
+    cm: CostModel<'a>,
+    kind: AllocatorKind,
+    cache: Option<Mutex<HashMap<Vec<u64>, Option<SegmentAllocation>>>>,
+    /// Solve counters.
+    pub stats: AllocatorStats,
+}
+
+impl<'a> Allocator<'a> {
+    /// Creates an allocator for `arch` (via its cost model).
+    pub fn new(cm: CostModel<'a>, kind: AllocatorKind, reuse_cache: bool) -> Self {
+        Allocator {
+            cm,
+            kind,
+            cache: reuse_cache.then(|| Mutex::new(HashMap::new())),
+            stats: AllocatorStats::default(),
+        }
+    }
+
+    /// Allocates dual-mode arrays for the segment `ops` with intra-segment
+    /// dependencies `local_deps` (`(producer, consumer, bytes)`, local
+    /// indices). Returns `None` when the segment cannot fit the chip.
+    pub fn allocate(
+        &self,
+        ops: &[SegOp],
+        local_deps: &[(usize, usize, u64)],
+    ) -> Option<SegmentAllocation> {
+        if ops.is_empty() {
+            return Some(SegmentAllocation {
+                ops: Vec::new(),
+                reuse: Vec::new(),
+                latency: 0.0,
+            });
+        }
+        let key = self.cache.as_ref().map(|_| signature(ops, local_deps));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(hit) = cache.lock().get(key) {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return hit.clone();
+            }
+        }
+        let result = match self.kind {
+            AllocatorKind::Mip => self.solve_mip(ops, local_deps),
+            AllocatorKind::Fast => self.solve_fast(ops, local_deps),
+        };
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.lock().insert(key, result.clone());
+        }
+        result
+    }
+
+    fn solve_mip(
+        &self,
+        ops: &[SegOp],
+        local_deps: &[(usize, usize, u64)],
+    ) -> Option<SegmentAllocation> {
+        self.stats.mip_solves.fetch_add(1, Ordering::Relaxed);
+        // The fast allocator's exact (uncoupled) solution warm-starts the
+        // branch-and-bound: with it as the initial incumbent the search
+        // only explores nodes that could beat it through the Eq. 6 reuse
+        // coupling.
+        let warm = self.solve_fast(ops, local_deps);
+        let arch = self.cm.arch();
+        let n = arch.n_arrays() as f64;
+        let op_cim = arch.op_cim();
+        let d_cim = arch.d_cim();
+        let d_main = arch.d_main();
+
+        // Reference latency for scaling: every op at minimal allocation.
+        let l0 = ops
+            .iter()
+            .map(|o| o.work / (o.min_tiles.max(1) as f64 * op_cim))
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+
+        let mut mip = MipProblem::new();
+        // The warm start is already the exact optimum of the uncoupled
+        // objective, so branch-and-bound only hunts for reuse-coupling
+        // gains; its budget stays small (compile time is the paper's
+        // Fig. 18 metric) and scales down with segment size. The 2% gap
+        // is far below the latency model's fidelity.
+        mip.set_node_limit((240 / ops.len().max(1)).max(30));
+        mip.set_relative_gap(2e-2);
+        let z = mip.add_var(0.0, f64::INFINITY, 1.0);
+        let mut com = Vec::with_capacity(ops.len());
+        let mut min_v = Vec::with_capacity(ops.len());
+        let mut mout = Vec::with_capacity(ops.len());
+        let mut xs = Vec::with_capacity(ops.len());
+        for op in ops {
+            let c = mip.add_int_var(op.min_tiles.max(1) as f64, n, 0.0);
+            let mi = mip.add_int_var(0.0, n, 0.0);
+            let mo = mip.add_int_var(0.0, n, 0.0);
+            let x = mip.add_var(0.0, n * op_cim, 0.0);
+            // x <= com * OP_cim.
+            mip.add_constraint(vec![(x, 1.0), (c, -op_cim)], Relation::Le, 0.0)
+                .ok()?;
+            // x <= ((min+mout)*D_cim + D_main) * AI.
+            let ai = op.ai();
+            if ai.is_finite() {
+                mip.add_constraint(
+                    vec![(x, 1.0), (mi, -d_cim * ai), (mo, -d_cim * ai)],
+                    Relation::Le,
+                    d_main * ai,
+                )
+                .ok()?;
+            }
+            // z <= x * L0 / work  <=>  (work/L0) z - x <= 0.
+            mip.add_constraint(vec![(z, op.work / l0), (x, -1.0)], Relation::Le, 0.0)
+                .ok()?;
+            com.push(c);
+            min_v.push(mi);
+            mout.push(mo);
+            xs.push(x);
+        }
+        // Reuse variables per dependency (Eq. 6 coupling, Eq. 8 refund).
+        let mut reuse_vars = Vec::with_capacity(local_deps.len());
+        for &(p, c, bytes) in local_deps {
+            let cap = (bytes.div_ceil(arch.array_bytes().max(1))).min(arch.n_arrays() as u64);
+            let r = mip.add_int_var(0.0, cap as f64, 0.0);
+            reuse_vars.push(((p, c), r));
+        }
+        // An output buffer can be lent to each consumer only once, and a
+        // consumer's input buffer can absorb at most its own size:
+        // Σ_{e out of p} r_e ≤ mout_p and Σ_{e into c} r_e ≤ min_c.
+        for (i, _) in ops.iter().enumerate() {
+            let outgoing: Vec<_> = reuse_vars
+                .iter()
+                .filter(|((p, _), _)| *p == i)
+                .map(|&(_, r)| (r, 1.0))
+                .collect();
+            if !outgoing.is_empty() {
+                let mut terms = outgoing;
+                terms.push((mout[i], -1.0));
+                mip.add_constraint(terms, Relation::Le, 0.0).ok()?;
+            }
+            let incoming: Vec<_> = reuse_vars
+                .iter()
+                .filter(|((_, c), _)| *c == i)
+                .map(|&(_, r)| (r, 1.0))
+                .collect();
+            if !incoming.is_empty() {
+                let mut terms = incoming;
+                terms.push((min_v[i], -1.0));
+                mip.add_constraint(terms, Relation::Le, 0.0).ok()?;
+            }
+        }
+        // Capacity (Eq. 8): sum of all allocations minus reuse <= N.
+        let mut terms: Vec<_> = Vec::new();
+        for i in 0..ops.len() {
+            terms.push((com[i], 1.0));
+            terms.push((min_v[i], 1.0));
+            terms.push((mout[i], 1.0));
+        }
+        for &(_, r) in &reuse_vars {
+            terms.push((r, -1.0));
+        }
+        mip.add_constraint(terms, Relation::Le, n).ok()?;
+
+        // Warm start from the fast allocator's solution.
+        if let Some(fast_alloc) = &warm {
+            let mut values = vec![0.0; mip.n_vars()];
+            let mut z_val = f64::INFINITY;
+            for (i, (op, a)) in ops.iter().zip(&fast_alloc.ops).enumerate() {
+                let mem_total = (a.mem_in + a.mem_out) as f64;
+                let compute_rate = a.compute as f64 * op_cim;
+                let mem_rate = if op.ai().is_finite() {
+                    (mem_total * d_cim + d_main) * op.ai()
+                } else {
+                    f64::INFINITY
+                };
+                let x_val = compute_rate.min(mem_rate).min(n * op_cim);
+                values[com[i].index()] = a.compute as f64;
+                values[min_v[i].index()] = a.mem_in as f64;
+                values[mout[i].index()] = a.mem_out as f64;
+                values[xs[i].index()] = x_val;
+                z_val = z_val.min(x_val * l0 / op.work);
+            }
+            values[z.index()] = z_val.max(0.0);
+            for (((p, c), rvar), &(dp, dc, _)) in reuse_vars.iter().zip(local_deps) {
+                debug_assert_eq!((*p, *c), (dp, dc));
+                let r = fast_alloc
+                    .reuse
+                    .iter()
+                    .find(|((rp, rc), _)| (*rp, *rc) == (*p, *c))
+                    .map(|&(_, r)| r)
+                    .unwrap_or(0);
+                values[rvar.index()] = r as f64;
+            }
+            mip.set_warm_start(values);
+        }
+
+        let sol = match mip.solve() {
+            Ok(sol) => sol,
+            // Infeasible, node-limit or numerical trouble: the fast
+            // solution (None when genuinely infeasible) stands.
+            Err(_) => return warm,
+        };
+        let per_op: Vec<OpAllocation> = (0..ops.len())
+            .map(|i| OpAllocation {
+                compute: sol.int_value(com[i]) as usize,
+                mem_in: sol.int_value(min_v[i]) as usize,
+                mem_out: sol.int_value(mout[i]) as usize,
+            })
+            .collect();
+        let reuse: Vec<((usize, usize), usize)> = reuse_vars
+            .iter()
+            .map(|&((p, c), r)| ((p, c), sol.int_value(r) as usize))
+            .filter(|&(_, r)| r > 0)
+            .collect();
+        let mut alloc = SegmentAllocation {
+            ops: per_op,
+            reuse,
+            latency: 0.0,
+        };
+        alloc.latency = self.cm.intra_latency(ops, &alloc);
+        self.trim_compute(ops, &mut alloc);
+        self.balance_reload(ops, &mut alloc);
+        Some(alloc)
+    }
+
+    /// Trades intra-segment latency against the weight-reload cost the
+    /// allocation will trigger at segment entry (Eq. 2,
+    /// `max_o Com_o · Latency_write`).
+    ///
+    /// The paper's Eq. 9 objective alone is reload-blind: for
+    /// weight-streaming workloads it happily buys compute arrays whose
+    /// tiny bottleneck improvement is dwarfed by the extra reload time.
+    /// This descent shrinks the largest static-weight compute allocations
+    /// while `intra + reload` keeps improving.
+    fn balance_reload(&self, ops: &[SegOp], alloc: &mut SegmentAllocation) {
+        let lat_write = self.cm.arch().lat_write_array() as f64;
+        let reload = |a: &SegmentAllocation| -> f64 {
+            ops.iter()
+                .zip(&a.ops)
+                .filter(|(op, _)| op.weight_static)
+                .map(|(_, o)| o.compute as f64 * lat_write)
+                .fold(0.0, f64::max)
+        };
+        loop {
+            let cur_total = self.cm.intra_latency(ops, alloc) + reload(alloc);
+            // Decrement every static op sitting at the current maximum
+            // compute count (ties must shrink together to reduce the max).
+            let max_com = ops
+                .iter()
+                .zip(&alloc.ops)
+                .filter(|(op, _)| op.weight_static)
+                .map(|(_, o)| o.compute)
+                .max()
+                .unwrap_or(0);
+            if max_com == 0 {
+                break;
+            }
+            let mut trial = alloc.clone();
+            let mut changed = false;
+            for (op, o) in ops.iter().zip(trial.ops.iter_mut()) {
+                if op.weight_static && o.compute == max_com && o.compute > op.min_tiles.max(1)
+                {
+                    o.compute -= 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let new_total = self.cm.intra_latency(ops, &trial) + reload(&trial);
+            if new_total < cur_total - 1e-9 {
+                *alloc = trial;
+            } else {
+                break;
+            }
+        }
+        alloc.latency = self.cm.intra_latency(ops, alloc);
+    }
+
+    /// Removes compute arrays that do not help the segment bottleneck.
+    ///
+    /// The Eq. 9 objective is indifferent to how many arrays
+    /// *non-bottleneck* operators hold, but every compute array costs
+    /// reload time at segment entry (Eq. 2), so excess compute
+    /// allocations are trimmed back to the point where the segment
+    /// bottleneck would grow. Memory arrays are kept: they carry live
+    /// data across segment boundaries (reducing T_wb) and cost nothing
+    /// to reload.
+    fn trim_compute(&self, ops: &[SegOp], alloc: &mut SegmentAllocation) {
+        let bottleneck = alloc.latency * (1.0 + 1e-9);
+        for (i, op) in ops.iter().enumerate() {
+            while alloc.ops[i].compute > op.min_tiles.max(1) {
+                let mut trial = alloc.ops[i];
+                trial.compute -= 1;
+                if self.cm.op_latency(op, &trial) <= bottleneck {
+                    alloc.ops[i] = trial;
+                } else {
+                    break;
+                }
+            }
+        }
+        alloc.latency = self.cm.intra_latency(ops, alloc);
+    }
+
+    fn solve_fast(
+        &self,
+        ops: &[SegOp],
+        local_deps: &[(usize, usize, u64)],
+    ) -> Option<SegmentAllocation> {
+        self.stats.fast_solves.fetch_add(1, Ordering::Relaxed);
+        let arch = self.cm.arch();
+        let chip = fast::AllocChip {
+            op_cim: arch.op_cim(),
+            d_cim: arch.d_cim(),
+            n_arrays: arch.n_arrays(),
+        };
+        let fast_ops: Vec<fast::AllocOp> = ops
+            .iter()
+            .map(|o| fast::AllocOp {
+                work: o.work,
+                min_compute: o.min_tiles.max(1),
+                ai: if o.ai().is_finite() { o.ai() } else { 1e12 },
+                d_main: arch.d_main(),
+            })
+            .collect();
+        // Conservative first (no reuse credit), optimistic if that fails.
+        let credit: usize = local_deps
+            .iter()
+            .map(|&(_, _, b)| b.div_ceil(arch.array_bytes().max(1)) as usize)
+            .sum();
+        let solved = fast::solve(&fast_ops, &chip, 0)
+            .or_else(|_| fast::solve(&fast_ops, &chip, credit))
+            .ok()?;
+
+        // Split each op's memory arrays into output/input buffers and
+        // derive the realized reuse pairs.
+        let mut per_op: Vec<OpAllocation> = solved
+            .ops
+            .iter()
+            .zip(ops)
+            .map(|(a, op)| {
+                let want_out =
+                    (op.out_bytes.div_ceil(arch.array_bytes().max(1)) as usize).max(1);
+                let mem_out = a.memory.min(want_out);
+                OpAllocation {
+                    compute: a.compute,
+                    mem_in: a.memory - mem_out,
+                    mem_out,
+                }
+            })
+            .collect();
+        let mut reuse = compute_reuse(&per_op, local_deps, arch.array_bytes());
+        // Enforce the physical capacity after the split; trim memory
+        // arrays from the largest holders if reuse credit was over-used.
+        let mut alloc = SegmentAllocation {
+            ops: per_op.clone(),
+            reuse: reuse.clone(),
+            latency: 0.0,
+        };
+        while alloc.arrays_used() > arch.n_arrays() {
+            let Some((idx, _)) = per_op
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.mem_in + a.mem_out > 0)
+                .max_by_key(|(_, a)| a.mem_in + a.mem_out)
+            else {
+                return None;
+            };
+            if per_op[idx].mem_in > 0 {
+                per_op[idx].mem_in -= 1;
+            } else {
+                per_op[idx].mem_out -= 1;
+            }
+            reuse = compute_reuse(&per_op, local_deps, arch.array_bytes());
+            alloc = SegmentAllocation {
+                ops: per_op.clone(),
+                reuse: reuse.clone(),
+                latency: 0.0,
+            };
+        }
+        alloc.latency = self.cm.intra_latency(ops, &alloc);
+        self.trim_compute(ops, &mut alloc);
+        self.balance_reload(ops, &mut alloc);
+        Some(alloc)
+    }
+}
+
+/// Greedy capacity-tracked reuse assignment: each producer's output
+/// buffer is lent at most once, each consumer's input buffer absorbs at
+/// most its own size (the aggregate form of Eq. 6).
+fn compute_reuse(
+    per_op: &[OpAllocation],
+    local_deps: &[(usize, usize, u64)],
+    array_bytes: u64,
+) -> Vec<((usize, usize), usize)> {
+    let mut out_left: Vec<usize> = per_op.iter().map(|a| a.mem_out).collect();
+    let mut in_left: Vec<usize> = per_op.iter().map(|a| a.mem_in).collect();
+    let mut reuse = Vec::new();
+    for &(p, c, bytes) in local_deps {
+        let cap = bytes.div_ceil(array_bytes.max(1)) as usize;
+        let r = out_left[p].min(in_left[c]).min(cap);
+        if r > 0 {
+            out_left[p] -= r;
+            in_left[c] -= r;
+            reuse.push(((p, c), r));
+        }
+    }
+    reuse
+}
+
+fn signature(ops: &[SegOp], local_deps: &[(usize, usize, u64)]) -> Vec<u64> {
+    let mut sig = Vec::with_capacity(ops.len() * 8 + local_deps.len() * 3);
+    for op in ops {
+        sig.extend_from_slice(&[
+            op.m as u64,
+            op.k as u64,
+            op.n as u64,
+            op.units as u64,
+            op.weight_static as u64,
+            op.in_bytes,
+            op.out_bytes,
+            op.aux_flops,
+        ]);
+    }
+    sig.push(u64::MAX); // separator
+    for &(p, c, b) in local_deps {
+        sig.extend_from_slice(&[p as u64, c as u64, b]);
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+
+    fn seg_op(name: &str, m: usize, k: usize, n: usize, stat: bool) -> SegOp {
+        SegOp {
+            source: 0,
+            name: name.into(),
+            m,
+            k,
+            n,
+            units: 1,
+            weight_static: stat,
+            work: (m * k * n) as f64,
+            in_bytes: (m * k) as u64,
+            out_bytes: (m * n) as u64,
+            weight_bytes: (k * n) as u64,
+            aux_flops: 0,
+            min_tiles: 1,
+        }
+    }
+
+    #[test]
+    fn mip_and_fast_agree_on_latency() {
+        let arch = presets::tiny();
+        let cm = CostModel::new(&arch);
+        let ops = vec![seg_op("a", 64, 64, 64, true), seg_op("b", 64, 64, 64, true)];
+        let deps = vec![(0usize, 1usize, 64 * 64u64)];
+        let mip = Allocator::new(CostModel::new(&arch), AllocatorKind::Mip, false);
+        let fast = Allocator::new(cm, AllocatorKind::Fast, false);
+        let am = mip.allocate(&ops, &deps).unwrap();
+        let af = fast.allocate(&ops, &deps).unwrap();
+        // Both are optimal for the same objective (modulo the reuse
+        // coupling which can only help the MIP), so MIP <= fast + eps.
+        assert!(
+            am.latency <= af.latency * 1.001 + 1e-9,
+            "mip {} fast {}",
+            am.latency,
+            af.latency
+        );
+        assert!(am.arrays_used() <= arch.n_arrays());
+        assert!(af.arrays_used() <= arch.n_arrays());
+    }
+
+    #[test]
+    fn infeasible_when_tiles_exceed_chip() {
+        let arch = presets::tiny(); // 8 arrays
+        let alloc = Allocator::new(CostModel::new(&arch), AllocatorKind::Mip, false);
+        let mut op = seg_op("big", 64, 512, 512, true);
+        op.min_tiles = 64;
+        assert!(alloc.allocate(&[op], &[]).is_none());
+    }
+
+    #[test]
+    fn memory_bound_op_gets_memory_arrays() {
+        let arch = presets::dynaplasia();
+        let alloc = Allocator::new(CostModel::new(&arch), AllocatorKind::Mip, false);
+        // Low AI (n small): m huge, n=1 -> AI ~ 1.
+        let op = seg_op("gemv", 1 << 20, 320, 1, true);
+        let a = alloc.allocate(&[op], &[]).unwrap();
+        assert!(
+            a.ops[0].mem_in + a.ops[0].mem_out > 0,
+            "memory-bound op should get memory arrays: {:?}",
+            a.ops[0]
+        );
+    }
+
+    #[test]
+    fn compute_bound_op_prefers_compute_arrays() {
+        let arch = presets::dynaplasia();
+        let alloc = Allocator::new(CostModel::new(&arch), AllocatorKind::Mip, false);
+        // Truly compute-bound: AI = n = 8192 MACs/byte, beyond the chip's
+        // balance point D_main·AI vs N·OP_cim (= 2400 on DynaPlasia).
+        let op = seg_op("mmm", 4096, 320, 8192, true);
+        let a = alloc.allocate(&[op], &[]).unwrap();
+        assert!(
+            a.ops[0].compute > 2 * (a.ops[0].mem_in + a.ops[0].mem_out),
+            "{:?}",
+            a.ops[0]
+        );
+    }
+
+    #[test]
+    fn cache_hits_for_identical_segments() {
+        let arch = presets::tiny();
+        let alloc = Allocator::new(CostModel::new(&arch), AllocatorKind::Fast, true);
+        let ops = vec![seg_op("a", 64, 64, 64, true)];
+        let _ = alloc.allocate(&ops, &[]);
+        let _ = alloc.allocate(&ops, &[]);
+        let (_, fast, hits) = alloc.stats.snapshot();
+        assert_eq!(fast, 1);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn empty_segment_allocates_trivially() {
+        let arch = presets::tiny();
+        let alloc = Allocator::new(CostModel::new(&arch), AllocatorKind::Mip, false);
+        let a = alloc.allocate(&[], &[]).unwrap();
+        assert_eq!(a.latency, 0.0);
+    }
+
+    #[test]
+    fn reuse_reduces_arrays_used() {
+        let a = SegmentAllocation {
+            ops: vec![
+                OpAllocation {
+                    compute: 2,
+                    mem_in: 0,
+                    mem_out: 2,
+                },
+                OpAllocation {
+                    compute: 2,
+                    mem_in: 2,
+                    mem_out: 0,
+                },
+            ],
+            reuse: vec![((0, 1), 2)],
+            latency: 1.0,
+        };
+        assert_eq!(a.total_memory(), 2);
+        assert_eq!(a.arrays_used(), 6);
+        assert!((a.memory_ratio() - 2.0 / 6.0).abs() < 1e-9);
+    }
+}

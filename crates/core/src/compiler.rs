@@ -1,0 +1,276 @@
+use std::time::{Duration, Instant};
+
+use cmswitch_arch::DualModeArch;
+use cmswitch_graph::Graph;
+use cmswitch_metaop::Flow;
+
+use crate::allocation::{Allocator, SegmentAllocation};
+use crate::cost::CostModel;
+use crate::frontend::{lower_graph, SegOp};
+use crate::partition::partition;
+use crate::segment::segment;
+use crate::{codegen, CompileError, CompilerOptions};
+
+/// One segment of the compiled plan, for reports and experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentPlan {
+    /// Inclusive op range into [`CompiledProgram::ops`].
+    pub range: (usize, usize),
+    /// Names of the operators in the segment.
+    pub op_names: Vec<String>,
+    /// The dual-mode allocation.
+    pub alloc: SegmentAllocation,
+    /// Intra-segment pipeline latency (cycles).
+    pub intra: f64,
+    /// Inter-segment overhead paid before the segment (cycles).
+    pub inter_before: f64,
+}
+
+/// Compilation statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompileStats {
+    /// Wall-clock compilation time.
+    pub wall: Duration,
+    /// Operators after partitioning.
+    pub n_ops: usize,
+    /// Segments in the final plan.
+    pub n_segments: usize,
+    /// MIP solves performed.
+    pub mip_solves: u64,
+    /// Fast-allocator solves performed.
+    pub fast_solves: u64,
+    /// Allocation cache hits.
+    pub cache_hits: u64,
+}
+
+/// The compiler's output: meta-operator flow plus the plan behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    /// The meta-operator flow (validated).
+    pub flow: Flow,
+    /// The scheduled operators (after partitioning), in order.
+    pub ops: Vec<SegOp>,
+    /// The segment plans in execution order.
+    pub segments: Vec<SegmentPlan>,
+    /// The DP's predicted end-to-end latency (cycles).
+    pub predicted_latency: f64,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+}
+
+impl CompiledProgram {
+    /// Average fraction of used arrays in memory mode across segments.
+    pub fn average_memory_ratio(&self) -> f64 {
+        if self.segments.is_empty() {
+            return 0.0;
+        }
+        self.segments
+            .iter()
+            .map(|s| s.alloc.memory_ratio())
+            .sum::<f64>()
+            / self.segments.len() as f64
+    }
+}
+
+/// Assembles a [`CompiledProgram`] from an externally produced schedule:
+/// runs codegen, validates the flow, and packages the plan. Used by the
+/// baseline backends (`cmswitch-baselines`), which produce their own
+/// segmentations over the same operator list.
+///
+/// # Errors
+///
+/// Propagates codegen and validation failures.
+pub fn assemble_program(
+    name: &str,
+    list: crate::frontend::OpList,
+    segments: &[crate::segment::Segment],
+    arch: &DualModeArch,
+    mut stats: CompileStats,
+) -> Result<CompiledProgram, CompileError> {
+    let cm = CostModel::new(arch);
+    let flow = codegen::generate(name, &list, segments, arch)?;
+    cmswitch_metaop::validate(&flow)?;
+    let total: f64 = segments
+        .iter()
+        .map(|s| s.inter_before + s.intra)
+        .sum::<f64>()
+        + cm.final_writeback_cost(&list);
+    let plans: Vec<SegmentPlan> = segments
+        .iter()
+        .map(|s| SegmentPlan {
+            range: s.range,
+            op_names: list.ops[s.range.0..=s.range.1]
+                .iter()
+                .map(|o| o.name.clone())
+                .collect(),
+            alloc: s.alloc.clone(),
+            intra: s.intra,
+            inter_before: s.inter_before,
+        })
+        .collect();
+    stats.n_ops = list.ops.len();
+    stats.n_segments = plans.len();
+    Ok(CompiledProgram {
+        flow,
+        ops: list.ops,
+        segments: plans,
+        predicted_latency: total,
+        stats,
+    })
+}
+
+/// The CMSwitch compiler: DEHA architecture + options.
+///
+/// See the crate docs for the pipeline; [`Compiler::compile`] runs it
+/// end-to-end.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    arch: DualModeArch,
+    options: CompilerOptions,
+}
+
+impl Compiler {
+    /// Creates a compiler for `arch` with `options`.
+    pub fn new(arch: DualModeArch, options: CompilerOptions) -> Self {
+        Compiler { arch, options }
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &DualModeArch {
+        &self.arch
+    }
+
+    /// The compiler options.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// Compiles a graph to a meta-operator flow.
+    ///
+    /// # Errors
+    ///
+    /// * [`CompileError::Graph`] for malformed inputs,
+    /// * [`CompileError::OperatorTooLarge`] if an operator cannot fit the
+    ///   chip even after partitioning,
+    /// * [`CompileError::NoFeasibleSchedule`] if segmentation fails.
+    pub fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
+        let start = Instant::now();
+        let list = lower_graph(graph, &self.arch)?;
+        let list = partition(&list, &self.arch, self.options.partition_budget)?;
+        let cm = CostModel::new(&self.arch);
+        let allocator = Allocator::new(
+            CostModel::new(&self.arch),
+            self.options.allocator,
+            self.options.reuse_cache,
+        );
+        let segres = segment(&list, &allocator, &cm, &self.options)?;
+        let flow = codegen::generate(graph.name(), &list, &segres.segments, &self.arch)?;
+        cmswitch_metaop::validate(&flow)?;
+
+        let segments: Vec<SegmentPlan> = segres
+            .segments
+            .iter()
+            .map(|s| SegmentPlan {
+                range: s.range,
+                op_names: list.ops[s.range.0..=s.range.1]
+                    .iter()
+                    .map(|o| o.name.clone())
+                    .collect(),
+                alloc: s.alloc.clone(),
+                intra: s.intra,
+                inter_before: s.inter_before,
+            })
+            .collect();
+        let (mip_solves, fast_solves, cache_hits) = allocator.stats.snapshot();
+        Ok(CompiledProgram {
+            predicted_latency: segres.total_latency,
+            stats: CompileStats {
+                wall: start.elapsed(),
+                n_ops: list.ops.len(),
+                n_segments: segments.len(),
+                mip_solves,
+                fast_solves,
+                cache_hits,
+            },
+            ops: list.ops,
+            segments,
+            flow,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocatorKind;
+    use cmswitch_arch::presets;
+
+    #[test]
+    fn compiles_mlp_end_to_end() {
+        let g = cmswitch_models::mlp::mlp(4, &[256, 512, 128]).unwrap();
+        let c = Compiler::new(presets::tiny(), CompilerOptions::default());
+        let p = c.compile(&g).unwrap();
+        assert!(p.predicted_latency > 0.0);
+        assert_eq!(p.stats.n_segments, p.segments.len());
+        assert!(p.stats.n_ops >= 2);
+        assert!(!p.flow.is_empty());
+        cmswitch_metaop::validate(&p.flow).unwrap();
+    }
+
+    #[test]
+    fn fast_allocator_compiles_too() {
+        let g = cmswitch_models::mlp::mlp(4, &[256, 512, 128]).unwrap();
+        let c = Compiler::new(
+            presets::tiny(),
+            CompilerOptions {
+                allocator: AllocatorKind::Fast,
+                ..CompilerOptions::default()
+            },
+        );
+        let p = c.compile(&g).unwrap();
+        assert!(p.predicted_latency.is_finite());
+        assert!(p.stats.fast_solves > 0);
+        assert_eq!(p.stats.mip_solves, 0);
+    }
+
+    #[test]
+    fn cache_reduces_solves_on_repeated_blocks() {
+        // Two identical layers -> identical segment signatures.
+        let g = cmswitch_models::mlp::mlp(1, &[64, 64, 64, 64, 64]).unwrap();
+        let cached = Compiler::new(presets::tiny(), CompilerOptions::default())
+            .compile(&g)
+            .unwrap();
+        let uncached = Compiler::new(
+            presets::tiny(),
+            CompilerOptions {
+                reuse_cache: false,
+                ..CompilerOptions::default()
+            },
+        )
+        .compile(&g)
+        .unwrap();
+        assert!(cached.stats.cache_hits > 0);
+        assert!(
+            cached.stats.mip_solves + cached.stats.fast_solves
+                < uncached.stats.mip_solves + uncached.stats.fast_solves
+        );
+        // Same schedule quality.
+        assert!(
+            (cached.predicted_latency - uncached.predicted_latency).abs()
+                / uncached.predicted_latency
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn rejects_cyclic_graph_via_error_type() {
+        // Graph validation failure propagates as CompileError::Graph.
+        use cmswitch_graph::{Graph, GraphError};
+        let empty = Graph::from_nodes("empty", Vec::new());
+        let c = Compiler::new(presets::tiny(), CompilerOptions::default());
+        match c.compile(&empty) {
+            Err(CompileError::Graph(GraphError::Empty)) => {}
+            other => panic!("expected empty-graph error, got {other:?}"),
+        }
+    }
+}

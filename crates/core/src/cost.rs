@@ -1,0 +1,328 @@
+//! The compiler's analytic cost model: the paper's Eqs. 1, 2, 4, 9, 10.
+
+use cmswitch_arch::DualModeArch;
+
+use crate::allocation::{OpAllocation, SegmentAllocation};
+use crate::frontend::{OpList, SegOp};
+
+/// Vector function-unit throughput used to cost the non-CIM operators
+/// fused into segments (elementwise FLOPs per cycle).
+pub const FU_FLOPS_PER_CYCLE: f64 = 64.0;
+
+/// The cost model, parameterized by the target architecture.
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    arch: &'a DualModeArch,
+}
+
+impl<'a> CostModel<'a> {
+    /// Creates a cost model for `arch`.
+    pub fn new(arch: &'a DualModeArch) -> Self {
+        CostModel { arch }
+    }
+
+    /// The architecture being compiled for.
+    pub fn arch(&self) -> &DualModeArch {
+        self.arch
+    }
+
+    /// Operator latency under an allocation — Eq. 10:
+    ///
+    /// `L = OP / min(Com·OP_cim, (Mem·D_cim + D_main)·AI)` plus the
+    /// runtime-operand write for dynamic matmuls and the fused
+    /// vector-unit work.
+    pub fn op_latency(&self, op: &SegOp, alloc: &OpAllocation) -> f64 {
+        let compute_rate = alloc.compute as f64 * self.arch.op_cim();
+        let mem_total = (alloc.mem_in + alloc.mem_out) as f64;
+        let mem_rate = (mem_total * self.arch.d_cim() + self.arch.d_main()) * op.ai();
+        let rate = compute_rate.min(mem_rate);
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        let exec = op.work / rate;
+        // Dynamic resident operands (Q·Kᵀ, S·V) are produced at runtime and
+        // written into the arrays before computing. Memory-mode arrays
+        // already holding the data (the paper's in-place K/V switch, §5.3)
+        // contribute their bandwidth to the transfer.
+        let operand_write = if op.weight_static {
+            0.0
+        } else {
+            op.weight_bytes as f64 / (self.arch.d_main() + mem_total * self.arch.d_cim())
+        };
+        let aux = op.aux_flops as f64 / FU_FLOPS_PER_CYCLE;
+        exec + operand_write + aux
+    }
+
+    /// Intra-segment latency — Eq. 9: the pipeline bottleneck, i.e. the
+    /// maximum operator latency in the segment.
+    pub fn intra_latency(&self, ops: &[SegOp], alloc: &SegmentAllocation) -> f64 {
+        ops.iter()
+            .zip(&alloc.ops)
+            .map(|(op, a)| self.op_latency(op, a))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mode-switch latency between adjacent segments — Eq. 1:
+    /// `T_swc = L_{m→c}·Switch_{m→c} + L_{c→m}·Switch_{c→m}`.
+    ///
+    /// Idle arrays rest in memory mode, so the switch counts follow the
+    /// change in total compute arrays.
+    pub fn switch_cost(&self, prev: &SegmentAllocation, next: &SegmentAllocation) -> f64 {
+        let c_prev = prev.total_compute() as i64;
+        let c_next = next.total_compute() as i64;
+        let m2c = (c_next - c_prev).max(0) as f64;
+        let c2m = (c_prev - c_next).max(0) as f64;
+        self.arch.switch_m2c_cycles() as f64 * m2c + self.arch.switch_c2m_cycles() as f64 * c2m
+    }
+
+    /// Weight-reload latency for the next segment — Eq. 2:
+    /// `T_rw = max_{O_l ∈ S} Com_{O_l} · Latency_write` over static-weight
+    /// operators (dynamic operands are written during execution and costed
+    /// in [`CostModel::op_latency`]).
+    pub fn reload_cost(&self, ops: &[SegOp], alloc: &SegmentAllocation) -> f64 {
+        ops.iter()
+            .zip(&alloc.ops)
+            .filter(|(op, _)| op.weight_static)
+            .map(|(_, a)| a.compute as f64 * self.arch.lat_write_array() as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Write-back latency (Fig. 10 step 1): live data crossing the segment
+    /// boundary that exceeds the next segment's on-chip memory capacity
+    /// must round-trip through main memory.
+    ///
+    /// `range` is the previous segment's op index range in `list`.
+    pub fn writeback_cost(
+        &self,
+        list: &OpList,
+        prev_range: (usize, usize),
+        next_range: Option<(usize, usize)>,
+        next_alloc: Option<&SegmentAllocation>,
+    ) -> f64 {
+        let mut to_next = 0u64;
+        let mut beyond = 0u64;
+        for (_, c, bytes) in list.crossing_deps(prev_range) {
+            match next_range {
+                Some((nlo, nhi)) if c >= nlo && c <= nhi => to_next += bytes,
+                _ => beyond += bytes,
+            }
+        }
+        // Capacity the next segment offers for carried-over data.
+        let carry_capacity = next_alloc
+            .map(|a| self.arch.mem_capacity(a.total_memory()) + self.arch.buffer_bytes())
+            .unwrap_or(self.arch.buffer_bytes());
+        let spill = to_next.saturating_sub(carry_capacity) + beyond;
+        // Spilled bytes are written out and read back later.
+        (2 * spill) as f64 / self.arch.extern_bw() as f64
+    }
+
+    /// Write-back of the network's final outputs to main memory.
+    pub fn final_writeback_cost(&self, list: &OpList) -> f64 {
+        let consumed: std::collections::HashSet<usize> =
+            list.deps.iter().map(|&(p, _)| p).collect();
+        let bytes: u64 = list
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| !consumed.contains(idx))
+            .map(|(_, op)| op.out_bytes)
+            .sum();
+        bytes as f64 / self.arch.extern_bw() as f64
+    }
+
+    /// Total inter-segment cost — Eq. 4:
+    /// `T_inter = T_wb + T_swc + T_rw`.
+    pub fn inter_cost(
+        &self,
+        list: &OpList,
+        prev_range: (usize, usize),
+        prev_alloc: &SegmentAllocation,
+        next_range: (usize, usize),
+        next_ops: &[SegOp],
+        next_alloc: &SegmentAllocation,
+    ) -> f64 {
+        self.writeback_cost(list, prev_range, Some(next_range), Some(next_alloc))
+            + self.switch_cost(prev_alloc, next_alloc)
+            + self.reload_cost(next_ops, next_alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::{OpAllocation, SegmentAllocation};
+    use cmswitch_arch::presets;
+
+    fn op(work: f64, in_bytes: u64, weight_static: bool) -> SegOp {
+        SegOp {
+            source: 0,
+            name: "op".into(),
+            m: 8,
+            k: 64,
+            n: 64,
+            units: 1,
+            weight_static,
+            work,
+            in_bytes,
+            out_bytes: 512,
+            weight_bytes: 4096,
+            aux_flops: 0,
+            min_tiles: 1,
+        }
+    }
+
+    fn seg_alloc(allocs: Vec<OpAllocation>) -> SegmentAllocation {
+        SegmentAllocation {
+            ops: allocs,
+            reuse: Vec::new(),
+            latency: 0.0,
+        }
+    }
+
+    #[test]
+    fn latency_compute_bound_scales_with_arrays() {
+        let arch = presets::dynaplasia();
+        let cm = CostModel::new(&arch);
+        let o = op(1e9, 1024, true); // AI huge -> compute bound
+        let l1 = cm.op_latency(
+            &o,
+            &OpAllocation {
+                compute: 1,
+                mem_in: 0,
+                mem_out: 0,
+            },
+        );
+        let l4 = cm.op_latency(
+            &o,
+            &OpAllocation {
+                compute: 4,
+                mem_in: 0,
+                mem_out: 0,
+            },
+        );
+        assert!((l1 / l4 - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_memory_bound_improves_with_memory_arrays() {
+        let arch = presets::dynaplasia();
+        let cm = CostModel::new(&arch);
+        // AI = 1: work == in_bytes.
+        let o = op(1e6, 1_000_000, true);
+        let base = cm.op_latency(
+            &o,
+            &OpAllocation {
+                compute: 8,
+                mem_in: 0,
+                mem_out: 0,
+            },
+        );
+        let with_mem = cm.op_latency(
+            &o,
+            &OpAllocation {
+                compute: 8,
+                mem_in: 8,
+                mem_out: 8,
+            },
+        );
+        assert!(with_mem < base);
+    }
+
+    #[test]
+    fn zero_compute_is_infinite() {
+        let arch = presets::dynaplasia();
+        let cm = CostModel::new(&arch);
+        let l = cm.op_latency(
+            &op(1e6, 1024, true),
+            &OpAllocation {
+                compute: 0,
+                mem_in: 0,
+                mem_out: 0,
+            },
+        );
+        assert!(l.is_infinite());
+    }
+
+    #[test]
+    fn dynamic_op_pays_operand_write() {
+        let arch = presets::dynaplasia();
+        let cm = CostModel::new(&arch);
+        let alloc = OpAllocation {
+            compute: 4,
+            mem_in: 0,
+            mem_out: 0,
+        };
+        let s = cm.op_latency(&op(1e6, 1024, true), &alloc);
+        let d = cm.op_latency(&op(1e6, 1024, false), &alloc);
+        assert!(d > s);
+        assert!((d - s - 4096.0 / arch.d_main()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn switch_cost_counts_mode_deltas() {
+        let arch = presets::dynaplasia();
+        let cm = CostModel::new(&arch);
+        let a = seg_alloc(vec![OpAllocation {
+            compute: 10,
+            mem_in: 2,
+            mem_out: 2,
+        }]);
+        let b = seg_alloc(vec![OpAllocation {
+            compute: 4,
+            mem_in: 8,
+            mem_out: 0,
+        }]);
+        // 10 -> 4 compute arrays: 6 switch to memory at 1 cycle each.
+        assert!((cm.switch_cost(&a, &b) - 6.0).abs() < 1e-9);
+        assert!((cm.switch_cost(&b, &a) - 6.0).abs() < 1e-9);
+        assert_eq!(cm.switch_cost(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn reload_cost_is_max_over_static_ops() {
+        let arch = presets::dynaplasia();
+        let cm = CostModel::new(&arch);
+        let ops = vec![op(1.0, 1, true), op(1.0, 1, true), op(1.0, 1, false)];
+        let alloc = seg_alloc(vec![
+            OpAllocation {
+                compute: 3,
+                mem_in: 0,
+                mem_out: 0,
+            },
+            OpAllocation {
+                compute: 7,
+                mem_in: 0,
+                mem_out: 0,
+            },
+            OpAllocation {
+                compute: 50,
+                mem_in: 0,
+                mem_out: 0,
+            },
+        ]);
+        let expect = 7.0 * arch.lat_write_array() as f64; // dynamic op ignored
+        assert!((cm.reload_cost(&ops, &alloc) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intra_latency_is_bottleneck() {
+        let arch = presets::dynaplasia();
+        let cm = CostModel::new(&arch);
+        let ops = vec![op(1e9, 1024, true), op(1e6, 1024, true)];
+        let alloc = seg_alloc(vec![
+            OpAllocation {
+                compute: 2,
+                mem_in: 0,
+                mem_out: 0,
+            },
+            OpAllocation {
+                compute: 2,
+                mem_in: 0,
+                mem_out: 0,
+            },
+        ]);
+        let l = cm.intra_latency(&ops, &alloc);
+        let l0 = cm.op_latency(&ops[0], &alloc.ops[0]);
+        assert_eq!(l, l0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Frontend: lowering the graph into the compiler's operator list.
+//!
+//! Produces [`SegOp`]s — the topologically sorted, CIM-supportable
+//! operators of §4.3.1 (`O_1 … O_m`) together with their dependency
+//! relation `W` — annotated with everything the cost model needs.
+
+use cmswitch_arch::DualModeArch;
+use cmswitch_graph::{lower, Graph};
+
+use crate::CompileError;
+
+/// One schedulable operator (or sub-operator after partitioning).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegOp {
+    /// Index of the originating op in the lowered graph (sub-operators of
+    /// one op share this).
+    pub source: usize,
+    /// Name (sub-operators get a `#part` suffix).
+    pub name: String,
+    /// Streamed rows per unit.
+    pub m: usize,
+    /// Reduction dim per unit.
+    pub k: usize,
+    /// Output dim per unit.
+    pub n: usize,
+    /// Independent matmul units (batch·heads or conv groups).
+    pub units: usize,
+    /// Whether the resident operand is a static trained weight.
+    pub weight_static: bool,
+    /// Total MACs.
+    pub work: f64,
+    /// Dynamic input bytes streamed.
+    pub in_bytes: u64,
+    /// Output bytes produced.
+    pub out_bytes: u64,
+    /// Resident-operand bytes (`units·k·n`).
+    pub weight_bytes: u64,
+    /// Vector-unit FLOPs fused after this operator.
+    pub aux_flops: u64,
+    /// Minimum compute arrays: tiles to hold one unit's `[K,N]` operand.
+    pub min_tiles: usize,
+}
+
+impl SegOp {
+    /// Arithmetic intensity `AI_Oi`: MACs per streamed input byte
+    /// (Eq. 10; equals the per-unit output dim for an MMM, as the paper
+    /// derives in Fig. 12).
+    pub fn ai(&self) -> f64 {
+        if self.in_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.work / self.in_bytes as f64
+        }
+    }
+}
+
+/// The compiler's working set: operators plus the dependency relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpList {
+    /// Operators in topological order.
+    pub ops: Vec<SegOp>,
+    /// `(producer, consumer)` pairs (`w_{i,j} ∈ W`).
+    pub deps: Vec<(usize, usize)>,
+    /// Bytes flowing along each dep.
+    pub dep_bytes: Vec<u64>,
+}
+
+impl OpList {
+    /// Bytes flowing from op `p` to op `c` (0 if independent).
+    pub fn bytes_between(&self, p: usize, c: usize) -> u64 {
+        self.deps
+            .iter()
+            .position(|&d| d == (p, c))
+            .map(|i| self.dep_bytes[i])
+            .unwrap_or(0)
+    }
+
+    /// Iterator over deps crossing out of `range` (producer inside,
+    /// consumer outside-after).
+    pub fn crossing_deps(&self, range: (usize, usize)) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        let (lo, hi) = range;
+        self.deps
+            .iter()
+            .zip(&self.dep_bytes)
+            .filter(move |(&(p, c), _)| p >= lo && p <= hi && c > hi)
+            .map(|(&(p, c), &b)| (p, c, b))
+    }
+}
+
+/// Lowers `graph` into the compiler's operator list for `arch`.
+///
+/// # Errors
+///
+/// Propagates [`CompileError::Graph`] for malformed graphs.
+pub fn lower_graph(graph: &Graph, arch: &DualModeArch) -> Result<OpList, CompileError> {
+    let lowered = lower::lower(graph)?;
+    let ops = lowered
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| SegOp {
+            source: i,
+            name: op.name.clone(),
+            m: op.m,
+            k: op.k,
+            n: op.n,
+            units: op.units,
+            weight_static: op.weight_static,
+            work: op.macs as f64,
+            in_bytes: op.in_bytes,
+            out_bytes: op.out_bytes,
+            weight_bytes: op.weight_bytes,
+            aux_flops: op.aux_flops,
+            min_tiles: arch.weight_tiles(op.k, op.n),
+        })
+        .collect();
+    Ok(OpList {
+        ops,
+        deps: lowered.deps,
+        dep_bytes: lowered.dep_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+
+    #[test]
+    fn lowers_mlp_with_tiles() {
+        let g = cmswitch_models::mlp::mlp(2, &[256, 512, 64]).unwrap();
+        let arch = presets::tiny(); // 64x64 arrays
+        let l = lower_graph(&g, &arch).unwrap();
+        assert_eq!(l.ops.len(), 2);
+        // fc0: 256x512 weights on 64x64 arrays -> 4*8 tiles.
+        assert_eq!(l.ops[0].min_tiles, 4 * 8);
+        assert_eq!(l.ops[1].min_tiles, 8);
+        assert!(l.ops[0].ai() > 0.0);
+        assert_eq!(l.bytes_between(0, 1), 2 * 512);
+    }
+
+    #[test]
+    fn crossing_deps_filters_range() {
+        let g = cmswitch_models::mlp::mlp(1, &[64, 64, 64, 64]).unwrap();
+        let l = lower_graph(&g, &presets::tiny()).unwrap();
+        // 3 ops chained; deps (0,1), (1,2).
+        let crossing: Vec<_> = l.crossing_deps((0, 0)).collect();
+        assert_eq!(crossing.len(), 1);
+        assert_eq!((crossing[0].0, crossing[0].1), (0, 1));
+        let crossing: Vec<_> = l.crossing_deps((0, 2)).collect();
+        assert!(crossing.is_empty());
+    }
+}

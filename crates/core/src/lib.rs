@@ -1,0 +1,88 @@
+//! CMSwitch — the dual-mode-aware compilation optimization (DACO) of the
+//! paper, §4.
+//!
+//! The compiler takes a DNN graph (`cmswitch-graph`) and a dual-mode CIM
+//! architecture description (`cmswitch-arch`, the DEHA of §4.2) and
+//! produces a meta-operator flow (`cmswitch-metaop`, §4.4) annotated with
+//! `CM.switch` operators. The pipeline is the paper's divide-and-conquer
+//! two-step policy:
+//!
+//! 1. [`frontend`] lowers the graph to the CIM operator list and
+//!    [`partition`] greedily splits operators whose weights exceed the
+//!    chip into sub-operators (§4.3.1),
+//! 2. [`segment`] runs the dynamic program of Eq. 3 over contiguous
+//!    operator ranges, scoring each candidate segment with the
+//!    mixed-integer allocation of [`allocation`] (constraints Eqs. 5-8,
+//!    objective Eq. 9, latency model Eq. 10 in [`cost`]) and charging the
+//!    inter-segment mode-switch overheads of Eqs. 1, 2 and 4,
+//! 3. [`codegen`] assigns physical arrays, inserts `CM.switch(TOM|TOC)`
+//!    statements and emits the final [`cmswitch_metaop::Flow`].
+//!
+//! # Example
+//!
+//! ```
+//! use cmswitch_arch::presets;
+//! use cmswitch_core::{Compiler, CompilerOptions};
+//!
+//! let graph = cmswitch_models::mlp::mlp(4, &[256, 512, 128]).unwrap();
+//! let compiler = Compiler::new(presets::tiny(), CompilerOptions::default());
+//! let program = compiler.compile(&graph)?;
+//! assert!(!program.flow.is_empty());
+//! assert!(program.predicted_latency > 0.0);
+//! # Ok::<(), cmswitch_core::CompileError>(())
+//! ```
+
+mod compiler;
+mod error;
+
+pub mod allocation;
+pub mod codegen;
+pub mod cost;
+pub mod frontend;
+pub mod partition;
+pub mod segment;
+
+pub use compiler::{assemble_program, CompiledProgram, Compiler, CompileStats, SegmentPlan};
+pub use error::CompileError;
+
+/// Which per-segment allocator the compiler uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocatorKind {
+    /// The paper's mixed-integer program solved by branch-and-bound,
+    /// falling back to the fast allocator if the node budget is hit.
+    #[default]
+    Mip,
+    /// The specialized exact binary-search allocator (compile-time
+    /// ablation; same objective, no Eq. 6 reuse coupling in the search).
+    Fast,
+}
+
+/// Compiler options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerOptions {
+    /// Maximum operators per segment considered by the DP (bounds the
+    /// `O(m·W²)` search; the paper prunes impossible cases similarly).
+    pub max_segment_ops: usize,
+    /// Which allocator scores candidate segments.
+    pub allocator: AllocatorKind,
+    /// Whether identical segment shapes share one allocation result (the
+    /// paper's transformer block-reuse observation, §5.6).
+    pub reuse_cache: bool,
+    /// Whether inter-segment switch overheads (Eqs. 1, 2, 4) are charged
+    /// in the DP (ablation: overhead-oblivious segmentation).
+    pub switch_aware: bool,
+    /// Fraction of the chip a single partitioned sub-operator may claim.
+    pub partition_budget: f64,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            max_segment_ops: 12,
+            allocator: AllocatorKind::Mip,
+            reuse_cache: true,
+            switch_aware: true,
+            partition_budget: 1.0,
+        }
+    }
+}

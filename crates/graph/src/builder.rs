@@ -1,0 +1,393 @@
+use crate::shape_infer::infer_shape;
+use crate::{Activation, Graph, GraphError, Node, NodeId, OpKind};
+
+/// Incremental builder for [`Graph`].
+///
+/// Every insertion runs shape inference immediately, so errors surface at
+/// the offending layer instead of at the end. The convenience methods map
+/// one-to-one onto [`OpKind`] variants.
+///
+/// # Example
+///
+/// ```
+/// use cmswitch_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new("block");
+/// let x = b.input("x", vec![1, 3, 32, 32]);
+/// let c = b.conv2d("conv", x, 16, 3, 1, 1)?;
+/// let r = b.relu("relu", c)?;
+/// let _p = b.max_pool2d("pool", r, 2, 2)?;
+/// let g = b.finish()?;
+/// assert_eq!(g.nodes().last().unwrap().shape, vec![1, 16, 16, 16]);
+/// # Ok::<(), cmswitch_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a node with explicit operator and inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] for dangling inputs and shape
+    /// inference errors for incompatible shapes.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        op: OpKind,
+        inputs: Vec<NodeId>,
+    ) -> Result<NodeId, GraphError> {
+        let id = NodeId(self.nodes.len());
+        let mut input_shapes = Vec::with_capacity(inputs.len());
+        for &input in &inputs {
+            let node = self
+                .nodes
+                .get(input.index())
+                .ok_or(GraphError::UnknownNode(input))?;
+            input_shapes.push(node.shape.as_slice());
+        }
+        let shape = infer_shape(id, &op, &input_shapes)?;
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            op,
+            inputs,
+            shape,
+        });
+        Ok(id)
+    }
+
+    /// Adds a graph input with the given shape.
+    pub fn input(&mut self, name: impl Into<String>, shape: Vec<usize>) -> NodeId {
+        self.add_node(name, OpKind::Input { shape }, Vec::new())
+            .expect("input nodes cannot fail shape inference")
+    }
+
+    /// Adds a fully-connected layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn linear(
+        &mut self,
+        name: impl Into<String>,
+        x: NodeId,
+        out_features: usize,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::Linear { out_features }, vec![x])
+    }
+
+    /// Adds a dense 2-D convolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn conv2d(
+        &mut self,
+        name: impl Into<String>,
+        x: NodeId,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(
+            name,
+            OpKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups: 1,
+            },
+            vec![x],
+        )
+    }
+
+    /// Adds a grouped (or depthwise) 2-D convolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d_grouped(
+        &mut self,
+        name: impl Into<String>,
+        x: NodeId,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(
+            name,
+            OpKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+            },
+            vec![x],
+        )
+    }
+
+    /// Adds a batched matrix multiply of two dynamic tensors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn matmul(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeId,
+        b: NodeId,
+        transpose_rhs: bool,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::BatchMatMul { transpose_rhs }, vec![a, b])
+    }
+
+    /// Adds a softmax over the last axis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn softmax(&mut self, name: impl Into<String>, x: NodeId) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::Softmax, vec![x])
+    }
+
+    /// Adds a layer normalization over the last axis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn layer_norm(
+        &mut self,
+        name: impl Into<String>,
+        x: NodeId,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::LayerNorm, vec![x])
+    }
+
+    /// Adds an elementwise residual addition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeId,
+        b: NodeId,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::Add, vec![a, b])
+    }
+
+    /// Adds an elementwise multiplication (gating).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn mul(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeId,
+        b: NodeId,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::Mul, vec![a, b])
+    }
+
+    /// Adds a ReLU activation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn relu(&mut self, name: impl Into<String>, x: NodeId) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::Act(Activation::Relu), vec![x])
+    }
+
+    /// Adds a GELU activation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn gelu(&mut self, name: impl Into<String>, x: NodeId) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::Act(Activation::Gelu), vec![x])
+    }
+
+    /// Adds a SiLU activation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn silu(&mut self, name: impl Into<String>, x: NodeId) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::Act(Activation::Silu), vec![x])
+    }
+
+    /// Adds a 2-D max pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn max_pool2d(
+        &mut self,
+        name: impl Into<String>,
+        x: NodeId,
+        kernel: usize,
+        stride: usize,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::MaxPool2d { kernel, stride }, vec![x])
+    }
+
+    /// Adds a 2-D average pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn avg_pool2d(
+        &mut self,
+        name: impl Into<String>,
+        x: NodeId,
+        kernel: usize,
+        stride: usize,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::AvgPool2d { kernel, stride }, vec![x])
+    }
+
+    /// Adds a global average pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn global_avg_pool(
+        &mut self,
+        name: impl Into<String>,
+        x: NodeId,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::GlobalAvgPool, vec![x])
+    }
+
+    /// Adds a token-embedding lookup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn embedding(
+        &mut self,
+        name: impl Into<String>,
+        x: NodeId,
+        vocab: usize,
+        dim: usize,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::Embedding { vocab, dim }, vec![x])
+    }
+
+    /// Adds a flatten layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn flatten(&mut self, name: impl Into<String>, x: NodeId) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::Flatten, vec![x])
+    }
+
+    /// Adds a reshape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (see [`GraphBuilder::add_node`]).
+    pub fn reshape(
+        &mut self,
+        name: impl Into<String>,
+        x: NodeId,
+        shape: Vec<usize>,
+    ) -> Result<NodeId, GraphError> {
+        self.add_node(name, OpKind::Reshape { shape }, vec![x])
+    }
+
+    /// The shape of an already-built node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] for dangling ids.
+    pub fn shape_of(&self, id: NodeId) -> Result<&[usize], GraphError> {
+        self.nodes
+            .get(id.index())
+            .map(|n| n.shape.as_slice())
+            .ok_or(GraphError::UnknownNode(id))
+    }
+
+    /// Finalizes the graph, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for empty graphs (other invariants hold
+    /// by construction).
+    pub fn finish(self) -> Result<Graph, GraphError> {
+        let graph = Graph::from_parts(self.name, self.nodes);
+        graph.validate()?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_attention_shaped_graph() {
+        // Single-head attention on [B*H, S, D] tensors.
+        let (bh, s, d) = (8, 64, 96);
+        let mut b = GraphBuilder::new("attn");
+        let q = b.input("q", vec![bh, s, d]);
+        let k = b.input("k", vec![bh, s, d]);
+        let v = b.input("v", vec![bh, s, d]);
+        let scores = b.matmul("qk", q, k, true).unwrap();
+        assert_eq!(b.shape_of(scores).unwrap(), &[bh, s, s]);
+        let probs = b.softmax("probs", scores).unwrap();
+        let ctx = b.matmul("sv", probs, v, false).unwrap();
+        assert_eq!(b.shape_of(ctx).unwrap(), &[bh, s, d]);
+        let g = b.finish().unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_dangling_input() {
+        let mut b = GraphBuilder::new("bad");
+        let err = b.linear("fc", NodeId(5), 10).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode(NodeId(5))));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        let b = GraphBuilder::new("empty");
+        assert!(matches!(b.finish(), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn surfacing_shape_errors_at_insertion() {
+        let mut b = GraphBuilder::new("bad-shapes");
+        let x = b.input("x", vec![1, 3, 8, 8]);
+        // 11x11 kernel cannot fit 8x8 input without padding.
+        let err = b.conv2d("conv", x, 4, 11, 1, 0).unwrap_err();
+        assert!(matches!(err, GraphError::ShapeInference { .. }));
+    }
+
+    #[test]
+    fn shape_of_unknown_node() {
+        let b = GraphBuilder::new("g");
+        assert!(b.shape_of(NodeId(0)).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Graphviz DOT export for visual inspection of graphs.
+
+use crate::Graph;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// # Example
+///
+/// ```
+/// use cmswitch_graph::{dot, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new("g");
+/// let x = b.input("x", vec![1, 4]);
+/// b.linear("fc", x, 2)?;
+/// let g = b.finish()?;
+/// let s = dot::to_dot(&g);
+/// assert!(s.starts_with("digraph"));
+/// assert!(s.contains("fc"));
+/// # Ok::<(), cmswitch_graph::GraphError>(())
+/// ```
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", sanitize(graph.name())));
+    out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for node in graph.nodes() {
+        let color = if node.op.is_cim_supported() {
+            "lightblue"
+        } else {
+            "white"
+        };
+        out.push_str(&format!(
+            "  {} [label=\"{}\\n{}\\n{:?}\", style=filled, fillcolor={}];\n",
+            node.id,
+            sanitize(&node.name),
+            node.op,
+            node.shape,
+            color
+        ));
+    }
+    for node in graph.nodes() {
+        for input in &node.inputs {
+            out.push_str(&format!("  {} -> {};\n", input, node.id));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "'")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = GraphBuilder::new("test\"quote");
+        let x = b.input("x", vec![1, 4]);
+        let h = b.linear("fc1", x, 8).unwrap();
+        b.relu("act", h).unwrap();
+        let g = b.finish().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.contains("lightblue")); // CIM op highlighted
+        assert!(!dot.contains("test\"quote")); // quotes sanitized
+    }
+}

@@ -1,0 +1,70 @@
+use std::fmt;
+
+use crate::NodeId;
+
+/// Error type for graph construction, validation and lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A referenced node does not exist in the graph.
+    UnknownNode(NodeId),
+    /// An operator received the wrong number of inputs.
+    ArityMismatch {
+        /// Operator name.
+        op: String,
+        /// Number of inputs the operator requires.
+        expected: usize,
+        /// Number of inputs supplied.
+        actual: usize,
+    },
+    /// Shape inference failed for a node.
+    ShapeInference {
+        /// The node whose shape could not be inferred.
+        node: NodeId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The graph contains a cycle, so no topological order exists.
+    Cyclic,
+    /// The graph is empty.
+    Empty,
+    /// A parameter combination is invalid.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            GraphError::ArityMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "operator {op} expects {expected} inputs, got {actual}"),
+            GraphError::ShapeInference { node, reason } => {
+                write!(f, "shape inference failed at {node}: {reason}")
+            }
+            GraphError::Cyclic => write!(f, "graph contains a cycle"),
+            GraphError::Empty => write!(f, "graph is empty"),
+            GraphError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::ArityMismatch {
+            op: "add".into(),
+            expected: 2,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("add"));
+        assert!(GraphError::Cyclic.to_string().contains("cycle"));
+        assert!(GraphError::UnknownNode(NodeId(7)).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,307 @@
+//! Per-operator shape inference.
+//!
+//! Runs at graph-construction time so every [`crate::Node`] carries its
+//! output shape; the analysis and lowering passes (and ultimately the
+//! compiler's cost model, Eq. 10) are pure functions of these shapes.
+
+use crate::{GraphError, NodeId, OpKind};
+
+/// Infers the output shape of `op` applied to inputs with `input_shapes`.
+///
+/// `node` is used only for error reporting.
+///
+/// # Errors
+///
+/// Returns [`GraphError::ArityMismatch`] when the number of inputs is wrong
+/// and [`GraphError::ShapeInference`] when the shapes are incompatible with
+/// the operator.
+pub fn infer_shape(
+    node: NodeId,
+    op: &OpKind,
+    input_shapes: &[&[usize]],
+) -> Result<Vec<usize>, GraphError> {
+    if input_shapes.len() != op.arity() {
+        return Err(GraphError::ArityMismatch {
+            op: op.mnemonic().to_string(),
+            expected: op.arity(),
+            actual: input_shapes.len(),
+        });
+    }
+    let fail = |reason: String| GraphError::ShapeInference { node, reason };
+
+    match op {
+        OpKind::Input { shape } => Ok(shape.clone()),
+
+        OpKind::Linear { out_features } => {
+            let x = input_shapes[0];
+            if x.is_empty() {
+                return Err(fail("linear input must have rank >= 1".into()));
+            }
+            let mut out = x.to_vec();
+            *out.last_mut().expect("nonempty") = *out_features;
+            Ok(out)
+        }
+
+        OpKind::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            groups,
+        } => {
+            let x = input_shapes[0];
+            if x.len() != 4 {
+                return Err(fail(format!("conv2d needs NCHW input, got {x:?}")));
+            }
+            let (c, h, w) = (x[1], x[2], x[3]);
+            if *groups == 0 || c % groups != 0 || out_channels % groups != 0 {
+                return Err(fail(format!(
+                    "conv2d groups {groups} incompatible with channels {c}->{out_channels}"
+                )));
+            }
+            if *stride == 0 {
+                return Err(fail("conv2d stride must be nonzero".into()));
+            }
+            let ph = h + 2 * padding;
+            let pw = w + 2 * padding;
+            if ph < *kernel || pw < *kernel {
+                return Err(fail(format!(
+                    "conv2d kernel {kernel} larger than padded input {ph}x{pw}"
+                )));
+            }
+            let oh = (ph - kernel) / stride + 1;
+            let ow = (pw - kernel) / stride + 1;
+            Ok(vec![x[0], *out_channels, oh, ow])
+        }
+
+        OpKind::BatchMatMul { transpose_rhs } => {
+            let (a, b) = (input_shapes[0], input_shapes[1]);
+            match (a.len(), b.len()) {
+                (2, 2) => {
+                    let (m, k) = (a[0], a[1]);
+                    let (bk, n) = if *transpose_rhs {
+                        (b[1], b[0])
+                    } else {
+                        (b[0], b[1])
+                    };
+                    if k != bk {
+                        return Err(fail(format!("matmul inner dims differ: {a:?} x {b:?}")));
+                    }
+                    Ok(vec![m, n])
+                }
+                (3, 3) => {
+                    if a[0] != b[0] {
+                        return Err(fail(format!("matmul batch dims differ: {a:?} x {b:?}")));
+                    }
+                    let (m, k) = (a[1], a[2]);
+                    let (bk, n) = if *transpose_rhs {
+                        (b[2], b[1])
+                    } else {
+                        (b[1], b[2])
+                    };
+                    if k != bk {
+                        return Err(fail(format!("matmul inner dims differ: {a:?} x {b:?}")));
+                    }
+                    Ok(vec![a[0], m, n])
+                }
+                _ => Err(fail(format!(
+                    "matmul needs rank-2 or rank-3 operands of equal rank, got {a:?} x {b:?}"
+                ))),
+            }
+        }
+
+        OpKind::Softmax | OpKind::LayerNorm | OpKind::Act(_) => Ok(input_shapes[0].to_vec()),
+
+        OpKind::Add | OpKind::Mul => {
+            let (a, b) = (input_shapes[0], input_shapes[1]);
+            if a != b {
+                return Err(fail(format!("elementwise shapes differ: {a:?} vs {b:?}")));
+            }
+            Ok(a.to_vec())
+        }
+
+        OpKind::MaxPool2d { kernel, stride } | OpKind::AvgPool2d { kernel, stride } => {
+            let x = input_shapes[0];
+            if x.len() != 4 {
+                return Err(fail(format!("pool needs NCHW input, got {x:?}")));
+            }
+            if *stride == 0 || *kernel == 0 {
+                return Err(fail("pool kernel and stride must be nonzero".into()));
+            }
+            if x[2] < *kernel || x[3] < *kernel {
+                return Err(fail(format!(
+                    "pool kernel {kernel} larger than input {}x{}",
+                    x[2], x[3]
+                )));
+            }
+            let oh = (x[2] - kernel) / stride + 1;
+            let ow = (x[3] - kernel) / stride + 1;
+            Ok(vec![x[0], x[1], oh, ow])
+        }
+
+        OpKind::GlobalAvgPool => {
+            let x = input_shapes[0];
+            if x.len() != 4 {
+                return Err(fail(format!("global pool needs NCHW input, got {x:?}")));
+            }
+            Ok(vec![x[0], x[1]])
+        }
+
+        OpKind::Embedding { dim, .. } => {
+            let x = input_shapes[0];
+            let mut out = x.to_vec();
+            out.push(*dim);
+            Ok(out)
+        }
+
+        OpKind::Flatten => {
+            let x = input_shapes[0];
+            if x.is_empty() {
+                return Err(fail("flatten input must have rank >= 1".into()));
+            }
+            Ok(vec![x[0], x[1..].iter().product::<usize>().max(1)])
+        }
+
+        OpKind::Reshape { shape } => {
+            let in_numel: usize = input_shapes[0].iter().product();
+            let out_numel: usize = shape.iter().product();
+            if in_numel != out_numel {
+                return Err(fail(format!(
+                    "reshape element count mismatch: {in_numel} vs {out_numel}"
+                )));
+            }
+            Ok(shape.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activation;
+
+    fn infer(op: &OpKind, inputs: &[&[usize]]) -> Result<Vec<usize>, GraphError> {
+        infer_shape(NodeId(0), op, inputs)
+    }
+
+    #[test]
+    fn linear_replaces_last_dim() {
+        let out = infer(&OpKind::Linear { out_features: 10 }, &[&[4, 64]]).unwrap();
+        assert_eq!(out, vec![4, 10]);
+        let out = infer(&OpKind::Linear { out_features: 10 }, &[&[2, 8, 64]]).unwrap();
+        assert_eq!(out, vec![2, 8, 10]);
+    }
+
+    #[test]
+    fn conv_output_spatial_dims() {
+        let op = OpKind::Conv2d {
+            out_channels: 64,
+            kernel: 7,
+            stride: 2,
+            padding: 3,
+            groups: 1,
+        };
+        let out = infer(&op, &[&[1, 3, 224, 224]]).unwrap();
+        assert_eq!(out, vec![1, 64, 112, 112]);
+    }
+
+    #[test]
+    fn depthwise_conv_groups() {
+        let op = OpKind::Conv2d {
+            out_channels: 32,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 32,
+        };
+        let out = infer(&op, &[&[1, 32, 56, 56]]).unwrap();
+        assert_eq!(out, vec![1, 32, 56, 56]);
+        // Incompatible groups fail.
+        let bad = OpKind::Conv2d {
+            out_channels: 32,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 5,
+        };
+        assert!(infer(&bad, &[&[1, 32, 56, 56]]).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_rhs() {
+        // Q[B,S,D] x K[B,S,D]^T -> [B,S,S]
+        let op = OpKind::BatchMatMul {
+            transpose_rhs: true,
+        };
+        let out = infer(&op, &[&[8, 64, 96], &[8, 64, 96]]).unwrap();
+        assert_eq!(out, vec![8, 64, 64]);
+        // S[B,S,S] x V[B,S,D] -> [B,S,D]
+        let op = OpKind::BatchMatMul {
+            transpose_rhs: false,
+        };
+        let out = infer(&op, &[&[8, 64, 64], &[8, 64, 96]]).unwrap();
+        assert_eq!(out, vec![8, 64, 96]);
+    }
+
+    #[test]
+    fn matmul_rank_and_dim_errors() {
+        let op = OpKind::BatchMatMul {
+            transpose_rhs: false,
+        };
+        assert!(infer(&op, &[&[2, 3], &[4, 5]]).is_err());
+        assert!(infer(&op, &[&[2, 3, 4], &[3, 4, 5]]).is_err());
+        assert!(infer(&op, &[&[2, 3, 4], &[4, 5]]).is_err());
+    }
+
+    #[test]
+    fn elementwise_requires_same_shapes() {
+        assert_eq!(infer(&OpKind::Add, &[&[2, 3], &[2, 3]]).unwrap(), vec![2, 3]);
+        assert!(infer(&OpKind::Add, &[&[2, 3], &[3, 2]]).is_err());
+    }
+
+    #[test]
+    fn pooling_and_gap() {
+        let op = OpKind::MaxPool2d { kernel: 2, stride: 2 };
+        assert_eq!(
+            infer(&op, &[&[1, 64, 56, 56]]).unwrap(),
+            vec![1, 64, 28, 28]
+        );
+        assert_eq!(
+            infer(&OpKind::GlobalAvgPool, &[&[1, 512, 7, 7]]).unwrap(),
+            vec![1, 512]
+        );
+    }
+
+    #[test]
+    fn embedding_appends_dim() {
+        let op = OpKind::Embedding {
+            vocab: 30000,
+            dim: 768,
+        };
+        assert_eq!(infer(&op, &[&[2, 64]]).unwrap(), vec![2, 64, 768]);
+    }
+
+    #[test]
+    fn flatten_and_reshape() {
+        assert_eq!(
+            infer(&OpKind::Flatten, &[&[2, 3, 4, 5]]).unwrap(),
+            vec![2, 60]
+        );
+        assert_eq!(
+            infer(&OpKind::Reshape { shape: vec![6, 10] }, &[&[2, 30]]).unwrap(),
+            vec![6, 10]
+        );
+        assert!(infer(&OpKind::Reshape { shape: vec![7] }, &[&[2, 3]]).is_err());
+    }
+
+    #[test]
+    fn identity_ops_preserve_shape() {
+        for op in [
+            OpKind::Softmax,
+            OpKind::LayerNorm,
+            OpKind::Act(Activation::Gelu),
+        ] {
+            assert_eq!(infer(&op, &[&[2, 8, 8]]).unwrap(), vec![2, 8, 8]);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+use cmswitch_arch::ArrayId;
+
+/// Error type for meta-operator flow validation and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaOpError {
+    /// An array is used for computation while in memory mode (or vice
+    /// versa).
+    ModeViolation {
+        /// The offending array.
+        array: ArrayId,
+        /// Index of the offending statement.
+        stmt: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An array is claimed by two operators within one parallel segment
+    /// (violates constraint Eq. 5 / Eq. 7).
+    ArrayConflict {
+        /// The doubly-claimed array.
+        array: ArrayId,
+        /// Index of the parallel block.
+        stmt: usize,
+    },
+    /// `parallel` blocks may not nest.
+    NestedParallel {
+        /// Index of the offending statement.
+        stmt: usize,
+    },
+    /// Parse error with line number and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for MetaOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaOpError::ModeViolation {
+                array,
+                stmt,
+                detail,
+            } => write!(f, "mode violation at statement {stmt} on {array}: {detail}"),
+            MetaOpError::ArrayConflict { array, stmt } => {
+                write!(f, "array {array} claimed twice inside segment {stmt}")
+            }
+            MetaOpError::NestedParallel { stmt } => {
+                write!(f, "nested parallel block at statement {stmt}")
+            }
+            MetaOpError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetaOpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = MetaOpError::ArrayConflict {
+            array: ArrayId(4),
+            stmt: 2,
+        };
+        assert!(e.to_string().contains("a4"));
+        let e = MetaOpError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,44 @@
+//! Dual-mode meta-operator flow — the compiler's output format
+//! (§4.4 / Fig. 13 of the paper).
+//!
+//! CMSwitch expresses compilation results as a *meta-operator flow* rather
+//! than machine code, "for better generality": the flow can be lowered to
+//! any dual-mode chip's ISA. The vocabulary is
+//!
+//! * `CM.switch(TOM|TOC, arrays)` — the new dual-mode switch operator,
+//! * standard CIM compute / memory-access operators,
+//! * `parallel { ... }` blocks — one per network segment, whose operators
+//!   execute pipelined.
+//!
+//! This crate defines the IR ([`Stmt`], [`Flow`]), a printer emitting the
+//! Fig. 13 concrete syntax, a parser for the same syntax (round-trip
+//! tested), and a validator that checks mode discipline (no array computes
+//! while in memory mode, no array is two things at once inside a segment).
+//!
+//! # Example
+//!
+//! ```
+//! use cmswitch_arch::{ArrayId, ArrayMode};
+//! use cmswitch_metaop::{Flow, Stmt, SwitchKind};
+//!
+//! let mut flow = Flow::new("demo");
+//! flow.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0), ArrayId(1)]));
+//! assert_eq!(flow.stats().switch_ops, 1);
+//! assert_eq!(flow.stats().arrays_switched_to(ArrayMode::Compute), 2);
+//! ```
+
+mod error;
+mod flow;
+mod op;
+pub mod optimize;
+mod parser;
+mod printer;
+mod validate;
+
+pub use error::MetaOpError;
+pub use flow::{Flow, FlowStats};
+pub use op::{ComputeStmt, MemDirection, MemLoc, MemStmt, Stmt, SwitchKind, VectorStmt, WeightLoadStmt};
+pub use optimize::{optimize, OptimizeStats};
+pub use parser::parse;
+pub use printer::print_flow;
+pub use validate::validate;

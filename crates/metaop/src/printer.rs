@@ -1,0 +1,144 @@
+//! Concrete-syntax printer for meta-operator flows (Fig. 13 style).
+
+use std::fmt::Write as _;
+
+use cmswitch_arch::ArrayId;
+
+use crate::{Flow, MemDirection, MemLoc, Stmt};
+
+/// Renders a flow in the Fig. 13-style concrete syntax accepted by
+/// [`crate::parse`].
+///
+/// # Example
+///
+/// ```
+/// use cmswitch_arch::ArrayId;
+/// use cmswitch_metaop::{print_flow, Flow, Stmt, SwitchKind};
+///
+/// let mut f = Flow::new("m");
+/// f.push(Stmt::switch(SwitchKind::ToMemory, vec![ArrayId(3)]));
+/// let text = print_flow(&f);
+/// assert!(text.contains("CM.switch(TOM, [3])"));
+/// ```
+pub fn print_flow(flow: &Flow) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# flow: {}", flow.name());
+    for stmt in flow.stmts() {
+        print_stmt(&mut out, stmt, 0);
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn ids(arrays: &[ArrayId]) -> String {
+    let inner: Vec<String> = arrays.iter().map(|a| a.0.to_string()).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match stmt {
+        Stmt::Switch { kind, arrays } => {
+            let _ = writeln!(out, "CM.switch({}, {})", kind.keyword(), ids(arrays));
+        }
+        Stmt::Compute(c) => {
+            let _ = writeln!(
+                out,
+                "CIM.mmm(%{}, c={}, min={}, mout={}, m={}, k={}, n={}, units={}, in={}, out={}, {})",
+                c.op,
+                ids(&c.compute_arrays),
+                ids(&c.mem_in_arrays),
+                ids(&c.mem_out_arrays),
+                c.m,
+                c.k,
+                c.n,
+                c.units,
+                c.in_bytes,
+                c.out_bytes,
+                if c.weight_static { "static" } else { "dynamic" }
+            );
+        }
+        Stmt::LoadWeights(w) => {
+            let _ = writeln!(out, "MEM.loadw(%{}, {}, {})", w.op, ids(&w.arrays), w.bytes);
+        }
+        Stmt::Mem(m) => {
+            let verb = match m.direction {
+                MemDirection::Read => "read",
+                MemDirection::Write => "write",
+            };
+            let loc = match &m.loc {
+                MemLoc::Main => "main".to_string(),
+                MemLoc::Buffer => "buffer".to_string(),
+                MemLoc::CimArrays(a) => format!("cim{}", ids(a)),
+            };
+            let _ = writeln!(out, "MEM.{verb}({loc}, {}, \"{}\")", m.bytes, m.label);
+        }
+        Stmt::Vector(v) => {
+            let _ = writeln!(out, "FU.vec(%{}, {})", v.op, v.flops);
+        }
+        Stmt::Parallel(inner) => {
+            let _ = writeln!(out, "parallel {{");
+            for s in inner {
+                print_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComputeStmt, MemStmt, SwitchKind, VectorStmt, WeightLoadStmt};
+
+    #[test]
+    fn prints_all_statement_kinds() {
+        let mut f = Flow::new("all");
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0)]));
+        f.push(Stmt::Parallel(vec![
+            Stmt::LoadWeights(WeightLoadStmt {
+                op: "fc1".into(),
+                arrays: vec![ArrayId(0)],
+                bytes: 100,
+            }),
+            Stmt::Compute(ComputeStmt {
+                op: "fc1".into(),
+                compute_arrays: vec![ArrayId(0)],
+                mem_in_arrays: vec![ArrayId(1)],
+                mem_out_arrays: vec![],
+                m: 2,
+                k: 3,
+                n: 4,
+                units: 1,
+                in_bytes: 6,
+                out_bytes: 8,
+                weight_static: false,
+            }),
+            Stmt::Vector(VectorStmt {
+                op: "softmax".into(),
+                flops: 99,
+            }),
+        ]));
+        f.push(Stmt::Mem(MemStmt {
+            loc: MemLoc::CimArrays(vec![ArrayId(1), ArrayId(2)]),
+            direction: MemDirection::Write,
+            bytes: 7,
+            label: "spill".into(),
+        }));
+        let text = print_flow(&f);
+        assert!(text.contains("CM.switch(TOC, [0])"));
+        assert!(text.contains("parallel {"));
+        assert!(text.contains("CIM.mmm(%fc1"));
+        assert!(text.contains("dynamic"));
+        assert!(text.contains("FU.vec(%softmax, 99)"));
+        assert!(text.contains("MEM.write(cim[1,2], 7, \"spill\")"));
+        // Indentation inside parallel blocks.
+        assert!(text.contains("\n  MEM.loadw"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Mode-discipline validation of meta-operator flows.
+//!
+//! Enforces the paper's allocation constraints at the IR level:
+//!
+//! * an array computes only while in compute mode, and buffers only while
+//!   in memory mode (arrays start in memory mode, the reset state of
+//!   DynaPlasia's triple-mode cell),
+//! * inside one `parallel` segment, an array serves at most one operator
+//!   per role — except the Eq. 6 reuse pattern, where one operator's
+//!   output buffer is another's input buffer,
+//! * `parallel` blocks do not nest.
+
+use std::collections::HashMap;
+
+use cmswitch_arch::{ArrayId, ArrayMode};
+
+use crate::{Flow, MemLoc, MetaOpError, Stmt};
+
+#[derive(Debug, Default)]
+struct SegmentClaims {
+    /// op name that claimed the array for compute.
+    compute: HashMap<ArrayId, String>,
+    /// op names that claimed the array as input buffer.
+    mem_in: HashMap<ArrayId, String>,
+    /// op names that claimed the array as output buffer.
+    mem_out: HashMap<ArrayId, String>,
+}
+
+/// Validates a flow.
+///
+/// # Errors
+///
+/// Returns the first [`MetaOpError`] violation found.
+pub fn validate(flow: &Flow) -> Result<(), MetaOpError> {
+    // All arrays start in memory mode.
+    let mut modes: HashMap<ArrayId, ArrayMode> = HashMap::new();
+    let mode_of = |modes: &HashMap<ArrayId, ArrayMode>, a: ArrayId| {
+        *modes.get(&a).unwrap_or(&ArrayMode::Memory)
+    };
+
+    for (idx, stmt) in flow.stmts().iter().enumerate() {
+        match stmt {
+            Stmt::Parallel(inner) => {
+                let mut claims = SegmentClaims::default();
+                for s in inner {
+                    if matches!(s, Stmt::Parallel(_)) {
+                        return Err(MetaOpError::NestedParallel { stmt: idx });
+                    }
+                    check_stmt(s, idx, &mut modes, Some(&mut claims))?;
+                }
+            }
+            s => check_stmt(s, idx, &mut modes, None)?,
+        }
+    }
+    let _ = mode_of;
+    Ok(())
+}
+
+fn check_stmt(
+    stmt: &Stmt,
+    idx: usize,
+    modes: &mut HashMap<ArrayId, ArrayMode>,
+    mut claims: Option<&mut SegmentClaims>,
+) -> Result<(), MetaOpError> {
+    let mode_of =
+        |modes: &HashMap<ArrayId, ArrayMode>, a: ArrayId| *modes.get(&a).unwrap_or(&ArrayMode::Memory);
+    match stmt {
+        Stmt::Switch { kind, arrays } => {
+            for &a in arrays {
+                modes.insert(a, kind.target_mode());
+            }
+        }
+        Stmt::Compute(c) => {
+            for &a in &c.compute_arrays {
+                if mode_of(modes, a) != ArrayMode::Compute {
+                    return Err(MetaOpError::ModeViolation {
+                        array: a,
+                        stmt: idx,
+                        detail: format!("{} computes on a memory-mode array", c.op),
+                    });
+                }
+            }
+            for &a in c.mem_in_arrays.iter().chain(&c.mem_out_arrays) {
+                if mode_of(modes, a) != ArrayMode::Memory {
+                    return Err(MetaOpError::ModeViolation {
+                        array: a,
+                        stmt: idx,
+                        detail: format!("{} buffers on a compute-mode array", c.op),
+                    });
+                }
+            }
+            if let Some(claims) = claims.as_mut() {
+                for &a in &c.compute_arrays {
+                    if let Some(prev) = claims.compute.insert(a, c.op.clone()) {
+                        if prev != c.op {
+                            return Err(MetaOpError::ArrayConflict { array: a, stmt: idx });
+                        }
+                    }
+                    if claims.mem_in.contains_key(&a) || claims.mem_out.contains_key(&a) {
+                        return Err(MetaOpError::ArrayConflict { array: a, stmt: idx });
+                    }
+                }
+                for &a in &c.mem_in_arrays {
+                    if claims.compute.contains_key(&a) {
+                        return Err(MetaOpError::ArrayConflict { array: a, stmt: idx });
+                    }
+                    if let Some(prev) = claims.mem_in.insert(a, c.op.clone()) {
+                        if prev != c.op {
+                            return Err(MetaOpError::ArrayConflict { array: a, stmt: idx });
+                        }
+                    }
+                }
+                for &a in &c.mem_out_arrays {
+                    if claims.compute.contains_key(&a) {
+                        return Err(MetaOpError::ArrayConflict { array: a, stmt: idx });
+                    }
+                    if let Some(prev) = claims.mem_out.insert(a, c.op.clone()) {
+                        if prev != c.op {
+                            return Err(MetaOpError::ArrayConflict { array: a, stmt: idx });
+                        }
+                    }
+                }
+            }
+        }
+        Stmt::LoadWeights(w) => {
+            for &a in &w.arrays {
+                if mode_of(modes, a) != ArrayMode::Compute {
+                    return Err(MetaOpError::ModeViolation {
+                        array: a,
+                        stmt: idx,
+                        detail: format!("weight load for {} into a memory-mode array", w.op),
+                    });
+                }
+            }
+        }
+        Stmt::Mem(m) => {
+            if let MemLoc::CimArrays(arrays) = &m.loc {
+                for &a in arrays {
+                    if mode_of(modes, a) != ArrayMode::Memory {
+                        return Err(MetaOpError::ModeViolation {
+                            array: a,
+                            stmt: idx,
+                            detail: format!("scratchpad access `{}` on a compute-mode array", m.label),
+                        });
+                    }
+                }
+            }
+        }
+        Stmt::Vector(_) => {}
+        Stmt::Parallel(_) => unreachable!("handled by caller"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComputeStmt, SwitchKind, WeightLoadStmt};
+
+    fn compute(op: &str, c: Vec<u32>, min: Vec<u32>, mout: Vec<u32>) -> Stmt {
+        Stmt::Compute(ComputeStmt {
+            op: op.into(),
+            compute_arrays: c.into_iter().map(ArrayId).collect(),
+            mem_in_arrays: min.into_iter().map(ArrayId).collect(),
+            mem_out_arrays: mout.into_iter().map(ArrayId).collect(),
+            m: 1,
+            k: 1,
+            n: 1,
+            units: 1,
+            in_bytes: 0,
+            out_bytes: 0,
+            weight_static: true,
+        })
+    }
+
+    #[test]
+    fn compute_requires_compute_mode() {
+        let mut f = Flow::new("f");
+        f.push(compute("fc", vec![0], vec![], vec![]));
+        assert!(matches!(
+            validate(&f),
+            Err(MetaOpError::ModeViolation { .. })
+        ));
+        let mut f = Flow::new("f");
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0)]));
+        f.push(compute("fc", vec![0], vec![], vec![]));
+        assert!(validate(&f).is_ok());
+    }
+
+    #[test]
+    fn buffers_require_memory_mode() {
+        let mut f = Flow::new("f");
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0), ArrayId(1)]));
+        f.push(compute("fc", vec![0], vec![1], vec![]));
+        assert!(matches!(
+            validate(&f),
+            Err(MetaOpError::ModeViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_load_requires_compute_mode() {
+        let mut f = Flow::new("f");
+        f.push(Stmt::LoadWeights(WeightLoadStmt {
+            op: "fc".into(),
+            arrays: vec![ArrayId(2)],
+            bytes: 10,
+        }));
+        assert!(matches!(
+            validate(&f),
+            Err(MetaOpError::ModeViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn compute_conflict_within_segment() {
+        let mut f = Flow::new("f");
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0)]));
+        f.push(Stmt::Parallel(vec![
+            compute("a", vec![0], vec![], vec![]),
+            compute("b", vec![0], vec![], vec![]),
+        ]));
+        assert!(matches!(
+            validate(&f),
+            Err(MetaOpError::ArrayConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn eq6_reuse_pattern_is_legal() {
+        // Array 2 is op a's output buffer AND op b's input buffer.
+        let mut f = Flow::new("f");
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0), ArrayId(1)]));
+        f.push(Stmt::Parallel(vec![
+            compute("a", vec![0], vec![], vec![2]),
+            compute("b", vec![1], vec![2], vec![]),
+        ]));
+        assert!(validate(&f).is_ok());
+    }
+
+    #[test]
+    fn compute_and_memory_roles_conflict() {
+        let mut f = Flow::new("f");
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0)]));
+        // Array 0 computes for a and is claimed as b's buffer: mode check
+        // fires first (buffer on compute-mode array).
+        f.push(Stmt::Parallel(vec![
+            compute("a", vec![0], vec![], vec![]),
+            compute("b", vec![1], vec![0], vec![]),
+        ]));
+        assert!(validate(&f).is_err());
+    }
+
+    #[test]
+    fn nested_parallel_rejected() {
+        let mut f = Flow::new("f");
+        f.push(Stmt::Parallel(vec![Stmt::Parallel(vec![])]));
+        assert!(matches!(
+            validate(&f),
+            Err(MetaOpError::NestedParallel { .. })
+        ));
+    }
+
+    #[test]
+    fn switch_back_and_forth_ok() {
+        let mut f = Flow::new("f");
+        f.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0)]));
+        f.push(compute("a", vec![0], vec![], vec![]));
+        f.push(Stmt::switch(SwitchKind::ToMemory, vec![ArrayId(0)]));
+        f.push(compute("b", vec![1], vec![0], vec![]));
+        // b computes on array 1 which is still memory mode -> violation.
+        assert!(matches!(
+            validate(&f),
+            Err(MetaOpError::ModeViolation { .. })
+        ));
+        let mut f2 = Flow::new("f2");
+        f2.push(Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0), ArrayId(1)]));
+        f2.push(compute("a", vec![0], vec![], vec![]));
+        f2.push(Stmt::switch(SwitchKind::ToMemory, vec![ArrayId(0)]));
+        f2.push(compute("b", vec![1], vec![0], vec![]));
+        assert!(validate(&f2).is_ok());
+    }
+}

@@ -1,0 +1,86 @@
+//! BERT encoder models (Devlin et al.).
+
+use cmswitch_graph::{Graph, GraphError};
+
+use crate::transformer::{stack, TransformerConfig};
+
+/// BERT-base hyper-parameters (12 layers, hidden 768, 12 heads).
+pub fn base_config() -> TransformerConfig {
+    TransformerConfig {
+        name: "bert-base".into(),
+        layers: 12,
+        hidden: 768,
+        heads: 12,
+        ffn_hidden: 3072,
+        vocab: 30522,
+        gated_ffn: false,
+        lm_head: false,
+    }
+}
+
+/// BERT-large hyper-parameters (24 layers, hidden 1024, 16 heads).
+pub fn large_config() -> TransformerConfig {
+    TransformerConfig {
+        name: "bert-large".into(),
+        layers: 24,
+        hidden: 1024,
+        heads: 16,
+        ffn_hidden: 4096,
+        vocab: 30522,
+        gated_ffn: false,
+        lm_head: false,
+    }
+}
+
+/// Builds a BERT encoder graph.
+///
+/// # Errors
+///
+/// Propagates construction errors for degenerate configurations.
+pub fn bert(cfg: &TransformerConfig, batch: usize, seq: usize) -> Result<Graph, GraphError> {
+    stack(cfg, batch, seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_graph::analysis;
+
+    #[test]
+    fn base_params_near_110m() {
+        // Weight bytes (int8) ≈ parameter count; BERT-base ≈ 110 M
+        // (embeddings included).
+        let g = bert(&base_config(), 1, 64).unwrap();
+        let s = analysis::summarize(&g).unwrap();
+        let p = s.weight_bytes as f64;
+        assert!((0.9e8..1.3e8).contains(&p), "params {p}");
+    }
+
+    #[test]
+    fn large_params_near_340m() {
+        let g = bert(&large_config(), 1, 64).unwrap();
+        let s = analysis::summarize(&g).unwrap();
+        let p = s.weight_bytes as f64;
+        assert!((3.0e8..3.8e8).contains(&p), "params {p}");
+    }
+
+    #[test]
+    fn ai_grows_with_sequence_length() {
+        // Fig. 6(b): BERT arithmetic intensity rises with sequence length.
+        let cfg = large_config();
+        let short = analysis::summarize(&bert(&cfg, 1, 32).unwrap()).unwrap();
+        let long = analysis::summarize(&bert(&cfg, 1, 512).unwrap()).unwrap();
+        assert!(long.average_ai() > 3.0 * short.average_ai());
+    }
+
+    #[test]
+    fn class_breakdown_has_all_classes() {
+        use cmswitch_graph::analysis::OpClass;
+        let g = bert(&base_config(), 1, 64).unwrap();
+        let classes = analysis::class_breakdown(&g).unwrap();
+        for class in [OpClass::MhaQkv, OpClass::MhaFc, OpClass::FfnFc] {
+            let (_, flops, _) = classes.iter().find(|(c, _, _)| *c == class).unwrap();
+            assert!(*flops > 0, "{class:?} has no flops");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Generative (prefill + decode) workload construction.
+//!
+//! The paper's Figs. 16 and 17 evaluate decoder models over input/output
+//! sequence lengths. A full run is one *prefill* over the input tokens
+//! followed by `out_len` incremental *decode* steps with a growing KV
+//! cache. Compiling each step individually would be wasteful and is not
+//! what changes the result — the KV length drifts slowly — so the workload
+//! samples the decode trajectory at a few KV lengths and weights each
+//! sample by the number of steps it represents (midpoint rule).
+
+use cmswitch_graph::{Graph, GraphError};
+
+use crate::transformer::{decode_step, stack, TransformerConfig};
+
+/// One sampled decode step standing in for `steps` real steps.
+#[derive(Debug, Clone)]
+pub struct DecodeSample {
+    /// Decode-step graph at the sampled KV length.
+    pub graph: Graph,
+    /// KV-cache length at the sample.
+    pub kv_len: usize,
+    /// Number of decode steps this sample represents.
+    pub steps: f64,
+}
+
+/// A full generative inference workload.
+#[derive(Debug, Clone)]
+pub struct GenerativeWorkload {
+    /// Workload label (`model-b{batch}-in{in}-out{out}`).
+    pub name: String,
+    /// The prefill graph over the input sequence.
+    pub prefill: Graph,
+    /// Sampled decode steps covering the output sequence.
+    pub decode_samples: Vec<DecodeSample>,
+}
+
+impl GenerativeWorkload {
+    /// Total decode steps represented across samples.
+    pub fn total_decode_steps(&self) -> f64 {
+        self.decode_samples.iter().map(|s| s.steps).sum()
+    }
+}
+
+/// Builds a generative workload: prefill over `in_len` tokens and
+/// `out_len` decode steps sampled at `n_samples` KV lengths.
+///
+/// # Errors
+///
+/// Propagates graph construction errors; `n_samples` is clamped to
+/// `[1, out_len]`.
+pub fn workload(
+    cfg: &TransformerConfig,
+    batch: usize,
+    in_len: usize,
+    out_len: usize,
+    n_samples: usize,
+) -> Result<GenerativeWorkload, GraphError> {
+    if in_len == 0 || out_len == 0 {
+        return Err(GraphError::InvalidArgument(
+            "in_len and out_len must be nonzero".into(),
+        ));
+    }
+    let prefill = stack(cfg, batch, in_len)?;
+    let n = n_samples.clamp(1, out_len);
+    let mut decode_samples = Vec::with_capacity(n);
+    for i in 0..n {
+        // Midpoint of the i-th slice of the decode trajectory.
+        let frac = (i as f64 + 0.5) / n as f64;
+        let kv_len = in_len + (frac * out_len as f64).round() as usize;
+        decode_samples.push(DecodeSample {
+            graph: decode_step(cfg, batch, kv_len)?,
+            kv_len,
+            steps: out_len as f64 / n as f64,
+        });
+    }
+    Ok(GenerativeWorkload {
+        name: format!("{}-b{batch}-in{in_len}-out{out_len}", cfg.name),
+        prefill,
+        decode_samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::llama::llama2_7b_with_layers;
+
+    #[test]
+    fn sample_weights_cover_all_steps() {
+        let cfg = llama2_7b_with_layers(1);
+        let w = workload(&cfg, 1, 32, 100, 4).unwrap();
+        assert!((w.total_decode_steps() - 100.0).abs() < 1e-9);
+        assert_eq!(w.decode_samples.len(), 4);
+        // KV lengths increase across samples and exceed in_len.
+        let kvs: Vec<usize> = w.decode_samples.iter().map(|s| s.kv_len).collect();
+        assert!(kvs.windows(2).all(|w| w[0] < w[1]));
+        assert!(kvs[0] > 32);
+    }
+
+    #[test]
+    fn clamps_samples_to_out_len() {
+        let cfg = llama2_7b_with_layers(1);
+        let w = workload(&cfg, 1, 8, 2, 10).unwrap();
+        assert_eq!(w.decode_samples.len(), 2);
+    }
+
+    #[test]
+    fn rejects_zero_lengths() {
+        let cfg = llama2_7b_with_layers(1);
+        assert!(workload(&cfg, 1, 0, 4, 1).is_err());
+        assert!(workload(&cfg, 1, 4, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Small multilayer perceptrons for tests and the quickstart example.
+
+use cmswitch_graph::{Graph, GraphBuilder, GraphError};
+
+/// Builds an MLP with the given layer widths (`dims[0]` is the input
+/// feature count).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidArgument`] unless at least two dims are
+/// given.
+///
+/// # Example
+///
+/// ```
+/// let g = cmswitch_models::mlp::mlp(4, &[64, 128, 10]).unwrap();
+/// assert_eq!(g.nodes().last().unwrap().shape, vec![4, 10]);
+/// ```
+pub fn mlp(batch: usize, dims: &[usize]) -> Result<Graph, GraphError> {
+    if dims.len() < 2 {
+        return Err(GraphError::InvalidArgument(
+            "mlp needs at least input and output dims".into(),
+        ));
+    }
+    let mut b = GraphBuilder::new(format!("mlp-{}", dims.len() - 1));
+    let mut x = b.input("x", vec![batch, dims[0]]);
+    for (i, &width) in dims[1..].iter().enumerate() {
+        x = b.linear(format!("fc{i}"), x, width)?;
+        if i + 2 < dims.len() {
+            x = b.relu(format!("relu{i}"), x)?;
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_graph::lower;
+
+    #[test]
+    fn shapes_and_cim_ops() {
+        let g = mlp(2, &[16, 32, 8]).unwrap();
+        let l = lower::lower(&g).unwrap();
+        assert_eq!(l.ops.len(), 2);
+        assert_eq!(l.ops[0].k, 16);
+        assert_eq!(l.ops[1].n, 8);
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(mlp(1, &[8]).is_err());
+    }
+}

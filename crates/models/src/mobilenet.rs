@@ -1,0 +1,103 @@
+//! MobileNetV2 (Sandler et al.): inverted residuals with depthwise
+//! convolutions.
+
+use cmswitch_graph::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// MobileNetV2 at width multiplier 1.0 on 224×224 input.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for valid batch ≥ 1).
+pub fn mobilenet_v2(batch: usize) -> Result<Graph, GraphError> {
+    // (expansion t, output channels c, repeats n, stride s) per the paper.
+    let cfg: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut b = GraphBuilder::new("mobilenetv2");
+    let x = b.input("image", vec![batch, 3, 224, 224]);
+    let mut x = b.conv2d("stem.conv", x, 32, 3, 2, 1)?;
+    x = b.relu("stem.relu", x)?;
+    let mut in_ch = 32usize;
+    for (stage, &(t, c, n, s)) in cfg.iter().enumerate() {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            let prefix = format!("s{stage}.b{i}");
+            x = inverted_residual(&mut b, &prefix, x, in_ch, c, t, stride)?;
+            in_ch = c;
+        }
+    }
+    x = b.conv2d("head.conv", x, 1280, 1, 1, 0)?;
+    x = b.relu("head.relu", x)?;
+    x = b.global_avg_pool("head.gap", x)?;
+    let _ = b.linear("head.fc", x, 1000)?;
+    b.finish()
+}
+
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    prefix: &str,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    expand: usize,
+    stride: usize,
+) -> Result<NodeId, GraphError> {
+    let hidden = in_ch * expand;
+    let mut y = x;
+    if expand != 1 {
+        y = b.conv2d(format!("{prefix}.expand"), y, hidden, 1, 1, 0)?;
+        y = b.relu(format!("{prefix}.expand_relu"), y)?;
+    }
+    // Depthwise 3x3.
+    y = b.conv2d_grouped(format!("{prefix}.dw"), y, hidden, 3, stride, 1, hidden)?;
+    y = b.relu(format!("{prefix}.dw_relu"), y)?;
+    // Linear projection.
+    y = b.conv2d(format!("{prefix}.project"), y, out_ch, 1, 1, 0)?;
+    if stride == 1 && in_ch == out_ch {
+        y = b.add(format!("{prefix}.res"), y, x)?;
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_graph::analysis;
+
+    #[test]
+    fn params_near_3_5m() {
+        let g = mobilenet_v2(1).unwrap();
+        let s = analysis::summarize(&g).unwrap();
+        let params = s.weight_bytes as f64;
+        assert!((2.8e6..4.2e6).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn macs_near_300m() {
+        let g = mobilenet_v2(1).unwrap();
+        let s = analysis::summarize(&g).unwrap();
+        let macs = s.macs as f64;
+        assert!((2.5e8..4.5e8).contains(&macs), "macs {macs}");
+    }
+
+    #[test]
+    fn low_average_ai_vs_resnet() {
+        // Depthwise convs make MobileNet far less arithmetically intense
+        // than ResNet-50.
+        let m = analysis::summarize(&mobilenet_v2(1).unwrap()).unwrap();
+        let r = analysis::summarize(&crate::resnet::resnet50(1).unwrap()).unwrap();
+        assert!(m.average_ai() < r.average_ai());
+    }
+
+    #[test]
+    fn final_shape_is_logits() {
+        let g = mobilenet_v2(2).unwrap();
+        assert_eq!(g.nodes().last().unwrap().shape, vec![2, 1000]);
+    }
+}

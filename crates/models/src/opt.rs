@@ -1,0 +1,54 @@
+//! OPT decoder models (Zhang et al.).
+
+use crate::transformer::TransformerConfig;
+
+/// OPT-6.7B hyper-parameters (32 layers, hidden 4096, FFN 16384).
+pub fn opt_6_7b() -> TransformerConfig {
+    TransformerConfig {
+        name: "opt-6.7b".into(),
+        layers: 32,
+        hidden: 4096,
+        heads: 32,
+        ffn_hidden: 16384,
+        vocab: 50272,
+        gated_ffn: false,
+        lm_head: true,
+    }
+}
+
+/// OPT-13B hyper-parameters (40 layers, hidden 5120, FFN 20480).
+pub fn opt_13b() -> TransformerConfig {
+    TransformerConfig {
+        name: "opt-13b".into(),
+        layers: 40,
+        hidden: 5120,
+        heads: 40,
+        ffn_hidden: 20480,
+        vocab: 50272,
+        gated_ffn: false,
+        lm_head: true,
+    }
+}
+
+/// A layer-scaled OPT used by tests and quick experiments.
+pub fn opt_with_layers(base: TransformerConfig, layers: usize) -> TransformerConfig {
+    TransformerConfig { layers, ..base }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts() {
+        let p67 = opt_6_7b().approx_params() as f64;
+        assert!((6.0e9..7.3e9).contains(&p67), "6.7b params {p67}");
+        let p13 = opt_13b().approx_params() as f64;
+        assert!((1.2e10..1.4e10).contains(&p13), "13b params {p13}");
+    }
+
+    #[test]
+    fn thirteen_b_larger_than_six_seven() {
+        assert!(opt_13b().approx_params() > opt_6_7b().approx_params());
+    }
+}

@@ -1,0 +1,151 @@
+//! ResNet family (He et al.) on ImageNet-shaped inputs.
+
+use cmswitch_graph::{GraphBuilder, GraphError, NodeId};
+
+/// ResNet-18: basic blocks `[2, 2, 2, 2]`.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for valid batch ≥ 1).
+pub fn resnet18(batch: usize) -> Result<cmswitch_graph::Graph, GraphError> {
+    resnet_basic(batch, &[2, 2, 2, 2], "resnet18")
+}
+
+/// ResNet-34: basic blocks `[3, 4, 6, 3]`.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for valid batch ≥ 1).
+pub fn resnet34(batch: usize) -> Result<cmswitch_graph::Graph, GraphError> {
+    resnet_basic(batch, &[3, 4, 6, 3], "resnet34")
+}
+
+/// ResNet-50: bottleneck blocks `[3, 4, 6, 3]`.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for valid batch ≥ 1).
+pub fn resnet50(batch: usize) -> Result<cmswitch_graph::Graph, GraphError> {
+    let widths = [64usize, 128, 256, 512];
+    let blocks = [3usize, 4, 6, 3];
+    let mut b = GraphBuilder::new("resnet50");
+    let mut x = stem(&mut b, batch)?;
+    let mut in_ch = 64usize;
+    for (stage, (&width, &n_blocks)) in widths.iter().zip(&blocks).enumerate() {
+        for blk in 0..n_blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let prefix = format!("s{stage}.b{blk}");
+            let out_ch = width * 4;
+            // Projection shortcut when shape changes.
+            let shortcut = if stride != 1 || in_ch != out_ch {
+                b.conv2d(format!("{prefix}.down"), x, out_ch, 1, stride, 0)?
+            } else {
+                x
+            };
+            let mut y = b.conv2d(format!("{prefix}.conv1"), x, width, 1, 1, 0)?;
+            y = b.relu(format!("{prefix}.relu1"), y)?;
+            y = b.conv2d(format!("{prefix}.conv2"), y, width, 3, stride, 1)?;
+            y = b.relu(format!("{prefix}.relu2"), y)?;
+            y = b.conv2d(format!("{prefix}.conv3"), y, out_ch, 1, 1, 0)?;
+            y = b.add(format!("{prefix}.res"), y, shortcut)?;
+            x = b.relu(format!("{prefix}.relu3"), y)?;
+            in_ch = out_ch;
+        }
+    }
+    head(&mut b, x)?;
+    b.finish()
+}
+
+fn resnet_basic(
+    batch: usize,
+    blocks: &[usize; 4],
+    name: &str,
+) -> Result<cmswitch_graph::Graph, GraphError> {
+    let widths = [64usize, 128, 256, 512];
+    let mut b = GraphBuilder::new(name);
+    let mut x = stem(&mut b, batch)?;
+    let mut in_ch = 64usize;
+    for (stage, (&width, &n_blocks)) in widths.iter().zip(blocks).enumerate() {
+        for blk in 0..n_blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let prefix = format!("s{stage}.b{blk}");
+            let shortcut = if stride != 1 || in_ch != width {
+                b.conv2d(format!("{prefix}.down"), x, width, 1, stride, 0)?
+            } else {
+                x
+            };
+            let mut y = b.conv2d(format!("{prefix}.conv1"), x, width, 3, stride, 1)?;
+            y = b.relu(format!("{prefix}.relu1"), y)?;
+            y = b.conv2d(format!("{prefix}.conv2"), y, width, 3, 1, 1)?;
+            y = b.add(format!("{prefix}.res"), y, shortcut)?;
+            x = b.relu(format!("{prefix}.relu2"), y)?;
+            in_ch = width;
+        }
+    }
+    head(&mut b, x)?;
+    b.finish()
+}
+
+fn stem(b: &mut GraphBuilder, batch: usize) -> Result<NodeId, GraphError> {
+    let x = b.input("image", vec![batch, 3, 224, 224]);
+    let x = b.conv2d("stem.conv", x, 64, 7, 2, 3)?;
+    let x = b.relu("stem.relu", x)?;
+    b.max_pool2d("stem.pool", x, 2, 2)
+}
+
+fn head(b: &mut GraphBuilder, x: NodeId) -> Result<NodeId, GraphError> {
+    let x = b.global_avg_pool("head.gap", x)?;
+    b.linear("head.fc", x, 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_graph::{analysis, lower};
+
+    #[test]
+    fn resnet18_structure() {
+        let g = resnet18(1).unwrap();
+        let l = lower::lower(&g).unwrap();
+        // stem + 8 blocks x 2 convs + 3 downsamples + fc = 1 + 16 + 3 + 1.
+        assert_eq!(l.ops.len(), 21);
+    }
+
+    #[test]
+    fn resnet50_params_near_25m() {
+        let g = resnet50(1).unwrap();
+        let s = analysis::summarize(&g).unwrap();
+        let params = s.weight_bytes as f64;
+        assert!((2.2e7..2.8e7).contains(&params), "params {params}");
+        // ~4.1 GMACs.
+        let macs = s.macs as f64;
+        assert!((3.5e9..4.5e9).contains(&macs), "macs {macs}");
+    }
+
+    #[test]
+    fn resnet50_average_ai_near_paper() {
+        // Paper: ResNet50 average arithmetic intensity ≈ 66 (FLOPs / bytes
+        // with weights streamed). Accept a generous band.
+        let g = resnet50(1).unwrap();
+        let s = analysis::summarize(&g).unwrap();
+        let ai = s.average_ai();
+        assert!((40.0..110.0).contains(&ai), "ai {ai}");
+    }
+
+    #[test]
+    fn resnet18_params_near_11m() {
+        let s = analysis::summarize(&resnet18(1).unwrap()).unwrap();
+        let params = s.weight_bytes as f64;
+        assert!((1.0e7..1.3e7).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn layerwise_ai_varies_widely() {
+        // Fig 6(a): ResNet-50 layer AI ranges from <100 to >700.
+        let g = resnet50(1).unwrap();
+        let ai = analysis::layerwise_ai(&g).unwrap();
+        let min = ai.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let max = ai.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+        assert!(max / min > 5.0, "min {min} max {max}");
+    }
+}

@@ -1,0 +1,303 @@
+//! Shared transformer building blocks (multi-head attention + FFN).
+//!
+//! Attention is expressed exactly as the paper's Fig. 9/15 show it: the
+//! `W_Q/W_K/W_V` projections are static-weight linear operators, while
+//! `Q·Kᵀ` and `S·V` are *dynamic* matmuls whose resident operand is
+//! runtime data — the case where memory-mode arrays holding `K`/`V` can be
+//! switched to compute mode in place (§5.3).
+
+use cmswitch_graph::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// Hyper-parameters of a transformer stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Model name used in graph names.
+    pub name: String,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Hidden (model) dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN intermediate dimension.
+    pub ffn_hidden: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Whether the FFN is gated (LLaMA SwiGLU: gate/up/down) instead of
+    /// the standard two-matrix FFN.
+    pub gated_ffn: bool,
+    /// Whether a language-model head (hidden → vocab) closes the stack.
+    pub lm_head: bool,
+}
+
+impl TransformerConfig {
+    /// Head dimension `hidden / heads`.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Approximate parameter count (weights only).
+    pub fn approx_params(&self) -> u64 {
+        let attn = 4 * self.hidden * self.hidden;
+        let ffn = if self.gated_ffn {
+            3 * self.hidden * self.ffn_hidden
+        } else {
+            2 * self.hidden * self.ffn_hidden
+        };
+        let emb = self.vocab * self.hidden * if self.lm_head { 2 } else { 1 };
+        (self.layers * (attn + ffn) + emb) as u64
+    }
+}
+
+/// Builds one transformer layer on `x` (`[batch, seq, hidden]`), reading
+/// the K/V for attention from `kv`: either the layer's own projections
+/// (encoder/prefill) or an external cache (decode).
+pub(crate) struct LayerCtx<'a> {
+    pub b: &'a mut GraphBuilder,
+    pub cfg: &'a TransformerConfig,
+    pub batch: usize,
+    /// Query sequence length (1 in decode).
+    pub q_len: usize,
+    /// Key/value sequence length (grows with the KV cache in decode).
+    pub kv_len: usize,
+}
+
+impl LayerCtx<'_> {
+    /// Appends layer `idx`, returning the output node
+    /// (`[batch, q_len, hidden]`).
+    pub fn layer(
+        &mut self,
+        idx: usize,
+        x: NodeId,
+        kv_cache: Option<(NodeId, NodeId)>,
+    ) -> Result<NodeId, GraphError> {
+        let p = format!("l{idx}");
+        let cfg = self.cfg;
+        let (bh, d) = (self.batch * cfg.heads, cfg.head_dim());
+
+        let ln1 = self.b.layer_norm(format!("{p}.ln1"), x)?;
+        let q = self.b.linear(format!("{p}.q_proj"), ln1, cfg.hidden)?;
+        let qr = self
+            .b
+            .reshape(format!("{p}.q_heads"), q, vec![bh, self.q_len, d])?;
+
+        let (kr, vr) = match kv_cache {
+            Some((kc, vc)) => {
+                // Decode: fresh token K/V projections are still computed
+                // (and written into the cache), but attention reads the
+                // full cache.
+                let k = self.b.linear(format!("{p}.k_proj"), ln1, cfg.hidden)?;
+                let v = self.b.linear(format!("{p}.v_proj"), ln1, cfg.hidden)?;
+                let _ = (k, v);
+                (kc, vc)
+            }
+            None => {
+                let k = self.b.linear(format!("{p}.k_proj"), ln1, cfg.hidden)?;
+                let v = self.b.linear(format!("{p}.v_proj"), ln1, cfg.hidden)?;
+                let kr =
+                    self.b
+                        .reshape(format!("{p}.k_heads"), k, vec![bh, self.kv_len, d])?;
+                let vr =
+                    self.b
+                        .reshape(format!("{p}.v_heads"), v, vec![bh, self.kv_len, d])?;
+                (kr, vr)
+            }
+        };
+
+        let scores = self.b.matmul(format!("{p}.attn.qk"), qr, kr, true)?;
+        let probs = self.b.softmax(format!("{p}.attn.softmax"), scores)?;
+        let ctx = self.b.matmul(format!("{p}.attn.sv"), probs, vr, false)?;
+        let merged = self.b.reshape(
+            format!("{p}.attn.merge"),
+            ctx,
+            vec![self.batch, self.q_len, cfg.hidden],
+        )?;
+        let attn_out = self
+            .b
+            .linear(format!("{p}.attn.out_proj"), merged, cfg.hidden)?;
+        let res1 = self.b.add(format!("{p}.res1"), attn_out, x)?;
+
+        let ln2 = self.b.layer_norm(format!("{p}.ln2"), res1)?;
+        let ffn_out = if cfg.gated_ffn {
+            let gate = self.b.linear(format!("{p}.ffn.gate"), ln2, cfg.ffn_hidden)?;
+            let gate = self.b.silu(format!("{p}.ffn.silu"), gate)?;
+            let up = self.b.linear(format!("{p}.ffn.up"), ln2, cfg.ffn_hidden)?;
+            let gated = self.b.mul(format!("{p}.ffn.gatemul"), gate, up)?;
+            self.b.linear(format!("{p}.ffn.down"), gated, cfg.hidden)?
+        } else {
+            let h = self.b.linear(format!("{p}.ffn.fc1"), ln2, cfg.ffn_hidden)?;
+            let h = self.b.gelu(format!("{p}.ffn.gelu"), h)?;
+            self.b.linear(format!("{p}.ffn.fc2"), h, cfg.hidden)?
+        };
+        self.b.add(format!("{p}.res2"), ffn_out, res1)
+    }
+}
+
+/// Builds the full encoder (or prefill) stack: embedding, `layers`
+/// transformer layers over sequence length `seq`, optional LM head.
+///
+/// # Errors
+///
+/// Propagates construction errors for degenerate configurations.
+pub fn stack(cfg: &TransformerConfig, batch: usize, seq: usize) -> Result<Graph, GraphError> {
+    stack_with_layers(cfg, batch, seq, cfg.layers)
+}
+
+/// Like [`stack`] but with an explicit layer count (used by the compiler's
+/// block-reuse path to build a single representative layer).
+///
+/// # Errors
+///
+/// Propagates construction errors for degenerate configurations.
+pub fn stack_with_layers(
+    cfg: &TransformerConfig,
+    batch: usize,
+    seq: usize,
+    layers: usize,
+) -> Result<Graph, GraphError> {
+    if cfg.hidden % cfg.heads != 0 {
+        return Err(GraphError::InvalidArgument(format!(
+            "hidden {} not divisible by heads {}",
+            cfg.hidden, cfg.heads
+        )));
+    }
+    let mut b = GraphBuilder::new(format!("{}-b{}-s{}", cfg.name, batch, seq));
+    let tokens = b.input("tokens", vec![batch, seq]);
+    let mut x = b.embedding("embed", tokens, cfg.vocab, cfg.hidden)?;
+    for i in 0..layers {
+        let mut ctx = LayerCtx {
+            b: &mut b,
+            cfg,
+            batch,
+            q_len: seq,
+            kv_len: seq,
+        };
+        x = ctx.layer(i, x, None)?;
+    }
+    if cfg.lm_head {
+        let _ = b.linear("lm_head", x, cfg.vocab)?;
+    }
+    b.finish()
+}
+
+/// Builds one decode step: a single query token attending to a KV cache of
+/// length `kv_len`, through all layers plus the LM head.
+///
+/// # Errors
+///
+/// Propagates construction errors for degenerate configurations.
+pub fn decode_step(
+    cfg: &TransformerConfig,
+    batch: usize,
+    kv_len: usize,
+) -> Result<Graph, GraphError> {
+    if cfg.hidden % cfg.heads != 0 {
+        return Err(GraphError::InvalidArgument(format!(
+            "hidden {} not divisible by heads {}",
+            cfg.hidden, cfg.heads
+        )));
+    }
+    let mut b = GraphBuilder::new(format!("{}-decode-b{}-kv{}", cfg.name, batch, kv_len));
+    let tokens = b.input("token", vec![batch, 1]);
+    let mut x = b.embedding("embed", tokens, cfg.vocab, cfg.hidden)?;
+    let (bh, d) = (batch * cfg.heads, cfg.head_dim());
+    for i in 0..cfg.layers {
+        let kc = b.input(format!("l{i}.k_cache"), vec![bh, kv_len, d]);
+        let vc = b.input(format!("l{i}.v_cache"), vec![bh, kv_len, d]);
+        let mut ctx = LayerCtx {
+            b: &mut b,
+            cfg,
+            batch,
+            q_len: 1,
+            kv_len,
+        };
+        x = ctx.layer(i, x, Some((kc, vc)))?;
+    }
+    if cfg.lm_head {
+        let _ = b.linear("lm_head", x, cfg.vocab)?;
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_graph::{analysis, lower};
+
+    fn tiny_cfg() -> TransformerConfig {
+        TransformerConfig {
+            name: "tiny".into(),
+            layers: 2,
+            hidden: 64,
+            heads: 4,
+            ffn_hidden: 256,
+            vocab: 1000,
+            gated_ffn: false,
+            lm_head: true,
+        }
+    }
+
+    #[test]
+    fn stack_shapes() {
+        let g = stack(&tiny_cfg(), 2, 16).unwrap();
+        let last = g.nodes().last().unwrap();
+        assert_eq!(last.shape, vec![2, 16, 1000]); // lm head
+    }
+
+    #[test]
+    fn per_layer_cim_ops() {
+        // q,k,v,qk,sv,out,fc1,fc2 = 8 CIM ops per layer + lm head.
+        let g = stack(&tiny_cfg(), 1, 8).unwrap();
+        let l = lower::lower(&g).unwrap();
+        assert_eq!(l.ops.len(), 2 * 8 + 1);
+        // qk/sv are dynamic.
+        let dynamics = l.ops.iter().filter(|o| !o.weight_static).count();
+        assert_eq!(dynamics, 4);
+    }
+
+    #[test]
+    fn gated_ffn_adds_op() {
+        let mut cfg = tiny_cfg();
+        cfg.gated_ffn = true;
+        let g = stack(&cfg, 1, 8).unwrap();
+        let l = lower::lower(&g).unwrap();
+        assert_eq!(l.ops.len(), 2 * 9 + 1);
+    }
+
+    #[test]
+    fn decode_step_attends_full_cache() {
+        let g = decode_step(&tiny_cfg(), 1, 32).unwrap();
+        let l = lower::lower(&g).unwrap();
+        let qk = l.ops.iter().find(|o| o.name == "l0.attn.qk").unwrap();
+        assert_eq!(qk.m, 1);
+        assert_eq!(qk.n, 32); // attends 32 cached positions
+        assert_eq!(qk.units, 4); // batch*heads
+    }
+
+    #[test]
+    fn approx_params_close_to_analysis() {
+        let cfg = tiny_cfg();
+        let g = stack(&cfg, 1, 8).unwrap();
+        let s = analysis::summarize(&g).unwrap();
+        let approx = cfg.approx_params() as f64;
+        let exact = s.weight_bytes as f64;
+        assert!((exact - approx).abs() / exact < 0.05, "{exact} vs {approx}");
+    }
+
+    #[test]
+    fn rejects_indivisible_heads() {
+        let mut cfg = tiny_cfg();
+        cfg.heads = 5;
+        assert!(stack(&cfg, 1, 8).is_err());
+        assert!(decode_step(&cfg, 1, 8).is_err());
+    }
+
+    #[test]
+    fn decode_ai_far_below_prefill_ai() {
+        // The motivation insight: decode arithmetic intensity ~ 2.
+        let cfg = tiny_cfg();
+        let pre = analysis::summarize(&stack(&cfg, 1, 256).unwrap()).unwrap();
+        let dec = analysis::summarize(&decode_step(&cfg, 1, 256).unwrap()).unwrap();
+        assert!(dec.average_ai() < pre.average_ai() / 4.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! VGG networks (Simonyan & Zisserman) on ImageNet-shaped inputs.
+
+use cmswitch_graph::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// VGG-16 (configuration D): 13 convolutions + 3 fully-connected layers.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for valid batch ≥ 1).
+pub fn vgg16(batch: usize) -> Result<Graph, GraphError> {
+    vgg(batch, &[2, 2, 3, 3, 3], "vgg16")
+}
+
+/// VGG-11 (configuration A): 8 convolutions + 3 fully-connected layers.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for valid batch ≥ 1).
+pub fn vgg11(batch: usize) -> Result<Graph, GraphError> {
+    vgg(batch, &[1, 1, 2, 2, 2], "vgg11")
+}
+
+/// VGG-19 (configuration E): 16 convolutions + 3 fully-connected layers.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for valid batch ≥ 1).
+pub fn vgg19(batch: usize) -> Result<Graph, GraphError> {
+    vgg(batch, &[2, 2, 4, 4, 4], "vgg19")
+}
+
+fn vgg(batch: usize, convs_per_stage: &[usize], name: &str) -> Result<Graph, GraphError> {
+    let widths = [64usize, 128, 256, 512, 512];
+    let mut b = GraphBuilder::new(name);
+    let mut x: NodeId = b.input("image", vec![batch, 3, 224, 224]);
+    for (stage, (&n_convs, &width)) in convs_per_stage.iter().zip(&widths).enumerate() {
+        for i in 0..n_convs {
+            x = b.conv2d(format!("s{stage}.conv{i}"), x, width, 3, 1, 1)?;
+            x = b.relu(format!("s{stage}.relu{i}"), x)?;
+        }
+        x = b.max_pool2d(format!("s{stage}.pool"), x, 2, 2)?;
+    }
+    x = b.flatten("flatten", x)?;
+    x = b.linear("cls.fc1", x, 4096)?;
+    x = b.relu("cls.relu1", x)?;
+    x = b.linear("cls.fc2", x, 4096)?;
+    x = b.relu("cls.relu2", x)?;
+    let _ = b.linear("cls.fc3", x, 1000)?;
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_graph::{analysis, lower};
+
+    #[test]
+    fn vgg16_structure() {
+        let g = vgg16(1).unwrap();
+        let l = lower::lower(&g).unwrap();
+        // 13 convs + 3 FCs.
+        assert_eq!(l.ops.len(), 16);
+        // First FC is the notorious 25088 -> 4096.
+        let fc1 = l.ops.iter().find(|o| o.name == "cls.fc1").unwrap();
+        assert_eq!(fc1.k, 512 * 7 * 7);
+        assert_eq!(fc1.n, 4096);
+    }
+
+    #[test]
+    fn vgg16_params_and_flops_sane() {
+        let g = vgg16(1).unwrap();
+        let s = analysis::summarize(&g).unwrap();
+        // ~138 M parameters, ~15.5 GMACs for VGG-16.
+        let params = s.weight_bytes as f64;
+        assert!((1.30e8..1.45e8).contains(&params), "params {params}");
+        let macs = s.macs as f64;
+        assert!((1.4e10..1.7e10).contains(&macs), "macs {macs}");
+    }
+
+    #[test]
+    fn variants_scale() {
+        let a = analysis::summarize(&vgg11(1).unwrap()).unwrap();
+        let d = analysis::summarize(&vgg16(1).unwrap()).unwrap();
+        let e = analysis::summarize(&vgg19(1).unwrap()).unwrap();
+        assert!(a.macs < d.macs && d.macs < e.macs);
+    }
+
+    #[test]
+    fn batch_scales_macs_not_params() {
+        let b1 = analysis::summarize(&vgg16(1).unwrap()).unwrap();
+        let b4 = analysis::summarize(&vgg16(4).unwrap()).unwrap();
+        assert_eq!(b4.macs, 4 * b1.macs);
+        assert_eq!(b4.weight_bytes, b1.weight_bytes);
+    }
+}

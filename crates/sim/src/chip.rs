@@ -1,0 +1,168 @@
+//! Chip state: per-array modes and resident data, with dynamic mode
+//! discipline enforcement.
+
+use cmswitch_arch::{ArrayId, ArrayMode, DualModeArch};
+use cmswitch_metaop::{MemLoc, MetaOpError, Stmt};
+
+/// The runtime state of the dual-mode array fabric.
+#[derive(Debug, Clone)]
+pub struct ChipState {
+    modes: Vec<ArrayMode>,
+    /// Label of the operator whose weights (or runtime operand) currently
+    /// occupy each compute-mode array.
+    resident: Vec<Option<String>>,
+}
+
+impl ChipState {
+    /// Fresh chip: every array in memory mode (the DynaPlasia reset
+    /// state), nothing resident.
+    pub fn new(arch: &DualModeArch) -> Self {
+        ChipState {
+            modes: vec![ArrayMode::Memory; arch.n_arrays()],
+            resident: vec![None; arch.n_arrays()],
+        }
+    }
+
+    /// Current mode of an array.
+    pub fn mode(&self, id: ArrayId) -> ArrayMode {
+        self.modes[id.index()]
+    }
+
+    /// Number of arrays currently in `mode`.
+    pub fn count_in_mode(&self, mode: ArrayMode) -> usize {
+        self.modes.iter().filter(|&&m| m == mode).count()
+    }
+
+    /// The operator resident on a compute array, if any.
+    pub fn resident(&self, id: ArrayId) -> Option<&str> {
+        self.resident[id.index()].as_deref()
+    }
+
+    /// Applies one (non-parallel) statement, enforcing mode discipline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaOpError::ModeViolation`] when a statement uses an
+    /// array in the wrong mode.
+    pub fn apply(&mut self, stmt: &Stmt, stmt_idx: usize) -> Result<(), MetaOpError> {
+        match stmt {
+            Stmt::Switch { kind, arrays } => {
+                for &a in arrays {
+                    self.modes[a.index()] = kind.target_mode();
+                    if kind.target_mode() == ArrayMode::Memory {
+                        self.resident[a.index()] = None;
+                    }
+                }
+            }
+            Stmt::LoadWeights(w) => {
+                for &a in &w.arrays {
+                    if self.modes[a.index()] != ArrayMode::Compute {
+                        return Err(MetaOpError::ModeViolation {
+                            array: a,
+                            stmt: stmt_idx,
+                            detail: format!("weight load for {} on memory-mode array", w.op),
+                        });
+                    }
+                    self.resident[a.index()] = Some(w.op.clone());
+                }
+            }
+            Stmt::Compute(c) => {
+                for &a in &c.compute_arrays {
+                    if self.modes[a.index()] != ArrayMode::Compute {
+                        return Err(MetaOpError::ModeViolation {
+                            array: a,
+                            stmt: stmt_idx,
+                            detail: format!("{} computes on memory-mode array", c.op),
+                        });
+                    }
+                }
+                for &a in c.mem_in_arrays.iter().chain(&c.mem_out_arrays) {
+                    if self.modes[a.index()] != ArrayMode::Memory {
+                        return Err(MetaOpError::ModeViolation {
+                            array: a,
+                            stmt: stmt_idx,
+                            detail: format!("{} buffers on compute-mode array", c.op),
+                        });
+                    }
+                }
+                // Dynamic matmuls write their operand in place.
+                if !c.weight_static {
+                    for &a in &c.compute_arrays {
+                        self.resident[a.index()] = Some(c.op.clone());
+                    }
+                }
+            }
+            Stmt::Mem(m) => {
+                if let MemLoc::CimArrays(arrays) = &m.loc {
+                    for &a in arrays {
+                        if self.modes[a.index()] != ArrayMode::Memory {
+                            return Err(MetaOpError::ModeViolation {
+                                array: a,
+                                stmt: stmt_idx,
+                                detail: format!("`{}` on compute-mode array", m.label),
+                            });
+                        }
+                    }
+                }
+            }
+            Stmt::Vector(_) => {}
+            Stmt::Parallel(_) => {
+                // Caller iterates parallel bodies itself.
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+    use cmswitch_metaop::{SwitchKind, WeightLoadStmt};
+
+    #[test]
+    fn starts_all_memory() {
+        let chip = ChipState::new(&presets::tiny());
+        assert_eq!(chip.count_in_mode(ArrayMode::Memory), 8);
+        assert_eq!(chip.count_in_mode(ArrayMode::Compute), 0);
+    }
+
+    #[test]
+    fn switch_updates_modes_and_clears_residency() {
+        let arch = presets::tiny();
+        let mut chip = ChipState::new(&arch);
+        chip.apply(&Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(0)]), 0)
+            .unwrap();
+        assert_eq!(chip.mode(ArrayId(0)), ArrayMode::Compute);
+        chip.apply(
+            &Stmt::LoadWeights(WeightLoadStmt {
+                op: "fc".into(),
+                arrays: vec![ArrayId(0)],
+                bytes: 8,
+            }),
+            1,
+        )
+        .unwrap();
+        assert_eq!(chip.resident(ArrayId(0)), Some("fc"));
+        chip.apply(&Stmt::switch(SwitchKind::ToMemory, vec![ArrayId(0)]), 2)
+            .unwrap();
+        assert_eq!(chip.resident(ArrayId(0)), None);
+    }
+
+    #[test]
+    fn rejects_load_on_memory_array() {
+        let arch = presets::tiny();
+        let mut chip = ChipState::new(&arch);
+        let err = chip
+            .apply(
+                &Stmt::LoadWeights(WeightLoadStmt {
+                    op: "fc".into(),
+                    arrays: vec![ArrayId(3)],
+                    bytes: 8,
+                }),
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MetaOpError::ModeViolation { .. }));
+    }
+}

@@ -1,0 +1,42 @@
+//! Dual-mode CIM chip simulator.
+//!
+//! Substitutes the paper's evaluation stack (§5.1): a timing simulator in
+//! the spirit of the NeuroSim/MNSim derivatives the authors modified for
+//! DynaPlasia, plus a functional simulator standing in for the PyTorch
+//! cross-check.
+//!
+//! * [`timing`] executes a compiled meta-operator flow statement by
+//!   statement against the chip state, charging the Table 2 latencies:
+//!   compute passes, memory/main-memory bandwidth, per-array mode
+//!   switches, weight loads and write-backs. `parallel` blocks execute
+//!   pipelined (lanes overlap, the segment takes its slowest lane).
+//! * [`functional`] executes the *graph* numerically with int8-quantized
+//!   CIM semantics (im2col + integer matmul, §2.1.2) and compares against
+//!   the f32 reference from `cmswitch-tensor` — verifying that what the
+//!   compiler schedules is what the network computes.
+//! * [`chip`] tracks per-array modes/contents and dynamically enforces
+//!   mode discipline while flows execute.
+//!
+//! # Example
+//!
+//! ```
+//! use cmswitch_arch::presets;
+//! use cmswitch_core::{Compiler, CompilerOptions};
+//! use cmswitch_sim::timing::simulate;
+//!
+//! let graph = cmswitch_models::mlp::mlp(2, &[128, 256, 64]).unwrap();
+//! let program = Compiler::new(presets::tiny(), CompilerOptions::default())
+//!     .compile(&graph)
+//!     .unwrap();
+//! let report = simulate(&program.flow, &presets::tiny()).unwrap();
+//! assert!(report.total_cycles > 0.0);
+//! ```
+
+pub mod chip;
+pub mod energy;
+pub mod functional;
+pub mod stats;
+pub mod timing;
+
+pub use energy::{EnergyModel, EnergyReport};
+pub use stats::{SegmentTiming, SimReport};

@@ -1,0 +1,71 @@
+//! Simulation reports.
+
+/// Timing of one `parallel` segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentTiming {
+    /// Segment index in flow order.
+    pub index: usize,
+    /// Cycles the segment body took (slowest lane).
+    pub cycles: f64,
+    /// Cycles of the slowest lane's weight load component.
+    pub weight_load_cycles: f64,
+    /// Number of compute operators in the segment.
+    pub compute_ops: usize,
+}
+
+/// Full timing report of a flow execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimReport {
+    /// End-to-end cycles.
+    pub total_cycles: f64,
+    /// Cycles spent in `CM.switch` statements (pure driver reconfig).
+    pub switch_cycles: f64,
+    /// Cycles in top-level memory statements (write-backs / reloads of
+    /// activations between segments).
+    pub writeback_cycles: f64,
+    /// Cycles inside segments (pipelined bodies).
+    pub segment_cycles: f64,
+    /// Cycles in top-level vector statements.
+    pub vector_cycles: f64,
+    /// The full mode-switch *process* overhead (Fig. 10 steps 1 + 2):
+    /// write-backs plus switches — the quantity §5.5 reports as 3-5 %.
+    pub switch_process_cycles: f64,
+    /// Per-segment detail.
+    pub segments: Vec<SegmentTiming>,
+    /// Total arrays switched to compute mode.
+    pub switches_to_compute: u64,
+    /// Total arrays switched to memory mode.
+    pub switches_to_memory: u64,
+}
+
+impl SimReport {
+    /// Fraction of total time in the mode-switch process (§5.5 metric).
+    pub fn switch_process_fraction(&self) -> f64 {
+        if self.total_cycles == 0.0 {
+            0.0
+        } else {
+            self.switch_process_cycles / self.total_cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_handles_zero() {
+        let r = SimReport::default();
+        assert_eq!(r.switch_process_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fraction_computes() {
+        let r = SimReport {
+            total_cycles: 100.0,
+            switch_process_cycles: 4.0,
+            ..SimReport::default()
+        };
+        assert!((r.switch_process_fraction() - 0.04).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,282 @@
+//! Timing simulation of meta-operator flows.
+//!
+//! Executes a flow against the chip state and the Table 2 latencies. The
+//! model matches the compiler's analytic cost model (Eqs. 1, 2, 10) in
+//! its resource assumptions — each operator lane sees `D_main` plus its
+//! own memory arrays — but it executes the *actual emitted flow*: real
+//! switch statements, real write-backs, real weight loads, with dynamic
+//! mode-discipline checking. Segment bodies run pipelined: each compute
+//! operator forms a lane (weight load → operand write → streamed
+//! execution → fused vector work) and the segment takes its slowest lane.
+
+use cmswitch_arch::DualModeArch;
+use cmswitch_metaop::{ComputeStmt, Flow, MemLoc, MetaOpError, Stmt, SwitchKind};
+
+use crate::chip::ChipState;
+use crate::stats::{SegmentTiming, SimReport};
+
+/// Vector function-unit throughput (elementwise FLOPs/cycle), kept equal
+/// to the compiler's [`cmswitch_core::cost::FU_FLOPS_PER_CYCLE`].
+const FU_FLOPS_PER_CYCLE: f64 = 64.0;
+
+/// Simulates `flow` on `arch`.
+///
+/// # Errors
+///
+/// Returns [`MetaOpError`] if the flow violates mode discipline at
+/// runtime (a compiler bug this simulator exists to catch).
+pub fn simulate(flow: &Flow, arch: &DualModeArch) -> Result<SimReport, MetaOpError> {
+    let mut chip = ChipState::new(arch);
+    let mut report = SimReport::default();
+
+    for (idx, stmt) in flow.stmts().iter().enumerate() {
+        match stmt {
+            Stmt::Parallel(body) => {
+                let t = simulate_segment(body, arch, &mut chip, idx)?;
+                report.segment_cycles += t.cycles;
+                report.total_cycles += t.cycles;
+                report.segments.push(t);
+            }
+            Stmt::Switch { kind, arrays } => {
+                chip.apply(stmt, idx)?;
+                let per = match kind {
+                    SwitchKind::ToCompute => {
+                        report.switches_to_compute += arrays.len() as u64;
+                        arch.switch_m2c_cycles()
+                    }
+                    SwitchKind::ToMemory => {
+                        report.switches_to_memory += arrays.len() as u64;
+                        arch.switch_c2m_cycles()
+                    }
+                };
+                let cycles = per as f64 * arrays.len() as f64;
+                report.switch_cycles += cycles;
+                report.total_cycles += cycles;
+            }
+            Stmt::Mem(m) => {
+                chip.apply(stmt, idx)?;
+                let bw = match &m.loc {
+                    MemLoc::Main => arch.extern_bw() as f64,
+                    MemLoc::Buffer => arch.d_main(),
+                    MemLoc::CimArrays(a) => (a.len().max(1) as f64) * arch.d_cim(),
+                };
+                let cycles = m.bytes as f64 / bw;
+                report.writeback_cycles += cycles;
+                report.total_cycles += cycles;
+            }
+            Stmt::LoadWeights(w) => {
+                chip.apply(stmt, idx)?;
+                // Eq. 2 semantics: per-array cell-write latency,
+                // serialized across one op's arrays.
+                let cycles = w.arrays.len() as f64 * arch.lat_write_array() as f64;
+                report.writeback_cycles += cycles;
+                report.total_cycles += cycles;
+            }
+            Stmt::Vector(v) => {
+                let cycles = v.flops as f64 / FU_FLOPS_PER_CYCLE;
+                report.vector_cycles += cycles;
+                report.total_cycles += cycles;
+            }
+            Stmt::Compute(_) => {
+                // A bare compute statement outside `parallel` is a
+                // single-lane segment.
+                let body = std::slice::from_ref(stmt);
+                let t = simulate_segment(body, arch, &mut chip, idx)?;
+                report.segment_cycles += t.cycles;
+                report.total_cycles += t.cycles;
+                report.segments.push(t);
+            }
+        }
+    }
+
+    report.switch_process_cycles = report.switch_cycles + report.writeback_cycles;
+    Ok(report)
+}
+
+/// One pipelined segment: lanes = compute ops with their attached weight
+/// loads and fused vector statements.
+fn simulate_segment(
+    body: &[Stmt],
+    arch: &DualModeArch,
+    chip: &mut ChipState,
+    seg_idx: usize,
+) -> Result<SegmentTiming, MetaOpError> {
+    // First apply every statement to the chip for discipline checking.
+    for stmt in body {
+        chip.apply(stmt, seg_idx)?;
+    }
+
+    // The segment executes in the paper's two phases (Fig. 10 step 3 then
+    // execution): first every operator's weights are written into its
+    // compute arrays — per-op loads overlap, serialized within one op, so
+    // the phase takes `max_o(Com_o · Latency_write)` exactly as Eq. 2 —
+    // then the pipelined execution phase runs, taking the slowest lane
+    // (Eq. 9). Vector statements named "<op>.aux" fuse into their
+    // operator's lane.
+    let mut load_phase = 0.0f64;
+    let mut exec_phase = 0.0f64; // slowest lane
+    let mut loose_cycles = 0.0; // memory stmts without a lane
+    let mut n_ops = 0usize;
+    for stmt in body {
+        match stmt {
+            Stmt::Compute(c) => {
+                n_ops += 1;
+                exec_phase = exec_phase.max(lane_of(c, body, arch));
+            }
+            Stmt::LoadWeights(w) => {
+                load_phase = load_phase
+                    .max(w.arrays.len() as f64 * arch.lat_write_array() as f64);
+            }
+            Stmt::Vector(_) => {} // folded into lanes
+            Stmt::Mem(m) => {
+                let bw = match &m.loc {
+                    MemLoc::Main => arch.extern_bw() as f64,
+                    MemLoc::Buffer => arch.d_main(),
+                    MemLoc::CimArrays(a) => (a.len().max(1) as f64) * arch.d_cim(),
+                };
+                loose_cycles += m.bytes as f64 / bw;
+            }
+            Stmt::Switch { .. } | Stmt::Parallel(_) => {}
+        }
+    }
+
+    Ok(SegmentTiming {
+        index: seg_idx,
+        cycles: load_phase + exec_phase.max(loose_cycles),
+        weight_load_cycles: load_phase,
+        compute_ops: n_ops,
+    })
+}
+
+/// Execution-lane time of one compute statement: operand write +
+/// streamed execution (Eq. 10) + fused vector work. Weight loads are a
+/// separate phase (Eq. 2), accounted by the caller.
+fn lane_of(c: &ComputeStmt, body: &[Stmt], arch: &DualModeArch) -> f64 {
+    // Fused vector statements named "<op>.aux".
+    let vec_cycles: f64 = body
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::Vector(v) if v.op.strip_suffix(".aux") == Some(&c.op) => {
+                Some(v.flops as f64 / FU_FLOPS_PER_CYCLE)
+            }
+            _ => None,
+        })
+        .sum();
+
+    let work = (c.units * c.m * c.k * c.n) as f64;
+    let compute_rate = c.compute_arrays.len() as f64 * arch.op_cim();
+    let mem_arrays = (c.mem_in_arrays.len() + c.mem_out_arrays.len()) as f64;
+    let ai = if c.in_bytes == 0 {
+        f64::INFINITY
+    } else {
+        work / c.in_bytes as f64
+    };
+    let mem_rate = (mem_arrays * arch.d_cim() + arch.d_main()) * ai;
+    let rate = compute_rate.min(mem_rate);
+    let exec = if rate > 0.0 { work / rate } else { f64::INFINITY };
+    let operand_write = if c.weight_static {
+        0.0
+    } else {
+        let bytes = (c.units * c.k * c.n) as f64;
+        bytes / (arch.d_main() + mem_arrays * arch.d_cim())
+    };
+    operand_write + exec + vec_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+    use cmswitch_core::{Compiler, CompilerOptions};
+
+    fn compiled(dims: &[usize]) -> (cmswitch_metaop::Flow, f64) {
+        let g = cmswitch_models::mlp::mlp(2, dims).unwrap();
+        let p = Compiler::new(presets::tiny(), CompilerOptions::default())
+            .compile(&g)
+            .unwrap();
+        (p.flow, p.predicted_latency)
+    }
+
+    #[test]
+    fn simulates_compiled_flow() {
+        let (flow, predicted) = compiled(&[128, 256, 128, 64]);
+        let r = simulate(&flow, &presets::tiny()).unwrap();
+        assert!(r.total_cycles > 0.0);
+        assert!(!r.segments.is_empty());
+        // The simulator executes the same model the compiler predicts
+        // with, so totals should land in the same ballpark (pipelining
+        // details differ slightly).
+        let ratio = r.total_cycles / predicted;
+        assert!((0.3..3.0).contains(&ratio), "sim/predicted = {ratio}");
+    }
+
+    #[test]
+    fn counts_switches() {
+        let (flow, _) = compiled(&[128, 256, 128, 64]);
+        let r = simulate(&flow, &presets::tiny()).unwrap();
+        assert!(r.switches_to_compute > 0);
+        assert!(r.switch_cycles > 0.0);
+        assert!(r.switch_process_fraction() < 0.5);
+    }
+
+    #[test]
+    fn segment_takes_slowest_lane() {
+        // Hand-build a segment with two unequal lanes.
+        use cmswitch_arch::ArrayId;
+        use cmswitch_metaop::{ComputeStmt, Flow, Stmt, SwitchKind};
+        let arch = presets::tiny();
+        let mut flow = Flow::new("t");
+        flow.push(Stmt::switch(
+            SwitchKind::ToCompute,
+            vec![ArrayId(0), ArrayId(1)],
+        ));
+        let mk = |op: &str, arrays: Vec<ArrayId>, m: usize| {
+            Stmt::Compute(ComputeStmt {
+                op: op.into(),
+                compute_arrays: arrays,
+                mem_in_arrays: vec![],
+                mem_out_arrays: vec![],
+                m,
+                k: 64,
+                n: 64,
+                units: 1,
+                in_bytes: (m * 64) as u64,
+                out_bytes: (m * 64) as u64,
+                weight_static: true,
+            })
+        };
+        flow.push(Stmt::Parallel(vec![
+            mk("small", vec![ArrayId(0)], 8),
+            mk("big", vec![ArrayId(1)], 512),
+        ]));
+        let r = simulate(&flow, &arch).unwrap();
+        // Big lane: work = 512*64*64 at min(1*256, ...) rate; small lane
+        // strictly less. The segment equals the big lane, not the sum.
+        let seg = &r.segments[0];
+        assert_eq!(seg.compute_ops, 2);
+        let big_work = (512 * 64 * 64) as f64;
+        let big_exec_lower_bound = big_work / (arch.n_arrays() as f64 * arch.op_cim());
+        assert!(seg.cycles >= big_exec_lower_bound);
+    }
+
+    #[test]
+    fn mode_violation_surfaces() {
+        use cmswitch_arch::ArrayId;
+        use cmswitch_metaop::{ComputeStmt, Flow, Stmt};
+        let mut flow = Flow::new("bad");
+        flow.push(Stmt::Parallel(vec![Stmt::Compute(ComputeStmt {
+            op: "fc".into(),
+            compute_arrays: vec![ArrayId(0)], // still memory mode!
+            mem_in_arrays: vec![],
+            mem_out_arrays: vec![],
+            m: 1,
+            k: 1,
+            n: 1,
+            units: 1,
+            in_bytes: 1,
+            out_bytes: 1,
+            weight_static: true,
+        })]));
+        assert!(simulate(&flow, &presets::tiny()).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! Exact specialized solver for the dual-mode allocation problem.
+//!
+//! The per-segment MIP of §4.3.2 minimizes the pipeline bottleneck
+//! `max_i L_Oi` with the latency model of Eq. 10:
+//!
+//! ```text
+//! L_Oi ∝ OP_Oi / min(Com_Oi · OP_cim, (Mem_Oi · D_cim + D_main) · AI_Oi)
+//! ```
+//!
+//! Because op latency is monotone non-increasing in both allocations, the
+//! optimum is found exactly by binary-searching the target latency `T` and
+//! greedily computing the cheapest allocation meeting `T`. This module
+//! implements that independent exact method; the compiler uses it both as
+//! a fast path and as a cross-check on the branch-and-bound MIP (they must
+//! agree — see the property tests).
+
+use crate::SolverError;
+
+/// Per-operator inputs of the allocation problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocOp {
+    /// Total MAC work of the operator (`OP_Oi`).
+    pub work: f64,
+    /// Minimum compute arrays: tiles needed to hold one copy of the
+    /// operator's weights.
+    pub min_compute: usize,
+    /// Arithmetic intensity: MACs per byte of streamed input (`AI_Oi`).
+    pub ai: f64,
+    /// Bytes/cycle of main-memory + base-buffer bandwidth available to
+    /// this operator (`D_main`).
+    pub d_main: f64,
+}
+
+/// Chip-level constants of the allocation problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocChip {
+    /// MACs/cycle per compute-mode array (`OP_cim`).
+    pub op_cim: f64,
+    /// Bytes/cycle per memory-mode array (`D_cim`).
+    pub d_cim: f64,
+    /// Total dual-mode arrays available (`N_cim`).
+    pub n_arrays: usize,
+}
+
+/// Allocation decided for one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpAlloc {
+    /// Arrays in compute mode assigned to the operator (`Com_Oi`).
+    pub compute: usize,
+    /// Arrays in memory mode assigned to the operator (`Mem_Oi`).
+    pub memory: usize,
+}
+
+/// Result of the allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Per-operator allocations, same order as the input.
+    pub ops: Vec<OpAlloc>,
+    /// The pipeline bottleneck latency in cycles
+    /// (`max_i L_Oi`, the Eq. 9 objective).
+    pub latency: f64,
+}
+
+impl Allocation {
+    /// Total arrays used.
+    pub fn arrays_used(&self) -> usize {
+        self.ops.iter().map(|o| o.compute + o.memory).sum()
+    }
+}
+
+/// Latency (cycles) of one op under an allocation, per Eq. 10.
+///
+/// Returns `f64::INFINITY` when the allocation cannot sustain any
+/// throughput (no compute arrays, or zero effective bandwidth).
+pub fn op_latency(op: &AllocOp, alloc: OpAlloc, chip: &AllocChip) -> f64 {
+    let compute_rate = alloc.compute as f64 * chip.op_cim;
+    let mem_rate = (alloc.memory as f64 * chip.d_cim + op.d_main) * op.ai;
+    let rate = compute_rate.min(mem_rate);
+    if rate <= 0.0 {
+        f64::INFINITY
+    } else {
+        op.work / rate
+    }
+}
+
+/// Cheapest per-op allocation achieving latency ≤ `target`.
+fn min_alloc_for_target(op: &AllocOp, target: f64, chip: &AllocChip) -> Option<OpAlloc> {
+    if target <= 0.0 {
+        return None;
+    }
+    let rate_needed = op.work / target;
+    // The 1e-9 relative slack keeps exact-boundary targets (e.g. the
+    // latency of the minimal allocation itself) from rounding up an extra
+    // array through floating-point noise.
+    const EPS: f64 = 1e-9;
+    // Compute side.
+    let compute = ((rate_needed / chip.op_cim * (1.0 - EPS)).ceil() as usize)
+        .max(op.min_compute.max(1));
+    // Memory side: (mem·d_cim + d_main)·ai >= rate_needed.
+    let memory = if op.ai <= 0.0 {
+        // No streamed input: memory arrays cannot matter.
+        0
+    } else {
+        let bw_needed = rate_needed / op.ai * (1.0 - EPS) - op.d_main;
+        if bw_needed <= 0.0 {
+            0
+        } else if chip.d_cim <= 0.0 {
+            return None; // cannot meet bandwidth at any allocation
+        } else {
+            ((bw_needed / chip.d_cim) * (1.0 - EPS)).ceil() as usize
+        }
+    };
+    Some(OpAlloc { compute, memory })
+}
+
+/// Solves the allocation problem exactly.
+///
+/// `reuse_credit` is the number of arrays refunded by input/output buffer
+/// sharing between dependent operators (the `H_{i,j}` reuse term of
+/// Eq. 8); the capacity constraint becomes
+/// `Σ (Com + Mem) ≤ n_arrays + reuse_credit`.
+///
+/// # Errors
+///
+/// Returns [`SolverError::Infeasible`] if even latency → ∞ cannot fit
+/// (the minimal weight tiles alone exceed the chip).
+pub fn solve(
+    ops: &[AllocOp],
+    chip: &AllocChip,
+    reuse_credit: usize,
+) -> Result<Allocation, SolverError> {
+    if ops.is_empty() {
+        return Ok(Allocation {
+            ops: Vec::new(),
+            latency: 0.0,
+        });
+    }
+    let budget = chip.n_arrays + reuse_credit;
+    let min_total: usize = ops.iter().map(|o| o.min_compute.max(1)).sum();
+    if min_total > budget {
+        return Err(SolverError::Infeasible);
+    }
+
+    // Upper bound on latency: every op at its minimal allocation.
+    let mut hi = 0.0f64;
+    for op in ops {
+        let alloc = OpAlloc {
+            compute: op.min_compute.max(1),
+            memory: 0,
+        };
+        let l = op_latency(op, alloc, chip);
+        if !l.is_finite() {
+            return Err(SolverError::Infeasible);
+        }
+        hi = hi.max(l);
+    }
+    // Lower bound: best possible with the whole chip per op.
+    let mut lo = 0.0f64;
+    for op in ops {
+        let alloc = OpAlloc {
+            compute: budget,
+            memory: budget,
+        };
+        lo = lo.max(op_latency(op, alloc, chip));
+    }
+
+    let fits = |target: f64| -> Option<Vec<OpAlloc>> {
+        let mut allocs = Vec::with_capacity(ops.len());
+        let mut total = 0usize;
+        for op in ops {
+            let a = min_alloc_for_target(op, target, chip)?;
+            total += a.compute + a.memory;
+            if total > budget {
+                return None;
+            }
+            allocs.push(a);
+        }
+        Some(allocs)
+    };
+
+    // Binary search the bottleneck latency.
+    if fits(hi).is_none() {
+        // hi was derived from minimal allocations, so this means the
+        // memory side of some op needs arrays that do not fit.
+        return Err(SolverError::Infeasible);
+    }
+    for _ in 0..200 {
+        if hi - lo <= f64::EPSILON * hi.max(1.0) {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if fits(mid).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let mut allocs = fits(hi).expect("hi is feasible by invariant");
+
+    // Spend leftover arrays on the current bottleneck op greedily; this
+    // cannot raise the objective and occasionally lowers it below the
+    // binary-search resolution.
+    let mut leftover = budget - allocs.iter().map(|a| a.compute + a.memory).sum::<usize>();
+    while leftover > 0 {
+        let (worst, _) = allocs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (i, op_latency(&ops[i], a, chip)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("latencies are comparable"))
+            .expect("nonempty");
+        let cur = op_latency(&ops[worst], allocs[worst], chip);
+        let with_compute = OpAlloc {
+            compute: allocs[worst].compute + 1,
+            memory: allocs[worst].memory,
+        };
+        let with_memory = OpAlloc {
+            compute: allocs[worst].compute,
+            memory: allocs[worst].memory + 1,
+        };
+        let lc = op_latency(&ops[worst], with_compute, chip);
+        let lm = op_latency(&ops[worst], with_memory, chip);
+        if lc < cur - 1e-12 || lm < cur - 1e-12 {
+            allocs[worst] = if lc <= lm { with_compute } else { with_memory };
+            leftover -= 1;
+        } else {
+            break;
+        }
+    }
+
+    let latency = allocs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| op_latency(&ops[i], a, chip))
+        .fold(0.0, f64::max);
+    Ok(Allocation {
+        ops: allocs,
+        latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn chip() -> AllocChip {
+        AllocChip {
+            op_cim: 1600.0,
+            d_cim: 4.0,
+            n_arrays: 96,
+        }
+    }
+
+    #[test]
+    fn single_compute_bound_op() {
+        // Huge AI: memory never binds; all arrays may go to compute.
+        let ops = [AllocOp {
+            work: 1e9,
+            min_compute: 4,
+            ai: 1e9,
+            d_main: 64.0,
+        }];
+        let a = solve(&ops, &chip(), 0).unwrap();
+        assert!(a.ops[0].compute >= 4);
+        assert_eq!(a.ops[0].memory, 0);
+        let expect = 1e9 / (a.ops[0].compute as f64 * 1600.0);
+        assert!((a.latency - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn single_memory_bound_op_buys_memory_arrays() {
+        // AI = 1: each input byte supports 1 MAC; D_main = 8 alone gives
+        // 8 MACs/cycle, so memory arrays are essential.
+        let ops = [AllocOp {
+            work: 1e6,
+            min_compute: 1,
+            ai: 1.0,
+            d_main: 8.0,
+        }];
+        let a = solve(&ops, &chip(), 0).unwrap();
+        assert!(a.ops[0].memory > 0, "memory-bound op must get memory arrays");
+        assert!(a.arrays_used() <= 96);
+    }
+
+    #[test]
+    fn infeasible_when_tiles_exceed_chip() {
+        let ops = [AllocOp {
+            work: 1.0,
+            min_compute: 97,
+            ai: 10.0,
+            d_main: 8.0,
+        }];
+        assert_eq!(solve(&ops, &chip(), 0), Err(SolverError::Infeasible));
+    }
+
+    #[test]
+    fn reuse_credit_expands_budget() {
+        let ops = [
+            AllocOp {
+                work: 1.0,
+                min_compute: 48,
+                ai: 10.0,
+                d_main: 8.0,
+            },
+            AllocOp {
+                work: 1.0,
+                min_compute: 49,
+                ai: 10.0,
+                d_main: 8.0,
+            },
+        ];
+        assert_eq!(solve(&ops, &chip(), 0), Err(SolverError::Infeasible));
+        assert!(solve(&ops, &chip(), 1).is_ok());
+    }
+
+    #[test]
+    fn empty_segment_is_trivial() {
+        let a = solve(&[], &chip(), 0).unwrap();
+        assert_eq!(a.latency, 0.0);
+        assert!(a.ops.is_empty());
+    }
+
+    #[test]
+    fn balanced_two_ops_share_chip() {
+        let op = AllocOp {
+            work: 1e8,
+            min_compute: 2,
+            ai: 50.0,
+            d_main: 16.0,
+        };
+        let a = solve(&[op, op], &chip(), 0).unwrap();
+        // Identical ops get near-identical allocations.
+        let d_compute =
+            (a.ops[0].compute as i64 - a.ops[1].compute as i64).unsigned_abs();
+        assert!(d_compute <= 1, "{:?}", a.ops);
+        assert!(a.arrays_used() <= 96);
+    }
+
+    /// Brute force over all allocations for tiny instances.
+    fn brute(ops: &[AllocOp], chip: &AllocChip) -> Option<f64> {
+        let n = chip.n_arrays;
+        let p = ops.len();
+        let mut best: Option<f64> = None;
+        // Enumerate compute/memory splits per op (only small n in tests).
+        fn rec(
+            ops: &[AllocOp],
+            chip: &AllocChip,
+            i: usize,
+            remaining: usize,
+            current: &mut Vec<OpAlloc>,
+            best: &mut Option<f64>,
+        ) {
+            if i == ops.len() {
+                let lat = current
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &a)| op_latency(&ops[j], a, chip))
+                    .fold(0.0, f64::max);
+                if lat.is_finite() && best.map_or(true, |b| lat < b) {
+                    *best = Some(lat);
+                }
+                return;
+            }
+            for c in ops[i].min_compute.max(1)..=remaining {
+                for m in 0..=(remaining - c) {
+                    current.push(OpAlloc {
+                        compute: c,
+                        memory: m,
+                    });
+                    rec(ops, chip, i + 1, remaining - c - m, current, best);
+                    current.pop();
+                }
+            }
+        }
+        let mut cur = Vec::with_capacity(p);
+        rec(ops, chip, 0, n, &mut cur, &mut best);
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn matches_brute_force_on_tiny_instances(seed in 0u64..5_000) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let chip = AllocChip {
+                op_cim: 100.0,
+                d_cim: 4.0,
+                n_arrays: rng.gen_range(3usize..7),
+            };
+            let p = rng.gen_range(1usize..3);
+            let ops: Vec<AllocOp> = (0..p)
+                .map(|_| AllocOp {
+                    work: rng.gen_range(100.0..10_000.0),
+                    min_compute: rng.gen_range(1usize..3),
+                    ai: rng.gen_range(0.5..50.0),
+                    d_main: rng.gen_range(1.0..20.0),
+                })
+                .collect();
+            match solve(&ops, &chip, 0) {
+                Ok(a) => {
+                    prop_assert!(a.arrays_used() <= chip.n_arrays);
+                    let b = brute(&ops, &chip).expect("feasible per solver");
+                    prop_assert!(
+                        (a.latency - b).abs() <= 1e-6 * b.max(1.0),
+                        "solver {} vs brute {}", a.latency, b
+                    );
+                }
+                Err(SolverError::Infeasible) => {
+                    prop_assert!(brute(&ops, &chip).is_none());
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+            }
+        }
+
+        #[test]
+        fn latency_monotone_in_chip_size(seed in 0u64..2_000) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mk_chip = |n| AllocChip { op_cim: 100.0, d_cim: 4.0, n_arrays: n };
+            let ops: Vec<AllocOp> = (0..rng.gen_range(1usize..4))
+                .map(|_| AllocOp {
+                    work: rng.gen_range(100.0..10_000.0),
+                    min_compute: 1,
+                    ai: rng.gen_range(0.5..50.0),
+                    d_main: rng.gen_range(1.0..20.0),
+                })
+                .collect();
+            let small = solve(&ops, &mk_chip(8), 0).unwrap();
+            let large = solve(&ops, &mk_chip(32), 0).unwrap();
+            prop_assert!(large.latency <= small.latency + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Error type for solver failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// No feasible assignment satisfies every constraint.
+    Infeasible,
+    /// The objective can grow without bound.
+    Unbounded,
+    /// A variable referenced in a constraint does not exist.
+    UnknownVariable(usize),
+    /// A bound pair is inverted or not finite where required.
+    InvalidBounds {
+        /// Variable index.
+        var: usize,
+        /// Lower bound supplied.
+        lower: f64,
+        /// Upper bound supplied.
+        upper: f64,
+    },
+    /// Branch-and-bound hit its node budget before proving optimality and
+    /// found no incumbent.
+    NodeLimit,
+    /// The simplex iterated past its safety limit (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Infeasible => write!(f, "problem is infeasible"),
+            SolverError::Unbounded => write!(f, "objective is unbounded"),
+            SolverError::UnknownVariable(v) => write!(f, "unknown variable index {v}"),
+            SolverError::InvalidBounds { var, lower, upper } => {
+                write!(f, "invalid bounds [{lower}, {upper}] for variable {var}")
+            }
+            SolverError::NodeLimit => {
+                write!(f, "node limit reached before any integer solution was found")
+            }
+            SolverError::IterationLimit => write!(f, "simplex iteration limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SolverError::Infeasible,
+            SolverError::Unbounded,
+            SolverError::UnknownVariable(3),
+            SolverError::InvalidBounds {
+                var: 1,
+                lower: 2.0,
+                upper: 1.0,
+            },
+            SolverError::NodeLimit,
+            SolverError::IterationLimit,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! Best-first branch-and-bound mixed-integer programming.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::problem::{LinearProgram, LpSolution, Relation, VarId};
+use crate::SolverError;
+
+const INT_TOL: f64 = 1e-6;
+
+/// A mixed-integer program: a [`LinearProgram`] plus integrality marks.
+///
+/// Solved exactly by best-first branch-and-bound over the LP relaxation.
+/// This is the reproduction's Gurobi substitute for the paper's
+/// per-segment allocation MIP (§4.3.2).
+///
+/// # Example
+///
+/// Knapsack-ish: maximize `5x + 4y` s.t. `6x + 5y ≤ 14`, integer `x, y ≥ 0`:
+///
+/// ```
+/// use cmswitch_solver::{MipProblem, Relation};
+///
+/// let mut mip = MipProblem::new();
+/// let x = mip.add_int_var(0.0, 10.0, 5.0);
+/// let y = mip.add_int_var(0.0, 10.0, 4.0);
+/// mip.add_constraint(vec![(x, 6.0), (y, 5.0)], Relation::Le, 14.0)?;
+/// let sol = mip.solve()?;
+/// assert_eq!(sol.int_value(x) + sol.int_value(y), 2); // x=1,y=1 or x=0,y=2
+/// # Ok::<(), cmswitch_solver::SolverError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MipProblem {
+    lp: LinearProgram,
+    integer: Vec<bool>,
+    node_limit: usize,
+    relative_gap: f64,
+    warm_start: Option<Vec<f64>>,
+}
+
+/// Solution of a [`MipProblem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MipSolution {
+    /// Objective value at the optimum.
+    pub objective: f64,
+    /// Variable values (integer variables are integral to tolerance).
+    pub values: Vec<f64>,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+    /// Whether optimality was proven (false only if the node limit was hit
+    /// after an incumbent was found).
+    pub proven_optimal: bool,
+}
+
+impl MipSolution {
+    /// Value of a variable.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Rounded value of an integer variable.
+    pub fn int_value(&self, var: VarId) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    bound: f64,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on LP bound: explore most promising first.
+        self.bound.partial_cmp(&other.bound).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl MipProblem {
+    /// Creates an empty problem with the default node limit (200 000) and
+    /// exact optimality (zero relative gap).
+    pub fn new() -> Self {
+        MipProblem {
+            lp: LinearProgram::new(),
+            integer: Vec::new(),
+            node_limit: 200_000,
+            relative_gap: 0.0,
+            warm_start: None,
+        }
+    }
+
+    /// Overrides the branch-and-bound node budget.
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit.max(1);
+    }
+
+    /// Accepts incumbents within `gap` (relative) of the best bound —
+    /// trades provable optimality for speed, like commercial solvers'
+    /// `MIPGap` parameter.
+    pub fn set_relative_gap(&mut self, gap: f64) {
+        self.relative_gap = gap.max(0.0);
+    }
+
+    /// Supplies a known feasible assignment (like commercial solvers'
+    /// MIP start). If it satisfies every constraint and integrality, it
+    /// becomes the initial incumbent, which makes bound pruning effective
+    /// from the first node. Infeasible warm starts are silently ignored.
+    pub fn set_warm_start(&mut self, values: Vec<f64>) {
+        self.warm_start = Some(values);
+    }
+
+    /// Evaluates an assignment: `Some(objective)` if it satisfies bounds,
+    /// constraints and integrality (to tolerance), `None` otherwise.
+    pub fn check_feasible(&self, values: &[f64]) -> Option<f64> {
+        if values.len() != self.n_vars() {
+            return None;
+        }
+        for (j, &v) in values.iter().enumerate() {
+            if v < self.lp.lower[j] - 1e-7 || v > self.lp.upper[j] + 1e-7 {
+                return None;
+            }
+            if self.integer[j] && (v - v.round()).abs() > INT_TOL {
+                return None;
+            }
+        }
+        for c in &self.lp.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * values[v]).sum();
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs + 1e-6,
+                Relation::Ge => lhs >= c.rhs - 1e-6,
+                Relation::Eq => (lhs - c.rhs).abs() <= 1e-6,
+            };
+            if !ok {
+                return None;
+            }
+        }
+        Some(
+            values
+                .iter()
+                .zip(&self.lp.objective)
+                .map(|(v, c)| v * c)
+                .sum(),
+        )
+    }
+
+    /// Adds a continuous variable (maximization coefficient `obj`).
+    pub fn add_var(&mut self, lower: f64, upper: f64, obj: f64) -> VarId {
+        self.integer.push(false);
+        self.lp.add_var(lower, upper, obj)
+    }
+
+    /// Adds an integer variable.
+    pub fn add_int_var(&mut self, lower: f64, upper: f64, obj: f64) -> VarId {
+        self.integer.push(true);
+        self.lp.add_var(lower, upper, obj)
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.lp.n_vars()
+    }
+
+    /// Adds the constraint `Σ terms {≤,=,≥} rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::UnknownVariable`] for dangling variables.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<(), SolverError> {
+        self.lp.add_constraint(terms, relation, rhs)
+    }
+
+    /// Solves the MIP to optimality (within tolerances).
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::Infeasible`] if no integer-feasible point exists,
+    /// * [`SolverError::Unbounded`] if the relaxation is unbounded,
+    /// * [`SolverError::NodeLimit`] if the node budget is exhausted before
+    ///   any incumbent is found.
+    pub fn solve(&self) -> Result<MipSolution, SolverError> {
+        let root_lower = self.lp.lower.clone();
+        let root_upper = self.lp.upper.clone();
+        let root = match self.lp.solve_with_bounds(&root_lower, &root_upper) {
+            Ok(sol) => sol,
+            Err(e) => return Err(e),
+        };
+
+        let mut heap = BinaryHeap::new();
+        heap.push(Node {
+            bound: root.objective,
+            lower: root_lower,
+            upper: root_upper,
+        });
+
+        let mut incumbent: Option<MipSolution> = self.warm_start.as_ref().and_then(|values| {
+            self.check_feasible(values).map(|objective| MipSolution {
+                objective,
+                values: values.clone(),
+                nodes_explored: 0,
+                proven_optimal: false,
+            })
+        });
+        let mut nodes = 0usize;
+
+        while let Some(node) = heap.pop() {
+            if nodes >= self.node_limit {
+                return match incumbent {
+                    Some(mut sol) => {
+                        sol.proven_optimal = false;
+                        sol.nodes_explored = nodes;
+                        Ok(sol)
+                    }
+                    None => Err(SolverError::NodeLimit),
+                };
+            }
+            if let Some(best) = &incumbent {
+                let margin = INT_TOL + self.relative_gap * best.objective.abs();
+                if node.bound <= best.objective + margin {
+                    continue; // pruned by bound (within gap)
+                }
+            }
+            nodes += 1;
+            let relax = match self.lp.solve_with_bounds(&node.lower, &node.upper) {
+                Ok(sol) => sol,
+                Err(SolverError::Infeasible) => continue,
+                Err(e) => return Err(e),
+            };
+            if let Some(best) = &incumbent {
+                let margin = INT_TOL + self.relative_gap * best.objective.abs();
+                if relax.objective <= best.objective + margin {
+                    continue;
+                }
+            }
+            match self.most_fractional(&relax) {
+                None => {
+                    // Integer feasible: new incumbent.
+                    let better = incumbent
+                        .as_ref()
+                        .map_or(true, |b| relax.objective > b.objective + INT_TOL);
+                    if better {
+                        incumbent = Some(MipSolution {
+                            objective: relax.objective,
+                            values: round_integers(&relax, &self.integer),
+                            nodes_explored: nodes,
+                            proven_optimal: true,
+                        });
+                    }
+                }
+                Some(var) => {
+                    let v = relax.values[var];
+                    let floor = v.floor();
+                    // Down branch: x <= floor(v).
+                    if floor >= node.lower[var] - INT_TOL {
+                        let mut upper = node.upper.clone();
+                        upper[var] = floor;
+                        heap.push(Node {
+                            bound: relax.objective,
+                            lower: node.lower.clone(),
+                            upper,
+                        });
+                    }
+                    // Up branch: x >= ceil(v).
+                    let ceil = v.ceil();
+                    if !node.upper[var].is_finite() || ceil <= node.upper[var] + INT_TOL {
+                        let mut lower = node.lower.clone();
+                        lower[var] = ceil;
+                        heap.push(Node {
+                            bound: relax.objective,
+                            lower,
+                            upper: node.upper.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        match incumbent {
+            Some(mut sol) => {
+                sol.nodes_explored = nodes;
+                // Natural drain: every open node was pruned, so the
+                // incumbent is optimal within the configured gap.
+                sol.proven_optimal = true;
+                Ok(sol)
+            }
+            None => Err(SolverError::Infeasible),
+        }
+    }
+
+    fn most_fractional(&self, sol: &LpSolution) -> Option<usize> {
+        let mut worst: Option<(usize, f64)> = None;
+        for (j, (&v, &is_int)) in sol.values.iter().zip(&self.integer).enumerate() {
+            if !is_int {
+                continue;
+            }
+            let frac = (v - v.round()).abs();
+            if frac > INT_TOL {
+                let dist = (v - v.floor()).min(v.ceil() - v);
+                if worst.map_or(true, |(_, w)| dist > w) {
+                    worst = Some((j, dist));
+                }
+            }
+        }
+        worst.map(|(j, _)| j)
+    }
+}
+
+fn round_integers(sol: &LpSolution, integer: &[bool]) -> Vec<f64> {
+    sol.values
+        .iter()
+        .zip(integer)
+        .map(|(&v, &is_int)| if is_int { v.round() } else { v })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn knapsack_exact() {
+        // max 10x1 + 13x2 + 7x3, 3x1+4x2+2x3 <= 6, xi in {0,1}
+        // best: x1 + x3? 3+2=5 <=6 -> 17; x2+x3: 4+2=6 -> 20. Optimal 20.
+        let mut mip = MipProblem::new();
+        let x1 = mip.add_int_var(0.0, 1.0, 10.0);
+        let x2 = mip.add_int_var(0.0, 1.0, 13.0);
+        let x3 = mip.add_int_var(0.0, 1.0, 7.0);
+        mip.add_constraint(
+            vec![(x1, 3.0), (x2, 4.0), (x3, 2.0)],
+            Relation::Le,
+            6.0,
+        )
+        .unwrap();
+        let sol = mip.solve().unwrap();
+        assert!((sol.objective - 20.0).abs() < 1e-6);
+        assert_eq!(sol.int_value(x2), 1);
+        assert_eq!(sol.int_value(x3), 1);
+        assert!(sol.proven_optimal);
+    }
+
+    #[test]
+    fn integrality_gap_case() {
+        // LP relaxation gives fractional optimum; MIP must round down.
+        // max x, 2x <= 3, x integer -> x = 1.
+        let mut mip = MipProblem::new();
+        let x = mip.add_int_var(0.0, 10.0, 1.0);
+        mip.add_constraint(vec![(x, 2.0)], Relation::Le, 3.0).unwrap();
+        let sol = mip.solve().unwrap();
+        assert_eq!(sol.int_value(x), 1);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max x + y, x integer <= 2.5 bound via constraint, y continuous <= 0.7.
+        let mut mip = MipProblem::new();
+        let x = mip.add_int_var(0.0, f64::INFINITY, 1.0);
+        let y = mip.add_var(0.0, 0.7, 1.0);
+        mip.add_constraint(vec![(x, 1.0)], Relation::Le, 2.5).unwrap();
+        let sol = mip.solve().unwrap();
+        assert_eq!(sol.int_value(x), 2);
+        assert!((sol.value(y) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integer() {
+        // 0.4 <= x <= 0.6 has no integer point.
+        let mut mip = MipProblem::new();
+        let x = mip.add_int_var(0.0, 1.0, 1.0);
+        mip.add_constraint(vec![(x, 1.0)], Relation::Ge, 0.4).unwrap();
+        mip.add_constraint(vec![(x, 1.0)], Relation::Le, 0.6).unwrap();
+        assert_eq!(mip.solve(), Err(SolverError::Infeasible));
+    }
+
+    #[test]
+    fn equality_constrained_integers() {
+        // x + y = 5, max 2x + y -> x = 5, y = 0.
+        let mut mip = MipProblem::new();
+        let x = mip.add_int_var(0.0, 10.0, 2.0);
+        let y = mip.add_int_var(0.0, 10.0, 1.0);
+        mip.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 5.0)
+            .unwrap();
+        let sol = mip.solve().unwrap();
+        assert_eq!(sol.int_value(x), 5);
+        assert_eq!(sol.int_value(y), 0);
+    }
+
+    /// Exhaustive-search reference for small pure-integer problems.
+    fn brute_force(mip: &MipProblem, ub: i64) -> Option<f64> {
+        let n = mip.n_vars();
+        let mut best: Option<f64> = None;
+        let mut assign = vec![0i64; n];
+        loop {
+            let feasible = mip.lp.constraints.iter().all(|c| {
+                let lhs: f64 = c
+                    .terms
+                    .iter()
+                    .map(|&(v, a)| a * assign[v] as f64)
+                    .sum();
+                match c.relation {
+                    Relation::Le => lhs <= c.rhs + 1e-9,
+                    Relation::Ge => lhs >= c.rhs - 1e-9,
+                    Relation::Eq => (lhs - c.rhs).abs() < 1e-9,
+                }
+            });
+            if feasible {
+                let obj: f64 = assign
+                    .iter()
+                    .zip(&mip.lp.objective)
+                    .map(|(&x, c)| x as f64 * c)
+                    .sum();
+                best = Some(best.map_or(obj, |b: f64| b.max(obj)));
+            }
+            // Increment odometer.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return best;
+                }
+                assign[i] += 1;
+                if assign[i] > ub {
+                    assign[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn matches_brute_force_on_random_ips(seed in 0u64..10_000) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(2usize..4);
+            let ub = 4i64;
+            let mut mip = MipProblem::new();
+            let vars: Vec<_> = (0..n)
+                .map(|_| mip.add_int_var(0.0, ub as f64, rng.gen_range(-1.0..5.0)))
+                .collect();
+            for _ in 0..rng.gen_range(1usize..4) {
+                let terms: Vec<_> = vars
+                    .iter()
+                    .map(|&v| (v, rng.gen_range(-1.0..3.0)))
+                    .collect();
+                let rhs = rng.gen_range(1.0..12.0);
+                mip.add_constraint(terms, Relation::Le, rhs).unwrap();
+            }
+            let brute = brute_force(&mip, ub);
+            match mip.solve() {
+                Ok(sol) => {
+                    let b = brute.expect("solver found solution, brute force must too");
+                    prop_assert!((sol.objective - b).abs() < 1e-5,
+                        "solver {} vs brute {}", sol.objective, b);
+                }
+                Err(SolverError::Infeasible) => prop_assert!(brute.is_none()),
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+            }
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Dense two-phase simplex with Bland's anti-cycling rule.
+//!
+//! Problems are converted to standard form (shifted variables `y = x - lb ≥
+//! 0`, finite upper bounds as extra rows, slack/surplus/artificial columns),
+//! phase 1 drives the artificials to zero, phase 2 optimizes the real
+//! objective. Sizes in this codebase are tens of variables, so a dense
+//! tableau is the right tool.
+
+use crate::problem::{LinearProgram, LpSolution, Relation};
+use crate::SolverError;
+
+const TOL: f64 = 1e-9;
+const MAX_ITERS: usize = 50_000;
+
+struct Tableau {
+    /// Constraint matrix, m rows × n_total columns.
+    a: Vec<Vec<f64>>,
+    /// Right-hand side, all nonnegative.
+    b: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Columns that may never enter the basis (artificials in phase 2).
+    banned: Vec<bool>,
+    n_total: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let scale = self.a[row][col];
+        for v in self.a[row].iter_mut() {
+            *v /= scale;
+        }
+        self.b[row] /= scale;
+        for r in 0..self.a.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.a[r][col];
+            if factor.abs() <= TOL {
+                continue;
+            }
+            for j in 0..self.n_total {
+                let delta = factor * self.a[row][j];
+                self.a[r][j] -= delta;
+            }
+            self.b[r] -= factor * self.b[row];
+            if self.b[r].abs() < TOL {
+                self.b[r] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations maximizing the objective described by
+    /// reduced costs `c_red` (updated in place). Returns the objective
+    /// delta accumulated, or an error.
+    ///
+    /// Pivoting uses Dantzig's rule (steepest reduced cost) for speed and
+    /// falls back to Bland's rule once the objective stalls, which
+    /// guarantees termination on degenerate problems.
+    fn optimize(&mut self, c_red: &mut [f64], obj: &mut f64) -> Result<(), SolverError> {
+        let mut stall = 0usize;
+        for _ in 0..MAX_ITERS {
+            let entering = if stall < 64 {
+                // Dantzig: most positive reduced cost.
+                (0..self.n_total)
+                    .filter(|&j| !self.banned[j] && c_red[j] > TOL)
+                    .max_by(|&a, &b| {
+                        c_red[a].partial_cmp(&c_red[b]).expect("finite costs")
+                    })
+            } else {
+                // Bland: smallest-index improving column (anti-cycling).
+                (0..self.n_total).find(|&j| !self.banned[j] && c_red[j] > TOL)
+            };
+            let Some(col) = entering else {
+                return Ok(());
+            };
+            // Ratio test, Bland tie-break on basis variable index.
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.a.len() {
+                if self.a[r][col] > TOL {
+                    let ratio = self.b[r] / self.a[r][col];
+                    let better = match leave {
+                        None => true,
+                        Some((lr, lratio)) => {
+                            ratio < lratio - TOL
+                                || (ratio < lratio + TOL && self.basis[r] < self.basis[lr])
+                        }
+                    };
+                    if better {
+                        leave = Some((r, ratio));
+                    }
+                }
+            }
+            let Some((row, ratio)) = leave else {
+                return Err(SolverError::Unbounded);
+            };
+            if c_red[col] * ratio > TOL {
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            *obj += c_red[col] * ratio;
+            self.pivot(row, col);
+            // Update reduced costs: eliminate the entering column.
+            let factor = c_red[col];
+            if factor.abs() > 0.0 {
+                for j in 0..self.n_total {
+                    c_red[j] -= factor * self.a[row][j];
+                }
+            }
+        }
+        Err(SolverError::IterationLimit)
+    }
+}
+
+/// Solves `lp` (maximization) with the supplied bounds.
+pub(crate) fn solve(
+    lp: &LinearProgram,
+    lower: &[f64],
+    upper: &[f64],
+) -> Result<LpSolution, SolverError> {
+    let n = lp.n_vars();
+
+    // Shift: y_j = x_j - lb_j >= 0; constant objective offset.
+    let mut obj_offset = 0.0;
+    for j in 0..n {
+        obj_offset += lp.objective[j] * lower[j];
+    }
+
+    // Collect rows: original constraints with shifted RHS, plus upper-bound
+    // rows for finite upper bounds.
+    struct Row {
+        terms: Vec<(usize, f64)>,
+        relation: Relation,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(lp.constraints.len() + n);
+    for c in &lp.constraints {
+        let mut rhs = c.rhs;
+        for &(j, coef) in &c.terms {
+            rhs -= coef * lower[j];
+        }
+        rows.push(Row {
+            terms: c.terms.clone(),
+            relation: c.relation,
+            rhs,
+        });
+    }
+    for j in 0..n {
+        if upper[j].is_finite() {
+            rows.push(Row {
+                terms: vec![(j, 1.0)],
+                relation: Relation::Le,
+                rhs: upper[j] - lower[j],
+            });
+        }
+    }
+
+    // Normalize RHS signs.
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            row.rhs = -row.rhs;
+            for t in &mut row.terms {
+                t.1 = -t.1;
+            }
+            row.relation = match row.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural 0..n | slack/surplus | artificial].
+    let n_slack = rows
+        .iter()
+        .filter(|r| r.relation != Relation::Eq)
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|r| r.relation != Relation::Le)
+        .count();
+    let n_total = n + n_slack + n_art;
+
+    let mut a = vec![vec![0.0; n_total]; m];
+    let mut b = vec![0.0; m];
+    let mut basis = vec![0usize; m];
+    let mut is_artificial = vec![false; n_total];
+    let mut slack_cursor = n;
+    let mut art_cursor = n + n_slack;
+
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, coef) in &row.terms {
+            a[i][j] += coef;
+        }
+        b[i] = row.rhs;
+        match row.relation {
+            Relation::Le => {
+                a[i][slack_cursor] = 1.0;
+                basis[i] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Relation::Ge => {
+                a[i][slack_cursor] = -1.0;
+                slack_cursor += 1;
+                a[i][art_cursor] = 1.0;
+                is_artificial[art_cursor] = true;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+            Relation::Eq => {
+                a[i][art_cursor] = 1.0;
+                is_artificial[art_cursor] = true;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+        }
+    }
+
+    let mut tab = Tableau {
+        a,
+        b,
+        basis,
+        banned: vec![false; n_total],
+        n_total,
+    };
+
+    // Phase 1: maximize -(sum of artificials).
+    if n_art > 0 {
+        let mut c1 = vec![0.0; n_total];
+        for j in 0..n_total {
+            if is_artificial[j] {
+                c1[j] = -1.0;
+            }
+        }
+        // Canonicalize: reduced costs must vanish on the basis.
+        let mut obj1 = 0.0;
+        canonicalize(&tab, &mut c1, &mut obj1);
+        tab.optimize(&mut c1, &mut obj1)?;
+        if obj1 < -1e-7 {
+            return Err(SolverError::Infeasible);
+        }
+        // Drive remaining basic artificials out where possible.
+        for r in 0..m {
+            if is_artificial[tab.basis[r]] {
+                if let Some(col) = (0..n_total)
+                    .find(|&j| !is_artificial[j] && tab.a[r][j].abs() > 1e-7)
+                {
+                    tab.pivot(r, col);
+                }
+            }
+        }
+        for j in 0..n_total {
+            if is_artificial[j] {
+                tab.banned[j] = true;
+            }
+        }
+    }
+
+    // Phase 2: real objective.
+    let mut c2 = vec![0.0; n_total];
+    c2[..n].copy_from_slice(&lp.objective[..n]);
+    let mut obj2 = 0.0;
+    canonicalize(&tab, &mut c2, &mut obj2);
+    tab.optimize(&mut c2, &mut obj2)?;
+
+    // Extract.
+    let mut values = lower.to_vec();
+    for r in 0..m {
+        let var = tab.basis[r];
+        if var < n {
+            values[var] = lower[var] + tab.b[r];
+        }
+    }
+    let objective = values
+        .iter()
+        .zip(&lp.objective)
+        .map(|(x, c)| x * c)
+        .sum::<f64>();
+    let _ = obj_offset; // objective recomputed from values for robustness
+    Ok(LpSolution { objective, values })
+}
+
+/// Expresses objective `c` in the current basis: subtracts multiples of the
+/// basic rows so reduced costs of basic variables vanish.
+fn canonicalize(tab: &Tableau, c: &mut [f64], obj: &mut f64) {
+    for r in 0..tab.a.len() {
+        let coef = c[tab.basis[r]];
+        if coef.abs() > 0.0 {
+            for j in 0..tab.n_total {
+                c[j] -= coef * tab.a[r][j];
+            }
+            *obj += coef * tab.b[r];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LinearProgram, Relation, SolverError};
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate corner: multiple constraints through origin.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 0.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, -1.0), (y, 1.0)], Relation::Le, 0.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 2.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // x >= -3 written as -x <= 3 ... rhs sign normalization path:
+        // constraint with negative rhs: x - y <= -1 (i.e. y >= x + 1).
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        let y = lp.add_var(0.0, 5.0, 0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, -1.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        // y <= 5 so x <= 4.
+        assert!((sol.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        // Same constraint again (redundant artificial row).
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    /// Brute-force LP check on a grid for 2-variable problems.
+    fn brute_force_2d(
+        lp: &LinearProgram,
+        xmax: f64,
+        ymax: f64,
+    ) -> Option<f64> {
+        let steps = 400;
+        let mut best: Option<f64> = None;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let x = xmax * i as f64 / steps as f64;
+                let y = ymax * j as f64 / steps as f64;
+                let feasible = lp.constraints.iter().all(|c| {
+                    let lhs: f64 = c
+                        .terms
+                        .iter()
+                        .map(|&(v, a)| a * if v == 0 { x } else { y })
+                        .sum();
+                    match c.relation {
+                        Relation::Le => lhs <= c.rhs + 1e-9,
+                        Relation::Ge => lhs >= c.rhs - 1e-9,
+                        Relation::Eq => (lhs - c.rhs).abs() < 1e-6,
+                    }
+                });
+                if feasible {
+                    let obj = lp.objective[0] * x + lp.objective[1] * y;
+                    best = Some(best.map_or(obj, |b: f64| b.max(obj)));
+                }
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn matches_grid_search_on_random_2d_lps(seed in 0u64..10_000) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut lp = LinearProgram::new();
+            let x = lp.add_var(0.0, 10.0, rng.gen_range(-2.0..4.0));
+            let y = lp.add_var(0.0, 10.0, rng.gen_range(-2.0..4.0));
+            for _ in 0..rng.gen_range(1..4) {
+                let a = rng.gen_range(-2.0..3.0);
+                let b = rng.gen_range(-2.0..3.0);
+                let rhs = rng.gen_range(0.5..15.0);
+                lp.add_constraint(vec![(x, a), (y, b)], Relation::Le, rhs).unwrap();
+            }
+            match lp.solve() {
+                Ok(sol) => {
+                    let brute = brute_force_2d(&lp, 10.0, 10.0)
+                        .expect("solver found a solution so grid must too");
+                    // Grid search undershoots; solver must be >= grid - eps
+                    // and cannot exceed it by more than a grid cell.
+                    prop_assert!(sol.objective >= brute - 1e-6);
+                    prop_assert!(sol.objective <= brute + 0.3);
+                }
+                Err(SolverError::Infeasible) => {
+                    prop_assert!(brute_force_2d(&lp, 10.0, 10.0).is_none());
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Convolution-to-MMM unrolling (§2.1.2 of the paper).
+//!
+//! "While convolutional kernels cannot be directly mapped onto the array,
+//! the convolution operations can be unrolled into an equivalent
+//! matrix-matrix multiplication (MMM)." This module implements exactly that
+//! unrolling, which determines the matrix dimensions the compiler maps onto
+//! CIM arrays:
+//!
+//! * the weight matrix is `[C·Kh·Kw, Oc]` (stationary in compute-mode
+//!   arrays),
+//! * the patch matrix is `[N·Oh·Ow, C·Kh·Kw]` (streamed through the array).
+
+use crate::{ops, Tensor, TensorError};
+
+/// Dimensions of the MMM equivalent to a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvAsMatmul {
+    /// Rows of the streamed patch matrix: `N·Oh·Ow`.
+    pub m: usize,
+    /// Shared dimension: `C·Kh·Kw`.
+    pub k: usize,
+    /// Columns = output channels `Oc`.
+    pub n: usize,
+    /// Output spatial height.
+    pub oh: usize,
+    /// Output spatial width.
+    pub ow: usize,
+}
+
+/// Computes the equivalent-MMM dimensions of a convolution.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for zero stride or kernels that
+/// do not fit the padded input.
+pub fn conv_matmul_dims(
+    batch: usize,
+    in_channels: usize,
+    height: usize,
+    width: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<ConvAsMatmul, TensorError> {
+    if stride == 0 {
+        return Err(TensorError::InvalidArgument("stride must be nonzero".into()));
+    }
+    let padded_h = height + 2 * padding;
+    let padded_w = width + 2 * padding;
+    if padded_h < kernel || padded_w < kernel {
+        return Err(TensorError::InvalidArgument(format!(
+            "kernel {kernel} does not fit padded input {padded_h}x{padded_w}"
+        )));
+    }
+    let oh = (padded_h - kernel) / stride + 1;
+    let ow = (padded_w - kernel) / stride + 1;
+    Ok(ConvAsMatmul {
+        m: batch * oh * ow,
+        k: in_channels * kernel * kernel,
+        n: out_channels,
+        oh,
+        ow,
+    })
+}
+
+/// Unrolls an NCHW input into the `[N·Oh·Ow, C·Kh·Kw]` patch matrix.
+///
+/// # Errors
+///
+/// Returns shape errors for non-rank-4 input or invalid conv parameters.
+pub fn im2col(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, TensorError> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "im2col",
+            expected: 4,
+            actual: input.shape().rank(),
+        });
+    }
+    let [n, c, h, w] = [
+        input.shape().dims()[0],
+        input.shape().dims()[1],
+        input.shape().dims()[2],
+        input.shape().dims()[3],
+    ];
+    let dims = conv_matmul_dims(n, c, h, w, 1, kernel, stride, padding)?;
+    let (oh, ow) = (dims.oh, dims.ow);
+    let k = c * kernel * kernel;
+    let mut out = vec![0.0f32; n * oh * ow * k];
+    let ind = input.data();
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (b * oh + oy) * ow + ox;
+                for ch in 0..c {
+                    for ky in 0..kernel {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        for kx in 0..kernel {
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            let col = (ch * kernel + ky) * kernel + kx;
+                            let v = if iy < 0
+                                || ix < 0
+                                || iy as usize >= h
+                                || ix as usize >= w
+                            {
+                                0.0
+                            } else {
+                                ind[((b * c + ch) * h + iy as usize) * w + ix as usize]
+                            };
+                            out[row * k + col] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n * oh * ow, k], out)
+}
+
+/// Reshapes OIHW convolution weights into the `[C·Kh·Kw, Oc]` matrix whose
+/// columns are flattened filters.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 weights.
+pub fn weights_to_matrix(weight: &Tensor) -> Result<Tensor, TensorError> {
+    if weight.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "weights_to_matrix",
+            expected: 4,
+            actual: weight.shape().rank(),
+        });
+    }
+    let [oc, ic, kh, kw] = [
+        weight.shape().dims()[0],
+        weight.shape().dims()[1],
+        weight.shape().dims()[2],
+        weight.shape().dims()[3],
+    ];
+    let k = ic * kh * kw;
+    let mut out = vec![0.0f32; k * oc];
+    for o in 0..oc {
+        for r in 0..k {
+            out[r * oc + o] = weight.data()[o * k + r];
+        }
+    }
+    Tensor::from_vec(vec![k, oc], out)
+}
+
+/// Executes a convolution *via* the im2col MMM path and reshapes the result
+/// back to NCHW, for cross-checking against [`ops::conv2d`].
+///
+/// # Errors
+///
+/// Propagates shape errors from the underlying steps.
+pub fn conv2d_via_matmul(
+    input: &Tensor,
+    weight: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, TensorError> {
+    let [n, c, h, w] = [
+        input.shape().dims()[0],
+        input.shape().dims()[1],
+        input.shape().dims()[2],
+        input.shape().dims()[3],
+    ];
+    let oc = weight.shape().dims()[0];
+    let kernel = weight.shape().dims()[2];
+    let dims = conv_matmul_dims(n, c, h, w, oc, kernel, stride, padding)?;
+    let patches = im2col(input, kernel, stride, padding)?;
+    let wmat = weights_to_matrix(weight)?;
+    let flat = ops::matmul(&patches, &wmat)?; // [N*Oh*Ow, Oc]
+    // Rearrange [N*Oh*Ow, Oc] -> [N, Oc, Oh, Ow].
+    let (oh, ow) = (dims.oh, dims.ow);
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (b * oh + oy) * ow + ox;
+                for o in 0..oc {
+                    out[((b * oc + o) * oh + oy) * ow + ox] = flat.data()[row * oc + o];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n, oc, oh, ow], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dims_known_answer() {
+        // ResNet conv1: 224x224x3, 7x7/2 pad 3 -> 112x112.
+        let d = conv_matmul_dims(1, 3, 224, 224, 64, 7, 2, 3).unwrap();
+        assert_eq!((d.oh, d.ow), (112, 112));
+        assert_eq!(d.m, 112 * 112);
+        assert_eq!(d.k, 3 * 49);
+        assert_eq!(d.n, 64);
+    }
+
+    #[test]
+    fn rejects_zero_stride() {
+        assert!(conv_matmul_dims(1, 1, 4, 4, 1, 3, 0, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_matches_direct_conv_small() {
+        let input = Tensor::random(vec![1, 2, 5, 5], 21);
+        let weight = Tensor::random(vec![3, 2, 3, 3], 22);
+        let direct = ops::conv2d(&input, &weight, 1, 1).unwrap();
+        let via = conv2d_via_matmul(&input, &weight, 1, 1).unwrap();
+        assert!(direct.allclose(&via, 1e-4));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn im2col_matches_direct_conv(
+            seed in 0u64..500,
+            c in 1usize..3,
+            oc in 1usize..4,
+            hw in 3usize..7,
+            kernel in 1usize..4,
+            stride in 1usize..3,
+            padding in 0usize..2,
+        ) {
+            prop_assume!(hw + 2 * padding >= kernel);
+            let input = Tensor::random(vec![1, c, hw, hw], seed);
+            let weight = Tensor::random(vec![oc, c, kernel, kernel], seed + 1);
+            let direct = ops::conv2d(&input, &weight, stride, padding).unwrap();
+            let via = conv2d_via_matmul(&input, &weight, stride, padding).unwrap();
+            prop_assert!(direct.allclose(&via, 1e-4));
+        }
+    }
+}

@@ -1,0 +1,564 @@
+//! Reference implementations of the DNN operators used by the benchmark
+//! networks.
+//!
+//! These are the golden models the functional simulator is validated
+//! against. They favour clarity over performance: plain loops, no blocking,
+//! no SIMD.
+
+use crate::{Shape, Tensor, TensorError};
+
+/// Dense matrix multiplication `C[M,N] = A[M,K] · B[K,N]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless both inputs are rank 2 and
+/// [`TensorError::ShapeMismatch`] unless the inner dimensions agree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "matmul",
+            expected: 2,
+            actual: a.shape().rank(),
+        });
+    }
+    if b.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "matmul",
+            expected: 2,
+            actual: b.shape().rank(),
+        });
+    }
+    let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+    let (k2, n) = (b.shape().dims()[0], b.shape().dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// Matrix-vector multiplication `y[M] = A[M,K] · x[K]`.
+///
+/// This is the native CIM compute primitive (§2.1.2): the matrix sits in the
+/// array, the vector drives the wordlines.
+///
+/// # Errors
+///
+/// Returns a shape error if `A` is not rank 2 or `x` does not match `K`.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor, TensorError> {
+    if a.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "matvec",
+            expected: 2,
+            actual: a.shape().rank(),
+        });
+    }
+    let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+    if x.numel() != k {
+        return Err(TensorError::ShapeMismatch {
+            op: "matvec",
+            lhs: a.shape().dims().to_vec(),
+            rhs: x.shape().dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &a.data()[i * k..(i + 1) * k];
+        out[i] = row.iter().zip(x.data()).map(|(a, b)| a * b).sum();
+    }
+    Tensor::from_vec(vec![m], out)
+}
+
+/// Elementwise addition of two same-shape tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if !a.shape().same_dims(b.shape()) {
+        return Err(TensorError::ShapeMismatch {
+            op: "add",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    Tensor::from_vec(a.shape().clone(), data)
+}
+
+/// Elementwise multiplication of two same-shape tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if !a.shape().same_dims(b.shape()) {
+        return Err(TensorError::ShapeMismatch {
+            op: "mul",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
+    Tensor::from_vec(a.shape().clone(), data)
+}
+
+/// Rectified linear unit, elementwise `max(0, x)`.
+pub fn relu(x: &Tensor) -> Tensor {
+    let data = x.data().iter().map(|v| v.max(0.0)).collect();
+    Tensor::from_vec(x.shape().clone(), data).expect("same shape")
+}
+
+/// Gaussian error linear unit (tanh approximation), elementwise.
+pub fn gelu(x: &Tensor) -> Tensor {
+    let data = x
+        .data()
+        .iter()
+        .map(|&v| {
+            let c = (2.0f32 / std::f32::consts::PI).sqrt();
+            0.5 * v * (1.0 + (c * (v + 0.044_715 * v * v * v)).tanh())
+        })
+        .collect();
+    Tensor::from_vec(x.shape().clone(), data).expect("same shape")
+}
+
+/// Sigmoid-weighted linear unit `x * sigmoid(x)` (used by LLaMA FFNs).
+pub fn silu(x: &Tensor) -> Tensor {
+    let data = x
+        .data()
+        .iter()
+        .map(|&v| v / (1.0 + (-v).exp()))
+        .collect();
+    Tensor::from_vec(x.shape().clone(), data).expect("same shape")
+}
+
+/// Softmax along the last axis.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+pub fn softmax_lastdim(x: &Tensor) -> Result<Tensor, TensorError> {
+    let rank = x.shape().rank();
+    if rank == 0 {
+        return Err(TensorError::RankMismatch {
+            op: "softmax",
+            expected: 1,
+            actual: 0,
+        });
+    }
+    let last = x.shape().dims()[rank - 1];
+    let mut data = x.data().to_vec();
+    for row in data.chunks_mut(last) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Tensor::from_vec(x.shape().clone(), data)
+}
+
+/// Layer normalization along the last axis (unit gain, zero bias).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+pub fn layer_norm_lastdim(x: &Tensor, eps: f32) -> Result<Tensor, TensorError> {
+    let rank = x.shape().rank();
+    if rank == 0 {
+        return Err(TensorError::RankMismatch {
+            op: "layer_norm",
+            expected: 1,
+            actual: 0,
+        });
+    }
+    let last = x.shape().dims()[rank - 1];
+    let mut data = x.data().to_vec();
+    for row in data.chunks_mut(last) {
+        let mean = row.iter().sum::<f32>() / last as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / last as f32;
+        let denom = (var + eps).sqrt();
+        for v in row.iter_mut() {
+            *v = (*v - mean) / denom;
+        }
+    }
+    Tensor::from_vec(x.shape().clone(), data)
+}
+
+/// 2-D convolution on NCHW input with OIHW weights.
+///
+/// Implemented directly (not via im2col) so it can serve as an independent
+/// check of the [`crate::im2col`] path.
+///
+/// # Errors
+///
+/// Returns shape errors for non-rank-4 operands or mismatched channel
+/// counts, and [`TensorError::InvalidArgument`] for zero stride.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor, TensorError> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d input",
+            expected: 4,
+            actual: input.shape().rank(),
+        });
+    }
+    if weight.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d weight",
+            expected: 4,
+            actual: weight.shape().rank(),
+        });
+    }
+    if stride == 0 {
+        return Err(TensorError::InvalidArgument("stride must be nonzero".into()));
+    }
+    let [n, c, h, w] = [
+        input.shape().dims()[0],
+        input.shape().dims()[1],
+        input.shape().dims()[2],
+        input.shape().dims()[3],
+    ];
+    let [oc, ic, kh, kw] = [
+        weight.shape().dims()[0],
+        weight.shape().dims()[1],
+        weight.shape().dims()[2],
+        weight.shape().dims()[3],
+    ];
+    if ic != c {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: input.shape().dims().to_vec(),
+            rhs: weight.shape().dims().to_vec(),
+        });
+    }
+    let oh = (h + 2 * padding).saturating_sub(kh) / stride + 1;
+    let ow = (w + 2 * padding).saturating_sub(kw) / stride + 1;
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    let ind = input.data();
+    let wd = weight.data();
+    for b in 0..n {
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for i in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let iv =
+                                    ind[((b * c + i) * h + iy as usize) * w + ix as usize];
+                                let wv = wd[((o * c + i) * kh + ky) * kw + kx];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    out[((b * oc + o) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n, oc, oh, ow], out)
+}
+
+/// 2-D max pooling on NCHW input.
+///
+/// # Errors
+///
+/// Returns shape errors for non-rank-4 input or zero stride/kernel.
+pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor, TensorError> {
+    pool2d(input, kernel, stride, true)
+}
+
+/// 2-D average pooling on NCHW input.
+///
+/// # Errors
+///
+/// Returns shape errors for non-rank-4 input or zero stride/kernel.
+pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor, TensorError> {
+    pool2d(input, kernel, stride, false)
+}
+
+fn pool2d(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    is_max: bool,
+) -> Result<Tensor, TensorError> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "pool2d",
+            expected: 4,
+            actual: input.shape().rank(),
+        });
+    }
+    if kernel == 0 || stride == 0 {
+        return Err(TensorError::InvalidArgument(
+            "pool kernel and stride must be nonzero".into(),
+        ));
+    }
+    let [n, c, h, w] = [
+        input.shape().dims()[0],
+        input.shape().dims()[1],
+        input.shape().dims()[2],
+        input.shape().dims()[3],
+    ];
+    if h < kernel || w < kernel {
+        return Err(TensorError::InvalidArgument(format!(
+            "pool kernel {kernel} larger than input {h}x{w}"
+        )));
+    }
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let ind = input.data();
+    for b in 0..n {
+        for i in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let v = ind[((b * c + i) * h + oy * stride + ky) * w
+                                + ox * stride
+                                + kx];
+                            if is_max {
+                                acc = acc.max(v);
+                            } else {
+                                acc += v;
+                            }
+                        }
+                    }
+                    if !is_max {
+                        acc /= (kernel * kernel) as f32;
+                    }
+                    out[((b * c + i) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n, c, oh, ow], out)
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless the input is rank 2.
+pub fn transpose2d(x: &Tensor) -> Result<Tensor, TensorError> {
+    if x.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "transpose2d",
+            expected: 2,
+            actual: x.shape().rank(),
+        });
+    }
+    let (m, n) = (x.shape().dims()[0], x.shape().dims()[1]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = x.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec(vec![n, m], out)
+}
+
+/// Single-head scaled dot-product attention over rank-2 `Q[S,D], K[S,D],
+/// V[S,D]` matrices.
+///
+/// Provided as a fused golden model for attention-chain tests.
+///
+/// # Errors
+///
+/// Returns shape errors if operands disagree on `S`/`D`.
+pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor, TensorError> {
+    let d = q.shape().dim(1)? as f32;
+    let kt = transpose2d(k)?;
+    let mut scores = matmul(q, &kt)?;
+    for s in scores.data_mut() {
+        *s /= d.sqrt();
+    }
+    let probs = softmax_lastdim(&scores)?;
+    matmul(&probs, v)
+}
+
+/// Checks that `shape` is a rank-2 matrix shape, returning `(rows, cols)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] otherwise.
+pub fn as_matrix(shape: &Shape, op: &'static str) -> Result<(usize, usize), TensorError> {
+    if shape.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: shape.rank(),
+        });
+    }
+    Ok((shape.dims()[0], shape.dims()[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let id = Tensor::from_vec(vec![2, 2], vec![1., 0., 0., 1.]).unwrap();
+        assert_eq!(matmul(&a, &id).unwrap(), a);
+        assert_eq!(matmul(&id, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        let v = Tensor::zeros(vec![3]);
+        assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::random(vec![3, 4], 1);
+        let x = Tensor::random(vec![4], 2);
+        let xm = x.reshape(vec![4, 1]).unwrap();
+        let via_mm = matmul(&a, &xm).unwrap().reshape(vec![3]).unwrap();
+        let via_mv = matvec(&a, &x).unwrap();
+        assert!(via_mm.allclose(&via_mv, 1e-5));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::random(vec![4, 7], 3);
+        let s = softmax_lastdim(&x).unwrap();
+        for row in s.data().chunks(7) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Tensor::random(vec![2, 64], 4);
+        let y = layer_norm_lastdim(&x, 1e-5).unwrap();
+        for row in y.data().chunks(64) {
+            let mean: f32 = row.iter().sum::<f32>() / 64.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn conv2d_known_answer() {
+        // 1x1x3x3 input, 1x1x2x2 kernel of ones => sliding-window sums.
+        let input =
+            Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let weight = Tensor::full(vec![1, 1, 2, 2], 1.0);
+        let out = conv2d(&input, &weight, 1, 0).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv2d_padding_keeps_size() {
+        let input = Tensor::random(vec![1, 2, 8, 8], 5);
+        let weight = Tensor::random(vec![4, 2, 3, 3], 6);
+        let out = conv2d(&input, &weight, 1, 1).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn pooling_known_answers() {
+        let input =
+            Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mx = max_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(mx.data(), &[4.0]);
+        let av = avg_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(av.data(), &[2.5]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let x = Tensor::random(vec![3, 5], 7);
+        let tt = transpose2d(&transpose2d(&x).unwrap()).unwrap();
+        assert_eq!(tt, x);
+    }
+
+    #[test]
+    fn attention_output_shape_and_rows() {
+        let q = Tensor::random(vec![4, 8], 10);
+        let k = Tensor::random(vec![4, 8], 11);
+        let v = Tensor::random(vec![4, 8], 12);
+        let o = attention(&q, &k, &v).unwrap();
+        assert_eq!(o.shape().dims(), &[4, 8]);
+    }
+
+    #[test]
+    fn activations_fixed_points() {
+        let x = Tensor::from_vec(vec![3], vec![-1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        assert!(gelu(&x).data()[1].abs() < 1e-6);
+        assert!(silu(&x).data()[1].abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_distributes_over_add(seed in 0u64..1000) {
+            let a = Tensor::random(vec![3, 4], seed);
+            let b = Tensor::random(vec![4, 2], seed + 1);
+            let c = Tensor::random(vec![4, 2], seed + 2);
+            let lhs = matmul(&a, &add(&b, &c).unwrap()).unwrap();
+            let rhs = add(&matmul(&a, &b).unwrap(), &matmul(&a, &c).unwrap()).unwrap();
+            prop_assert!(lhs.allclose(&rhs, 1e-4));
+        }
+
+        #[test]
+        fn transpose_swaps_matmul(seed in 0u64..1000) {
+            // (AB)^T == B^T A^T
+            let a = Tensor::random(vec![3, 4], seed);
+            let b = Tensor::random(vec![4, 5], seed + 9);
+            let lhs = transpose2d(&matmul(&a, &b).unwrap()).unwrap();
+            let rhs = matmul(&transpose2d(&b).unwrap(), &transpose2d(&a).unwrap()).unwrap();
+            prop_assert!(lhs.allclose(&rhs, 1e-4));
+        }
+    }
+}

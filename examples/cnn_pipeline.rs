@@ -1,0 +1,47 @@
+//! CNN compilation: ResNet-18 on the DynaPlasia chip.
+//!
+//! Shows the per-segment dual-mode allocation for a convolutional
+//! network — earlier high-arithmetic-intensity layers lean compute-heavy,
+//! wide later layers pick up memory-mode arrays for bandwidth, echoing
+//! the paper's Fig. 15(a) discussion.
+//!
+//! ```text
+//! cargo run --release --example cnn_pipeline
+//! ```
+
+use cmswitch::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = presets::dynaplasia();
+    let graph = cmswitch::models::resnet::resnet18(1)?;
+
+    let compiler = Compiler::new(arch.clone(), CompilerOptions::default());
+    let program = compiler.compile(&graph)?;
+    println!(
+        "resnet18: {} CIM ops -> {} segments, predicted {:.2}M cycles, compiled in {:?}",
+        program.stats.n_ops,
+        program.stats.n_segments,
+        program.predicted_latency / 1e6,
+        program.stats.wall
+    );
+    println!("\nper-segment allocation (compute | memory arrays):");
+    for (i, seg) in program.segments.iter().enumerate() {
+        let first = seg.op_names.first().map(String::as_str).unwrap_or("-");
+        let last = seg.op_names.last().map(String::as_str).unwrap_or("-");
+        let c = seg.alloc.total_compute();
+        let m = seg.alloc.total_memory();
+        let bar: String = "#".repeat(c / 2) + &"=".repeat(m / 2);
+        println!(
+            "  seg {i:>2} [{first} .. {last}] ({} ops)  C={c:<3} M={m:<3} {bar}",
+            seg.op_names.len()
+        );
+    }
+
+    let report = simulate(&program.flow, &arch)?;
+    println!(
+        "\nsimulated {:.2}M cycles; mode-switch process {:.2}% of runtime (paper: 3-5%)",
+        report.total_cycles / 1e6,
+        report.switch_process_fraction() * 100.0
+    );
+    Ok(())
+}

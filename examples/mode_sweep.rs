@@ -1,0 +1,53 @@
+//! Reproduces the paper's Fig. 1(b) motivation inline: normalized
+//! performance as a function of the fraction of arrays statically held in
+//! compute mode, for a compute-hungry CNN and a bandwidth-hungry LLM
+//! decode workload.
+//!
+//! ```text
+//! cargo run --release --example mode_sweep
+//! ```
+
+use cmswitch::arch::presets;
+use cmswitch::bench::experiments::mode_sweep::static_partition_cycles;
+use cmswitch::bench::workloads::scaled;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = presets::dynaplasia();
+    let resnet = cmswitch::models::resnet::resnet50(1)?;
+    let llama_cfg = scaled(cmswitch::models::llama::llama2_7b(), 0.08);
+    let decode = cmswitch::models::transformer::decode_step(&llama_cfg, 1, 256)?;
+
+    let fractions = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let mut resnet_lat = Vec::new();
+    let mut decode_lat = Vec::new();
+    for &f in &fractions {
+        let c = ((arch.n_arrays() as f64) * f).round() as usize;
+        resnet_lat.push(static_partition_cycles(&resnet, &arch, c));
+        decode_lat.push(static_partition_cycles(&decode, &arch, c));
+    }
+    let best = |v: &[Option<f64>]| {
+        v.iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    };
+    let (rb, db) = (best(&resnet_lat), best(&decode_lat));
+
+    println!("compute%  resnet50-norm-perf  llama2-decode-norm-perf");
+    for (i, &f) in fractions.iter().enumerate() {
+        let fmt = |v: Option<f64>, b: f64| match v {
+            Some(v) => format!("{:>6.2}", b / v),
+            None => "     -".to_string(),
+        };
+        println!(
+            "{:>7.0}%  {:>18}  {:>23}",
+            f * 100.0,
+            fmt(resnet_lat[i], rb),
+            fmt(decode_lat[i], db)
+        );
+    }
+    println!(
+        "\n(paper Fig. 1(b): CNNs peak near 80% compute; LLaMA2 peaks near 10%)"
+    );
+    Ok(())
+}

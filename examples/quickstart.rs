@@ -1,0 +1,64 @@
+//! Quickstart: compile a small MLP for a tiny dual-mode chip and inspect
+//! the emitted meta-operator flow.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cmswitch::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A network. The builder runs shape inference at every step.
+    let mut b = GraphBuilder::new("quickstart-mlp");
+    let x = b.input("x", vec![8, 256]);
+    let h = b.linear("fc1", x, 512)?;
+    let h = b.relu("relu1", h)?;
+    let h = b.linear("fc2", h, 512)?;
+    let h = b.relu("relu2", h)?;
+    let _y = b.linear("fc3", h, 64)?;
+    let graph = b.finish()?;
+
+    // 2. A dual-mode chip (8 arrays of 64x64 — the tiny test preset; use
+    //    presets::dynaplasia() for the paper's Table 2 chip).
+    let arch = presets::tiny();
+    println!(
+        "chip: {} arrays of {}x{}, OP_cim={:.0} MACs/cyc, D_cim={:.0} B/cyc, D_main={:.0} B/cyc",
+        arch.n_arrays(),
+        arch.array_rows(),
+        arch.array_cols(),
+        arch.op_cim(),
+        arch.d_cim(),
+        arch.d_main()
+    );
+
+    // 3. Compile: DP segmentation + MIP dual-mode allocation + codegen.
+    let compiler = Compiler::new(arch.clone(), CompilerOptions::default());
+    let program = compiler.compile(&graph)?;
+    println!(
+        "\ncompiled {} ops into {} segments, predicted latency {:.0} cycles",
+        program.stats.n_ops, program.stats.n_segments, program.predicted_latency
+    );
+    for (i, seg) in program.segments.iter().enumerate() {
+        println!(
+            "  segment {i}: ops {:?}  compute={} memory={} ({}% memory)",
+            seg.op_names,
+            seg.alloc.total_compute(),
+            seg.alloc.total_memory(),
+            (seg.alloc.memory_ratio() * 100.0).round()
+        );
+    }
+
+    // 4. The meta-operator flow (Fig. 13 syntax) — note the CM.switch ops.
+    println!("\nmeta-operator flow:\n{}", print_flow(&program.flow));
+
+    // 5. Execute on the timing simulator.
+    let report = simulate(&program.flow, &arch)?;
+    println!(
+        "simulated {:.0} cycles ({} array-switches to compute, {} to memory, switch process {:.2}% of time)",
+        report.total_cycles,
+        report.switches_to_compute,
+        report.switches_to_memory,
+        report.switch_process_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! CMSwitch reproduction — facade crate.
+//!
+//! Re-exports the whole stack under one roof:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`tensor`] | `cmswitch-tensor` | reference numerics (PyTorch substitute) |
+//! | [`graph`] | `cmswitch-graph` | DNN graph IR (ONNX substitute) |
+//! | [`models`] | `cmswitch-models` | benchmark network zoo |
+//! | [`arch`] | `cmswitch-arch` | DEHA hardware abstraction (§4.2) |
+//! | [`solver`] | `cmswitch-solver` | LP/MIP solver (Gurobi substitute) |
+//! | [`metaop`] | `cmswitch-metaop` | meta-operator flow with `CM.switch` (§4.4) |
+//! | [`compiler`] | `cmswitch-core` | the DACO compiler (§4.3) |
+//! | [`baselines`] | `cmswitch-baselines` | PUMA / OCC / CIM-MLC backends |
+//! | [`sim`] | `cmswitch-sim` | dual-mode chip simulator |
+//! | `bench` | `cmswitch-bench` | experiment harness (§5 figures) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cmswitch::prelude::*;
+//!
+//! // A small model, the DynaPlasia chip (Table 2), default options.
+//! let graph = cmswitch::models::mlp::mlp(4, &[256, 512, 128]).unwrap();
+//! let compiler = Compiler::new(presets::tiny(), CompilerOptions::default());
+//! let program = compiler.compile(&graph)?;
+//!
+//! // The result is a meta-operator flow with explicit CM.switch ops …
+//! let text = print_flow(&program.flow);
+//! assert!(text.contains("CM.switch"));
+//!
+//! // … which the timing simulator executes.
+//! let report = simulate(&program.flow, compiler.arch()).unwrap();
+//! assert!(report.total_cycles > 0.0);
+//! # Ok::<(), cmswitch::compiler::CompileError>(())
+//! ```
+
+pub use cmswitch_arch as arch;
+pub use cmswitch_baselines as baselines;
+pub use cmswitch_bench as bench;
+pub use cmswitch_core as compiler;
+pub use cmswitch_graph as graph;
+pub use cmswitch_metaop as metaop;
+pub use cmswitch_models as models;
+pub use cmswitch_sim as sim;
+pub use cmswitch_solver as solver;
+pub use cmswitch_tensor as tensor;
+
+/// The items most programs need.
+pub mod prelude {
+    pub use cmswitch_arch::{presets, ArrayMode, DualModeArch};
+    pub use cmswitch_baselines::{by_name, Backend};
+    pub use cmswitch_core::{CompiledProgram, Compiler, CompilerOptions};
+    pub use cmswitch_graph::{Graph, GraphBuilder};
+    pub use cmswitch_metaop::{print_flow, Flow};
+    pub use cmswitch_sim::timing::simulate;
+}

@@ -1,0 +1,135 @@
+//! End-to-end integration: models → compiler/baselines → simulator,
+//! checking the paper's headline orderings hold across the stack.
+
+use cmswitch::arch::presets;
+use cmswitch::baselines::by_name;
+use cmswitch::bench::harness::run_workload;
+use cmswitch::bench::workloads::build;
+use cmswitch::prelude::*;
+
+#[test]
+fn every_benchmark_compiles_and_simulates_on_dynaplasia() {
+    let arch = presets::dynaplasia();
+    for model in ["mobilenetv2", "resnet18"] {
+        let w = build(model, 1, 0, 0, 1.0, 1).unwrap();
+        for backend_name in ["puma", "occ", "cim-mlc", "cmswitch"] {
+            let backend = by_name(backend_name, arch.clone()).unwrap();
+            let r = run_workload(backend.as_ref(), &w)
+                .unwrap_or_else(|e| panic!("{model}/{backend_name}: {e}"));
+            assert!(
+                r.cycles.is_finite() && r.cycles > 0.0,
+                "{model}/{backend_name} produced {} cycles",
+                r.cycles
+            );
+        }
+    }
+    // VGG16 is the largest CNN (13 partitioned FC chunks); exercise it on
+    // the two backends the paper's headline comparison needs.
+    let w = build("vgg16", 1, 0, 0, 1.0, 1).unwrap();
+    for backend_name in ["cim-mlc", "cmswitch"] {
+        let backend = by_name(backend_name, arch.clone()).unwrap();
+        let r = run_workload(backend.as_ref(), &w)
+            .unwrap_or_else(|e| panic!("vgg16/{backend_name}: {e}"));
+        assert!(r.cycles > 0.0);
+    }
+}
+
+#[test]
+fn transformers_compile_and_simulate_depth_scaled() {
+    let arch = presets::dynaplasia();
+    for model in ["bert-base", "bert-large", "llama2-7b", "opt-6.7b", "opt-13b"] {
+        let w = build(model, 1, 32, 32, 0.06, 1).unwrap();
+        let backend = by_name("cmswitch", arch.clone()).unwrap();
+        let r = run_workload(backend.as_ref(), &w).unwrap();
+        assert!(r.cycles > 0.0, "{model}");
+    }
+}
+
+#[test]
+fn cmswitch_dominates_mlc_across_benchmark_sweep() {
+    // The dual-mode space strictly contains the all-compute space, so
+    // under the shared cost model CMSwitch must never lose by more than
+    // model/simulator divergence noise (2%).
+    let arch = presets::dynaplasia();
+    for (model, inl, outl) in [
+        ("bert-large", 64, 0),
+        ("opt-6.7b", 64, 64),
+        ("resnet18", 0, 0),
+    ] {
+        let w = build(model, 2, inl, outl, 0.06, 1).unwrap();
+        let mlc = by_name("cim-mlc", arch.clone()).unwrap();
+        let ours = by_name("cmswitch", arch.clone()).unwrap();
+        let rm = run_workload(mlc.as_ref(), &w).unwrap();
+        let ro = run_workload(ours.as_ref(), &w).unwrap();
+        assert!(
+            ro.cycles <= rm.cycles * 1.02,
+            "{model}: cmswitch {} vs mlc {}",
+            ro.cycles,
+            rm.cycles
+        );
+    }
+}
+
+#[test]
+fn decode_heavy_workload_shows_dual_mode_gain() {
+    // Paper Fig. 16 regime: batched generative inference with a long
+    // sequence is where dual-mode switching pays off most.
+    let arch = presets::dynaplasia();
+    let w = build("opt-6.7b", 8, 256, 256, 0.06, 2).unwrap();
+    let mlc = by_name("cim-mlc", arch.clone()).unwrap();
+    let ours = by_name("cmswitch", arch).unwrap();
+    let rm = run_workload(mlc.as_ref(), &w).unwrap();
+    let ro = run_workload(ours.as_ref(), &w).unwrap();
+    let speedup = rm.cycles / ro.cycles;
+    assert!(
+        speedup > 1.1,
+        "expected >1.1x dual-mode gain on decode-heavy workload, got {speedup:.3}"
+    );
+    assert!(
+        ro.memory_ratio > 0.05,
+        "CMSwitch should hold a visible share of arrays in memory mode, got {}",
+        ro.memory_ratio
+    );
+}
+
+#[test]
+fn compiled_flows_always_validate_and_roundtrip() {
+    let arch = presets::dynaplasia();
+    for model in ["resnet18", "bert-base"] {
+        let w = build(model, 1, 32, 0, 0.06, 1).unwrap();
+        let g = match &w {
+            cmswitch::bench::workloads::Workload::Single(g) => g.clone(),
+            cmswitch::bench::workloads::Workload::Generative(gen) => gen.prefill.clone(),
+        };
+        let program = Compiler::new(arch.clone(), CompilerOptions::default())
+            .compile(&g)
+            .unwrap();
+        cmswitch::metaop::validate(&program.flow).unwrap();
+        let text = print_flow(&program.flow);
+        let reparsed = cmswitch::metaop::parse(&text).unwrap();
+        assert_eq!(program.flow, reparsed, "{model} flow does not roundtrip");
+    }
+}
+
+#[test]
+fn predicted_latency_tracks_simulation() {
+    // The DP's analytic total and the simulator's execution of the
+    // emitted flow implement the same model; they must agree closely.
+    let arch = presets::dynaplasia();
+    for model in ["resnet18", "vgg11"] {
+        let w = build(model, 1, 0, 0, 1.0, 1).unwrap();
+        let g = match &w {
+            cmswitch::bench::workloads::Workload::Single(g) => g.clone(),
+            _ => unreachable!("cnn"),
+        };
+        let program = Compiler::new(arch.clone(), CompilerOptions::default())
+            .compile(&g)
+            .unwrap();
+        let report = simulate(&program.flow, &arch).unwrap();
+        let ratio = report.total_cycles / program.predicted_latency;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{model}: sim/predicted = {ratio:.3}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Functional correctness across crates: the int8 CIM execution semantics
+//! (what compute-mode arrays do, §2.1.2) against the f32 reference —
+//! the role the PyTorch comparison plays in §5.1.
+
+use std::collections::HashMap;
+
+use cmswitch::graph::{GraphBuilder, NodeId};
+use cmswitch::sim::functional::{execute, Precision};
+use cmswitch::tensor::Tensor;
+
+fn compare(graph: &cmswitch::graph::Graph, inputs: HashMap<NodeId, Tensor>, rel_tol: f32) {
+    let exact = execute(graph, &inputs, Precision::F32).unwrap();
+    let quant = execute(graph, &inputs, Precision::Int8).unwrap();
+    for out in graph.outputs() {
+        let e = &exact[&out];
+        let q = &quant[&out];
+        let scale = e.data().iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+        let diff = e.max_abs_diff(q).unwrap();
+        assert!(
+            diff <= rel_tol * scale,
+            "{}: rel error {} exceeds {rel_tol}",
+            graph.name(),
+            diff / scale
+        );
+    }
+}
+
+#[test]
+fn mlp_graph_matches_reference() {
+    let g = cmswitch::models::mlp::mlp(2, &[32, 64, 32, 8]).unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert(NodeId(0), Tensor::random(vec![2, 32], 11));
+    compare(&g, inputs, 0.25);
+}
+
+#[test]
+fn small_cnn_matches_reference() {
+    let mut b = GraphBuilder::new("small-cnn");
+    let x = b.input("x", vec![1, 3, 16, 16]);
+    let c1 = b.conv2d("c1", x, 8, 3, 1, 1).unwrap();
+    let r1 = b.relu("r1", c1).unwrap();
+    let p1 = b.max_pool2d("p1", r1, 2, 2).unwrap();
+    let c2 = b.conv2d("c2", p1, 16, 3, 1, 1).unwrap();
+    let r2 = b.relu("r2", c2).unwrap();
+    let g1 = b.global_avg_pool("gap", r2).unwrap();
+    b.linear("fc", g1, 10).unwrap();
+    let g = b.finish().unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert(NodeId(0), Tensor::random(vec![1, 3, 16, 16], 12));
+    compare(&g, inputs, 0.3);
+}
+
+#[test]
+fn residual_block_matches_reference() {
+    let mut b = GraphBuilder::new("resblock");
+    let x = b.input("x", vec![1, 8, 8, 8]);
+    let c1 = b.conv2d("c1", x, 8, 3, 1, 1).unwrap();
+    let r1 = b.relu("r1", c1).unwrap();
+    let c2 = b.conv2d("c2", r1, 8, 3, 1, 1).unwrap();
+    let s = b.add("res", c2, x).unwrap();
+    b.relu("r2", s).unwrap();
+    let g = b.finish().unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert(NodeId(0), Tensor::random(vec![1, 8, 8, 8], 13));
+    compare(&g, inputs, 0.3);
+}
+
+#[test]
+fn tiny_transformer_block_matches_reference() {
+    let cfg = cmswitch::models::transformer::TransformerConfig {
+        name: "tiny".into(),
+        layers: 1,
+        hidden: 32,
+        heads: 4,
+        ffn_hidden: 64,
+        vocab: 50,
+        gated_ffn: false,
+        lm_head: false,
+    };
+    let g = cmswitch::models::transformer::stack(&cfg, 1, 8).unwrap();
+    let mut inputs = HashMap::new();
+    // Token ids as float values.
+    inputs.insert(
+        NodeId(0),
+        Tensor::from_vec(vec![1, 8], (0..8).map(|i| (i * 5 % 50) as f32).collect()).unwrap(),
+    );
+    // Transformers chain many matmuls; int8 noise compounds, so the band
+    // is wider but still must stay in the same ballpark.
+    compare(&g, inputs, 0.6);
+}
+
+#[test]
+fn depthwise_mobilenet_block_matches_reference() {
+    let mut b = GraphBuilder::new("dwblock");
+    let x = b.input("x", vec![1, 8, 12, 12]);
+    let e = b.conv2d("expand", x, 16, 1, 1, 0).unwrap();
+    let r = b.relu("erelu", e).unwrap();
+    let d = b.conv2d_grouped("dw", r, 16, 3, 1, 1, 16).unwrap();
+    let r2 = b.relu("drelu", d).unwrap();
+    b.conv2d("project", r2, 8, 1, 1, 0).unwrap();
+    let g = b.finish().unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert(NodeId(0), Tensor::random(vec![1, 8, 12, 12], 14));
+    compare(&g, inputs, 0.35);
+}
