@@ -83,7 +83,7 @@ impl CimMlc {
                         &alloc,
                     );
                     let total = prev_cost + inter + intra;
-                    if best.map_or(true, |(b, _)| total < b) {
+                    if best.is_none_or(|(b, _)| total < b) {
                         best = Some((total, k));
                     }
                 }

@@ -119,14 +119,13 @@ pub fn run_backends(
 ) -> Result<Vec<RunResult>, CompileError> {
     let mut slots: Vec<Option<Result<RunResult, CompileError>>> =
         (0..backends.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, backend) in slots.iter_mut().zip(backends) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = Some(run_workload(backend.as_ref(), workload));
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     slots
         .into_iter()
         .map(|r| r.expect("every slot filled"))

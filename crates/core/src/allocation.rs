@@ -462,14 +462,11 @@ impl<'a> Allocator<'a> {
             latency: 0.0,
         };
         while alloc.arrays_used() > arch.n_arrays() {
-            let Some((idx, _)) = per_op
+            let (idx, _) = per_op
                 .iter()
                 .enumerate()
                 .filter(|(_, a)| a.mem_in + a.mem_out > 0)
-                .max_by_key(|(_, a)| a.mem_in + a.mem_out)
-            else {
-                return None;
-            };
+                .max_by_key(|(_, a)| a.mem_in + a.mem_out)?;
             if per_op[idx].mem_in > 0 {
                 per_op[idx].mem_in -= 1;
             } else {

@@ -168,7 +168,7 @@ pub fn segment(
                     cm.reload_cost(&list.ops[i..=j], &alloc)
                 };
                 let total = prev_cost + inter + intra;
-                if best.map_or(true, |(b, _)| total < b) {
+                if best.is_none_or(|(b, _)| total < b) {
                     best = Some((total, k));
                 }
             }
@@ -186,7 +186,7 @@ pub fn segment(
     for i in 0..m {
         if let Some(&(cost, _)) = dp.get(&(i, m - 1)) {
             let total = cost + final_wb;
-            if best_end.map_or(true, |(_, b)| total < b) {
+            if best_end.is_none_or(|(_, b)| total < b) {
                 best_end = Some(((i, m - 1), total));
             }
         }

@@ -155,7 +155,7 @@ pub fn stack_with_layers(
     seq: usize,
     layers: usize,
 ) -> Result<Graph, GraphError> {
-    if cfg.hidden % cfg.heads != 0 {
+    if !cfg.hidden.is_multiple_of(cfg.heads) {
         return Err(GraphError::InvalidArgument(format!(
             "hidden {} not divisible by heads {}",
             cfg.hidden, cfg.heads
@@ -191,7 +191,7 @@ pub fn decode_step(
     batch: usize,
     kv_len: usize,
 ) -> Result<Graph, GraphError> {
-    if cfg.hidden % cfg.heads != 0 {
+    if !cfg.hidden.is_multiple_of(cfg.heads) {
         return Err(GraphError::InvalidArgument(format!(
             "hidden {} not divisible by heads {}",
             cfg.hidden, cfg.heads

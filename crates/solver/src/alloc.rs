@@ -358,7 +358,7 @@ mod tests {
                     .enumerate()
                     .map(|(j, &a)| op_latency(&ops[j], a, chip))
                     .fold(0.0, f64::max);
-                if lat.is_finite() && best.map_or(true, |b| lat < b) {
+                if lat.is_finite() && best.is_none_or(|b| lat < b) {
                     *best = Some(lat);
                 }
                 return;

@@ -198,10 +198,7 @@ impl MipProblem {
     pub fn solve(&self) -> Result<MipSolution, SolverError> {
         let root_lower = self.lp.lower.clone();
         let root_upper = self.lp.upper.clone();
-        let root = match self.lp.solve_with_bounds(&root_lower, &root_upper) {
-            Ok(sol) => sol,
-            Err(e) => return Err(e),
-        };
+        let root = self.lp.solve_with_bounds(&root_lower, &root_upper)?;
 
         let mut heap = BinaryHeap::new();
         heap.push(Node {
@@ -254,7 +251,7 @@ impl MipProblem {
                     // Integer feasible: new incumbent.
                     let better = incumbent
                         .as_ref()
-                        .map_or(true, |b| relax.objective > b.objective + INT_TOL);
+                        .is_none_or(|b| relax.objective > b.objective + INT_TOL);
                     if better {
                         incumbent = Some(MipSolution {
                             objective: relax.objective,
@@ -313,7 +310,7 @@ impl MipProblem {
             let frac = (v - v.round()).abs();
             if frac > INT_TOL {
                 let dist = (v - v.floor()).min(v.ceil() - v);
-                if worst.map_or(true, |(_, w)| dist > w) {
+                if worst.is_none_or(|(_, w)| dist > w) {
                     worst = Some((j, dist));
                 }
             }

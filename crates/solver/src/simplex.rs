@@ -105,8 +105,8 @@ impl Tableau {
             // Update reduced costs: eliminate the entering column.
             let factor = c_red[col];
             if factor.abs() > 0.0 {
-                for j in 0..self.n_total {
-                    c_red[j] -= factor * self.a[row][j];
+                for (cj, &arj) in c_red.iter_mut().zip(&self.a[row]) {
+                    *cj -= factor * arj;
                 }
             }
         }
@@ -124,8 +124,8 @@ pub(crate) fn solve(
 
     // Shift: y_j = x_j - lb_j >= 0; constant objective offset.
     let mut obj_offset = 0.0;
-    for j in 0..n {
-        obj_offset += lp.objective[j] * lower[j];
+    for (c, lb) in lp.objective.iter().zip(lower) {
+        obj_offset += c * lb;
     }
 
     // Collect rows: original constraints with shifted RHS, plus upper-bound
@@ -252,9 +252,9 @@ pub(crate) fn solve(
                 }
             }
         }
-        for j in 0..n_total {
-            if is_artificial[j] {
-                tab.banned[j] = true;
+        for (banned, &artificial) in tab.banned.iter_mut().zip(&is_artificial) {
+            if artificial {
+                *banned = true;
             }
         }
     }
@@ -289,8 +289,8 @@ fn canonicalize(tab: &Tableau, c: &mut [f64], obj: &mut f64) {
     for r in 0..tab.a.len() {
         let coef = c[tab.basis[r]];
         if coef.abs() > 0.0 {
-            for j in 0..tab.n_total {
-                c[j] -= coef * tab.a[r][j];
+            for (cj, &arj) in c.iter_mut().zip(&tab.a[r]) {
+                *cj -= coef * arj;
             }
             *obj += coef * tab.b[r];
         }

@@ -33,6 +33,7 @@ pub struct ConvAsMatmul {
 ///
 /// Returns [`TensorError::InvalidArgument`] for zero stride or kernels that
 /// do not fit the padded input.
+#[allow(clippy::too_many_arguments)] // mirrors the full conv parameter list
 pub fn conv_matmul_dims(
     batch: usize,
     in_channels: usize,

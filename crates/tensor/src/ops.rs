@@ -81,9 +81,9 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor, TensorError> {
         });
     }
     let mut out = vec![0.0f32; m];
-    for i in 0..m {
+    for (i, o) in out.iter_mut().enumerate() {
         let row = &a.data()[i * k..(i + 1) * k];
-        out[i] = row.iter().zip(x.data()).map(|(a, b)| a * b).sum();
+        *o = row.iter().zip(x.data()).map(|(a, b)| a * b).sum();
     }
     Tensor::from_vec(vec![m], out)
 }

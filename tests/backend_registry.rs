@@ -1,0 +1,23 @@
+//! Smoke test: the backend registry exposed through the facade crate
+//! resolves every published backend name and rejects unknown ones.
+
+use cmswitch::prelude::*;
+
+#[test]
+fn by_name_resolves_all_published_backends() {
+    for name in ["puma", "occ", "cim-mlc", "cmswitch"] {
+        let backend = by_name(name, presets::tiny())
+            .unwrap_or_else(|| panic!("backend {name:?} must resolve"));
+        assert_eq!(backend.name(), name);
+    }
+}
+
+#[test]
+fn by_name_rejects_unknown_names() {
+    for bogus in ["", "gpu", "CMSWITCH", "cim_mlc", "puma "] {
+        assert!(
+            by_name(bogus, presets::tiny()).is_none(),
+            "unknown backend {bogus:?} must not resolve"
+        );
+    }
+}

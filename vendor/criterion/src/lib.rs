@@ -1,0 +1,149 @@
+//! Offline stand-in for `criterion` covering the macro/API surface the
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, bench_with_input, finish}`, `BenchmarkId::new`, and
+//! `Bencher::iter`. Each benchmark runs `sample_size` timed iterations after
+//! one warm-up and reports mean wall-clock time — no statistics, plots, or
+//! CLI filtering.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+pub struct Bencher {
+    samples: u64,
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters += self.samples;
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        if self.iters == 0 {
+            println!("{group}/{name}: no samples recorded");
+            return;
+        }
+        let mean = self.total_nanos as f64 / self.iters as f64;
+        println!("{group}/{name}: mean {:.3} ms over {} iters", mean / 1e6, self.iters);
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total_nanos: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total_nanos: 0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.benchmark_group(&id).bench_function("single", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for `proptest` covering the surface this workspace uses:
+//! the `proptest! {}` macro over `arg in strategy` bindings, integer/float
+//! `Range` strategies, `collection::vec`, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_assume!`, `ProptestConfig::with_cases`, and `TestCaseError`.
+//!
+//! Cases are sampled deterministically (seeded xorshift), so failures
+//! reproduce exactly; there is no shrinking.
+
+use std::fmt;
+
+pub use rand::rngs::SmallRng as CaseRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// A source of sampled values for one generated test case.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut CaseRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut CaseRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+pub mod collection {
+    use super::{CaseRng, Strategy};
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Strategy producing a `Vec` whose length is drawn from `len` and whose
+    /// elements are drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut CaseRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::fmt;
+
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — skip this case, it does not count.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(_reason: impl Into<String>) -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject => write!(f, "rejected by prop_assume!"),
+                TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[doc(hidden)]
+pub fn __fresh_rng(case: u64) -> CaseRng {
+    CaseRng::seed_from_u64(0xcafe_f00d ^ case.wrapping_mul(0x9e37_79b9))
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!{ @with_cfg ($cfg) $($rest)* }
+    };
+    ( @with_cfg ($cfg:expr)
+      $( #[test] fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                for case in 0..cfg.cases as u64 {
+                    let mut __rng = $crate::__fresh_rng(case);
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject) => continue,
+                        Err(e) => panic!("proptest case {case} of {}: {e}", stringify!($name)),
+                    }
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!{ @with_cfg ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn ranges_and_vecs_sample_in_bounds(
+            n in 1usize..5,
+            x in -2.0f64..3.0,
+            v in collection::vec(1usize..6, 1..4),
+        ) {
+            prop_assume!(n != 4);
+            prop_assert!((1..5).contains(&n));
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&d| (1..6).contains(&d)));
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

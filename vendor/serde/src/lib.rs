@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the two trait names the workspace imports plus re-exported no-op
+//! derive macros. No serialization actually happens anywhere in the repo;
+//! the derives exist so struct definitions keep their upstream shape and can
+//! pick up the real serde once registry access exists (swap the `[patch]`
+//! path in the workspace manifest).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name. Never implemented by the
+/// no-op derive; present only so `use serde::Serialize` resolves.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de>: Sized {}
