@@ -134,6 +134,59 @@ impl DualModeArch {
             .div_ceil(self.write_parallelism.max(1))
     }
 
+    /// A stable 64-bit fingerprint of every parameter that influences
+    /// compilation decisions (FNV-1a over the Fig. 8 parameter set).
+    ///
+    /// Two architectures with equal fingerprints produce identical cost
+    /// models and therefore identical per-segment allocations, so the
+    /// fingerprint is a sound cache key component for cross-model
+    /// allocation reuse ([`crate::presets`] instances all differ). The
+    /// `name` is deliberately excluded: a renamed but otherwise identical
+    /// chip may share cached allocations.
+    pub fn fingerprint(&self) -> u64 {
+        // Exhaustive destructuring (no `..`): adding a field to
+        // `DualModeArch` fails to compile here until the fingerprint
+        // accounts for it, so no parameter can silently fall out of the
+        // allocation-cache key.
+        let &DualModeArch {
+            name: _,
+            n_arrays,
+            array_rows,
+            array_cols,
+            buffer_bytes,
+            internal_bw,
+            extern_bw,
+            buffer_bw,
+            compute_pass_cycles,
+            switch_m2c_cycles,
+            switch_c2m_cycles,
+            write_row_cycles,
+            write_parallelism,
+            write_cost_factor,
+            switch_method,
+        } = self;
+        let words = [
+            n_arrays as u64,
+            array_rows as u64,
+            array_cols as u64,
+            buffer_bytes,
+            internal_bw,
+            extern_bw,
+            buffer_bw,
+            compute_pass_cycles,
+            switch_m2c_cycles,
+            switch_c2m_cycles,
+            write_row_cycles,
+            write_parallelism,
+            write_cost_factor,
+            match switch_method {
+                SwitchMethod::GlobalWordline => 0,
+                SwitchMethod::BitlineDriver => 1,
+            },
+        ];
+        cmswitch_solver::stable_hash64(&words)
+    }
+
     /// Number of array tiles needed to hold a `k × n` weight matrix
     /// (the minimal compute-array requirement of an operator).
     pub fn weight_tiles(&self, k: usize, n: usize) -> usize {
@@ -361,6 +414,22 @@ mod tests {
         let dram = DualModeArch::builder("d").build().unwrap();
         let reram = DualModeArch::builder("r").write_cost_factor(4).build().unwrap();
         assert_eq!(reram.lat_write_array(), 4 * dram.lat_write_array());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_parameters_not_names() {
+        let base = DualModeArch::builder("a").build().unwrap();
+        let renamed = DualModeArch::builder("b").build().unwrap();
+        assert_eq!(base.fingerprint(), renamed.fingerprint());
+        let bigger = DualModeArch::builder("a").n_arrays(128).build().unwrap();
+        assert_ne!(base.fingerprint(), bigger.fingerprint());
+        let slower = DualModeArch::builder("a").switch_cycles(2, 1).build().unwrap();
+        assert_ne!(base.fingerprint(), slower.fingerprint());
+        let reram = DualModeArch::builder("a")
+            .switch_method(SwitchMethod::BitlineDriver)
+            .build()
+            .unwrap();
+        assert_ne!(base.fingerprint(), reram.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Batch-compilation service bench: cold vs warm allocation cache at
+//! 1/2/4 workers over a small model fleet.
+//!
+//! The cold case builds a fresh service (empty cache) per iteration; the
+//! warm case reuses one pre-warmed service, so every segment allocation
+//! is a cache hit and the measured time is pure DP + codegen. On
+//! multi-core machines the worker sweep additionally shows batch
+//! scaling; on one core it shows the pool costs nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cmswitch_arch::presets;
+use cmswitch_core::{BatchJob, CompileService, ServiceOptions};
+use cmswitch_models::registry;
+
+/// A fleet small enough for tight iteration but with cross-model shape
+/// reuse (two BERT sizes) and a CNN to keep the cache honest.
+fn fleet() -> Vec<BatchJob> {
+    ["bert-base", "bert-large", "mobilenetv2"]
+        .iter()
+        .map(|name| {
+            BatchJob::new(*name, registry::build(name, 1, 32).expect("registered model"))
+        })
+        .collect()
+}
+
+fn service(workers: usize) -> CompileService {
+    CompileService::new(
+        presets::dynaplasia(),
+        ServiceOptions {
+            workers,
+            ..ServiceOptions::default()
+        },
+    )
+}
+
+fn bench_service(c: &mut Criterion) {
+    let jobs = fleet();
+    let mut group = c.benchmark_group("batch_compile_service");
+    group.sample_size(3);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("cold", workers),
+            &jobs,
+            |b, jobs| {
+                b.iter(|| {
+                    let report = service(workers).compile_batch(jobs);
+                    assert_eq!(report.stats.failed, 0);
+                    report.stats.solver_invocations()
+                })
+            },
+        );
+        let warmed = service(workers);
+        let _ = warmed.compile_batch(&jobs);
+        group.bench_with_input(
+            BenchmarkId::new("warm", workers),
+            &jobs,
+            |b, jobs| {
+                b.iter(|| {
+                    let report = warmed.compile_batch(jobs);
+                    assert_eq!(report.stats.solver_invocations(), 0);
+                    report.stats.cache_hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -21,10 +21,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
-use cmswitch_solver::{alloc as fast, MipProblem, Relation};
+use cmswitch_solver::{alloc as fast, stable_hash64, MipProblem, Relation};
 
 use crate::cost::CostModel;
 use crate::frontend::SegOp;
@@ -55,6 +56,17 @@ pub struct SegmentAllocation {
 }
 
 impl SegmentAllocation {
+    /// The allocation of an empty segment: no arrays, zero latency. Used
+    /// as the "previous segment" when costing the first segment's mode
+    /// switches (every array starts in memory mode).
+    pub fn empty() -> Self {
+        SegmentAllocation {
+            ops: Vec::new(),
+            reuse: Vec::new(),
+            latency: 0.0,
+        }
+    }
+
     /// Total compute arrays.
     pub fn total_compute(&self) -> usize {
         self.ops.iter().map(|o| o.compute).sum()
@@ -106,22 +118,143 @@ impl AllocatorStats {
     }
 }
 
+/// A thread-safe cache of per-segment allocation results, shareable
+/// across compilations, models and threads.
+///
+/// Entries are bucketed by a stable 64-bit hash of the full signature
+/// `(architecture fingerprint, allocator kind, segment signature)` — see
+/// [`cmswitch_arch::DualModeArch::fingerprint`] and
+/// [`cmswitch_solver::stable_hash64`] — so:
+///
+/// * identical segments *within* one model (repeated transformer blocks)
+///   and *across* models (the same block shape in different networks)
+///   resolve to one entry and one solver invocation,
+/// * compilations for different architectures or allocator kinds never
+///   alias: a changed chip preset changes the fingerprint, which
+///   effectively invalidates every prior entry for that compiler.
+///
+/// The full signature word sequence is stored alongside each entry and
+/// compared on lookup, so a 64-bit hash collision costs at worst a
+/// redundant solve (the colliding signatures fight over one bucket,
+/// last writer wins) — it can never return another segment's
+/// allocation.
+///
+/// Infeasible segments (`None`) are cached too — re-proving infeasibility
+/// costs a solver run just like a solve does.
+#[derive(Debug, Default)]
+pub struct AllocationCache {
+    map: RwLock<HashMap<u64, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// One cache bucket: the full signature it belongs to (verified on
+/// lookup) and the allocation result (`None` = proven infeasible).
+type CacheEntry = (Vec<u64>, Option<SegmentAllocation>);
+
+impl AllocationCache {
+    /// Creates an empty cache behind an [`Arc`], ready to be shared.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Number of cached segment allocations (feasible and infeasible).
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Lifetime cache hits (lookups answered without a solver run).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime cache misses (lookups that required a solver run).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime hit rate in `[0, 1]` (`0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Drops every entry and resets the hit/miss counters.
+    pub fn clear(&self) {
+        self.map.write().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn get(&self, sig: &[u64]) -> Option<Option<SegmentAllocation>> {
+        let hit = match self.map.read().get(&stable_hash64(sig)) {
+            Some((stored, value)) if stored == sig => Some(value.clone()),
+            _ => None,
+        };
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn insert(&self, sig: Vec<u64>, value: Option<SegmentAllocation>) {
+        let key = stable_hash64(&sig);
+        self.map.write().insert(key, (sig, value));
+    }
+}
+
 /// The per-segment allocator with its signature cache.
 pub struct Allocator<'a> {
     cm: CostModel<'a>,
     kind: AllocatorKind,
-    cache: Option<Mutex<HashMap<Vec<u64>, Option<SegmentAllocation>>>>,
+    cache: Option<Arc<AllocationCache>>,
+    /// `(arch fingerprint, allocator kind)` prefix of every cache
+    /// signature this allocator produces.
+    sig_prefix: [u64; 2],
     /// Solve counters.
     pub stats: AllocatorStats,
 }
 
 impl<'a> Allocator<'a> {
-    /// Creates an allocator for `arch` (via its cost model).
+    /// Creates an allocator for `arch` (via its cost model) with a
+    /// private cache (when `reuse_cache`) that lives as long as the
+    /// allocator — one compilation, typically.
     pub fn new(cm: CostModel<'a>, kind: AllocatorKind, reuse_cache: bool) -> Self {
+        let cache = reuse_cache.then(AllocationCache::new);
+        Self::build(cm, kind, cache)
+    }
+
+    /// Creates an allocator whose results are read from and written to
+    /// `cache`, which outlives the allocator and may be shared across
+    /// compilations and threads (the batch-compilation path of
+    /// [`crate::CompileService`]).
+    pub fn with_cache(cm: CostModel<'a>, kind: AllocatorKind, cache: Arc<AllocationCache>) -> Self {
+        Self::build(cm, kind, Some(cache))
+    }
+
+    fn build(cm: CostModel<'a>, kind: AllocatorKind, cache: Option<Arc<AllocationCache>>) -> Self {
+        let sig_prefix = [
+            cm.arch().fingerprint(),
+            match kind {
+                AllocatorKind::Mip => 0,
+                AllocatorKind::Fast => 1,
+            },
+        ];
         Allocator {
             cm,
             kind,
-            cache: reuse_cache.then(|| Mutex::new(HashMap::new())),
+            cache,
+            sig_prefix,
             stats: AllocatorStats::default(),
         }
     }
@@ -135,25 +268,24 @@ impl<'a> Allocator<'a> {
         local_deps: &[(usize, usize, u64)],
     ) -> Option<SegmentAllocation> {
         if ops.is_empty() {
-            return Some(SegmentAllocation {
-                ops: Vec::new(),
-                reuse: Vec::new(),
-                latency: 0.0,
-            });
+            return Some(SegmentAllocation::empty());
         }
-        let key = self.cache.as_ref().map(|_| signature(ops, local_deps));
-        if let (Some(cache), Some(key)) = (&self.cache, &key) {
-            if let Some(hit) = cache.lock().get(key) {
+        let sig = self
+            .cache
+            .as_ref()
+            .map(|_| signature(&self.sig_prefix, ops, local_deps));
+        if let (Some(cache), Some(sig)) = (&self.cache, &sig) {
+            if let Some(hit) = cache.get(sig) {
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return hit.clone();
+                return hit;
             }
         }
         let result = match self.kind {
             AllocatorKind::Mip => self.solve_mip(ops, local_deps),
             AllocatorKind::Fast => self.solve_fast(ops, local_deps),
         };
-        if let (Some(cache), Some(key)) = (&self.cache, key) {
-            cache.lock().insert(key, result.clone());
+        if let (Some(cache), Some(sig)) = (&self.cache, sig) {
+            cache.insert(sig, result.clone());
         }
         result
     }
@@ -295,7 +427,8 @@ impl<'a> Allocator<'a> {
                     .unwrap_or(0);
                 values[rvar.index()] = r as f64;
             }
-            mip.set_warm_start(values);
+            let accepted = mip.set_warm_start(values);
+            debug_assert!(accepted, "warm start built against mip's own n_vars");
         }
 
         let sol = match mip.solve() {
@@ -509,8 +642,14 @@ fn compute_reuse(
     reuse
 }
 
-fn signature(ops: &[SegOp], local_deps: &[(usize, usize, u64)]) -> Vec<u64> {
-    let mut sig = Vec::with_capacity(ops.len() * 8 + local_deps.len() * 3);
+/// The full cache signature: the allocator's `(arch fingerprint, kind)`
+/// prefix followed by everything about the segment that the allocators
+/// read — per-op shapes, units, operand residency, data volumes and the
+/// local dependency structure. Op *names* are excluded on purpose — that
+/// is what lets layer 17's attention block reuse layer 3's allocation.
+fn signature(prefix: &[u64; 2], ops: &[SegOp], local_deps: &[(usize, usize, u64)]) -> Vec<u64> {
+    let mut sig = Vec::with_capacity(2 + ops.len() * 8 + local_deps.len() * 3 + 1);
+    sig.extend_from_slice(prefix);
     for op in ops {
         sig.extend_from_slice(&[
             op.m as u64,
@@ -534,6 +673,13 @@ fn signature(ops: &[SegOp], local_deps: &[(usize, usize, u64)]) -> Vec<u64> {
 mod tests {
     use super::*;
     use cmswitch_arch::presets;
+
+    fn shared<'a>(
+        arch: &'a cmswitch_arch::DualModeArch,
+        cache: &Arc<AllocationCache>,
+    ) -> Allocator<'a> {
+        Allocator::with_cache(CostModel::new(arch), AllocatorKind::Fast, Arc::clone(cache))
+    }
 
     fn seg_op(name: &str, m: usize, k: usize, n: usize, stat: bool) -> SegOp {
         SegOp {
@@ -623,6 +769,90 @@ mod tests {
         let (_, fast, hits) = alloc.stats.snapshot();
         assert_eq!(fast, 1);
         assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn shared_cache_spans_allocators_with_one_solve() {
+        // Two allocators (e.g. two compilations of different models on
+        // different threads) sharing one cache: the segment is solved
+        // exactly once, and both get the identical allocation.
+        let arch = presets::tiny();
+        let cache = AllocationCache::new();
+        let a1 = shared(&arch, &cache);
+        let a2 = shared(&arch, &cache);
+        let ops = vec![seg_op("block", 64, 64, 64, true)];
+        let r1 = a1.allocate(&ops, &[]).unwrap();
+        let r2 = a2.allocate(&ops, &[]).unwrap();
+        assert_eq!(r1, r2);
+        let (_, fast1, _) = a1.stats.snapshot();
+        let (_, fast2, _) = a2.stats.snapshot();
+        assert_eq!(fast1 + fast2, 1, "exactly one solver invocation");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arch_change_invalidates_shared_cache_entries() {
+        // Same segment, same shared cache, different chip preset: the
+        // fingerprint differs, so the second allocator must re-solve
+        // rather than reuse an allocation sized for the other chip.
+        let tiny = presets::tiny();
+        let dyna = presets::dynaplasia();
+        assert_ne!(tiny.fingerprint(), dyna.fingerprint());
+        let cache = AllocationCache::new();
+        let ops = vec![seg_op("block", 64, 64, 64, true)];
+        let a_tiny = shared(&tiny, &cache);
+        let a_dyna = shared(&dyna, &cache);
+        let _ = a_tiny.allocate(&ops, &[]).unwrap();
+        let _ = a_dyna.allocate(&ops, &[]).unwrap();
+        let (_, f1, _) = a_tiny.stats.snapshot();
+        let (_, f2, _) = a_dyna.stats.snapshot();
+        assert_eq!(f1, 1);
+        assert_eq!(f2, 1, "different arch must not hit the other's entry");
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 2);
+        // Re-running on either arch now hits.
+        let a_again = shared(&dyna, &cache);
+        let _ = a_again.allocate(&ops, &[]).unwrap();
+        assert_eq!(cache.hits(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+
+    #[test]
+    fn hash_collision_cannot_alias_signatures() {
+        // Simulate the 2^-64 pathological case directly: a bucket whose
+        // stored signature differs from the probe's. The lookup must
+        // miss (and later re-solve) rather than return the alien entry.
+        let cache = AllocationCache::new();
+        let stored_sig = vec![1u64, 2, 3];
+        let probe_sig = vec![4u64, 5, 6];
+        cache.map.write().insert(
+            stable_hash64(&probe_sig),
+            (stored_sig.clone(), Some(SegmentAllocation::empty())),
+        );
+        assert!(cache.get(&probe_sig).is_none(), "collision must miss");
+        assert_eq!(cache.misses(), 1);
+        // The genuine owner of the bucket's signature still hits.
+        cache.insert(stored_sig.clone(), None);
+        assert_eq!(cache.get(&stored_sig), Some(None));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn allocator_kind_separates_cache_entries() {
+        let arch = presets::tiny();
+        let cache = AllocationCache::new();
+        let mip = Allocator::with_cache(CostModel::new(&arch), AllocatorKind::Mip, Arc::clone(&cache));
+        let fast = Allocator::with_cache(CostModel::new(&arch), AllocatorKind::Fast, Arc::clone(&cache));
+        let ops = vec![seg_op("a", 64, 64, 64, true)];
+        let _ = mip.allocate(&ops, &[]);
+        let _ = fast.allocate(&ops, &[]);
+        assert_eq!(cache.hits(), 0, "Mip and Fast results must not alias");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -1,10 +1,11 @@
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cmswitch_arch::DualModeArch;
 use cmswitch_graph::Graph;
 use cmswitch_metaop::Flow;
 
-use crate::allocation::{Allocator, SegmentAllocation};
+use crate::allocation::{AllocationCache, Allocator, SegmentAllocation};
 use crate::cost::CostModel;
 use crate::frontend::{lower_graph, SegOp};
 use crate::partition::partition;
@@ -154,15 +155,53 @@ impl Compiler {
     ///   chip even after partitioning,
     /// * [`CompileError::NoFeasibleSchedule`] if segmentation fails.
     pub fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
+        self.compile_inner(graph, None)
+    }
+
+    /// Compiles a graph like [`Compiler::compile`], but reads and writes
+    /// per-segment allocations through the shared `cache` instead of a
+    /// fresh per-compilation one.
+    ///
+    /// Entries are keyed by architecture fingerprint, allocator kind and
+    /// segment signature, so sharing one cache across models — or across
+    /// compilers targeting different chips — is sound: a segment hit
+    /// yields the exact allocation a fresh solve would have produced.
+    /// This is the engine under [`crate::CompileService`]'s warm-cache
+    /// batch path. When `options.reuse_cache` is `false` the cache is
+    /// bypassed entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Compiler::compile`].
+    pub fn compile_with_cache(
+        &self,
+        graph: &Graph,
+        cache: &Arc<AllocationCache>,
+    ) -> Result<CompiledProgram, CompileError> {
+        self.compile_inner(graph, Some(cache))
+    }
+
+    fn compile_inner(
+        &self,
+        graph: &Graph,
+        cache: Option<&Arc<AllocationCache>>,
+    ) -> Result<CompiledProgram, CompileError> {
         let start = Instant::now();
         let list = lower_graph(graph, &self.arch)?;
         let list = partition(&list, &self.arch, self.options.partition_budget)?;
         let cm = CostModel::new(&self.arch);
-        let allocator = Allocator::new(
-            CostModel::new(&self.arch),
-            self.options.allocator,
-            self.options.reuse_cache,
-        );
+        let allocator = match cache {
+            Some(cache) if self.options.reuse_cache => Allocator::with_cache(
+                CostModel::new(&self.arch),
+                self.options.allocator,
+                Arc::clone(cache),
+            ),
+            _ => Allocator::new(
+                CostModel::new(&self.arch),
+                self.options.allocator,
+                self.options.reuse_cache,
+            ),
+        };
         let segres = segment(&list, &allocator, &cm, &self.options)?;
         let flow = codegen::generate(graph.name(), &list, &segres.segments, &self.arch)?;
         cmswitch_metaop::validate(&flow)?;

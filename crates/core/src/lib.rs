@@ -18,6 +18,11 @@
 //! 3. [`codegen`] assigns physical arrays, inserts `CM.switch(TOM|TOC)`
 //!    statements and emits the final [`cmswitch_metaop::Flow`].
 //!
+//! For model *fleets*, [`service`] wraps the compiler in a
+//! [`CompileService`]: concurrent batch compilation over a worker pool
+//! with a shared cross-model [`AllocationCache`], so repeated segment
+//! shapes — within a model or across models — are solved once.
+//!
 //! # Example
 //!
 //! ```
@@ -32,6 +37,8 @@
 //! # Ok::<(), cmswitch_core::CompileError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod compiler;
 mod error;
 
@@ -41,9 +48,12 @@ pub mod cost;
 pub mod frontend;
 pub mod partition;
 pub mod segment;
+pub mod service;
 
+pub use allocation::AllocationCache;
 pub use compiler::{assemble_program, CompiledProgram, Compiler, CompileStats, SegmentPlan};
 pub use error::CompileError;
+pub use service::{BatchJob, BatchOutcome, BatchReport, BatchStats, CompileService, ServiceOptions};
 
 /// Which per-segment allocator the compiler uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

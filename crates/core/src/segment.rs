@@ -129,12 +129,7 @@ pub fn segment(
                 // First segment: all arrays start in memory mode; charge
                 // the switches to compute mode and the initial weight load.
                 let cost = if opts.switch_aware {
-                    let empty = SegmentAllocation {
-                        ops: Vec::new(),
-                        reuse: Vec::new(),
-                        latency: 0.0,
-                    };
-                    cm.switch_cost(&empty, &alloc)
+                    cm.switch_cost(&SegmentAllocation::empty(), &alloc)
                         + cm.reload_cost(&list.ops[i..=j], &alloc)
                 } else {
                     0.0
@@ -213,12 +208,8 @@ pub fn segment(
         let alloc = alloc_of(i, j).expect("allocation on optimal path");
         let inter_before = match &prev {
             None => {
-                let empty = SegmentAllocation {
-                    ops: Vec::new(),
-                    reuse: Vec::new(),
-                    latency: 0.0,
-                };
-                cm.switch_cost(&empty, &alloc) + cm.reload_cost(&list.ops[i..=j], &alloc)
+                cm.switch_cost(&SegmentAllocation::empty(), &alloc)
+                    + cm.reload_cost(&list.ops[i..=j], &alloc)
             }
             Some((prange, palloc)) => cm.inter_cost(
                 list,
@@ -321,12 +312,7 @@ mod tests {
             real += s.intra;
             match prev {
                 None => {
-                    let empty = SegmentAllocation {
-                        ops: Vec::new(),
-                        reuse: Vec::new(),
-                        latency: 0.0,
-                    };
-                    real += cm.switch_cost(&empty, &s.alloc)
+                    real += cm.switch_cost(&SegmentAllocation::empty(), &s.alloc)
                         + cm.reload_cost(&list.ops[s.range.0..=s.range.1], &s.alloc);
                 }
                 Some((p, prange)) => {

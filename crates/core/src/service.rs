@@ -1,0 +1,490 @@
+//! Batch compilation service: many models, many threads, one
+//! allocation cache.
+//!
+//! Compiling a fleet of models one-by-one wastes the structure the paper
+//! itself points out (§5.6): DNNs — transformers especially — repeat
+//! identical blocks, and identical blocks across *different* models
+//! (BERT-base and BERT-large share layer shapes, LLaMA and OPT share
+//! projection shapes at equal hidden sizes) produce identical per-segment
+//! allocation problems. [`CompileService`] exploits both axes:
+//!
+//! * **Concurrency** — a batch of named graphs is compiled by a pool of
+//!   `workers` OS threads ([`std::thread::scope`]); jobs are pulled from a
+//!   shared atomic counter, so long models do not convoy short ones.
+//! * **Cross-model allocation caching** — every compilation reads and
+//!   writes one shared [`AllocationCache`], keyed by a stable hash of
+//!   `(architecture fingerprint, allocator kind, segment signature)`.
+//!   A segment seen in any earlier model — or earlier batch — skips the
+//!   MIP solve entirely and reuses the identical allocation.
+//!
+//! Cached hits return exactly what a fresh solve would have produced, so
+//! results are deterministic: the same batch compiled with 1 or 8 workers,
+//! cold or warm, yields bit-identical schedules. Two workers racing on the
+//! same segment may both solve it (best-effort dedup; both compute the
+//! same value and the insert is idempotent), which costs a duplicated
+//! solve but never correctness.
+//!
+//! # Example
+//!
+//! ```
+//! use cmswitch_arch::presets;
+//! use cmswitch_core::{BatchJob, CompileService, ServiceOptions};
+//!
+//! let service = CompileService::new(presets::tiny(), ServiceOptions::default());
+//! let jobs = vec![
+//!     BatchJob::new("a", cmswitch_models::mlp::mlp(1, &[64, 64, 64]).unwrap()),
+//!     BatchJob::new("b", cmswitch_models::mlp::mlp(1, &[64, 64, 64]).unwrap()),
+//! ];
+//! let report = service.compile_batch(&jobs);
+//! assert_eq!(report.stats.compiled, 2);
+//! // Model "b" is shape-identical to "a": its segments all hit the cache.
+//! assert!(report.stats.cache_hits > 0);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cmswitch_arch::DualModeArch;
+use cmswitch_graph::Graph;
+use parking_lot::Mutex;
+
+use crate::allocation::AllocationCache;
+use crate::{CompileError, CompiledProgram, Compiler, CompilerOptions};
+
+/// Configuration of a [`CompileService`].
+///
+/// The default is auto-sized workers (`0`) and default
+/// [`CompilerOptions`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceOptions {
+    /// Worker threads for batch compilation. `0` means auto: the
+    /// machine's available parallelism, capped at 8.
+    pub workers: usize,
+    /// Options passed to every per-model [`Compiler`].
+    pub compiler: CompilerOptions,
+}
+
+/// One named compilation request in a batch.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Display name of the model (reported back in [`BatchOutcome`]).
+    pub name: String,
+    /// The graph to compile.
+    pub graph: Graph,
+}
+
+impl BatchJob {
+    /// Creates a job compiling `graph` under `name`.
+    pub fn new(name: impl Into<String>, graph: Graph) -> Self {
+        BatchJob {
+            name: name.into(),
+            graph,
+        }
+    }
+}
+
+/// Result of one job in a batch.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The job's name.
+    pub name: String,
+    /// Wall-clock time this model spent compiling (on its worker).
+    pub wall: Duration,
+    /// The compiled program, or the per-model failure. One model failing
+    /// never sinks the rest of the batch.
+    pub result: Result<CompiledProgram, CompileError>,
+}
+
+/// Aggregate statistics of one [`CompileService::compile_batch`] call.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Wall-clock time of the whole batch (all workers).
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Models compiled successfully.
+    pub compiled: usize,
+    /// Models that failed to compile.
+    pub failed: usize,
+    /// Allocation-cache hits during the batch — each one an allocation
+    /// solve the cache saved.
+    pub cache_hits: u64,
+    /// Allocation-cache misses during the batch — each one went to a
+    /// solver. (Measured as the cache's hit/miss delta over the batch,
+    /// so if the cache is concurrently shared with *another* running
+    /// service, that service's traffic is attributed here too.)
+    pub cache_misses: u64,
+    /// MIP solves performed by the batch's *successfully compiled*
+    /// models (a model that errors mid-compilation drops its per-model
+    /// counters; its lookups still appear in the cache deltas above).
+    pub mip_solves: u64,
+    /// Fast-allocator solves performed by the batch's successfully
+    /// compiled models. Note every MIP solve also runs one embedded
+    /// fast solve as its warm start, so under
+    /// [`crate::AllocatorKind::Mip`] a single cache miss increments
+    /// both counters.
+    pub fast_solves: u64,
+}
+
+impl BatchStats {
+    /// Solver invocations performed by successfully compiled models
+    /// (MIP + fast, counting a MIP solve and its embedded warm-start
+    /// fast solve separately).
+    pub fn solver_invocations(&self) -> u64 {
+        self.mip_solves + self.fast_solves
+    }
+
+    /// Allocation solves the cache saved (one per hit; under the MIP
+    /// allocator each would have cost a MIP *and* its warm-start fast
+    /// solve).
+    pub fn solves_saved(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Cache hit rate over the batch's allocation lookups
+    /// (`hits / (hits + misses)`), in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Everything a batch produced: per-model outcomes in job order, plus
+/// aggregate statistics.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-job outcomes, in the order the jobs were submitted.
+    pub outcomes: Vec<BatchOutcome>,
+    /// Aggregate statistics.
+    pub stats: BatchStats,
+}
+
+impl BatchReport {
+    /// The outcome for the job named `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&BatchOutcome> {
+        self.outcomes.iter().find(|o| o.name == name)
+    }
+
+    /// A human-readable per-model summary table (used by the
+    /// `batch_compile` example and handy in logs).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for o in &self.outcomes {
+            match &o.result {
+                Ok(p) => {
+                    let _ = writeln!(
+                        out,
+                        "{:>14}  {:>9.1?}  {:>4} segments  {:>5} solves  {:>5} hits",
+                        o.name, o.wall, p.stats.n_segments, p.stats.mip_solves + p.stats.fast_solves, p.stats.cache_hits,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{:>14}  {:>9.1?}  FAILED: {e}", o.name, o.wall);
+                }
+            }
+        }
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "batch: {}/{} ok in {:.1?} on {} workers — {} solver invocations, {} saved by cache ({:.0}% hit rate)",
+            s.compiled,
+            s.compiled + s.failed,
+            s.wall,
+            s.workers,
+            s.solver_invocations(),
+            s.solves_saved(),
+            s.hit_rate() * 100.0,
+        );
+        out
+    }
+}
+
+/// A compilation service for model fleets: one architecture, one options
+/// set, a persistent cross-model [`AllocationCache`], and a thread pool
+/// per batch.
+///
+/// The cache persists across [`CompileService::compile_batch`] calls, so
+/// a service that has compiled a fleet once recompiles it (or compiles
+/// shape-related models) mostly from cache — the *warm-cache* path the
+/// `bench_service` benchmark measures. Share one cache between services
+/// targeting different chips freely: keys embed the architecture
+/// fingerprint, so entries never leak across architectures.
+#[derive(Debug)]
+pub struct CompileService {
+    compiler: Compiler,
+    workers: usize,
+    cache: Arc<AllocationCache>,
+}
+
+impl CompileService {
+    /// Creates a service for `arch` with a fresh empty cache.
+    pub fn new(arch: DualModeArch, options: ServiceOptions) -> Self {
+        Self::with_cache(arch, options, AllocationCache::new())
+    }
+
+    /// Creates a service reading and writing an existing (possibly
+    /// already warm, possibly shared) cache.
+    pub fn with_cache(
+        arch: DualModeArch,
+        options: ServiceOptions,
+        cache: Arc<AllocationCache>,
+    ) -> Self {
+        let workers = if options.workers == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get().min(8))
+        } else {
+            options.workers
+        };
+        CompileService {
+            compiler: Compiler::new(arch, options.compiler),
+            workers,
+            cache,
+        }
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &DualModeArch {
+        self.compiler.arch()
+    }
+
+    /// The worker-thread count used by [`CompileService::compile_batch`].
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared allocation cache (inspect hit counters, pre-warm it, or
+    /// hand it to another service).
+    pub fn cache(&self) -> &Arc<AllocationCache> {
+        &self.cache
+    }
+
+    /// Compiles a single graph through the shared cache.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Compiler::compile`].
+    pub fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
+        self.compiler.compile_with_cache(graph, &self.cache)
+    }
+
+    /// Compiles a batch of named graphs concurrently.
+    ///
+    /// Jobs are distributed dynamically over the worker pool (an atomic
+    /// work-stealing counter), every job compiles through the shared
+    /// cache, and per-model failures are reported in the job's
+    /// [`BatchOutcome`] without affecting the others. Outcomes are
+    /// returned in submission order regardless of completion order.
+    pub fn compile_batch(&self, jobs: &[BatchJob]) -> BatchReport {
+        let start = Instant::now();
+        let (hits_before, misses_before) = (self.cache.hits(), self.cache.misses());
+        let workers = self.workers.clamp(1, jobs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<BatchOutcome>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let t = Instant::now();
+                    let result = self.compiler.compile_with_cache(&job.graph, &self.cache);
+                    *slots[i].lock() = Some(BatchOutcome {
+                        name: job.name.clone(),
+                        wall: t.elapsed(),
+                        result,
+                    });
+                });
+            }
+        });
+
+        let outcomes: Vec<BatchOutcome> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every job slot filled by scope exit"))
+            .collect();
+
+        let mut stats = BatchStats {
+            wall: start.elapsed(),
+            workers,
+            // Cache deltas rather than per-program sums: they also count
+            // the lookups of models that failed mid-compilation.
+            // Saturating: a concurrent `AllocationCache::clear` resets
+            // the counters, which must skew stats toward zero, not wrap.
+            cache_hits: self.cache.hits().saturating_sub(hits_before),
+            cache_misses: self.cache.misses().saturating_sub(misses_before),
+            ..BatchStats::default()
+        };
+        for o in &outcomes {
+            match &o.result {
+                Ok(p) => {
+                    stats.compiled += 1;
+                    stats.mip_solves += p.stats.mip_solves;
+                    stats.fast_solves += p.stats.fast_solves;
+                }
+                Err(_) => stats.failed += 1,
+            }
+        }
+        BatchReport { outcomes, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+    use cmswitch_models::mlp::mlp;
+
+    fn service(workers: usize) -> CompileService {
+        CompileService::new(
+            presets::tiny(),
+            ServiceOptions {
+                workers,
+                ..ServiceOptions::default()
+            },
+        )
+    }
+
+    fn fleet() -> Vec<BatchJob> {
+        vec![
+            BatchJob::new("mlp-a", mlp(1, &[64, 64, 64, 64]).unwrap()),
+            BatchJob::new("mlp-b", mlp(1, &[64, 64, 64, 64]).unwrap()),
+            BatchJob::new("mlp-c", mlp(2, &[128, 256, 128]).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn batch_preserves_job_order_and_compiles_all() {
+        let report = service(2).compile_batch(&fleet());
+        assert_eq!(
+            report.outcomes.iter().map(|o| o.name.as_str()).collect::<Vec<_>>(),
+            vec!["mlp-a", "mlp-b", "mlp-c"]
+        );
+        assert_eq!(report.stats.compiled, 3);
+        assert_eq!(report.stats.failed, 0);
+        assert!(report.get("mlp-b").unwrap().result.is_ok());
+        assert!(report.get("nope").is_none());
+    }
+
+    #[test]
+    fn identical_models_share_allocations() {
+        // mlp-b is shape-identical to mlp-a: every one of its segment
+        // lookups must hit the cache entry mlp-a populated.
+        let svc = service(1);
+        let report = svc.compile_batch(&fleet());
+        let a = report.get("mlp-a").unwrap().result.as_ref().unwrap();
+        let b = report.get("mlp-b").unwrap().result.as_ref().unwrap();
+        assert!(b.stats.mip_solves + b.stats.fast_solves < a.stats.mip_solves + a.stats.fast_solves);
+        assert_eq!(a.predicted_latency, b.predicted_latency);
+        assert!(report.stats.hit_rate() > 0.0);
+        assert_eq!(report.stats.solves_saved(), report.stats.cache_hits);
+    }
+
+    #[test]
+    fn warm_batch_saves_solver_invocations_and_matches_cold() {
+        let svc = service(2);
+        let cold = svc.compile_batch(&fleet());
+        let warm = svc.compile_batch(&fleet());
+        assert!(
+            warm.stats.solver_invocations() < cold.stats.solver_invocations(),
+            "warm {} vs cold {}",
+            warm.stats.solver_invocations(),
+            cold.stats.solver_invocations()
+        );
+        // Determinism: cached results are exactly what fresh solves give.
+        for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+            let (c, w) = (c.result.as_ref().unwrap(), w.result.as_ref().unwrap());
+            assert_eq!(c.predicted_latency, w.predicted_latency);
+            assert_eq!(c.segments, w.segments);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let jobs = fleet();
+        let serial = service(1).compile_batch(&jobs);
+        let parallel = service(4).compile_batch(&jobs);
+        assert!(parallel.stats.workers <= 3, "clamped to job count");
+        for (a, b) in serial.outcomes.iter().zip(&parallel.outcomes) {
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(a.predicted_latency, b.predicted_latency);
+            assert_eq!(a.flow, b.flow);
+        }
+    }
+
+    #[test]
+    fn mip_hit_rate_counts_lookups_not_solver_runs() {
+        // Under the MIP allocator every cache miss runs one MIP solve
+        // plus its embedded warm-start fast solve. The hit rate must be
+        // computed over lookups (hits + misses), not solver runs, or it
+        // would under-report by up to 2x on the default options.
+        let report = service(1).compile_batch(&fleet());
+        let s = &report.stats;
+        assert!(s.mip_solves > 0);
+        // Every model compiles, so per-model solve sums line up exactly
+        // with the batch's cache-miss delta.
+        assert_eq!(s.cache_misses, s.mip_solves, "one MIP-path solve per miss");
+        assert_eq!(s.fast_solves, s.mip_solves, "one embedded warm start per MIP solve");
+        assert!(s.cache_hits > 0);
+        let over_lookups = s.cache_hits as f64 / (s.cache_hits + s.cache_misses) as f64;
+        assert!((s.hit_rate() - over_lookups).abs() < 1e-12);
+        let over_solver_runs =
+            s.cache_hits as f64 / (s.cache_hits + s.solver_invocations()) as f64;
+        assert!(s.hit_rate() > over_solver_runs);
+    }
+
+    #[test]
+    fn per_model_failure_does_not_sink_batch() {
+        use cmswitch_graph::Graph;
+        let jobs = vec![
+            BatchJob::new("empty", Graph::from_nodes("empty", Vec::new())),
+            BatchJob::new("ok", mlp(1, &[64, 64]).unwrap()),
+        ];
+        let report = service(2).compile_batch(&jobs);
+        assert_eq!(report.stats.compiled, 1);
+        assert_eq!(report.stats.failed, 1);
+        assert!(report.get("empty").unwrap().result.is_err());
+        assert!(report.get("ok").unwrap().result.is_ok());
+        assert!(report.summary().contains("FAILED"));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = service(3).compile_batch(&[]);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.stats.compiled + report.stats.failed, 0);
+        assert_eq!(report.stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_survives_batches_and_is_shareable() {
+        let svc = service(1);
+        let _ = svc.compile_batch(&fleet());
+        let entries = svc.cache().len();
+        assert!(entries > 0);
+        // A second service on the same chip reuses the warm cache.
+        let svc2 = CompileService::with_cache(
+            presets::tiny(),
+            ServiceOptions::default(),
+            Arc::clone(svc.cache()),
+        );
+        let report = svc2.compile_batch(&fleet());
+        assert_eq!(report.stats.mip_solves + report.stats.fast_solves, 0);
+        assert_eq!(report.stats.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn single_compile_goes_through_cache() {
+        let svc = service(1);
+        let g = mlp(1, &[64, 64, 64]).unwrap();
+        let p1 = svc.compile(&g).unwrap();
+        let p2 = svc.compile(&g).unwrap();
+        assert!(p2.stats.mip_solves + p2.stats.fast_solves < p1.stats.mip_solves + p1.stats.fast_solves);
+        assert_eq!(p1.predicted_latency, p2.predicted_latency);
+    }
+}

@@ -63,6 +63,22 @@ pub fn build(name: &str, batch: usize, seq: usize) -> Result<Graph, GraphError> 
     }
 }
 
+/// Builds every registered model ([`ALL_MODELS`]) as a named graph — the
+/// model-fleet input for batch compilation (`cmswitch-core`'s
+/// `CompileService`). `batch`/`seq` are passed to [`build`] for each
+/// model (decoders get their prefill graph).
+///
+/// # Errors
+///
+/// Propagates the first construction error (registered models only fail
+/// on invalid `batch`/`seq`).
+pub fn build_all(batch: usize, seq: usize) -> Result<Vec<(String, Graph)>, GraphError> {
+    ALL_MODELS
+        .iter()
+        .map(|name| Ok((name.to_string(), build(name, batch, seq)?)))
+        .collect()
+}
+
 /// Builds a generative workload (prefill + sampled decode steps) for a
 /// decoder model.
 ///
@@ -93,6 +109,16 @@ mod tests {
         for name in ["resnet18", "mobilenetv2", "vgg16"] {
             let g = build(name, 1, 0).unwrap();
             assert!(g.len() > 10, "{name} too small");
+        }
+    }
+
+    #[test]
+    fn build_all_covers_the_registry() {
+        let fleet = build_all(1, 8).unwrap();
+        assert_eq!(fleet.len(), ALL_MODELS.len());
+        for ((name, graph), expected) in fleet.iter().zip(ALL_MODELS) {
+            assert_eq!(name, expected);
+            assert!(graph.len() > 5, "{name} suspiciously small");
         }
     }
 

@@ -39,4 +39,4 @@ pub mod alloc;
 
 pub use error::SolverError;
 pub use mip::{MipProblem, MipSolution};
-pub use problem::{LinearProgram, LpSolution, Relation, VarId};
+pub use problem::{stable_hash64, LinearProgram, LpSolution, Relation, VarId};

@@ -117,9 +117,22 @@ impl MipProblem {
     /// Supplies a known feasible assignment (like commercial solvers'
     /// MIP start). If it satisfies every constraint and integrality, it
     /// becomes the initial incumbent, which makes bound pruning effective
-    /// from the first node. Infeasible warm starts are silently ignored.
-    pub fn set_warm_start(&mut self, values: Vec<f64>) {
+    /// from the first node.
+    ///
+    /// The vector must assign one value per variable added so far
+    /// ([`MipProblem::n_vars`]). A mismatched length is rejected: the
+    /// warm start is **not** stored and `false` is returned, so callers
+    /// that built the vector against a stale variable count find out
+    /// immediately instead of silently losing the incumbent at solve
+    /// time. A correctly sized but infeasible warm start is accepted here
+    /// (`true`) and ignored by [`MipProblem::solve`].
+    #[must_use = "a rejected warm start means the incumbent is silently missing"]
+    pub fn set_warm_start(&mut self, values: Vec<f64>) -> bool {
+        if values.len() != self.n_vars() {
+            return false;
+        }
         self.warm_start = Some(values);
+        true
     }
 
     /// Evaluates an assignment: `Some(objective)` if it satisfies bounds,
@@ -376,6 +389,25 @@ mod tests {
         let sol = mip.solve().unwrap();
         assert_eq!(sol.int_value(x), 2);
         assert!((sol.value(y) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_length_mismatch_rejected() {
+        let mut mip = MipProblem::new();
+        let x = mip.add_int_var(0.0, 5.0, 1.0);
+        mip.add_constraint(vec![(x, 2.0)], Relation::Le, 7.0).unwrap();
+        // Too short and too long vectors are both rejected up front …
+        assert!(!mip.set_warm_start(vec![]));
+        assert!(!mip.set_warm_start(vec![1.0, 1.0]));
+        // … and do not linger as a bogus incumbent: the solve still finds
+        // the true optimum x = 3.
+        let sol = mip.solve().unwrap();
+        assert_eq!(sol.int_value(x), 3);
+        assert!(sol.proven_optimal);
+        // A correctly sized start is accepted and used.
+        assert!(mip.set_warm_start(vec![2.0]));
+        let sol = mip.solve().unwrap();
+        assert_eq!(sol.int_value(x), 3);
     }
 
     #[test]

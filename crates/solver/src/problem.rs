@@ -1,6 +1,27 @@
 use crate::simplex;
 use crate::SolverError;
 
+/// Stable FNV-1a hash of a word sequence.
+///
+/// The compiler keys its allocation caches by *signatures* — word
+/// sequences describing a problem's structure (segment shapes, dependency
+/// bytes, architecture parameters). This helper collapses such a sequence
+/// into one 64-bit key that is stable across processes and platforms
+/// (unlike `std::hash`, whose `RandomState` is seeded per process), so
+/// signatures can be compared, logged or persisted.
+pub fn stable_hash64(words: &[u64]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
 /// Identifier of a decision variable in a [`LinearProgram`] or
 /// [`crate::MipProblem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -223,6 +244,15 @@ mod tests {
         let x = lp.add_var(0.0, 3.5, 1.0);
         let sol = lp.solve().unwrap();
         assert!((sol.value(x) - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_order_sensitive() {
+        assert_eq!(stable_hash64(&[1, 2, 3]), stable_hash64(&[1, 2, 3]));
+        assert_ne!(stable_hash64(&[1, 2, 3]), stable_hash64(&[3, 2, 1]));
+        assert_ne!(stable_hash64(&[]), stable_hash64(&[0]));
+        // Known FNV-1a property: the empty input hashes to the offset.
+        assert_eq!(stable_hash64(&[]), 0xcbf2_9ce4_8422_2325);
     }
 
     #[test]

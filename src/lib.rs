@@ -34,6 +34,11 @@
 //! assert!(report.total_cycles > 0.0);
 //! # Ok::<(), cmswitch::compiler::CompileError>(())
 //! ```
+//!
+//! Compiling a *fleet* of models? [`compiler::CompileService`] batches
+//! compilations over a worker pool and shares one
+//! [`compiler::AllocationCache`] across models, so repeated segment
+//! shapes are solved once (see `examples/batch_compile.rs`).
 
 pub use cmswitch_arch as arch;
 pub use cmswitch_baselines as baselines;
@@ -50,7 +55,10 @@ pub use cmswitch_tensor as tensor;
 pub mod prelude {
     pub use cmswitch_arch::{presets, ArrayMode, DualModeArch};
     pub use cmswitch_baselines::{by_name, Backend};
-    pub use cmswitch_core::{CompiledProgram, Compiler, CompilerOptions};
+    pub use cmswitch_core::{
+        AllocationCache, BatchJob, BatchReport, CompiledProgram, Compiler, CompilerOptions,
+        CompileService, ServiceOptions,
+    };
     pub use cmswitch_graph::{Graph, GraphBuilder};
     pub use cmswitch_metaop::{print_flow, Flow};
     pub use cmswitch_sim::timing::simulate;

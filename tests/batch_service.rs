@@ -1,0 +1,114 @@
+//! Facade-level integration tests for the batch compilation service:
+//! the whole model registry through one `CompileService`, cold and warm.
+
+use cmswitch::arch::presets;
+use cmswitch::compiler::{
+    AllocatorKind, BatchJob, CompileService, CompilerOptions, ServiceOptions,
+};
+use cmswitch::models::registry;
+
+fn registry_fleet() -> Vec<BatchJob> {
+    registry::build_all(1, 32)
+        .unwrap()
+        .into_iter()
+        .map(|(name, graph)| BatchJob::new(name, graph))
+        .collect()
+}
+
+fn registry_service(workers: usize) -> CompileService {
+    // The fast allocator keeps this affordable in debug builds; caching
+    // semantics are identical to the MIP path (the cache key embeds the
+    // allocator kind), so the cold/warm invocation accounting is the same
+    // property the MIP path has.
+    CompileService::new(
+        presets::dynaplasia(),
+        ServiceOptions {
+            workers,
+            compiler: CompilerOptions {
+                allocator: AllocatorKind::Fast,
+                ..CompilerOptions::default()
+            },
+        },
+    )
+}
+
+#[test]
+fn warm_registry_batch_strictly_reduces_solver_invocations() {
+    let jobs = registry_fleet();
+    let service = registry_service(2);
+
+    let cold = service.compile_batch(&jobs);
+    assert_eq!(cold.stats.compiled, jobs.len(), "{}", cold.summary());
+    assert_eq!(cold.stats.failed, 0);
+    assert!(cold.stats.solver_invocations() > 0);
+    // Even cold, intra-model block repetition hits the shared cache.
+    assert!(cold.stats.cache_hits > 0);
+
+    let warm = service.compile_batch(&jobs);
+    assert_eq!(warm.stats.compiled, jobs.len());
+    assert!(
+        warm.stats.solver_invocations() < cold.stats.solver_invocations(),
+        "warm batch must perform strictly fewer solves: warm {} vs cold {}",
+        warm.stats.solver_invocations(),
+        cold.stats.solver_invocations()
+    );
+    // Everything the DP asks for was cached by the cold pass.
+    assert_eq!(warm.stats.solver_invocations(), 0);
+    assert!(warm.stats.hit_rate() > cold.stats.hit_rate());
+
+    // Cache hits are exact: warm results are bit-identical to cold ones.
+    for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(c.name, w.name);
+        let (c, w) = (c.result.as_ref().unwrap(), w.result.as_ref().unwrap());
+        assert_eq!(c.predicted_latency, w.predicted_latency, "{}", c.flow.name());
+        assert_eq!(c.segments.len(), w.segments.len());
+    }
+}
+
+#[test]
+fn shared_cache_transfers_between_services_but_not_architectures() {
+    // A small fleet is enough to exercise the transfer semantics.
+    let jobs: Vec<BatchJob> = registry_fleet()
+        .into_iter()
+        .filter(|j| j.name == "bert-base" || j.name == "mobilenetv2")
+        .collect();
+    assert_eq!(jobs.len(), 2);
+
+    let donor = registry_service(1);
+    let cold = donor.compile_batch(&jobs);
+
+    // Same arch, warm cache handed over: zero solves.
+    let same_arch = CompileService::with_cache(
+        presets::dynaplasia(),
+        ServiceOptions {
+            workers: 1,
+            compiler: CompilerOptions {
+                allocator: AllocatorKind::Fast,
+                ..CompilerOptions::default()
+            },
+        },
+        std::sync::Arc::clone(donor.cache()),
+    );
+    let transferred = same_arch.compile_batch(&jobs);
+    assert_eq!(transferred.stats.solver_invocations(), 0);
+
+    // Different arch, same cache object: fingerprints differ, so every
+    // prior entry is effectively invalidated and real solves happen.
+    let other_arch = CompileService::with_cache(
+        presets::prime(),
+        ServiceOptions {
+            workers: 1,
+            compiler: CompilerOptions {
+                allocator: AllocatorKind::Fast,
+                ..CompilerOptions::default()
+            },
+        },
+        std::sync::Arc::clone(donor.cache()),
+    );
+    let foreign = other_arch.compile_batch(&jobs);
+    assert!(
+        foreign.stats.solver_invocations() > 0,
+        "a different chip must not reuse allocations sized for another"
+    );
+    let _ = cold;
+}
