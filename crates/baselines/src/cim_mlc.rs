@@ -12,32 +12,27 @@ use std::collections::HashMap;
 use cmswitch_arch::DualModeArch;
 use cmswitch_core::allocation::SegmentAllocation;
 use cmswitch_core::cost::CostModel;
-use cmswitch_core::frontend::{lower_graph, OpList};
-use cmswitch_core::partition::partition;
-use cmswitch_core::segment::Segment;
-use cmswitch_core::{assemble_program, CompileError, CompiledProgram, CompileStats};
+use cmswitch_core::frontend::OpList;
+use cmswitch_core::pipeline::{Partitioned, Segmented, Stage};
+use cmswitch_core::{CompileError, CompiledProgram, PipelineCx};
 use cmswitch_graph::Graph;
 
-use crate::common::{all_compute_alloc, chain_segments};
+use crate::common::{all_compute_alloc, compile_via_stages};
 use crate::Backend;
 
-/// The CIM-MLC baseline.
-#[derive(Debug, Clone)]
-pub struct CimMlc {
-    arch: DualModeArch,
-    max_segment_ops: usize,
+/// CIM-MLC's segmentation policy as a pipeline stage: CMSwitch's Eq. 3
+/// DP over candidate windows, scored with all-compute allocations.
+#[derive(Debug, Clone, Copy)]
+pub struct CimMlcSegmentStage {
+    /// Maximum operators per DP window.
+    pub max_segment_ops: usize,
 }
 
-impl CimMlc {
-    /// Creates the backend.
-    pub fn new(arch: DualModeArch) -> Self {
-        CimMlc {
-            arch,
-            max_segment_ops: 12,
-        }
-    }
+/// A segment chain before inter costs: `(range, allocation)` parts.
+type Parts = Vec<((usize, usize), SegmentAllocation)>;
 
-    fn dp_segment(&self, list: &OpList, cm: &CostModel<'_>) -> Result<Vec<Segment>, CompileError> {
+impl CimMlcSegmentStage {
+    fn dp_parts(&self, list: &OpList, cm: &CostModel<'_>) -> Result<Parts, CompileError> {
         let m = list.ops.len();
         let window = self.max_segment_ops;
         let mut allocs: HashMap<(usize, usize), Option<SegmentAllocation>> = HashMap::new();
@@ -57,12 +52,7 @@ impl CimMlc {
                 let Some(alloc) = alloc_of(i, j) else { continue };
                 let intra = alloc.latency;
                 if i == 0 {
-                    let empty = SegmentAllocation {
-                        ops: Vec::new(),
-                        reuse: Vec::new(),
-                        latency: 0.0,
-                    };
-                    let cost = cm.switch_cost(&empty, &alloc)
+                    let cost = cm.switch_cost(&SegmentAllocation::empty(), &alloc)
                         + cm.reload_cost(&list.ops[i..=j], &alloc);
                     dp.insert((0, j), (cost + intra, usize::MAX));
                     continue;
@@ -108,14 +98,46 @@ impl CimMlc {
             i = prev;
         }
         ranges.reverse();
-        let parts: Vec<_> = ranges
+        Ok(ranges
             .into_iter()
             .map(|r| {
                 let a = alloc_of(r.0, r.1).expect("on path");
                 (r, a)
             })
-            .collect();
-        Ok(chain_segments(list, cm, parts))
+            .collect())
+    }
+}
+
+impl Stage<Partitioned> for CimMlcSegmentStage {
+    type Output = Segmented;
+
+    fn name(&self) -> &'static str {
+        "segment:cim-mlc-dp"
+    }
+
+    fn run(&self, cx: &mut PipelineCx<'_>, input: Partitioned) -> Result<Segmented, CompileError> {
+        let cm = cx.cost_model();
+        let parts = self.dp_parts(&input.list, &cm)?;
+        Ok(Segmented::from_chain(input.name, input.list, &cm, parts))
+    }
+}
+
+/// The CIM-MLC baseline.
+#[derive(Debug, Clone)]
+pub struct CimMlc {
+    arch: DualModeArch,
+    stage: CimMlcSegmentStage,
+}
+
+impl CimMlc {
+    /// Creates the backend.
+    pub fn new(arch: DualModeArch) -> Self {
+        CimMlc {
+            arch,
+            stage: CimMlcSegmentStage {
+                max_segment_ops: 12,
+            },
+        }
     }
 }
 
@@ -129,21 +151,7 @@ impl Backend for CimMlc {
     }
 
     fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
-        let start = std::time::Instant::now();
-        let list = lower_graph(graph, &self.arch)?;
-        let list = partition(&list, &self.arch, 1.0)?;
-        let cm = CostModel::new(&self.arch);
-        let segments = self.dp_segment(&list, &cm)?;
-        assemble_program(
-            graph.name(),
-            list,
-            &segments,
-            &self.arch,
-            CompileStats {
-                wall: start.elapsed(),
-                ..CompileStats::default()
-            },
-        )
+        compile_via_stages(&self.arch, &self.stage, graph)
     }
 }
 

@@ -4,7 +4,47 @@ use cmswitch_arch::DualModeArch;
 use cmswitch_core::allocation::{OpAllocation, SegmentAllocation};
 use cmswitch_core::cost::CostModel;
 use cmswitch_core::frontend::{OpList, SegOp};
-use cmswitch_core::segment::Segment;
+
+/// Re-export of the shared segment-chaining helper (now owned by
+/// `cmswitch-core`, since the DP's backtrack materialization uses the
+/// same physics): turns `(range, allocation)` parts into
+/// [`cmswitch_core::segment::Segment`]s with Eq. 4 inter costs charged.
+pub use cmswitch_core::segment::chain_segments;
+
+use cmswitch_core::pipeline::{
+    EmitStage, LowerStage, Partitioned, PartitionStage, PipelineCx, Segmented, Stage,
+};
+use cmswitch_core::{CompileError, CompiledProgram, CompilerOptions};
+use cmswitch_graph::Graph;
+
+/// Drives the shared staged pipeline for a baseline backend: the same
+/// [`LowerStage`] → [`PartitionStage`] → `segmenter` → [`EmitStage`]
+/// chain CMSwitch itself runs, with only the segmentation stage
+/// swapped. Per-stage wall timings land in the program's
+/// `stats.stage_wall` exactly like a CMSwitch compile.
+///
+/// # Errors
+///
+/// Propagates any stage's [`CompileError`].
+pub fn compile_via_stages<S>(
+    arch: &DualModeArch,
+    segmenter: &S,
+    graph: &Graph,
+) -> Result<CompiledProgram, CompileError>
+where
+    S: Stage<Partitioned, Output = Segmented>,
+{
+    let start = std::time::Instant::now();
+    let options = CompilerOptions::default();
+    let mut cx = PipelineCx::new(arch, &options);
+    let lowered = cx.run(&LowerStage, graph)?;
+    let partitioned = cx.run(&PartitionStage, lowered)?;
+    let segmented = cx.run(segmenter, partitioned)?;
+    let mut program = cx.run(&EmitStage, segmented)?;
+    cx.finalize(&mut program.stats);
+    program.stats.wall = start.elapsed();
+    Ok(program)
+}
 
 /// All-compute allocation for a slice of ops: every operator gets its
 /// minimal weight tiles; with `duplicate`, leftover arrays are granted
@@ -131,41 +171,6 @@ pub fn greedy_ranges(list: &OpList, arch: &DualModeArch, max_ops: usize) -> Vec<
         ranges.push((start, list.ops.len() - 1));
     }
     ranges
-}
-
-/// Chains ranges+allocations into [`Segment`]s, charging the Eq. 4 inter
-/// costs with the shared cost model (baselines pay the same physics:
-/// write-backs to main memory, mode switches for the initial
-/// all-to-compute flip, and weight reloads).
-pub fn chain_segments(
-    list: &OpList,
-    cm: &CostModel<'_>,
-    parts: Vec<((usize, usize), SegmentAllocation)>,
-) -> Vec<Segment> {
-    let mut segments: Vec<Segment> = Vec::with_capacity(parts.len());
-    let mut prev: Option<((usize, usize), SegmentAllocation)> = None;
-    for (range, alloc) in parts {
-        let ops = &list.ops[range.0..=range.1];
-        let inter_before = match &prev {
-            None => {
-                let empty = SegmentAllocation {
-                    ops: Vec::new(),
-                    reuse: Vec::new(),
-                    latency: 0.0,
-                };
-                cm.switch_cost(&empty, &alloc) + cm.reload_cost(ops, &alloc)
-            }
-            Some((prange, palloc)) => cm.inter_cost(list, *prange, palloc, range, ops, &alloc),
-        };
-        segments.push(Segment {
-            range,
-            intra: alloc.latency,
-            inter_before,
-            alloc: alloc.clone(),
-        });
-        prev = Some((range, alloc));
-    }
-    segments
 }
 
 #[cfg(test)]

@@ -18,7 +18,13 @@
 //!   CMSwitch, but restricted to compute-mode-only allocations.
 //!
 //! All backends implement [`Backend`], as does CMSwitch itself via
-//! [`CmSwitch`].
+//! [`CmSwitch`]. Every baseline is expressed over the *same staged
+//! pipeline* as CMSwitch (`cmswitch_core::pipeline`): it composes the
+//! shared `LowerStage` → `PartitionStage` → `EmitStage` chain and swaps
+//! in its own segmentation stage ([`PumaSegmentStage`],
+//! [`OccSegmentStage`], [`CimMlcSegmentStage`]), so backend comparisons
+//! share the lowering, partitioning, cost physics, codegen — and the
+//! per-stage timing breakdown.
 
 mod backend;
 
@@ -28,9 +34,9 @@ pub mod occ;
 pub mod puma;
 
 pub use backend::{Backend, CmSwitch};
-pub use cim_mlc::CimMlc;
-pub use occ::Occ;
-pub use puma::Puma;
+pub use cim_mlc::{CimMlc, CimMlcSegmentStage};
+pub use occ::{Occ, OccSegmentStage};
+pub use puma::{Puma, PumaSegmentStage};
 
 /// All baseline names in the paper's plotting order.
 pub const BASELINE_NAMES: &[&str] = &["puma", "occ", "cim-mlc"];

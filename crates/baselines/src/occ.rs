@@ -2,20 +2,54 @@
 //! (Siemieniuk et al., TCAD'21).
 
 use cmswitch_arch::DualModeArch;
-use cmswitch_core::cost::CostModel;
-use cmswitch_core::frontend::lower_graph;
-use cmswitch_core::partition::partition;
-use cmswitch_core::{assemble_program, CompileError, CompiledProgram, CompileStats};
+use cmswitch_core::pipeline::{Partitioned, Segmented, Stage};
+use cmswitch_core::{CompileError, CompiledProgram, PipelineCx};
 use cmswitch_graph::Graph;
 
-use crate::common::{all_compute_alloc, chain_segments, greedy_ranges};
+use crate::common::{all_compute_alloc, compile_via_stages, greedy_ranges};
 use crate::Backend;
+
+/// OCC's segmentation policy as a pipeline stage: greedy packing with
+/// minimal-tile mapping (no duplication) and *sequential* operator
+/// execution — segment latency is the sum of op latencies, not the
+/// pipeline bottleneck.
+#[derive(Debug, Clone, Copy)]
+pub struct OccSegmentStage {
+    /// Maximum operators packed into one segment.
+    pub max_segment_ops: usize,
+}
+
+impl Stage<Partitioned> for OccSegmentStage {
+    type Output = Segmented;
+
+    fn name(&self) -> &'static str {
+        "segment:occ-sequential"
+    }
+
+    fn run(&self, cx: &mut PipelineCx<'_>, input: Partitioned) -> Result<Segmented, CompileError> {
+        let cm = cx.cost_model();
+        let ranges = greedy_ranges(&input.list, cx.arch(), self.max_segment_ops);
+        let mut parts = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            let ops = &input.list.ops[r.0..=r.1];
+            let mut alloc =
+                all_compute_alloc(ops, &cm, false).ok_or(CompileError::NoFeasibleSchedule)?;
+            alloc.latency = ops
+                .iter()
+                .zip(&alloc.ops)
+                .map(|(op, a)| cm.op_latency(op, a))
+                .sum();
+            parts.push((r, alloc));
+        }
+        Ok(Segmented::from_chain(input.name, input.list, &cm, parts))
+    }
+}
 
 /// The OCC baseline.
 #[derive(Debug, Clone)]
 pub struct Occ {
     arch: DualModeArch,
-    max_segment_ops: usize,
+    stage: OccSegmentStage,
 }
 
 impl Occ {
@@ -23,7 +57,9 @@ impl Occ {
     pub fn new(arch: DualModeArch) -> Self {
         Occ {
             arch,
-            max_segment_ops: 12,
+            stage: OccSegmentStage {
+                max_segment_ops: 12,
+            },
         }
     }
 }
@@ -38,45 +74,15 @@ impl Backend for Occ {
     }
 
     fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
-        let start = std::time::Instant::now();
-        let list = lower_graph(graph, &self.arch)?;
-        let list = partition(&list, &self.arch, 1.0)?;
-        let cm = CostModel::new(&self.arch);
-        // OCC optimizes each operator's tiling (minimal mapping, no
-        // duplication) and runs operators sequentially: segment latency is
-        // the *sum* of op latencies, not the pipeline bottleneck.
-        let ranges = greedy_ranges(&list, &self.arch, self.max_segment_ops);
-        let mut parts = Vec::with_capacity(ranges.len());
-        for r in ranges {
-            let ops = &list.ops[r.0..=r.1];
-            let mut alloc =
-                all_compute_alloc(ops, &cm, false).ok_or(CompileError::NoFeasibleSchedule)?;
-            alloc.latency = ops
-                .iter()
-                .zip(&alloc.ops)
-                .map(|(op, a)| cm.op_latency(op, a))
-                .sum();
-            parts.push((r, alloc));
-        }
-        let segments = chain_segments(&list, &cm, parts);
-        assemble_program(
-            graph.name(),
-            list,
-            &segments,
-            &self.arch,
-            CompileStats {
-                wall: start.elapsed(),
-                ..CompileStats::default()
-            },
-        )
+        compile_via_stages(&self.arch, &self.stage, graph)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cmswitch_arch::presets;
     use crate::Puma;
+    use cmswitch_arch::presets;
 
     #[test]
     fn sequential_slower_than_pipelined_puma_per_segment() {

@@ -2,20 +2,52 @@
 //! all-compute arrays (Ankit et al., ASPLOS'19).
 
 use cmswitch_arch::DualModeArch;
-use cmswitch_core::cost::CostModel;
-use cmswitch_core::frontend::lower_graph;
-use cmswitch_core::partition::partition;
-use cmswitch_core::{assemble_program, CompileError, CompiledProgram, CompileStats};
+use cmswitch_core::pipeline::{Partitioned, Segmented, Stage};
+use cmswitch_core::{CompileError, CompiledProgram, PipelineCx};
 use cmswitch_graph::Graph;
 
-use crate::common::{all_compute_alloc, chain_segments, greedy_ranges};
+use crate::common::{all_compute_alloc, compile_via_stages, greedy_ranges};
 use crate::Backend;
+
+/// PUMA's segmentation policy as a pipeline stage: greedy packing,
+/// all-compute allocation with weight duplication into leftover arrays,
+/// and a coarse-synchronization penalty — PUMA pipelines at operator
+/// granularity, so each segment pays the slowest op once more as a
+/// fill/drain cost.
+#[derive(Debug, Clone, Copy)]
+pub struct PumaSegmentStage {
+    /// Maximum operators packed into one segment.
+    pub max_segment_ops: usize,
+}
+
+impl Stage<Partitioned> for PumaSegmentStage {
+    type Output = Segmented;
+
+    fn name(&self) -> &'static str {
+        "segment:puma-greedy"
+    }
+
+    fn run(&self, cx: &mut PipelineCx<'_>, input: Partitioned) -> Result<Segmented, CompileError> {
+        let cm = cx.cost_model();
+        let ranges = greedy_ranges(&input.list, cx.arch(), self.max_segment_ops);
+        let mut parts = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            let ops = &input.list.ops[r.0..=r.1];
+            let mut alloc =
+                all_compute_alloc(ops, &cm, true).ok_or(CompileError::NoFeasibleSchedule)?;
+            // Coarse synchronization penalty: one extra bottleneck pass.
+            alloc.latency *= 2.0;
+            parts.push((r, alloc));
+        }
+        Ok(Segmented::from_chain(input.name, input.list, &cm, parts))
+    }
+}
 
 /// The PUMA baseline.
 #[derive(Debug, Clone)]
 pub struct Puma {
     arch: DualModeArch,
-    max_segment_ops: usize,
+    stage: PumaSegmentStage,
 }
 
 impl Puma {
@@ -23,7 +55,9 @@ impl Puma {
     pub fn new(arch: DualModeArch) -> Self {
         Puma {
             arch,
-            max_segment_ops: 12,
+            stage: PumaSegmentStage {
+                max_segment_ops: 12,
+            },
         }
     }
 }
@@ -38,35 +72,7 @@ impl Backend for Puma {
     }
 
     fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
-        let start = std::time::Instant::now();
-        let list = lower_graph(graph, &self.arch)?;
-        let list = partition(&list, &self.arch, 1.0)?;
-        let cm = CostModel::new(&self.arch);
-        // PUMA packs greedily and duplicates into leftover arrays, but its
-        // pipeline is coarse: it synchronizes at operator granularity, so
-        // each segment additionally pays the slowest op once more as a
-        // fill/drain penalty.
-        let ranges = greedy_ranges(&list, &self.arch, self.max_segment_ops);
-        let mut parts = Vec::with_capacity(ranges.len());
-        for r in ranges {
-            let ops = &list.ops[r.0..=r.1];
-            let mut alloc =
-                all_compute_alloc(ops, &cm, true).ok_or(CompileError::NoFeasibleSchedule)?;
-            // Coarse synchronization penalty: one extra bottleneck pass.
-            alloc.latency *= 2.0;
-            parts.push((r, alloc));
-        }
-        let segments = chain_segments(&list, &cm, parts);
-        assemble_program(
-            graph.name(),
-            list,
-            &segments,
-            &self.arch,
-            CompileStats {
-                wall: start.elapsed(),
-                ..CompileStats::default()
-            },
-        )
+        compile_via_stages(&self.arch, &self.stage, graph)
     }
 }
 
@@ -84,5 +90,13 @@ mod tests {
         }
         assert!(p.predicted_latency.is_finite());
         cmswitch_metaop::validate(&p.flow).unwrap();
+    }
+
+    #[test]
+    fn reports_stage_timings_like_cmswitch() {
+        let g = cmswitch_models::mlp::mlp(2, &[128, 256, 64]).unwrap();
+        let p = Puma::new(presets::tiny()).compile(&g).unwrap();
+        let names: Vec<_> = p.stats.stage_wall.iter().map(|t| t.stage).collect();
+        assert_eq!(names, ["lower", "partition", "segment:puma-greedy", "emit"]);
     }
 }

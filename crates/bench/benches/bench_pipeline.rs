@@ -1,0 +1,57 @@
+//! Staged-pipeline bench: exhaustive vs bound-pruned segmentation DP,
+//! cold cache.
+//!
+//! Every iteration compiles from scratch with a fresh per-compilation
+//! allocation cache, so the measured difference is exactly what the
+//! analytic bound pruning saves on a first compile (the cross-model
+//! cache of `bench_service` only helps *repeated* segments). The two
+//! modes provably produce identical schedules — asserted here on every
+//! iteration — so this is a pure compile-time comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cmswitch_arch::presets;
+use cmswitch_core::{Compiler, CompilerOptions, DpMode};
+use cmswitch_models::registry;
+
+fn compiler(mode: DpMode) -> Compiler {
+    Compiler::new(
+        presets::dynaplasia(),
+        CompilerOptions {
+            dp_mode: mode,
+            ..CompilerOptions::default()
+        },
+    )
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmentation_dp");
+    group.sample_size(3);
+    for (model, seq) in [("bert-base", 32), ("resnet18", 0), ("opt-6.7b", 32)] {
+        let graph = registry::build(model, 1, seq).expect("registered model");
+        let reference = compiler(DpMode::BoundPruned)
+            .compile(&graph)
+            .expect("compiles");
+        for (label, mode) in [
+            ("exhaustive", DpMode::Exhaustive),
+            ("bound-pruned", DpMode::BoundPruned),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, model), &graph, |b, graph| {
+                b.iter(|| {
+                    let p = compiler(mode).compile(graph).expect("compiles");
+                    // Identical schedules regardless of DP mode.
+                    assert_eq!(
+                        p.predicted_latency.to_bits(),
+                        reference.predicted_latency.to_bits()
+                    );
+                    assert_eq!(p.segments.len(), reference.segments.len());
+                    p.stats.mip_solves + p.stats.fast_solves
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

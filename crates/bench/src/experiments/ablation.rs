@@ -6,13 +6,10 @@
 //! 4. allocation-cache (block reuse) on vs off — compile time.
 
 use cmswitch_arch::presets;
-use cmswitch_baselines::common::{chain_segments, greedy_ranges};
+use cmswitch_baselines::common::greedy_ranges;
 use cmswitch_baselines::{Backend, CmSwitch};
-use cmswitch_core::allocation::Allocator;
-use cmswitch_core::cost::CostModel;
-use cmswitch_core::frontend::lower_graph;
-use cmswitch_core::partition::partition;
-use cmswitch_core::{assemble_program, AllocatorKind, CompileStats, CompilerOptions};
+use cmswitch_core::pipeline::{EmitStage, LowerStage, PartitionStage, Segmented};
+use cmswitch_core::{AllocatorKind, CompilerOptions, PipelineCx};
 use cmswitch_graph::Graph;
 use cmswitch_sim::timing::simulate;
 
@@ -21,13 +18,18 @@ use crate::table::{ratio, Table};
 use crate::workloads::{build, Workload};
 
 /// Greedy-segmentation variant of CMSwitch: same dual-mode allocator,
-/// largest-fit packing instead of the DP.
+/// largest-fit packing instead of the DP. Composed from the shared
+/// pipeline stages, with the segmentation step done ad hoc between
+/// [`PartitionStage`] and [`EmitStage`].
 fn greedy_dual_mode_cycles(graph: &Graph) -> Option<f64> {
     let arch = presets::dynaplasia();
-    let list = lower_graph(graph, &arch).ok()?;
-    let list = partition(&list, &arch, 1.0).ok()?;
-    let cm = CostModel::new(&arch);
-    let allocator = Allocator::new(CostModel::new(&arch), AllocatorKind::Mip, true);
+    let opts = CompilerOptions::default();
+    let mut cx = PipelineCx::new(&arch, &opts);
+    let lowered = cx.run(&LowerStage, graph).ok()?;
+    let partitioned = cx.run(&PartitionStage, lowered).ok()?;
+    let list = partitioned.list;
+    let cm = cx.cost_model();
+    let allocator = cx.allocator();
     let ranges = greedy_ranges(&list, &arch, 12);
     let mut parts = Vec::new();
     for r in ranges {
@@ -42,15 +44,8 @@ fn greedy_dual_mode_cycles(graph: &Graph) -> Option<f64> {
         let alloc = allocator.allocate(ops, &local_deps)?;
         parts.push((r, alloc));
     }
-    let segments = chain_segments(&list, &cm, parts);
-    let program = assemble_program(
-        graph.name(),
-        list,
-        &segments,
-        &arch,
-        CompileStats::default(),
-    )
-    .ok()?;
+    let segmented = Segmented::from_chain(partitioned.name, list, &cm, parts);
+    let program = cx.run(&EmitStage, segmented).ok()?;
     simulate(&program.flow, &arch).ok().map(|r| r.total_cycles)
 }
 

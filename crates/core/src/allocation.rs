@@ -96,6 +96,24 @@ impl SegmentAllocation {
     }
 }
 
+/// Mean [`SegmentAllocation::memory_ratio`] over a sequence of
+/// allocations (`0.0` for an empty sequence) — the Fig. 16 bottom-row
+/// metric.
+///
+/// The one shared definition behind
+/// [`crate::segment::SegmentationResult::average_memory_ratio`] and
+/// [`crate::CompiledProgram::average_memory_ratio`].
+pub fn mean_memory_ratio<'a, I>(allocs: I) -> f64
+where
+    I: ExactSizeIterator<Item = &'a SegmentAllocation>,
+{
+    let n = allocs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    allocs.map(|a| a.memory_ratio()).sum::<f64>() / n as f64
+}
+
 /// Solver statistics accumulated over a compilation.
 #[derive(Debug, Default)]
 pub struct AllocatorStats {
@@ -861,6 +879,31 @@ mod tests {
         let alloc = Allocator::new(CostModel::new(&arch), AllocatorKind::Mip, false);
         let a = alloc.allocate(&[], &[]).unwrap();
         assert_eq!(a.latency, 0.0);
+    }
+
+    #[test]
+    fn mean_memory_ratio_averages_and_handles_empty() {
+        assert_eq!(mean_memory_ratio(std::iter::empty()), 0.0);
+        let all_mem = SegmentAllocation {
+            ops: vec![OpAllocation {
+                compute: 0,
+                mem_in: 2,
+                mem_out: 2,
+            }],
+            reuse: Vec::new(),
+            latency: 1.0,
+        };
+        let all_compute = SegmentAllocation {
+            ops: vec![OpAllocation {
+                compute: 4,
+                mem_in: 0,
+                mem_out: 0,
+            }],
+            reuse: Vec::new(),
+            latency: 1.0,
+        };
+        let allocs = [all_mem, all_compute];
+        assert!((mean_memory_ratio(allocs.iter()) - 0.5).abs() < 1e-12);
     }
 
     #[test]

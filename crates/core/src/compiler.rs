@@ -5,12 +5,12 @@ use cmswitch_arch::DualModeArch;
 use cmswitch_graph::Graph;
 use cmswitch_metaop::Flow;
 
-use crate::allocation::{AllocationCache, Allocator, SegmentAllocation};
-use crate::cost::CostModel;
-use crate::frontend::{lower_graph, SegOp};
-use crate::partition::partition;
-use crate::segment::segment;
-use crate::{codegen, CompileError, CompilerOptions};
+use crate::allocation::{AllocationCache, SegmentAllocation};
+use crate::frontend::SegOp;
+use crate::pipeline::{
+    EmitStage, LowerStage, PartitionStage, PipelineCx, SegmentStage, StageWall,
+};
+use crate::{CompileError, CompilerOptions};
 
 /// One segment of the compiled plan, for reports and experiments.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +32,9 @@ pub struct SegmentPlan {
 pub struct CompileStats {
     /// Wall-clock compilation time.
     pub wall: Duration,
+    /// Wall-clock time per pipeline stage, in execution order (see
+    /// [`crate::pipeline`]).
+    pub stage_wall: Vec<StageWall>,
     /// Operators after partitioning.
     pub n_ops: usize,
     /// Segments in the final plan.
@@ -42,6 +45,25 @@ pub struct CompileStats {
     pub fast_solves: u64,
     /// Allocation cache hits.
     pub cache_hits: u64,
+    /// Candidate DP windows skipped without an allocator invocation
+    /// (capacity prefilter + analytic bound, [`crate::DpMode`]).
+    pub dp_windows_pruned: u64,
+}
+
+impl CompileStats {
+    /// The wall-clock time recorded for stage `name`, if it ran
+    /// (summed, should a pipeline run a stage more than once).
+    pub fn stage_wall(&self, name: &str) -> Option<Duration> {
+        let mut total = Duration::ZERO;
+        let mut seen = false;
+        for t in &self.stage_wall {
+            if t.stage == name {
+                total += t.wall;
+                seen = true;
+            }
+        }
+        seen.then_some(total)
+    }
 }
 
 /// The compiler's output: meta-operator flow plus the plan behind it.
@@ -62,68 +84,16 @@ pub struct CompiledProgram {
 impl CompiledProgram {
     /// Average fraction of used arrays in memory mode across segments.
     pub fn average_memory_ratio(&self) -> f64 {
-        if self.segments.is_empty() {
-            return 0.0;
-        }
-        self.segments
-            .iter()
-            .map(|s| s.alloc.memory_ratio())
-            .sum::<f64>()
-            / self.segments.len() as f64
+        crate::allocation::mean_memory_ratio(self.segments.iter().map(|s| &s.alloc))
     }
-}
-
-/// Assembles a [`CompiledProgram`] from an externally produced schedule:
-/// runs codegen, validates the flow, and packages the plan. Used by the
-/// baseline backends (`cmswitch-baselines`), which produce their own
-/// segmentations over the same operator list.
-///
-/// # Errors
-///
-/// Propagates codegen and validation failures.
-pub fn assemble_program(
-    name: &str,
-    list: crate::frontend::OpList,
-    segments: &[crate::segment::Segment],
-    arch: &DualModeArch,
-    mut stats: CompileStats,
-) -> Result<CompiledProgram, CompileError> {
-    let cm = CostModel::new(arch);
-    let flow = codegen::generate(name, &list, segments, arch)?;
-    cmswitch_metaop::validate(&flow)?;
-    let total: f64 = segments
-        .iter()
-        .map(|s| s.inter_before + s.intra)
-        .sum::<f64>()
-        + cm.final_writeback_cost(&list);
-    let plans: Vec<SegmentPlan> = segments
-        .iter()
-        .map(|s| SegmentPlan {
-            range: s.range,
-            op_names: list.ops[s.range.0..=s.range.1]
-                .iter()
-                .map(|o| o.name.clone())
-                .collect(),
-            alloc: s.alloc.clone(),
-            intra: s.intra,
-            inter_before: s.inter_before,
-        })
-        .collect();
-    stats.n_ops = list.ops.len();
-    stats.n_segments = plans.len();
-    Ok(CompiledProgram {
-        flow,
-        ops: list.ops,
-        segments: plans,
-        predicted_latency: total,
-        stats,
-    })
 }
 
 /// The CMSwitch compiler: DEHA architecture + options.
 ///
 /// See the crate docs for the pipeline; [`Compiler::compile`] runs it
-/// end-to-end.
+/// end-to-end by composing the [`crate::pipeline`] stages
+/// ([`LowerStage`] → [`PartitionStage`] → [`SegmentStage`] →
+/// [`EmitStage`]) through one [`PipelineCx`].
 #[derive(Debug, Clone)]
 pub struct Compiler {
     arch: DualModeArch,
@@ -187,61 +157,26 @@ impl Compiler {
         cache: Option<&Arc<AllocationCache>>,
     ) -> Result<CompiledProgram, CompileError> {
         let start = Instant::now();
-        let list = lower_graph(graph, &self.arch)?;
-        let list = partition(&list, &self.arch, self.options.partition_budget)?;
-        let cm = CostModel::new(&self.arch);
-        let allocator = match cache {
-            Some(cache) if self.options.reuse_cache => Allocator::with_cache(
-                CostModel::new(&self.arch),
-                self.options.allocator,
-                Arc::clone(cache),
-            ),
-            _ => Allocator::new(
-                CostModel::new(&self.arch),
-                self.options.allocator,
-                self.options.reuse_cache,
-            ),
+        let mut cx = match cache {
+            Some(cache) => {
+                PipelineCx::with_shared_cache(&self.arch, &self.options, Arc::clone(cache))
+            }
+            None => PipelineCx::new(&self.arch, &self.options),
         };
-        let segres = segment(&list, &allocator, &cm, &self.options)?;
-        let flow = codegen::generate(graph.name(), &list, &segres.segments, &self.arch)?;
-        cmswitch_metaop::validate(&flow)?;
-
-        let segments: Vec<SegmentPlan> = segres
-            .segments
-            .iter()
-            .map(|s| SegmentPlan {
-                range: s.range,
-                op_names: list.ops[s.range.0..=s.range.1]
-                    .iter()
-                    .map(|o| o.name.clone())
-                    .collect(),
-                alloc: s.alloc.clone(),
-                intra: s.intra,
-                inter_before: s.inter_before,
-            })
-            .collect();
-        let (mip_solves, fast_solves, cache_hits) = allocator.stats.snapshot();
-        Ok(CompiledProgram {
-            predicted_latency: segres.total_latency,
-            stats: CompileStats {
-                wall: start.elapsed(),
-                n_ops: list.ops.len(),
-                n_segments: segments.len(),
-                mip_solves,
-                fast_solves,
-                cache_hits,
-            },
-            ops: list.ops,
-            segments,
-            flow,
-        })
+        let lowered = cx.run(&LowerStage, graph)?;
+        let partitioned = cx.run(&PartitionStage, lowered)?;
+        let segmented = cx.run(&SegmentStage, partitioned)?;
+        let mut program = cx.run(&EmitStage, segmented)?;
+        cx.finalize(&mut program.stats);
+        program.stats.wall = start.elapsed();
+        Ok(program)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::AllocatorKind;
+    use crate::{AllocatorKind, DpMode};
     use cmswitch_arch::presets;
 
     #[test]
@@ -274,16 +209,23 @@ mod tests {
 
     #[test]
     fn cache_reduces_solves_on_repeated_blocks() {
-        // Two identical layers -> identical segment signatures.
+        // Two identical layers -> identical segment signatures. Run the
+        // exhaustive DP: it enumerates every repeated window, which is
+        // exactly what the signature cache deduplicates (the pruned DP
+        // skips most repeats before the cache is even consulted).
         let g = cmswitch_models::mlp::mlp(1, &[64, 64, 64, 64, 64]).unwrap();
-        let cached = Compiler::new(presets::tiny(), CompilerOptions::default())
+        let exhaustive = CompilerOptions {
+            dp_mode: DpMode::Exhaustive,
+            ..CompilerOptions::default()
+        };
+        let cached = Compiler::new(presets::tiny(), exhaustive.clone())
             .compile(&g)
             .unwrap();
         let uncached = Compiler::new(
             presets::tiny(),
             CompilerOptions {
                 reuse_cache: false,
-                ..CompilerOptions::default()
+                ..exhaustive
             },
         )
         .compile(&g)
@@ -298,6 +240,48 @@ mod tests {
             (cached.predicted_latency - uncached.predicted_latency).abs()
                 / uncached.predicted_latency
                 < 1e-9
+        );
+    }
+
+    #[test]
+    fn stage_timings_reported() {
+        let g = cmswitch_models::mlp::mlp(2, &[128, 256, 128]).unwrap();
+        let c = Compiler::new(presets::tiny(), CompilerOptions::default());
+        let p = c.compile(&g).unwrap();
+        let names: Vec<_> = p.stats.stage_wall.iter().map(|t| t.stage).collect();
+        assert_eq!(names, ["lower", "partition", "segment", "emit"]);
+        assert!(p.stats.stage_wall("segment").is_some());
+        assert!(p.stats.stage_wall("warp").is_none());
+        // The stage sum cannot exceed the total compile wall.
+        let sum: Duration = p.stats.stage_wall.iter().map(|t| t.wall).sum();
+        assert!(sum <= p.stats.wall);
+    }
+
+    #[test]
+    fn dp_modes_produce_identical_programs() {
+        let g = cmswitch_models::mlp::mlp(2, &[256, 512, 256, 128, 64]).unwrap();
+        let pruned = Compiler::new(presets::tiny(), CompilerOptions::default())
+            .compile(&g)
+            .unwrap();
+        let exhaustive = Compiler::new(
+            presets::tiny(),
+            CompilerOptions {
+                dp_mode: DpMode::Exhaustive,
+                ..CompilerOptions::default()
+            },
+        )
+        .compile(&g)
+        .unwrap();
+        assert_eq!(pruned.segments, exhaustive.segments);
+        assert_eq!(
+            pruned.predicted_latency.to_bits(),
+            exhaustive.predicted_latency.to_bits()
+        );
+        assert_eq!(pruned.flow, exhaustive.flow);
+        assert_eq!(exhaustive.stats.dp_windows_pruned, 0);
+        assert!(
+            pruned.stats.mip_solves + pruned.stats.fast_solves
+                <= exhaustive.stats.mip_solves + exhaustive.stats.fast_solves
         );
     }
 

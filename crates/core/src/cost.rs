@@ -53,6 +53,40 @@ impl<'a> CostModel<'a> {
         exec + operand_write + aux
     }
 
+    /// Analytic lower bound on [`CostModel::op_latency`] over every
+    /// allocation that fits the chip — the segmentation DP's pruning
+    /// bound, computed without invoking any allocator.
+    ///
+    /// The rate part delegates to the solver's bound hook
+    /// ([`cmswitch_solver::alloc::latency_lower_bound`], the Eq. 9/10
+    /// relaxation with the whole chip granted to the op); the additive
+    /// parts mirror [`CostModel::op_latency`] exactly: dynamic operands
+    /// are written at best through `D_main + N·D_cim`, and the fused
+    /// vector-unit work is allocation-independent.
+    pub fn op_latency_lower_bound(&self, op: &SegOp) -> f64 {
+        let chip = cmswitch_solver::alloc::AllocChip {
+            op_cim: self.arch.op_cim(),
+            d_cim: self.arch.d_cim(),
+            n_arrays: self.arch.n_arrays(),
+        };
+        let rate_lb = cmswitch_solver::alloc::latency_lower_bound(
+            &[cmswitch_solver::alloc::AllocOp {
+                work: op.work,
+                min_compute: op.min_tiles.max(1),
+                ai: if op.ai().is_finite() { op.ai() } else { 1e12 },
+                d_main: self.arch.d_main(),
+            }],
+            &chip,
+        );
+        let n = self.arch.n_arrays() as f64;
+        let operand_write = if op.weight_static {
+            0.0
+        } else {
+            op.weight_bytes as f64 / (self.arch.d_main() + n * self.arch.d_cim())
+        };
+        rate_lb + operand_write + op.aux_flops as f64 / FU_FLOPS_PER_CYCLE
+    }
+
     /// Intra-segment latency — Eq. 9: the pipeline bottleneck, i.e. the
     /// maximum operator latency in the segment.
     pub fn intra_latency(&self, ops: &[SegOp], alloc: &SegmentAllocation) -> f64 {

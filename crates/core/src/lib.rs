@@ -14,9 +14,20 @@
 //!    operator ranges, scoring each candidate segment with the
 //!    mixed-integer allocation of [`allocation`] (constraints Eqs. 5-8,
 //!    objective Eq. 9, latency model Eq. 10 in [`cost`]) and charging the
-//!    inter-segment mode-switch overheads of Eqs. 1, 2 and 4,
+//!    inter-segment mode-switch overheads of Eqs. 1, 2 and 4 — by
+//!    default in [`DpMode::BoundPruned`] mode, which skips candidate
+//!    windows whose analytic lower bound already loses to a greedy
+//!    incumbent (identical schedules, far fewer allocator solves),
 //! 3. [`codegen`] assigns physical arrays, inserts `CM.switch(TOM|TOC)`
 //!    statements and emits the final [`cmswitch_metaop::Flow`].
+//!
+//! The steps are materialized as explicit [`pipeline`] stages
+//! ([`LowerStage`] → [`PartitionStage`] → [`SegmentStage`] →
+//! [`EmitStage`]) driven through a shared [`PipelineCx`], which carries
+//! the architecture, options, allocation cache and per-stage wall
+//! timings. [`Compiler`] composes exactly those stages, and so do the
+//! baseline backends (`cmswitch-baselines`) — they swap only the
+//! segmentation stage.
 //!
 //! For model *fleets*, [`service`] wraps the compiler in a
 //! [`CompileService`]: concurrent batch compilation over a worker pool
@@ -47,12 +58,17 @@ pub mod codegen;
 pub mod cost;
 pub mod frontend;
 pub mod partition;
+pub mod pipeline;
 pub mod segment;
 pub mod service;
 
 pub use allocation::AllocationCache;
-pub use compiler::{assemble_program, CompiledProgram, Compiler, CompileStats, SegmentPlan};
+pub use compiler::{CompiledProgram, Compiler, CompileStats, SegmentPlan};
 pub use error::CompileError;
+pub use pipeline::{
+    EmitStage, Lowered, LowerStage, Partitioned, PartitionStage, PipelineCx, Segmented,
+    SegmentStage, Stage, StageWall,
+};
 pub use service::{BatchJob, BatchOutcome, BatchReport, BatchStats, CompileService, ServiceOptions};
 
 /// Which per-segment allocator the compiler uses.
@@ -65,6 +81,20 @@ pub enum AllocatorKind {
     /// The specialized exact binary-search allocator (compile-time
     /// ablation; same objective, no Eq. 6 reuse coupling in the search).
     Fast,
+}
+
+/// How the segmentation DP explores candidate windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DpMode {
+    /// Pay a full allocation solve for every feasible candidate window
+    /// (the reference implementation of Eq. 3 / Algorithm 1).
+    Exhaustive,
+    /// Skip windows that a min-tiles capacity check proves infeasible or
+    /// whose analytic Eq. 9/10 lower bound already loses to a greedy
+    /// incumbent schedule. Provably returns the identical segmentation
+    /// with far fewer allocator invocations (see [`segment`]).
+    #[default]
+    BoundPruned,
 }
 
 /// Compiler options.
@@ -83,6 +113,9 @@ pub struct CompilerOptions {
     pub switch_aware: bool,
     /// Fraction of the chip a single partitioned sub-operator may claim.
     pub partition_budget: f64,
+    /// Whether the segmentation DP prunes candidate windows with
+    /// analytic bounds before paying an allocation solve.
+    pub dp_mode: DpMode,
 }
 
 impl Default for CompilerOptions {
@@ -93,6 +126,7 @@ impl Default for CompilerOptions {
             reuse_cache: true,
             switch_aware: true,
             partition_budget: 1.0,
+            dp_mode: DpMode::default(),
         }
     }
 }

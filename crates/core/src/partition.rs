@@ -27,7 +27,10 @@ pub fn partition(
     arch: &DualModeArch,
     budget_fraction: f64,
 ) -> Result<OpList, CompileError> {
-    let budget = ((arch.n_arrays() as f64 * budget_fraction) as usize).max(1);
+    // Round to nearest: truncation would silently drop an array when the
+    // product lands just under an integer (0.999 · 64 = 63.936 must mean
+    // a 64-array budget, not 63).
+    let budget = ((arch.n_arrays() as f64 * budget_fraction).round() as usize).max(1);
     let mut new_ops: Vec<SegOp> = Vec::with_capacity(list.ops.len());
     // Maps old op index -> (first chunk index, number of chunks).
     let mut spans: Vec<(usize, usize)> = Vec::with_capacity(list.ops.len());
@@ -190,6 +193,40 @@ mod tests {
         let half = partition(&list, &arch, 0.5).unwrap();
         assert!(half.ops.len() > full.ops.len());
         assert!(half.ops.iter().all(|o| o.min_tiles <= 4));
+    }
+
+    #[test]
+    fn budget_rounds_to_nearest_at_fraction_boundaries() {
+        // 64 arrays at fraction 0.999: 63.936 must round to a 64-array
+        // budget — truncation would shave an array off and needlessly
+        // split any operator using the full chip.
+        let arch = cmswitch_arch::DualModeArch::builder("round-test")
+            .n_arrays(64)
+            .array_size(64, 64)
+            .buffer_bytes(4 * 1024)
+            .internal_bw(4)
+            .extern_bw(16)
+            .buffer_bw(16)
+            .compute_pass_cycles(16)
+            .switch_cycles(1, 1)
+            .write_parallelism(4)
+            .build()
+            .unwrap();
+        // 512x512 weights on 64x64 arrays: exactly 64 tiles.
+        let g = cmswitch_models::mlp::mlp(1, &[512, 512, 64]).unwrap();
+        let list = lower_graph(&g, &arch).unwrap();
+        assert_eq!(list.ops[0].min_tiles, 64);
+        let full = partition(&list, &arch, 0.999).unwrap();
+        assert_eq!(
+            full.ops.len(),
+            list.ops.len(),
+            "0.999 of 64 arrays must not split a 64-tile operator"
+        );
+        // A genuinely smaller fraction still tightens the budget:
+        // 0.492 · 64 = 31.488 rounds to 31.
+        let half = partition(&list, &arch, 0.492).unwrap();
+        assert!(half.ops.len() > list.ops.len());
+        assert!(half.ops.iter().all(|o| o.min_tiles <= 31));
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! The staged compilation pipeline: typed artifacts, explicit stages,
+//! one shared context.
+//!
+//! CIM-MLC and PIMCOMP structure their compiler stacks as explicit
+//! multi-level pass pipelines; this module does the same for CMSwitch.
+//! A compilation is a chain of [`Stage`]s transforming typed artifacts:
+//!
+//! ```text
+//! &Graph ──LowerStage──► Lowered ──PartitionStage──► Partitioned
+//!        ──SegmentStage──► Segmented ──EmitStage──► CompiledProgram
+//! ```
+//!
+//! Every stage runs through a [`PipelineCx`], which carries the target
+//! architecture, the [`CompilerOptions`], the (optionally shared)
+//! [`AllocationCache`], per-stage wall-clock timings and the solver
+//! counters. [`crate::Compiler`] composes exactly these stages; the
+//! baseline backends (`cmswitch-baselines`) compose the same lower /
+//! partition / emit stages and swap only the segmentation stage, so
+//! every backend pays the same physics and reports the same per-stage
+//! timing breakdown.
+//!
+//! Custom composers (e.g. an ablation that produces its own segment
+//! chain) can skip [`SegmentStage`] and build a [`Segmented`] artifact
+//! directly — [`Segmented::from_chain`] charges the Eq. 4 inter costs
+//! for an arbitrary `(range, allocation)` chain.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cmswitch_arch::DualModeArch;
+use cmswitch_graph::Graph;
+
+use crate::allocation::{AllocationCache, Allocator, AllocatorStats};
+use crate::compiler::{CompiledProgram, CompileStats, SegmentPlan};
+use crate::cost::CostModel;
+use crate::frontend::{lower_graph, OpList};
+use crate::partition::partition;
+use crate::segment::{self, chain_segments, DpStats, Segment};
+use crate::{codegen, CompileError, CompilerOptions};
+
+/// One compilation pass: consumes an input artifact, produces the next.
+///
+/// The trait is generic over its input `I` (rather than using an
+/// associated input type) so stages can borrow — [`LowerStage`] takes
+/// `&Graph` — while the owned artifacts flow by value.
+pub trait Stage<I> {
+    /// The artifact this stage produces.
+    type Output;
+
+    /// Stable stage name used in timing breakdowns.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stage's [`CompileError`].
+    fn run(&self, cx: &mut PipelineCx<'_>, input: I) -> Result<Self::Output, CompileError>;
+}
+
+/// Wall-clock time one stage spent, as recorded by [`PipelineCx::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageWall {
+    /// The stage's [`Stage::name`].
+    pub stage: &'static str,
+    /// Wall-clock time spent in the stage.
+    pub wall: Duration,
+}
+
+/// Shared state threaded through every stage of one compilation:
+/// architecture, options, allocation cache, per-stage timings and
+/// solver counters.
+#[derive(Debug)]
+pub struct PipelineCx<'a> {
+    arch: &'a DualModeArch,
+    options: &'a CompilerOptions,
+    shared_cache: Option<Arc<AllocationCache>>,
+    timings: Vec<StageWall>,
+    mip_solves: u64,
+    fast_solves: u64,
+    cache_hits: u64,
+    dp_windows_pruned: u64,
+}
+
+impl<'a> PipelineCx<'a> {
+    /// Creates a context compiling for `arch` under `options`, with a
+    /// private per-compilation allocation cache (when
+    /// `options.reuse_cache`).
+    pub fn new(arch: &'a DualModeArch, options: &'a CompilerOptions) -> Self {
+        PipelineCx {
+            arch,
+            options,
+            shared_cache: None,
+            timings: Vec::new(),
+            mip_solves: 0,
+            fast_solves: 0,
+            cache_hits: 0,
+            dp_windows_pruned: 0,
+        }
+    }
+
+    /// Creates a context whose allocations go through `cache`, which
+    /// outlives the compilation and may be shared across models and
+    /// threads (the [`crate::CompileService`] batch path). Ignored when
+    /// `options.reuse_cache` is off.
+    pub fn with_shared_cache(
+        arch: &'a DualModeArch,
+        options: &'a CompilerOptions,
+        cache: Arc<AllocationCache>,
+    ) -> Self {
+        PipelineCx {
+            shared_cache: Some(cache),
+            ..PipelineCx::new(arch, options)
+        }
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &'a DualModeArch {
+        self.arch
+    }
+
+    /// The compiler options in effect.
+    pub fn options(&self) -> &'a CompilerOptions {
+        self.options
+    }
+
+    /// A cost model for the target architecture.
+    pub fn cost_model(&self) -> CostModel<'a> {
+        CostModel::new(self.arch)
+    }
+
+    /// Builds the dual-mode allocator the options call for: allocator
+    /// kind from the options, backed by the shared cache when one was
+    /// provided (and caching is enabled), else a private one.
+    pub fn allocator(&self) -> Allocator<'a> {
+        match &self.shared_cache {
+            Some(cache) if self.options.reuse_cache => Allocator::with_cache(
+                self.cost_model(),
+                self.options.allocator,
+                Arc::clone(cache),
+            ),
+            _ => Allocator::new(
+                self.cost_model(),
+                self.options.allocator,
+                self.options.reuse_cache,
+            ),
+        }
+    }
+
+    /// Folds an allocator's solve counters into the compilation's
+    /// statistics (call once per allocator, after its last use).
+    pub fn record_allocator(&mut self, stats: &AllocatorStats) {
+        let (mip, fast, hits) = stats.snapshot();
+        self.mip_solves += mip;
+        self.fast_solves += fast;
+        self.cache_hits += hits;
+    }
+
+    /// Folds the segmentation DP's window counters into the
+    /// compilation's statistics.
+    pub fn record_dp(&mut self, dp: &DpStats) {
+        self.dp_windows_pruned += dp.skipped();
+    }
+
+    /// Runs `stage` on `input`, recording its wall-clock time under
+    /// [`Stage::name`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stage's error (the timing entry is still
+    /// recorded).
+    pub fn run<I, S: Stage<I>>(
+        &mut self,
+        stage: &S,
+        input: I,
+    ) -> Result<S::Output, CompileError> {
+        let start = Instant::now();
+        let result = stage.run(self, input);
+        self.timings.push(StageWall {
+            stage: stage.name(),
+            wall: start.elapsed(),
+        });
+        result
+    }
+
+    /// The per-stage timings recorded so far, in execution order.
+    pub fn timings(&self) -> &[StageWall] {
+        &self.timings
+    }
+
+    /// Consumes the context, stamping its timings and solver counters
+    /// into `stats` (the driver sets `stats.wall` itself, so the total
+    /// covers driver overhead too).
+    pub fn finalize(self, stats: &mut CompileStats) {
+        stats.stage_wall = self.timings;
+        stats.mip_solves = self.mip_solves;
+        stats.fast_solves = self.fast_solves;
+        stats.cache_hits = self.cache_hits;
+        stats.dp_windows_pruned = self.dp_windows_pruned;
+    }
+}
+
+/// Artifact of [`LowerStage`]: the CIM-supportable operator list
+/// (§4.3.1's `O_1…O_m` with dependency relation `W`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lowered {
+    /// The model name (threaded through to the emitted flow).
+    pub name: String,
+    /// The lowered operator list.
+    pub list: OpList,
+}
+
+/// Artifact of [`PartitionStage`]: the operator list with oversized
+/// operators split into chip-fitting sub-operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partitioned {
+    /// The model name.
+    pub name: String,
+    /// The partitioned operator list.
+    pub list: OpList,
+}
+
+/// Artifact of a segmentation stage: the scheduled segment chain plus
+/// the DP-objective total latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segmented {
+    /// The model name.
+    pub name: String,
+    /// The operator list the segments index into.
+    pub list: OpList,
+    /// Segments in execution order, inter costs charged.
+    pub segments: Vec<Segment>,
+    /// Predicted end-to-end latency (cycles), including the final
+    /// write-back of network outputs.
+    pub total_latency: f64,
+}
+
+impl Segmented {
+    /// Builds the artifact from an externally produced `(range,
+    /// allocation)` chain: charges the Eq. 4 inter costs via
+    /// [`chain_segments`] and totals `Σ (inter + intra)` plus the final
+    /// write-back. Used by the baseline backends and ad-hoc composers.
+    pub fn from_chain(
+        name: impl Into<String>,
+        list: OpList,
+        cm: &CostModel<'_>,
+        parts: Vec<((usize, usize), crate::allocation::SegmentAllocation)>,
+    ) -> Self {
+        let segments = chain_segments(&list, cm, parts);
+        let total_latency = segments
+            .iter()
+            .map(|s| s.inter_before + s.intra)
+            .sum::<f64>()
+            + cm.final_writeback_cost(&list);
+        Segmented {
+            name: name.into(),
+            list,
+            segments,
+            total_latency,
+        }
+    }
+}
+
+/// Lowers a graph into the compiler's operator list (`&Graph →
+/// [`Lowered`]`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowerStage;
+
+impl<'g> Stage<&'g Graph> for LowerStage {
+    type Output = Lowered;
+
+    fn name(&self) -> &'static str {
+        "lower"
+    }
+
+    fn run(&self, cx: &mut PipelineCx<'_>, graph: &'g Graph) -> Result<Lowered, CompileError> {
+        Ok(Lowered {
+            name: graph.name().to_string(),
+            list: lower_graph(graph, cx.arch())?,
+        })
+    }
+}
+
+/// Splits oversized operators into chip-fitting sub-operators
+/// (`[`Lowered`] → [`Partitioned`]`, §4.3.1), honoring
+/// [`CompilerOptions::partition_budget`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionStage;
+
+impl Stage<Lowered> for PartitionStage {
+    type Output = Partitioned;
+
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    fn run(&self, cx: &mut PipelineCx<'_>, input: Lowered) -> Result<Partitioned, CompileError> {
+        Ok(Partitioned {
+            name: input.name,
+            list: partition(&input.list, cx.arch(), cx.options().partition_budget)?,
+        })
+    }
+}
+
+/// CMSwitch's dual-mode-aware segmentation DP (`[`Partitioned`] →
+/// [`Segmented`]`, Eq. 3 with the Eq. 5-9 allocation per candidate
+/// window, bound-pruned by default — see [`crate::DpMode`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SegmentStage;
+
+impl Stage<Partitioned> for SegmentStage {
+    type Output = Segmented;
+
+    fn name(&self) -> &'static str {
+        "segment"
+    }
+
+    fn run(&self, cx: &mut PipelineCx<'_>, input: Partitioned) -> Result<Segmented, CompileError> {
+        let allocator = cx.allocator();
+        let cm = cx.cost_model();
+        let res = segment::segment(&input.list, &allocator, &cm, cx.options())?;
+        cx.record_allocator(&allocator.stats);
+        cx.record_dp(&res.dp);
+        Ok(Segmented {
+            name: input.name,
+            list: input.list,
+            segments: res.segments,
+            total_latency: res.total_latency,
+        })
+    }
+}
+
+/// Code generation and packaging (`[`Segmented`] →
+/// [`CompiledProgram`]`): physical array assignment, `CM.switch`
+/// insertion, flow validation and the segment-plan report.
+///
+/// The produced program's `stats` holds the op/segment counts; the
+/// driver stamps wall times and solver counters via
+/// [`PipelineCx::finalize`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmitStage;
+
+impl Stage<Segmented> for EmitStage {
+    type Output = CompiledProgram;
+
+    fn name(&self) -> &'static str {
+        "emit"
+    }
+
+    fn run(&self, cx: &mut PipelineCx<'_>, input: Segmented) -> Result<CompiledProgram, CompileError> {
+        let flow = codegen::generate(&input.name, &input.list, &input.segments, cx.arch())?;
+        cmswitch_metaop::validate(&flow)?;
+        let plans: Vec<SegmentPlan> = input
+            .segments
+            .iter()
+            .map(|s| SegmentPlan {
+                range: s.range,
+                op_names: input.list.ops[s.range.0..=s.range.1]
+                    .iter()
+                    .map(|o| o.name.clone())
+                    .collect(),
+                alloc: s.alloc.clone(),
+                intra: s.intra,
+                inter_before: s.inter_before,
+            })
+            .collect();
+        Ok(CompiledProgram {
+            flow,
+            predicted_latency: input.total_latency,
+            stats: CompileStats {
+                n_ops: input.list.ops.len(),
+                n_segments: plans.len(),
+                ..CompileStats::default()
+            },
+            ops: input.list.ops,
+            segments: plans,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+
+    #[test]
+    fn stages_compose_into_a_valid_program() {
+        let graph = cmswitch_models::mlp::mlp(2, &[128, 256, 128, 64]).unwrap();
+        let arch = presets::tiny();
+        let opts = CompilerOptions::default();
+        let mut cx = PipelineCx::new(&arch, &opts);
+        let lowered = cx.run(&LowerStage, &graph).unwrap();
+        let partitioned = cx.run(&PartitionStage, lowered).unwrap();
+        let segmented = cx.run(&SegmentStage, partitioned).unwrap();
+        assert!(!segmented.segments.is_empty());
+        let mut program = cx.run(&EmitStage, segmented).unwrap();
+        let names: Vec<_> = cx.timings().iter().map(|t| t.stage).collect();
+        assert_eq!(names, ["lower", "partition", "segment", "emit"]);
+        cx.finalize(&mut program.stats);
+        assert_eq!(program.stats.stage_wall.len(), 4);
+        assert!(program.stats.mip_solves + program.stats.fast_solves > 0);
+        assert!(program.predicted_latency > 0.0);
+        cmswitch_metaop::validate(&program.flow).unwrap();
+    }
+
+    #[test]
+    fn from_chain_totals_inter_plus_intra_plus_final_writeback() {
+        let graph = cmswitch_models::mlp::mlp(1, &[64, 64, 64]).unwrap();
+        let arch = presets::tiny();
+        let opts = CompilerOptions::default();
+        let mut cx = PipelineCx::new(&arch, &opts);
+        let lowered = cx.run(&LowerStage, &graph).unwrap();
+        let partitioned = cx.run(&PartitionStage, lowered).unwrap();
+        let cm = cx.cost_model();
+        let allocator = cx.allocator();
+        let list = partitioned.list.clone();
+        let m = list.ops.len();
+        // One segment per op, allocated with the real allocator.
+        let parts: Vec<_> = (0..m)
+            .map(|i| {
+                let a = allocator.allocate(&list.ops[i..=i], &[]).unwrap();
+                ((i, i), a)
+            })
+            .collect();
+        let segmented = Segmented::from_chain("chain", list, &cm, parts);
+        assert_eq!(segmented.segments.len(), m);
+        let expect: f64 = segmented
+            .segments
+            .iter()
+            .map(|s| s.inter_before + s.intra)
+            .sum::<f64>()
+            + cm.final_writeback_cost(&segmented.list);
+        assert_eq!(segmented.total_latency.to_bits(), expect.to_bits());
+        // And the chain emits a valid program.
+        let program = cx.run(&EmitStage, segmented).unwrap();
+        cmswitch_metaop::validate(&program.flow).unwrap();
+    }
+
+    #[test]
+    fn stage_error_still_records_timing() {
+        let empty = cmswitch_graph::Graph::from_nodes("empty", Vec::new());
+        let arch = presets::tiny();
+        let opts = CompilerOptions::default();
+        let mut cx = PipelineCx::new(&arch, &opts);
+        assert!(cx.run(&LowerStage, &empty).is_err());
+        assert_eq!(cx.timings().len(), 1);
+        assert_eq!(cx.timings()[0].stage, "lower");
+    }
+}

@@ -14,13 +14,48 @@
 //! the chip are pruned ("impossible cases are skipped", Algorithm 1 line
 //! 8), and the segment width is bounded by
 //! [`crate::CompilerOptions::max_segment_ops`].
+//!
+//! # Bound pruning ([`crate::DpMode::BoundPruned`])
+//!
+//! The dominant compile cost is the per-candidate-window allocation solve
+//! (MIP or fast allocator). The pruned DP avoids most of them while
+//! provably returning the *identical* schedule:
+//!
+//! 1. **Capacity prefilter.** Incremental prefix aggregates over the op
+//!    list (work, min-tiles, output bytes) make `Σ min_tiles` of any
+//!    window an O(1) lookup. If it exceeds the chip, every allocator
+//!    (MIP and fast) is guaranteed to return infeasible — the window is
+//!    skipped without a solve.
+//! 2. **Analytic bound vs. incumbent.** A greedy feasible schedule
+//!    (longest-fit packing, costed with the exact DP objective) seeds an
+//!    incumbent upper bound. For each candidate window `(i, j)` the DP
+//!    then computes, without solving,
+//!    `L_min[i-1] + LB_inter(i,j) + LB_intra(i,j) + LB_suffix(j)` where
+//!    `LB_intra` comes from the cost model's rate equations (Eq. 9/10,
+//!    via [`CostModel::op_latency_lower_bound`] and the solver's
+//!    [`cmswitch_solver::alloc::latency_lower_bound`] hook), `LB_inter`
+//!    is the unavoidable weight-reload floor (Eq. 2 with minimal tiles)
+//!    and `LB_suffix` lower-bounds the cost of scheduling the remaining
+//!    ops. If the sum already loses to the incumbent, no plan through
+//!    `(i, j)` can be optimal (or tie an optimal plan), so the window is
+//!    skipped.
+//!
+//! Every quantity in the bound is a true lower bound of the
+//! corresponding term for *any* feasible allocation, and pruning
+//! requires a *strictly* worse bound (with a small safety margin against
+//! floating-point noise), so every state on any optimal — or
+//! tied-optimal — path survives with a DP value identical to the
+//! exhaustive DP's. The result (segments and `total_latency`) is
+//! bit-identical; only the number of allocator invocations drops. The
+//! greedy incumbent only ever allocates windows the exhaustive DP would
+//! allocate anyway, so the pruned DP's solve set is a strict subset.
 
 use std::collections::HashMap;
 
 use crate::allocation::{Allocator, SegmentAllocation};
 use crate::cost::CostModel;
 use crate::frontend::OpList;
-use crate::{CompileError, CompilerOptions};
+use crate::{CompileError, CompilerOptions, DpMode};
 
 /// One scheduled segment.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +71,27 @@ pub struct Segment {
     pub inter_before: f64,
 }
 
+/// Counters describing how much work the segmentation DP did (and, in
+/// [`crate::DpMode::BoundPruned`] mode, saved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DpStats {
+    /// Candidate windows enumerated by the DP.
+    pub windows: u64,
+    /// Windows skipped by the min-tiles capacity prefilter (no allocator
+    /// invocation; the allocators would have proven them infeasible).
+    pub infeasible_skipped: u64,
+    /// Windows skipped because their analytic lower bound already lost
+    /// to the incumbent schedule.
+    pub bound_pruned: u64,
+}
+
+impl DpStats {
+    /// Total windows skipped without invoking an allocator.
+    pub fn skipped(&self) -> u64 {
+        self.infeasible_skipped + self.bound_pruned
+    }
+}
+
 /// The segmentation decision for a whole network.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SegmentationResult {
@@ -44,24 +100,258 @@ pub struct SegmentationResult {
     /// Total predicted latency (cycles), including the final write-back of
     /// network outputs.
     pub total_latency: f64,
+    /// DP work counters (windows enumerated / skipped).
+    pub dp: DpStats,
 }
 
 impl SegmentationResult {
     /// Average fraction of used arrays in memory mode across segments
     /// (Fig. 16 bottom row).
     pub fn average_memory_ratio(&self) -> f64 {
-        if self.segments.is_empty() {
-            return 0.0;
-        }
-        self.segments
-            .iter()
-            .map(|s| s.alloc.memory_ratio())
-            .sum::<f64>()
-            / self.segments.len() as f64
+        crate::allocation::mean_memory_ratio(self.segments.iter().map(|s| &s.alloc))
     }
 }
 
-/// Runs the segmentation DP.
+/// Chains `(range, allocation)` parts into [`Segment`]s, charging the
+/// Eq. 4 inter costs with the shared cost model: the first segment pays
+/// the all-arrays-start-in-memory-mode switch plus the initial weight
+/// load, every later one the full `T_wb + T_swc + T_rw`.
+///
+/// Shared by the DP's backtrack materialization, the baselines'
+/// segmentation stages (`cmswitch-baselines`) and ad-hoc composers such
+/// as the bench ablations — everyone pays the same physics.
+pub fn chain_segments(
+    list: &OpList,
+    cm: &CostModel<'_>,
+    parts: Vec<((usize, usize), SegmentAllocation)>,
+) -> Vec<Segment> {
+    let mut segments: Vec<Segment> = Vec::with_capacity(parts.len());
+    let mut prev: Option<((usize, usize), SegmentAllocation)> = None;
+    for (range, alloc) in parts {
+        let ops = &list.ops[range.0..=range.1];
+        let inter_before = match &prev {
+            None => {
+                cm.switch_cost(&SegmentAllocation::empty(), &alloc)
+                    + cm.reload_cost(ops, &alloc)
+            }
+            Some((prange, palloc)) => cm.inter_cost(list, *prange, palloc, range, ops, &alloc),
+        };
+        segments.push(Segment {
+            range,
+            intra: alloc.latency,
+            inter_before,
+            alloc: alloc.clone(),
+        });
+        prev = Some((range, alloc));
+    }
+    segments
+}
+
+/// Prefix aggregates and analytic bounds powering the pruned DP.
+///
+/// All window queries are O(window) or better; nothing here invokes an
+/// allocator.
+struct Bounds {
+    /// Per-op lower bound on its Eq. 10 latency with the whole chip
+    /// granted ([`CostModel::op_latency_lower_bound`]).
+    op_lb: Vec<f64>,
+    /// `prefix_work[i]` = Σ work of ops `0..i`.
+    prefix_work: Vec<f64>,
+    /// `prefix_tiles[i]` = Σ `min_tiles.max(1)` of ops `0..i`.
+    prefix_tiles: Vec<u64>,
+    /// `suffix_op_lb[j]` = max of `op_lb` over ops `j..m`.
+    suffix_op_lb: Vec<f64>,
+    /// `N · OP_cim`, the whole chip's compute rate.
+    chip_rate: f64,
+    /// Physical arrays on the chip.
+    n_arrays: u64,
+    /// Per-array weight-write latency (Eq. 2 unit cost).
+    lat_write: f64,
+    /// Final write-back of network outputs, charged by every schedule.
+    final_wb: f64,
+    /// Whether the DP objective charges switch overheads (Eqs. 1/2/4).
+    switch_aware: bool,
+}
+
+impl Bounds {
+    fn new(list: &OpList, cm: &CostModel<'_>, opts: &CompilerOptions) -> Self {
+        let m = list.ops.len();
+        let op_lb: Vec<f64> = list
+            .ops
+            .iter()
+            .map(|op| cm.op_latency_lower_bound(op))
+            .collect();
+        let mut prefix_work = Vec::with_capacity(m + 1);
+        let mut prefix_tiles = Vec::with_capacity(m + 1);
+        prefix_work.push(0.0);
+        prefix_tiles.push(0u64);
+        for op in &list.ops {
+            prefix_work.push(prefix_work.last().unwrap() + op.work);
+            prefix_tiles.push(prefix_tiles.last().unwrap() + op.min_tiles.max(1) as u64);
+        }
+        let mut suffix_op_lb = vec![0.0f64; m + 1];
+        for j in (0..m).rev() {
+            suffix_op_lb[j] = suffix_op_lb[j + 1].max(op_lb[j]);
+        }
+        Bounds {
+            op_lb,
+            prefix_work,
+            prefix_tiles,
+            suffix_op_lb,
+            chip_rate: cm.arch().n_arrays() as f64 * cm.arch().op_cim(),
+            n_arrays: cm.arch().n_arrays() as u64,
+            lat_write: cm.arch().lat_write_array() as f64,
+            final_wb: cm.final_writeback_cost(list),
+            switch_aware: opts.switch_aware,
+        }
+    }
+
+    /// Whether window `(i, j)` provably cannot be allocated: its minimal
+    /// weight tiles alone exceed the chip, which makes both the fast
+    /// allocator and the MIP (capacity constraint Eq. 8 with
+    /// `Com ≥ min_tiles`) infeasible.
+    fn window_infeasible(&self, i: usize, j: usize) -> bool {
+        self.prefix_tiles[j + 1] - self.prefix_tiles[i] > self.n_arrays
+    }
+
+    /// Lower bound on `T_intra(i, j)` over every feasible allocation:
+    /// the capacity relaxation `Σ work / (N·OP_cim)` and the best
+    /// per-op latency in the window.
+    fn intra_lb(&self, i: usize, j: usize) -> f64 {
+        let work = self.prefix_work[j + 1] - self.prefix_work[i];
+        let mut lb = if self.chip_rate > 0.0 {
+            work / self.chip_rate
+        } else {
+            0.0
+        };
+        for &l in &self.op_lb[i..=j] {
+            lb = lb.max(l);
+        }
+        lb
+    }
+
+    /// Lower bound on the inter cost the DP charges before segment
+    /// `(i, j)`: the weight-reload floor (Eq. 2 at minimal tiles).
+    /// The first segment of an overhead-oblivious DP charges nothing.
+    fn inter_lb(&self, list: &OpList, i: usize, j: usize) -> f64 {
+        if i == 0 && !self.switch_aware {
+            return 0.0;
+        }
+        let max_static_tiles = list.ops[i..=j]
+            .iter()
+            .filter(|op| op.weight_static)
+            .map(|op| op.min_tiles.max(1))
+            .max()
+            .unwrap_or(0);
+        max_static_tiles as f64 * self.lat_write
+    }
+
+    /// Lower bound on the cost of scheduling ops `j+1..m` (zero when the
+    /// window ends the list) plus the final write-back: every remaining
+    /// op sits in some segment whose bottleneck is at least its `op_lb`,
+    /// and the segments' bottlenecks together cover the remaining work
+    /// at rate at most `N·OP_cim`.
+    fn suffix_lb(&self, j: usize, m: usize) -> f64 {
+        if j + 1 >= m {
+            return self.final_wb;
+        }
+        let work = self.prefix_work[m] - self.prefix_work[j + 1];
+        let rate_lb = if self.chip_rate > 0.0 {
+            work / self.chip_rate
+        } else {
+            0.0
+        };
+        rate_lb.max(self.suffix_op_lb[j + 1]) + self.final_wb
+    }
+}
+
+/// The exact DP-objective cost of transitioning into segment
+/// `(range, alloc)` from `prev` (`None` for the first segment) —
+/// identical arithmetic for the DP sweep and the greedy incumbent, so
+/// the incumbent is a true upper bound on the DP's optimum.
+fn transition_cost(
+    list: &OpList,
+    cm: &CostModel<'_>,
+    switch_aware: bool,
+    prev: Option<(&(usize, usize), &SegmentAllocation)>,
+    range: (usize, usize),
+    alloc: &SegmentAllocation,
+) -> f64 {
+    let ops = &list.ops[range.0..=range.1];
+    match prev {
+        None => {
+            if switch_aware {
+                cm.switch_cost(&SegmentAllocation::empty(), alloc) + cm.reload_cost(ops, alloc)
+            } else {
+                0.0
+            }
+        }
+        Some((prange, palloc)) => {
+            if switch_aware {
+                cm.inter_cost(list, *prange, palloc, range, ops, alloc)
+            } else {
+                // Oblivious ablation: weight reloads still exist
+                // physically, but the DP ignores switch/writeback terms.
+                cm.reload_cost(ops, alloc)
+            }
+        }
+    }
+}
+
+/// A feasible schedule's exact DP-objective cost, built by longest-fit
+/// greedy packing. Returns `f64::INFINITY` when the greedy packer gets
+/// stuck (the DP then runs unpruned apart from the capacity prefilter).
+///
+/// Only windows of DP-legal width are allocated, all through the shared
+/// memo, so no allocation happens here that the exhaustive DP would not
+/// also perform.
+fn greedy_incumbent(
+    list: &OpList,
+    cm: &CostModel<'_>,
+    opts: &CompilerOptions,
+    window: usize,
+    bounds: &Bounds,
+    alloc_of: &mut dyn FnMut(usize, usize) -> Option<SegmentAllocation>,
+) -> f64 {
+    let m = list.ops.len();
+    let mut total = 0.0f64;
+    let mut prev: Option<((usize, usize), SegmentAllocation)> = None;
+    let mut start = 0usize;
+    while start < m {
+        let mut best: Option<(usize, SegmentAllocation)> = None;
+        let mut j = start;
+        while j < m && j - start < window {
+            if bounds.window_infeasible(start, j) {
+                break;
+            }
+            match alloc_of(start, j) {
+                Some(a) => {
+                    best = Some((j, a));
+                    j += 1;
+                }
+                None => break,
+            }
+        }
+        let Some((end, alloc)) = best else {
+            return f64::INFINITY;
+        };
+        let inter = transition_cost(
+            list,
+            cm,
+            opts.switch_aware,
+            prev.as_ref().map(|(r, a)| (r, a)),
+            (start, end),
+            &alloc,
+        );
+        total += inter + alloc.latency;
+        prev = Some(((start, end), alloc));
+        start = end + 1;
+    }
+    total + bounds.final_wb
+}
+
+/// Runs the segmentation DP ([`crate::DpMode`] selects exhaustive vs.
+/// bound-pruned; both return identical schedules).
 ///
 /// # Errors
 ///
@@ -79,6 +369,7 @@ pub fn segment(
         return Ok(SegmentationResult {
             segments: Vec::new(),
             total_latency: 0.0,
+            dp: DpStats::default(),
         });
     }
     let window = opts.max_segment_ops.max(1);
@@ -114,13 +405,48 @@ pub fn segment(
         }
     }
 
+    let mut dp_stats = DpStats::default();
+    let bounds = match opts.dp_mode {
+        DpMode::Exhaustive => None,
+        DpMode::BoundPruned => Some(Bounds::new(list, cm, opts)),
+    };
+    let incumbent = bounds
+        .as_ref()
+        .map(|b| greedy_incumbent(list, cm, opts, window, b, &mut alloc_of))
+        .unwrap_or(f64::INFINITY);
+
     // dp[(i, j)] = (total cost of ops 0..=j with last segment (i..=j),
     //               previous segment start or usize::MAX for none).
     let mut dp: HashMap<(usize, usize), (f64, usize)> = HashMap::new();
+    // row_min[e] = min over starts k of dp[(k, e)]: the cheapest way to
+    // schedule the prefix 0..=e (used by the pruning bound as L_min).
+    let mut row_min: Vec<f64> = vec![f64::INFINITY; m];
 
     for j in 0..m {
         let i_lo = j + 1 - window.min(j + 1);
         for i in i_lo..=j {
+            dp_stats.windows += 1;
+            if let Some(b) = &bounds {
+                if b.window_infeasible(i, j) {
+                    dp_stats.infeasible_skipped += 1;
+                    continue;
+                }
+                let base = if i == 0 { 0.0 } else { row_min[i - 1] };
+                if base.is_infinite() {
+                    // No feasible predecessor: the exhaustive DP would
+                    // find no transition either (it would only waste the
+                    // allocation solve).
+                    continue;
+                }
+                let optimistic =
+                    base + b.inter_lb(list, i, j) + b.intra_lb(i, j) + b.suffix_lb(j, m);
+                // Strictly-worse bound with a relative safety margin:
+                // floating-point noise must never prune a tied path.
+                if optimistic > incumbent * (1.0 + 1e-9) + 1e-9 {
+                    dp_stats.bound_pruned += 1;
+                    continue;
+                }
+            }
             let Some(alloc) = alloc_of(i, j) else {
                 continue;
             };
@@ -128,13 +454,10 @@ pub fn segment(
             if i == 0 {
                 // First segment: all arrays start in memory mode; charge
                 // the switches to compute mode and the initial weight load.
-                let cost = if opts.switch_aware {
-                    cm.switch_cost(&SegmentAllocation::empty(), &alloc)
-                        + cm.reload_cost(&list.ops[i..=j], &alloc)
-                } else {
-                    0.0
-                };
+                let cost =
+                    transition_cost(list, cm, opts.switch_aware, None, (0, j), &alloc);
                 dp.insert((0, j), (cost + intra, usize::MAX));
+                row_min[j] = row_min[j].min(cost + intra);
                 continue;
             }
             // Previous segment ends at i-1; its start k ranges over the
@@ -148,26 +471,21 @@ pub fn segment(
                 let Some(prev_alloc) = alloc_of(k, i - 1) else {
                     continue;
                 };
-                let inter = if opts.switch_aware {
-                    cm.inter_cost(
-                        list,
-                        (k, i - 1),
-                        &prev_alloc,
-                        (i, j),
-                        &list.ops[i..=j],
-                        &alloc,
-                    )
-                } else {
-                    // Oblivious ablation: weight reloads still exist
-                    // physically, but the DP ignores switch/writeback terms.
-                    cm.reload_cost(&list.ops[i..=j], &alloc)
-                };
+                let inter = transition_cost(
+                    list,
+                    cm,
+                    opts.switch_aware,
+                    Some((&(k, i - 1), &prev_alloc)),
+                    (i, j),
+                    &alloc,
+                );
                 let total = prev_cost + inter + intra;
                 if best.is_none_or(|(b, _)| total < b) {
                     best = Some((total, k));
                 }
             }
             if let Some(b) = best {
+                row_min[j] = row_min[j].min(b.0);
                 dp.insert((i, j), b);
             }
         }
@@ -201,37 +519,18 @@ pub fn segment(
     }
     ranges.reverse();
 
-    // Materialize segments with their inter costs.
-    let mut segments = Vec::with_capacity(ranges.len());
-    let mut prev: Option<((usize, usize), SegmentAllocation)> = None;
-    for &(i, j) in &ranges {
-        let alloc = alloc_of(i, j).expect("allocation on optimal path");
-        let inter_before = match &prev {
-            None => {
-                cm.switch_cost(&SegmentAllocation::empty(), &alloc)
-                    + cm.reload_cost(&list.ops[i..=j], &alloc)
-            }
-            Some((prange, palloc)) => cm.inter_cost(
-                list,
-                *prange,
-                palloc,
-                (i, j),
-                &list.ops[i..=j],
-                &alloc,
-            ),
-        };
-        segments.push(Segment {
-            range: (i, j),
-            intra: alloc.latency,
-            inter_before,
-            alloc: alloc.clone(),
-        });
-        prev = Some(((i, j), alloc));
-    }
+    // Materialize segments with their (always switch-aware, i.e.
+    // physically real) inter costs.
+    let parts: Vec<((usize, usize), SegmentAllocation)> = ranges
+        .iter()
+        .map(|&(i, j)| ((i, j), alloc_of(i, j).expect("allocation on optimal path")))
+        .collect();
+    let segments = chain_segments(list, cm, parts);
 
     Ok(SegmentationResult {
         segments,
         total_latency,
+        dp: dp_stats,
     })
 }
 
@@ -241,6 +540,7 @@ mod tests {
     use crate::allocation::Allocator;
     use crate::frontend::lower_graph;
     use crate::partition::partition;
+    use crate::AllocatorKind;
     use cmswitch_arch::presets;
 
     fn run(
@@ -253,6 +553,34 @@ mod tests {
         let cm = CostModel::new(arch);
         let allocator = Allocator::new(CostModel::new(arch), opts.allocator, opts.reuse_cache);
         segment(&list, &allocator, &cm, opts).unwrap()
+    }
+
+    /// Runs both DP modes on the same list and returns
+    /// `(exhaustive, pruned, exhaustive_solves, pruned_solves)`.
+    fn run_both(
+        graph: &cmswitch_graph::Graph,
+        arch: &cmswitch_arch::DualModeArch,
+        base: &CompilerOptions,
+    ) -> (SegmentationResult, SegmentationResult, u64, u64) {
+        let list = lower_graph(graph, arch).unwrap();
+        let list = partition(&list, arch, base.partition_budget).unwrap();
+        let cm = CostModel::new(arch);
+        let mut results = Vec::new();
+        let mut solves = Vec::new();
+        for mode in [DpMode::Exhaustive, DpMode::BoundPruned] {
+            let opts = CompilerOptions {
+                dp_mode: mode,
+                ..base.clone()
+            };
+            let allocator =
+                Allocator::new(CostModel::new(arch), opts.allocator, opts.reuse_cache);
+            results.push(segment(&list, &allocator, &cm, &opts).unwrap());
+            let (mip, fast, _) = allocator.stats.snapshot();
+            solves.push(mip + fast);
+        }
+        let pruned = results.pop().unwrap();
+        let exhaustive = results.pop().unwrap();
+        (exhaustive, pruned, solves[0], solves[1])
     }
 
     #[test]
@@ -285,6 +613,77 @@ mod tests {
         let arch = presets::tiny();
         let r = run(&g, &arch, &CompilerOptions::default());
         assert_eq!(r.segments.len(), 1);
+    }
+
+    #[test]
+    fn pruned_dp_matches_exhaustive_bit_for_bit() {
+        for widths in [
+            vec![64, 128, 128, 64, 32],
+            vec![256, 256, 256, 256, 256],
+            vec![64, 64],
+            vec![256, 512, 256, 128, 64],
+        ] {
+            let g = cmswitch_models::mlp::mlp(2, &widths).unwrap();
+            for arch in [presets::tiny(), presets::dynaplasia()] {
+                let (ex, pr, s_ex, s_pr) =
+                    run_both(&g, &arch, &CompilerOptions::default());
+                assert_eq!(ex.segments, pr.segments, "{widths:?} on {}", arch.name());
+                assert_eq!(
+                    ex.total_latency.to_bits(),
+                    pr.total_latency.to_bits(),
+                    "{widths:?} on {}",
+                    arch.name()
+                );
+                assert!(s_pr <= s_ex, "pruned may never solve more: {s_pr} vs {s_ex}");
+                assert!(pr.dp.windows >= pr.dp.skipped());
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_dp_matches_exhaustive_when_switch_oblivious() {
+        let g = cmswitch_models::mlp::mlp(2, &[256, 512, 256, 128, 64]).unwrap();
+        let arch = presets::tiny();
+        let base = CompilerOptions {
+            switch_aware: false,
+            ..CompilerOptions::default()
+        };
+        let (ex, pr, s_ex, s_pr) = run_both(&g, &arch, &base);
+        assert_eq!(ex.segments, pr.segments);
+        assert_eq!(ex.total_latency.to_bits(), pr.total_latency.to_bits());
+        assert!(s_pr <= s_ex);
+    }
+
+    #[test]
+    fn pruned_dp_skips_capacity_infeasible_windows_without_solving() {
+        // Five 256-wide layers on the 8-array tiny chip: every pair of
+        // adjacent ops overflows the chip, so all multi-op windows are
+        // skipped by the prefilter and solves drop strictly.
+        let g = cmswitch_models::mlp::mlp(1, &[256, 256, 256, 256, 256]).unwrap();
+        let arch = presets::tiny();
+        let (ex, pr, s_ex, s_pr) = run_both(&g, &arch, &CompilerOptions::default());
+        assert_eq!(ex.segments, pr.segments);
+        assert!(pr.dp.infeasible_skipped > 0);
+        assert!(
+            s_pr < s_ex,
+            "expected strictly fewer solves: pruned {s_pr} vs exhaustive {s_ex}"
+        );
+    }
+
+    #[test]
+    fn exhaustive_mode_reports_no_skips() {
+        let g = cmswitch_models::mlp::mlp(2, &[128, 128, 64]).unwrap();
+        let arch = presets::tiny();
+        let r = run(
+            &g,
+            &arch,
+            &CompilerOptions {
+                dp_mode: DpMode::Exhaustive,
+                ..CompilerOptions::default()
+            },
+        );
+        assert_eq!(r.dp.skipped(), 0);
+        assert!(r.dp.windows > 0);
     }
 
     #[test]
@@ -344,5 +743,19 @@ mod tests {
         let r = run(&g, &arch, &CompilerOptions::default());
         let ratio = r.average_memory_ratio();
         assert!((0.0..=1.0).contains(&ratio));
+    }
+
+    #[test]
+    fn fast_allocator_modes_agree_too() {
+        let g = cmswitch_models::mlp::mlp(2, &[128, 256, 128, 64]).unwrap();
+        let arch = presets::dynaplasia();
+        let base = CompilerOptions {
+            allocator: AllocatorKind::Fast,
+            ..CompilerOptions::default()
+        };
+        let (ex, pr, s_ex, s_pr) = run_both(&g, &arch, &base);
+        assert_eq!(ex.segments, pr.segments);
+        assert_eq!(ex.total_latency.to_bits(), pr.total_latency.to_bits());
+        assert!(s_pr <= s_ex);
     }
 }

@@ -126,6 +126,13 @@ pub struct BatchStats {
     /// [`crate::AllocatorKind::Mip`] a single cache miss increments
     /// both counters.
     pub fast_solves: u64,
+    /// Segmentation-DP windows the batch's successfully compiled models
+    /// skipped without an allocator invocation ([`crate::DpMode`]).
+    pub dp_windows_pruned: u64,
+    /// Per-stage wall-clock time summed across the batch's successfully
+    /// compiled models, in first-seen stage order (CPU time across
+    /// workers, so it can exceed the batch wall).
+    pub stage_wall: Vec<crate::StageWall>,
 }
 
 impl BatchStats {
@@ -152,6 +159,17 @@ impl BatchStats {
         } else {
             self.cache_hits as f64 / lookups as f64
         }
+    }
+
+    /// One-line per-stage timing breakdown (empty string when no model
+    /// compiled), e.g. `lower 1.2ms · partition 0.3ms · segment 840ms ·
+    /// emit 12ms`.
+    pub fn stage_breakdown(&self) -> String {
+        self.stage_wall
+            .iter()
+            .map(|t| format!("{} {:.1?}", t.stage, t.wall))
+            .collect::<Vec<_>>()
+            .join(" · ")
     }
 }
 
@@ -193,7 +211,7 @@ impl BatchReport {
         let s = &self.stats;
         let _ = writeln!(
             out,
-            "batch: {}/{} ok in {:.1?} on {} workers — {} solver invocations, {} saved by cache ({:.0}% hit rate)",
+            "batch: {}/{} ok in {:.1?} on {} workers — {} solver invocations, {} saved by cache ({:.0}% hit rate), {} DP windows pruned",
             s.compiled,
             s.compiled + s.failed,
             s.wall,
@@ -201,7 +219,11 @@ impl BatchReport {
             s.solver_invocations(),
             s.solves_saved(),
             s.hit_rate() * 100.0,
+            s.dp_windows_pruned,
         );
+        if !s.stage_wall.is_empty() {
+            let _ = writeln!(out, "stages (CPU time across workers): {}", s.stage_breakdown());
+        }
         out
     }
 }
@@ -326,6 +348,13 @@ impl CompileService {
                     stats.compiled += 1;
                     stats.mip_solves += p.stats.mip_solves;
                     stats.fast_solves += p.stats.fast_solves;
+                    stats.dp_windows_pruned += p.stats.dp_windows_pruned;
+                    for t in &p.stats.stage_wall {
+                        match stats.stage_wall.iter_mut().find(|s| s.stage == t.stage) {
+                            Some(s) => s.wall += t.wall,
+                            None => stats.stage_wall.push(t.clone()),
+                        }
+                    }
                 }
                 Err(_) => stats.failed += 1,
             }
@@ -436,6 +465,33 @@ mod tests {
         let over_solver_runs =
             s.cache_hits as f64 / (s.cache_hits + s.solver_invocations()) as f64;
         assert!(s.hit_rate() > over_solver_runs);
+    }
+
+    #[test]
+    fn batch_aggregates_stage_timings() {
+        let report = service(2).compile_batch(&fleet());
+        let names: Vec<_> = report.stats.stage_wall.iter().map(|t| t.stage).collect();
+        assert_eq!(names, ["lower", "partition", "segment", "emit"]);
+        // Aggregated per-stage CPU time equals the sum over models.
+        let per_model: std::time::Duration = report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok())
+            .flat_map(|p| p.stats.stage_wall.iter())
+            .filter(|t| t.stage == "segment")
+            .map(|t| t.wall)
+            .sum();
+        let aggregated = report
+            .stats
+            .stage_wall
+            .iter()
+            .find(|t| t.stage == "segment")
+            .unwrap()
+            .wall;
+        assert_eq!(per_model, aggregated);
+        let breakdown = report.stats.stage_breakdown();
+        assert!(breakdown.contains("segment"), "{breakdown}");
+        assert!(report.summary().contains("stages"), "{}", report.summary());
     }
 
     #[test]

@@ -83,6 +83,49 @@ pub fn op_latency(op: &AllocOp, alloc: OpAlloc, chip: &AllocChip) -> f64 {
     }
 }
 
+/// Analytic lower bound on the optimal bottleneck latency (the Eq. 9
+/// objective) over *every* allocation that respects the physical
+/// capacity `Σ (Com + Mem) ≤ n_arrays` — no search, no solve.
+///
+/// Two relaxations of the rate equations (Eq. 10) are combined:
+///
+/// * **per-op**: even granted the whole chip, op `i` cannot beat
+///   `OP_i / min(N·OP_cim, (N·D_cim + D_main)·AI_i)`;
+/// * **capacity**: `L ≥ OP_i / (Com_i·OP_cim)` for every op, so
+///   `Σ Com_i ≥ Σ OP_i / (L·OP_cim)`; with `Σ Com_i ≤ N` this gives
+///   `L ≥ Σ OP_i / (N·OP_cim)`.
+///
+/// The segmentation DP uses this as its pruning bound: a candidate
+/// segment whose bound already loses to the incumbent schedule is
+/// skipped without ever invoking [`solve`] or the MIP. The bound is
+/// stated against the physical capacity, so it is *not* valid for the
+/// credit-expanded budget of `solve(ops, chip, credit)` with
+/// `credit > 0` in isolation — callers compare it against allocations
+/// that were post-checked to fit the chip (as the compiler's are).
+pub fn latency_lower_bound(ops: &[AllocOp], chip: &AllocChip) -> f64 {
+    if ops.is_empty() {
+        return 0.0;
+    }
+    let n = chip.n_arrays as f64;
+    let chip_rate = n * chip.op_cim;
+    let mut per_op = 0.0f64;
+    let mut total_work = 0.0f64;
+    for op in ops {
+        let mem_rate = (n * chip.d_cim + op.d_main) * op.ai;
+        let rate = chip_rate.min(mem_rate);
+        per_op = per_op.max(if rate > 0.0 {
+            op.work / rate
+        } else {
+            f64::INFINITY
+        });
+        total_work += op.work;
+    }
+    if chip_rate > 0.0 {
+        per_op = per_op.max(total_work / chip_rate);
+    }
+    per_op
+}
+
 /// Cheapest per-op allocation achieving latency ≤ `target`.
 fn min_alloc_for_target(op: &AllocOp, target: f64, chip: &AllocChip) -> Option<OpAlloc> {
     if target <= 0.0 {
@@ -411,6 +454,32 @@ mod tests {
                     prop_assert!(brute(&ops, &chip).is_none());
                 }
                 Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+            }
+        }
+
+        #[test]
+        fn lower_bound_never_exceeds_exact_optimum(seed in 0u64..10_000) {
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(31));
+            let chip = AllocChip {
+                op_cim: rng.gen_range(10.0..2000.0),
+                d_cim: rng.gen_range(0.5..8.0),
+                n_arrays: rng.gen_range(4usize..64),
+            };
+            let ops: Vec<AllocOp> = (0..rng.gen_range(1usize..5))
+                .map(|_| AllocOp {
+                    work: rng.gen_range(100.0..1e7),
+                    min_compute: rng.gen_range(1usize..4),
+                    ai: rng.gen_range(0.5..500.0),
+                    d_main: rng.gen_range(1.0..64.0),
+                })
+                .collect();
+            let lb = latency_lower_bound(&ops, &chip);
+            prop_assert!(lb >= 0.0);
+            if let Ok(a) = solve(&ops, &chip, 0) {
+                prop_assert!(
+                    lb <= a.latency * (1.0 + 1e-9) + 1e-9,
+                    "bound {} exceeds exact optimum {}", lb, a.latency
+                );
             }
         }
 

@@ -52,6 +52,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warm.stats.wall,
     );
     println!(
+        "stage breakdown (cold, CPU time across workers): {}",
+        cold.stats.stage_breakdown()
+    );
+    println!(
+        "stage breakdown (warm):                          {}",
+        warm.stats.stage_breakdown()
+    );
+    println!(
+        "DP windows pruned without a solve: cold {}, warm {}",
+        cold.stats.dp_windows_pruned, warm.stats.dp_windows_pruned
+    );
+    println!(
         "cache: {} entries, lifetime hit rate {:.0}%",
         service.cache().len(),
         service.cache().hit_rate() * 100.0

@@ -57,7 +57,8 @@ pub mod prelude {
     pub use cmswitch_baselines::{by_name, Backend};
     pub use cmswitch_core::{
         AllocationCache, BatchJob, BatchReport, CompiledProgram, Compiler, CompilerOptions,
-        CompileService, ServiceOptions,
+        CompileService, DpMode, EmitStage, LowerStage, PartitionStage, PipelineCx, SegmentStage,
+        ServiceOptions, Stage,
     };
     pub use cmswitch_graph::{Graph, GraphBuilder};
     pub use cmswitch_metaop::{print_flow, Flow};

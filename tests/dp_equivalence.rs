@@ -1,0 +1,161 @@
+//! Equivalence of the bound-pruned segmentation DP with the exhaustive
+//! reference: bit-identical `SegmentationResult` (segments and
+//! `total_latency`), strictly fewer allocator solves.
+//!
+//! Two layers of coverage:
+//!
+//! * the full 9-model registry on the paper's DynaPlasia chip, full op
+//!   lists (the acceptance bar: identical plans, strictly fewer solves
+//!   on every transformer-class model);
+//! * a property test over *all* arch presets × the registry with
+//!   truncated op lists (the tiny 8-array preset would otherwise
+//!   explode the partitioner on billion-parameter models — truncation
+//!   keeps every preset/model pair affordable while still exercising
+//!   the DP and its bounds on that pair's real shapes).
+
+use proptest::prelude::*;
+
+use cmswitch::arch::{presets, DualModeArch};
+use cmswitch::compiler::allocation::Allocator;
+use cmswitch::compiler::cost::CostModel;
+use cmswitch::compiler::frontend::{lower_graph, OpList};
+use cmswitch::compiler::partition::partition;
+use cmswitch::compiler::segment::{segment, SegmentationResult};
+use cmswitch::compiler::{AllocatorKind, CompilerOptions, DpMode};
+use cmswitch::models::registry;
+
+const TRANSFORMERS: &[&str] = &["bert-base", "bert-large", "llama2-7b", "opt-6.7b", "opt-13b"];
+
+fn preset(idx: usize) -> DualModeArch {
+    match idx % 3 {
+        0 => presets::dynaplasia(),
+        1 => presets::prime(),
+        _ => presets::tiny(),
+    }
+}
+
+/// Keeps the first `cap` ops and the dependencies among them.
+fn truncate(list: &OpList, cap: usize) -> OpList {
+    let cap = cap.min(list.ops.len());
+    let mut deps = Vec::new();
+    let mut dep_bytes = Vec::new();
+    for (&(p, c), &b) in list.deps.iter().zip(&list.dep_bytes) {
+        if p < cap && c < cap {
+            deps.push((p, c));
+            dep_bytes.push(b);
+        }
+    }
+    OpList {
+        ops: list.ops[..cap].to_vec(),
+        deps,
+        dep_bytes,
+    }
+}
+
+/// Runs one DP mode on a partitioned list; returns the result and the
+/// allocator-solve count (MIP + fast).
+fn run_dp(
+    list: &OpList,
+    arch: &DualModeArch,
+    mode: DpMode,
+    allocator: AllocatorKind,
+) -> (SegmentationResult, u64) {
+    let opts = CompilerOptions {
+        dp_mode: mode,
+        allocator,
+        ..CompilerOptions::default()
+    };
+    let cm = CostModel::new(arch);
+    let alloc = Allocator::new(CostModel::new(arch), opts.allocator, opts.reuse_cache);
+    let res = segment(list, &alloc, &cm, &opts).expect("feasible schedule");
+    let (mip, fast, _) = alloc.stats.snapshot();
+    (res, mip + fast)
+}
+
+fn assert_identical(ex: &SegmentationResult, pr: &SegmentationResult, what: &str) {
+    assert_eq!(ex.segments, pr.segments, "segments differ: {what}");
+    assert_eq!(
+        ex.total_latency.to_bits(),
+        pr.total_latency.to_bits(),
+        "total_latency differs: {what} ({} vs {})",
+        ex.total_latency,
+        pr.total_latency
+    );
+}
+
+#[test]
+fn pruned_dp_identical_on_full_registry_with_fewer_solves() {
+    let arch = presets::dynaplasia();
+    for &model in registry::ALL_MODELS {
+        let graph = registry::build(model, 1, 16).expect("registered model");
+        let list = lower_graph(&graph, &arch).expect("lowers");
+        let list = partition(&list, &arch, 1.0).expect("partitions");
+        // The fast allocator keeps the exhaustive reference affordable in
+        // debug builds; the DP logic under test is allocator-agnostic and
+        // the MIP path is covered by the prefix test below and the core
+        // unit tests.
+        let (ex, s_ex) = run_dp(&list, &arch, DpMode::Exhaustive, AllocatorKind::Fast);
+        let (pr, s_pr) = run_dp(&list, &arch, DpMode::BoundPruned, AllocatorKind::Fast);
+        assert_identical(&ex, &pr, model);
+        assert!(
+            s_pr <= s_ex,
+            "{model}: pruned DP may never solve more ({s_pr} vs {s_ex})"
+        );
+        assert!(
+            pr.dp.skipped() > 0,
+            "{model}: expected some windows skipped without a solve"
+        );
+        if TRANSFORMERS.contains(&model) {
+            assert!(
+                s_pr < s_ex,
+                "{model}: transformer-class models must strictly drop solves \
+                 (pruned {s_pr} vs exhaustive {s_ex})"
+            );
+        }
+        println!(
+            "{model:>12}: solves {s_ex} -> {s_pr}, windows {} ({} infeasible-skipped, {} bound-pruned)",
+            pr.dp.windows, pr.dp.infeasible_skipped, pr.dp.bound_pruned
+        );
+    }
+}
+
+#[test]
+fn pruned_dp_identical_under_mip_allocator_on_transformer_prefix() {
+    // The MIP path (default allocator) on a real transformer prefix:
+    // identical plans, no extra solves.
+    let arch = presets::dynaplasia();
+    let graph = registry::build("bert-base", 1, 32).unwrap();
+    let list = lower_graph(&graph, &arch).unwrap();
+    let list = truncate(&partition(&list, &arch, 1.0).unwrap(), 24);
+    let (ex, s_ex) = run_dp(&list, &arch, DpMode::Exhaustive, AllocatorKind::Mip);
+    let (pr, s_pr) = run_dp(&list, &arch, DpMode::BoundPruned, AllocatorKind::Mip);
+    assert_identical(&ex, &pr, "bert-base prefix under MIP");
+    assert!(s_pr <= s_ex, "pruned {s_pr} vs exhaustive {s_ex}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(36))]
+    #[test]
+    fn pruned_dp_identical_across_presets_and_registry(
+        preset_idx in 0usize..3,
+        model_idx in 0usize..9,
+        lowered_cap in 3usize..8,
+        seq in 8usize..33,
+    ) {
+        let arch = preset(preset_idx);
+        let model = registry::ALL_MODELS[model_idx];
+        let graph = registry::build(model, 1, seq).expect("registered model");
+        let lowered = lower_graph(&graph, &arch).expect("lowers");
+        // Truncate before *and* after partitioning: billion-parameter
+        // models on the tiny preset would otherwise shatter into tens of
+        // thousands of sub-operators.
+        let lowered = truncate(&lowered, lowered_cap);
+        let list = truncate(&partition(&lowered, &arch, 1.0).expect("partitions"), 48);
+        prop_assume!(list.ops.iter().all(|o| o.min_tiles <= arch.n_arrays()));
+        let (ex, s_ex) = run_dp(&list, &arch, DpMode::Exhaustive, AllocatorKind::Fast);
+        let (pr, s_pr) = run_dp(&list, &arch, DpMode::BoundPruned, AllocatorKind::Fast);
+        prop_assert_eq!(&ex.segments, &pr.segments);
+        prop_assert_eq!(ex.total_latency.to_bits(), pr.total_latency.to_bits());
+        prop_assert!(s_pr <= s_ex, "{} on {}: {} vs {}", model, arch.name(), s_pr, s_ex);
+    }
+}

@@ -5,6 +5,12 @@
 //! `Bencher::iter`. Each benchmark runs `sample_size` timed iterations after
 //! one warm-up and reports mean wall-clock time — no statistics, plots, or
 //! CLI filtering.
+//!
+//! **Smoke mode**: when the `CMSWITCH_BENCH_SMOKE` environment variable is
+//! set (to anything), every benchmark runs exactly one untimed warm-up and
+//! one timed iteration regardless of `sample_size`. CI uses this to execute
+//! every bench body end-to-end (catching panics and broken invariants)
+//! without paying measurement-grade repetition.
 
 use std::fmt;
 use std::hint::black_box as std_black_box;
@@ -68,9 +74,16 @@ pub struct BenchmarkGroup<'c> {
     _criterion: &'c mut Criterion,
 }
 
+/// Whether smoke mode is active (see the crate docs).
+fn smoke_mode() -> bool {
+    std::env::var_os("CMSWITCH_BENCH_SMOKE").is_some()
+}
+
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1) as u64;
+        if !smoke_mode() {
+            self.sample_size = n.max(1) as u64;
+        }
         self
     }
 
@@ -111,10 +124,16 @@ pub struct Criterion;
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
         let name = name.to_string();
-        println!("== bench group: {name}");
+        let sample_size = if smoke_mode() {
+            println!("== bench group: {name} (smoke mode: 1 iteration)");
+            1
+        } else {
+            println!("== bench group: {name}");
+            10
+        };
         BenchmarkGroup {
             name,
-            sample_size: 10,
+            sample_size,
             _criterion: self,
         }
     }
