@@ -1,59 +1,70 @@
+//! Backend selection and session glue for the baseline strategies.
+//!
+//! The [`Backend`] trait and the native [`CmSwitch`] strategy live in
+//! `cmswitch-core` (re-exported here for compatibility); this module
+//! adds what only the baselines crate can provide — instantiating *any*
+//! [`BackendKind`] ([`backend_for`]) and the [`SessionBackendExt`]
+//! sugar that lets a `SessionBuilder` select a backend by kind or name.
+
 use cmswitch_arch::DualModeArch;
-use cmswitch_core::{CompileError, CompiledProgram, Compiler, CompilerOptions};
-use cmswitch_graph::Graph;
+use cmswitch_core::{BackendKind, SessionBuilder, UnknownBackend};
 
-/// A compilation strategy producing a full [`CompiledProgram`].
+/// Re-exports of the core backend abstraction, for compatibility with
+/// code that imported them from this crate.
+pub use cmswitch_core::{Backend, CmSwitch};
+
+use crate::{CimMlc, Occ, Puma};
+
+/// Instantiates the backend strategy `kind` for `arch`.
 ///
-/// Implemented by the three baselines and by CMSwitch itself, so the
-/// experiment harness can sweep over backends uniformly.
-pub trait Backend: Send + Sync {
-    /// Short backend name (`puma`, `occ`, `cim-mlc`, `cmswitch`).
-    fn name(&self) -> &str;
+/// This is the non-deprecated replacement for [`crate::by_name`]:
+/// parse the name with [`BackendKind::from_name`] (whose error lists
+/// the known backends), then instantiate here.
+pub fn backend_for(kind: BackendKind, arch: DualModeArch) -> Box<dyn Backend> {
+    match kind {
+        BackendKind::Puma => Box::new(Puma::new(arch)),
+        BackendKind::Occ => Box::new(Occ::new(arch)),
+        BackendKind::CimMlc => Box::new(CimMlc::new(arch)),
+        BackendKind::CmSwitch => Box::new(CmSwitch::new(arch)),
+    }
+}
 
-    /// The architecture this backend targets.
-    fn arch(&self) -> &DualModeArch;
+/// Backend selection sugar for `SessionBuilder`: pick any published
+/// strategy by [`BackendKind`] or by wire name, instantiated for the
+/// builder's architecture.
+///
+/// ```
+/// use cmswitch_arch::presets;
+/// use cmswitch_baselines::SessionBackendExt;
+/// use cmswitch_core::{BackendKind, Session};
+///
+/// let session = Session::builder(presets::tiny())
+///     .backend_kind(BackendKind::CimMlc)
+///     .build();
+/// assert_eq!(session.backend_name(), "cim-mlc");
+/// ```
+pub trait SessionBackendExt: Sized {
+    /// Selects the backend strategy by kind.
+    #[must_use]
+    fn backend_kind(self, kind: BackendKind) -> Self;
 
-    /// Compiles `graph`.
+    /// Selects the backend strategy by wire name.
     ///
     /// # Errors
     ///
-    /// Propagates [`CompileError`] for infeasible or malformed inputs.
-    fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError>;
+    /// Returns [`UnknownBackend`] (listing the known names) when `name`
+    /// is not a published backend.
+    fn backend_name(self, name: &str) -> Result<Self, UnknownBackend>;
 }
 
-/// CMSwitch as a [`Backend`].
-#[derive(Debug, Clone)]
-pub struct CmSwitch {
-    compiler: Compiler,
-}
-
-impl CmSwitch {
-    /// Creates the backend with default compiler options.
-    pub fn new(arch: DualModeArch) -> Self {
-        CmSwitch {
-            compiler: Compiler::new(arch, CompilerOptions::default()),
-        }
+impl SessionBackendExt for SessionBuilder {
+    fn backend_kind(self, kind: BackendKind) -> Self {
+        let arch = self.arch().clone();
+        self.backend(backend_for(kind, arch))
     }
 
-    /// Creates the backend with explicit options.
-    pub fn with_options(arch: DualModeArch, options: CompilerOptions) -> Self {
-        CmSwitch {
-            compiler: Compiler::new(arch, options),
-        }
-    }
-}
-
-impl Backend for CmSwitch {
-    fn name(&self) -> &str {
-        "cmswitch"
-    }
-
-    fn arch(&self) -> &DualModeArch {
-        self.compiler.arch()
-    }
-
-    fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
-        self.compiler.compile(graph)
+    fn backend_name(self, name: &str) -> Result<Self, UnknownBackend> {
+        Ok(self.backend_kind(BackendKind::from_name(name)?))
     }
 }
 
@@ -61,13 +72,34 @@ impl Backend for CmSwitch {
 mod tests {
     use super::*;
     use cmswitch_arch::presets;
+    use cmswitch_core::Session;
 
     #[test]
-    fn cmswitch_backend_compiles() {
+    fn backend_for_resolves_every_kind() {
+        for kind in BackendKind::ALL {
+            let b = backend_for(kind, presets::tiny());
+            assert_eq!(b.name(), kind.name());
+            assert_eq!(b.arch().name(), presets::tiny().name());
+        }
+    }
+
+    #[test]
+    fn session_builder_selects_by_kind_and_name() {
         let g = cmswitch_models::mlp::mlp(2, &[128, 256, 64]).unwrap();
-        let b = CmSwitch::new(presets::tiny());
-        let p = b.compile(&g).unwrap();
-        assert!(p.predicted_latency > 0.0);
-        assert_eq!(b.name(), "cmswitch");
+        for kind in BackendKind::ALL {
+            let session = Session::builder(presets::tiny()).backend_kind(kind).build();
+            assert_eq!(session.backend_name(), kind.name());
+            let p = session.compile_graph(&g).unwrap();
+            assert!(p.predicted_latency.is_finite() && p.predicted_latency > 0.0);
+        }
+        let session = Session::builder(presets::tiny())
+            .backend_name("puma")
+            .unwrap()
+            .build();
+        assert_eq!(session.backend_name(), "puma");
+        let err = Session::builder(presets::tiny())
+            .backend_name("tvm")
+            .unwrap_err();
+        assert!(err.to_string().contains("cmswitch"));
     }
 }

@@ -13,11 +13,11 @@ use cmswitch_arch::DualModeArch;
 use cmswitch_core::allocation::SegmentAllocation;
 use cmswitch_core::cost::CostModel;
 use cmswitch_core::frontend::OpList;
-use cmswitch_core::pipeline::{Partitioned, Segmented, Stage};
-use cmswitch_core::{CompileError, CompiledProgram, PipelineCx};
+use cmswitch_core::pipeline::{compile_with_segmenter, Partitioned, Segmented, Stage};
+use cmswitch_core::{CancelToken, CompileError, CompiledProgram, PipelineCx};
 use cmswitch_graph::Graph;
 
-use crate::common::{all_compute_alloc, compile_via_stages};
+use crate::common::all_compute_alloc;
 use crate::Backend;
 
 /// CIM-MLC's segmentation policy as a pipeline stage: CMSwitch's Eq. 3
@@ -32,7 +32,12 @@ pub struct CimMlcSegmentStage {
 type Parts = Vec<((usize, usize), SegmentAllocation)>;
 
 impl CimMlcSegmentStage {
-    fn dp_parts(&self, list: &OpList, cm: &CostModel<'_>) -> Result<Parts, CompileError> {
+    fn dp_parts(
+        &self,
+        list: &OpList,
+        cm: &CostModel<'_>,
+        cancel: &CancelToken,
+    ) -> Result<Parts, CompileError> {
         let m = list.ops.len();
         let window = self.max_segment_ops;
         let mut allocs: HashMap<(usize, usize), Option<SegmentAllocation>> = HashMap::new();
@@ -49,6 +54,9 @@ impl CimMlcSegmentStage {
         for j in 0..m {
             let i_lo = j + 1 - window.min(j + 1);
             for i in i_lo..=j {
+                // Same abort granularity as the CMSwitch DP: one poll
+                // per candidate window.
+                cancel.check()?;
                 let Some(alloc) = alloc_of(i, j) else { continue };
                 let intra = alloc.latency;
                 if i == 0 {
@@ -117,7 +125,8 @@ impl Stage<Partitioned> for CimMlcSegmentStage {
 
     fn run(&self, cx: &mut PipelineCx<'_>, input: Partitioned) -> Result<Segmented, CompileError> {
         let cm = cx.cost_model();
-        let parts = self.dp_parts(&input.list, &cm)?;
+        let cancel = cx.cancel_token().clone();
+        let parts = self.dp_parts(&input.list, &cm, &cancel)?;
         Ok(Segmented::from_chain(input.name, input.list, &cm, parts))
     }
 }
@@ -126,18 +135,12 @@ impl Stage<Partitioned> for CimMlcSegmentStage {
 #[derive(Debug, Clone)]
 pub struct CimMlc {
     arch: DualModeArch,
-    stage: CimMlcSegmentStage,
 }
 
 impl CimMlc {
     /// Creates the backend.
     pub fn new(arch: DualModeArch) -> Self {
-        CimMlc {
-            arch,
-            stage: CimMlcSegmentStage {
-                max_segment_ops: 12,
-            },
-        }
+        CimMlc { arch }
     }
 }
 
@@ -150,8 +153,15 @@ impl Backend for CimMlc {
         &self.arch
     }
 
-    fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
-        compile_via_stages(&self.arch, &self.stage, graph)
+    fn compile_in(
+        &self,
+        cx: &mut PipelineCx<'_>,
+        graph: &Graph,
+    ) -> Result<CompiledProgram, CompileError> {
+        let stage = CimMlcSegmentStage {
+            max_segment_ops: cx.options().max_segment_ops,
+        };
+        compile_with_segmenter(cx, &stage, graph)
     }
 }
 

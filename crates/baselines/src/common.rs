@@ -12,20 +12,30 @@ use cmswitch_core::frontend::{OpList, SegOp};
 pub use cmswitch_core::segment::chain_segments;
 
 use cmswitch_core::pipeline::{
-    EmitStage, LowerStage, Partitioned, PartitionStage, PipelineCx, Segmented, Stage,
+    compile_with_segmenter, Partitioned, PipelineCx, Segmented, Stage,
 };
 use cmswitch_core::{CompileError, CompiledProgram, CompilerOptions};
 use cmswitch_graph::Graph;
 
-/// Drives the shared staged pipeline for a baseline backend: the same
-/// [`LowerStage`] → [`PartitionStage`] → `segmenter` → [`EmitStage`]
-/// chain CMSwitch itself runs, with only the segmentation stage
-/// swapped. Per-stage wall timings land in the program's
-/// `stats.stage_wall` exactly like a CMSwitch compile.
+/// Drives the shared staged pipeline for a baseline segmentation stage
+/// standalone: the same `lower` → `partition` → `segmenter` → `emit`
+/// chain CMSwitch itself runs (via
+/// [`cmswitch_core::pipeline::compile_with_segmenter`]), with default
+/// options and a private context. Per-stage wall timings land in the
+/// program's `stats.stage_wall` exactly like a CMSwitch compile.
+///
+/// Backends reached through a `cmswitch_core::Session` do not go
+/// through here — the session prepares the context (shared cache,
+/// cancellation, diagnostics) and calls `Backend::compile_in` directly.
 ///
 /// # Errors
 ///
 /// Propagates any stage's [`CompileError`].
+#[deprecated(
+    since = "0.5.0",
+    note = "implement `Backend::compile_in` and use `Backend::compile`, or drive \
+            `cmswitch_core::pipeline::compile_with_segmenter` with your own context"
+)]
 pub fn compile_via_stages<S>(
     arch: &DualModeArch,
     segmenter: &S,
@@ -37,11 +47,8 @@ where
     let start = std::time::Instant::now();
     let options = CompilerOptions::default();
     let mut cx = PipelineCx::new(arch, &options);
-    let lowered = cx.run(&LowerStage, graph)?;
-    let partitioned = cx.run(&PartitionStage, lowered)?;
-    let segmented = cx.run(segmenter, partitioned)?;
-    let mut program = cx.run(&EmitStage, segmented)?;
-    cx.finalize(&mut program.stats);
+    let mut program = compile_with_segmenter(&mut cx, segmenter, graph)?;
+    let _ = cx.finalize(&mut program.stats);
     program.stats.wall = start.elapsed();
     Ok(program)
 }

@@ -33,8 +33,9 @@ pub mod common;
 pub mod occ;
 pub mod puma;
 
-pub use backend::{Backend, CmSwitch};
+pub use backend::{backend_for, Backend, CmSwitch, SessionBackendExt};
 pub use cim_mlc::{CimMlc, CimMlcSegmentStage};
+pub use cmswitch_core::{BackendKind, UnknownBackend};
 pub use occ::{Occ, OccSegmentStage};
 pub use puma::{Puma, PumaSegmentStage};
 
@@ -42,17 +43,25 @@ pub use puma::{Puma, PumaSegmentStage};
 pub const BASELINE_NAMES: &[&str] = &["puma", "occ", "cim-mlc"];
 
 /// Builds a backend by name (`puma`, `occ`, `cim-mlc`, `cmswitch`).
-pub fn by_name(name: &str, arch: cmswitch_arch::DualModeArch) -> Option<Box<dyn Backend>> {
-    match name {
-        "puma" => Some(Box::new(Puma::new(arch))),
-        "occ" => Some(Box::new(Occ::new(arch))),
-        "cim-mlc" => Some(Box::new(CimMlc::new(arch))),
-        "cmswitch" => Some(Box::new(CmSwitch::new(arch))),
-        _ => None,
-    }
+///
+/// # Errors
+///
+/// Returns [`UnknownBackend`] — whose message lists the known backend
+/// names — when `name` does not resolve.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `BackendKind::from_name` + `backend_for`, or \
+            `SessionBackendExt::backend_kind` on a `Session` builder"
+)]
+pub fn by_name(
+    name: &str,
+    arch: cmswitch_arch::DualModeArch,
+) -> Result<Box<dyn Backend>, UnknownBackend> {
+    Ok(backend_for(BackendKind::from_name(name)?, arch))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // The shim's own regression tests exercise `by_name`.
 mod tests {
     use super::*;
     use cmswitch_arch::presets;
@@ -63,6 +72,9 @@ mod tests {
             let b = by_name(name, presets::tiny()).unwrap();
             assert_eq!(b.name(), name);
         }
-        assert!(by_name("tvm", presets::tiny()).is_none());
+        let Err(err) = by_name("tvm", presets::tiny()) else {
+            panic!("unknown backend must not resolve");
+        };
+        assert!(err.to_string().contains("known backends"));
     }
 }

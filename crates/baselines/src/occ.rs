@@ -2,11 +2,11 @@
 //! (Siemieniuk et al., TCAD'21).
 
 use cmswitch_arch::DualModeArch;
-use cmswitch_core::pipeline::{Partitioned, Segmented, Stage};
+use cmswitch_core::pipeline::{compile_with_segmenter, Partitioned, Segmented, Stage};
 use cmswitch_core::{CompileError, CompiledProgram, PipelineCx};
 use cmswitch_graph::Graph;
 
-use crate::common::{all_compute_alloc, compile_via_stages, greedy_ranges};
+use crate::common::{all_compute_alloc, greedy_ranges};
 use crate::Backend;
 
 /// OCC's segmentation policy as a pipeline stage: greedy packing with
@@ -49,18 +49,12 @@ impl Stage<Partitioned> for OccSegmentStage {
 #[derive(Debug, Clone)]
 pub struct Occ {
     arch: DualModeArch,
-    stage: OccSegmentStage,
 }
 
 impl Occ {
     /// Creates the backend.
     pub fn new(arch: DualModeArch) -> Self {
-        Occ {
-            arch,
-            stage: OccSegmentStage {
-                max_segment_ops: 12,
-            },
-        }
+        Occ { arch }
     }
 }
 
@@ -73,8 +67,15 @@ impl Backend for Occ {
         &self.arch
     }
 
-    fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
-        compile_via_stages(&self.arch, &self.stage, graph)
+    fn compile_in(
+        &self,
+        cx: &mut PipelineCx<'_>,
+        graph: &Graph,
+    ) -> Result<CompiledProgram, CompileError> {
+        let stage = OccSegmentStage {
+            max_segment_ops: cx.options().max_segment_ops,
+        };
+        compile_with_segmenter(cx, &stage, graph)
     }
 }
 

@@ -2,11 +2,11 @@
 //! all-compute arrays (Ankit et al., ASPLOS'19).
 
 use cmswitch_arch::DualModeArch;
-use cmswitch_core::pipeline::{Partitioned, Segmented, Stage};
+use cmswitch_core::pipeline::{compile_with_segmenter, Partitioned, Segmented, Stage};
 use cmswitch_core::{CompileError, CompiledProgram, PipelineCx};
 use cmswitch_graph::Graph;
 
-use crate::common::{all_compute_alloc, compile_via_stages, greedy_ranges};
+use crate::common::{all_compute_alloc, greedy_ranges};
 use crate::Backend;
 
 /// PUMA's segmentation policy as a pipeline stage: greedy packing,
@@ -47,18 +47,12 @@ impl Stage<Partitioned> for PumaSegmentStage {
 #[derive(Debug, Clone)]
 pub struct Puma {
     arch: DualModeArch,
-    stage: PumaSegmentStage,
 }
 
 impl Puma {
     /// Creates the backend.
     pub fn new(arch: DualModeArch) -> Self {
-        Puma {
-            arch,
-            stage: PumaSegmentStage {
-                max_segment_ops: 12,
-            },
-        }
+        Puma { arch }
     }
 }
 
@@ -71,8 +65,15 @@ impl Backend for Puma {
         &self.arch
     }
 
-    fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
-        compile_via_stages(&self.arch, &self.stage, graph)
+    fn compile_in(
+        &self,
+        cx: &mut PipelineCx<'_>,
+        graph: &Graph,
+    ) -> Result<CompiledProgram, CompileError> {
+        let stage = PumaSegmentStage {
+            max_segment_ops: cx.options().max_segment_ops,
+        };
+        compile_with_segmenter(cx, &stage, graph)
     }
 }
 

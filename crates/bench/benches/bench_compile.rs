@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cmswitch_arch::presets;
-use cmswitch_baselines::{by_name, Backend};
+use cmswitch_baselines::{backend_for, Backend, BackendKind};
 use cmswitch_bench::workloads::{build, Workload};
 
 fn compile_once(backend: &dyn Backend, w: &Workload) {
@@ -27,7 +27,7 @@ fn bench_compile(c: &mut Criterion) {
             continue;
         };
         for backend_name in ["cim-mlc", "cmswitch"] {
-            let backend = by_name(backend_name, arch.clone()).expect("known");
+            let backend = backend_for(BackendKind::from_name(backend_name).expect("known backend"), arch.clone());
             group.bench_with_input(
                 BenchmarkId::new(backend_name, model),
                 &w,

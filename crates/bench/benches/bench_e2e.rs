@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cmswitch_arch::presets;
-use cmswitch_baselines::by_name;
+use cmswitch_baselines::{backend_for, BackendKind};
 use cmswitch_bench::harness::run_workload;
 use cmswitch_bench::workloads::build;
 
@@ -21,7 +21,7 @@ fn bench_e2e(c: &mut Criterion) {
         let mut line = format!("  {model}:");
         let mut mlc_cycles = 0.0;
         for backend_name in ["puma", "occ", "cim-mlc", "cmswitch"] {
-            let backend = by_name(backend_name, arch.clone()).expect("known");
+            let backend = backend_for(BackendKind::from_name(backend_name).expect("known backend"), arch.clone());
             let r = run_workload(backend.as_ref(), &w).expect("runs");
             if backend_name == "cim-mlc" {
                 mlc_cycles = r.cycles;
@@ -47,7 +47,7 @@ fn bench_e2e(c: &mut Criterion) {
             continue;
         };
         for backend_name in ["cim-mlc", "cmswitch"] {
-            let backend = by_name(backend_name, arch.clone()).expect("known");
+            let backend = backend_for(BackendKind::from_name(backend_name).expect("known backend"), arch.clone());
             group.bench_with_input(
                 BenchmarkId::new(backend_name, model),
                 &w,

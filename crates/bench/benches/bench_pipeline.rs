@@ -11,17 +11,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cmswitch_arch::presets;
-use cmswitch_core::{Compiler, CompilerOptions, DpMode};
+use cmswitch_core::{CompilerOptions, DpMode, Session};
 use cmswitch_models::registry;
 
-fn compiler(mode: DpMode) -> Compiler {
-    Compiler::new(
-        presets::dynaplasia(),
-        CompilerOptions {
-            dp_mode: mode,
-            ..CompilerOptions::default()
-        },
-    )
+/// A fresh-cache session per DP mode. Each `compile_graph` still pays a
+/// cold *per-compilation* cache because the bench clears it between
+/// iterations via a new session.
+fn compiler(mode: DpMode) -> Session {
+    Session::builder(presets::dynaplasia())
+        .options(CompilerOptions::default().with_dp_mode(mode))
+        .workers(1)
+        .build()
 }
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -30,7 +30,7 @@ fn bench_pipeline(c: &mut Criterion) {
     for (model, seq) in [("bert-base", 32), ("resnet18", 0), ("opt-6.7b", 32)] {
         let graph = registry::build(model, 1, seq).expect("registered model");
         let reference = compiler(DpMode::BoundPruned)
-            .compile(&graph)
+            .compile_graph(&graph)
             .expect("compiles");
         for (label, mode) in [
             ("exhaustive", DpMode::Exhaustive),
@@ -38,7 +38,7 @@ fn bench_pipeline(c: &mut Criterion) {
         ] {
             group.bench_with_input(BenchmarkId::new(label, model), &graph, |b, graph| {
                 b.iter(|| {
-                    let p = compiler(mode).compile(graph).expect("compiles");
+                    let p = compiler(mode).compile_graph(graph).expect("compiles");
                     // Identical schedules regardless of DP mode.
                     assert_eq!(
                         p.predicted_latency.to_bits(),

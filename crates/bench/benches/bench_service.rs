@@ -27,10 +27,7 @@ fn fleet() -> Vec<BatchJob> {
 fn service(workers: usize) -> CompileService {
     CompileService::new(
         presets::dynaplasia(),
-        ServiceOptions {
-            workers,
-            ..ServiceOptions::default()
-        },
+        ServiceOptions::default().with_workers(workers),
     )
 }
 

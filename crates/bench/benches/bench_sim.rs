@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cmswitch_arch::presets;
-use cmswitch_baselines::by_name;
+use cmswitch_baselines::{backend_for, BackendKind};
 use cmswitch_bench::workloads::{build, Workload};
 use cmswitch_sim::timing::simulate;
 
@@ -18,7 +18,7 @@ fn bench_sim(c: &mut Criterion) {
             Workload::Single(g) => g.clone(),
             Workload::Generative(gen) => gen.prefill.clone(),
         };
-        let backend = by_name("cmswitch", arch.clone()).expect("known");
+        let backend = backend_for(BackendKind::CmSwitch, arch.clone());
         let program = backend.compile(&g).expect("compiles");
         group.bench_with_input(
             BenchmarkId::new("timing_sim", model),

@@ -98,17 +98,11 @@ pub fn run(cfg: &ExpConfig) -> String {
         let mip = CmSwitch::with_options(arch.clone(), CompilerOptions::default());
         let fast = CmSwitch::with_options(
             arch.clone(),
-            CompilerOptions {
-                allocator: AllocatorKind::Fast,
-                ..CompilerOptions::default()
-            },
+            CompilerOptions::default().with_allocator(AllocatorKind::Fast),
         );
         let nocache = CmSwitch::with_options(
             arch.clone(),
-            CompilerOptions {
-                reuse_cache: false,
-                ..CompilerOptions::default()
-            },
+            CompilerOptions::default().with_reuse_cache(false),
         );
         // Compile times are noisy; take the best of three runs each.
         let timed = |b: &CmSwitch| -> Option<(f64, f64)> {
@@ -148,10 +142,7 @@ pub fn run(cfg: &ExpConfig) -> String {
         let aware = CmSwitch::new(arch.clone());
         let oblivious = CmSwitch::with_options(
             arch.clone(),
-            CompilerOptions {
-                switch_aware: false,
-                ..CompilerOptions::default()
-            },
+            CompilerOptions::default().with_switch_aware(false),
         );
         let (Ok(pa), Ok(po)) = (aware.compile(g), oblivious.compile(g)) else {
             continue;

@@ -2,15 +2,15 @@
 //! for VGG16 and one OPT-6.7B layer.
 
 use cmswitch_arch::presets;
-use cmswitch_core::{Compiler, CompilerOptions};
+use cmswitch_core::Session;
 use cmswitch_graph::Graph;
 
 use crate::experiments::ExpConfig;
 use crate::table::{percent, Table};
 
 fn viz(graph: &Graph, title: &str) -> String {
-    let compiler = Compiler::new(presets::dynaplasia(), CompilerOptions::default());
-    let program = match compiler.compile(graph) {
+    let compiler = Session::builder(presets::dynaplasia()).build();
+    let program = match compiler.compile_graph(graph) {
         Ok(p) => p,
         Err(e) => return format!("### {title}\n\ncompilation failed: {e}\n"),
     };
@@ -77,8 +77,8 @@ mod tests {
         cfg.layers = 1;
         cfg.lm_head = false;
         let g = cmswitch_models::transformer::stack(&cfg, 1, 32).unwrap();
-        let compiler = Compiler::new(presets::dynaplasia(), CompilerOptions::default());
-        let p = compiler.compile(&g).unwrap();
+        let compiler = Session::builder(presets::dynaplasia()).build();
+        let p = compiler.compile_graph(&g).unwrap();
         assert!(
             p.average_memory_ratio() > 0.0,
             "OPT layer should use some memory-mode arrays"

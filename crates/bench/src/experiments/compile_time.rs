@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use cmswitch_arch::presets;
-use cmswitch_baselines::{by_name, Backend};
+use cmswitch_baselines::{backend_for, Backend, BackendKind};
 
 use crate::experiments::ExpConfig;
 use crate::table::{ratio, Table};
@@ -36,8 +36,8 @@ pub fn run(cfg: &ExpConfig) -> String {
         let Ok(w) = build(model, 1, 64, 64, cfg.scale, cfg.decode_samples) else {
             continue;
         };
-        let mlc = by_name("cim-mlc", arch.clone()).expect("known");
-        let ours = by_name("cmswitch", arch.clone()).expect("known");
+        let mlc = backend_for(BackendKind::CimMlc, arch.clone());
+        let ours = backend_for(BackendKind::CmSwitch, arch.clone());
         let tm = time_compile(mlc.as_ref(), &w, reps);
         let to = time_compile(ours.as_ref(), &w, reps);
         t.row(vec![
@@ -63,8 +63,8 @@ mod tests {
     fn cmswitch_compiles_slower_but_boundedly() {
         let arch = presets::dynaplasia();
         let w = build("bert-base", 1, 32, 0, 0.08, 1).unwrap();
-        let mlc = by_name("cim-mlc", arch.clone()).unwrap();
-        let ours = by_name("cmswitch", arch).unwrap();
+        let mlc = backend_for(BackendKind::CimMlc, arch.clone());
+        let ours = backend_for(BackendKind::CmSwitch, arch);
         let tm = time_compile(mlc.as_ref(), &w, 1);
         let to = time_compile(ours.as_ref(), &w, 1);
         // The dual-mode space is strictly larger, so CMSwitch compiles

@@ -2,7 +2,7 @@
 //! across the six benchmark networks and batch sizes.
 
 use cmswitch_arch::presets;
-use cmswitch_baselines::by_name;
+use cmswitch_baselines::{backend_for, BackendKind};
 
 use crate::experiments::ExpConfig;
 use crate::harness::{geomean, run_backends};
@@ -36,7 +36,7 @@ pub fn run(cfg: &ExpConfig) -> String {
             };
             let backends: Vec<_> = ["puma", "occ", "cim-mlc", "cmswitch"]
                 .iter()
-                .map(|n| by_name(n, arch.clone()).expect("known backend"))
+                .map(|n| backend_for(BackendKind::from_name(n).expect("known backend"), arch.clone()))
                 .collect();
             let results = match run_backends(&backends, &w) {
                 Ok(r) => r,
@@ -79,8 +79,8 @@ mod tests {
     fn cmswitch_at_least_matches_mlc_on_bert() {
         let arch = presets::dynaplasia();
         let w = build("bert-large", 1, 64, 0, 0.08, 1).unwrap();
-        let mlc = by_name("cim-mlc", arch.clone()).unwrap();
-        let ours = by_name("cmswitch", arch).unwrap();
+        let mlc = backend_for(BackendKind::CimMlc, arch.clone());
+        let ours = backend_for(BackendKind::CmSwitch, arch);
         let rm = run_workload(mlc.as_ref(), &w).unwrap();
         let ro = run_workload(ours.as_ref(), &w).unwrap();
         assert!(
@@ -96,8 +96,8 @@ mod tests {
         // The paper's headline case: decode-heavy generative inference.
         let arch = presets::dynaplasia();
         let w = build("opt-13b", 1, 32, 32, 0.05, 1).unwrap();
-        let mlc = by_name("cim-mlc", arch.clone()).unwrap();
-        let ours = by_name("cmswitch", arch).unwrap();
+        let mlc = backend_for(BackendKind::CimMlc, arch.clone());
+        let ours = backend_for(BackendKind::CmSwitch, arch);
         let rm = run_workload(mlc.as_ref(), &w).unwrap();
         let ro = run_workload(ours.as_ref(), &w).unwrap();
         assert!(

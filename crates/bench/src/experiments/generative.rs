@@ -2,7 +2,7 @@
 //! length, and vice versa.
 
 use cmswitch_arch::presets;
-use cmswitch_baselines::by_name;
+use cmswitch_baselines::{backend_for, BackendKind};
 
 use crate::experiments::ExpConfig;
 use crate::harness::run_workload;
@@ -26,8 +26,8 @@ pub fn run(cfg: &ExpConfig) -> String {
                 let Ok(w) = build(model, 1, inl, outl, cfg.scale, cfg.decode_samples) else {
                     continue;
                 };
-                let mlc = by_name("cim-mlc", arch.clone()).expect("known");
-                let ours = by_name("cmswitch", arch.clone()).expect("known");
+                let mlc = backend_for(BackendKind::CimMlc, arch.clone());
+                let ours = backend_for(BackendKind::CmSwitch, arch.clone());
                 let (rm, ro) = match (
                     run_workload(mlc.as_ref(), &w),
                     run_workload(ours.as_ref(), &w),

@@ -2,7 +2,7 @@
 //! mode-switch process (Fig. 10 write-back + switch steps) contributes.
 
 use cmswitch_arch::presets;
-use cmswitch_baselines::by_name;
+use cmswitch_baselines::{backend_for, BackendKind};
 
 use crate::experiments::ExpConfig;
 use crate::harness::run_workload;
@@ -12,7 +12,7 @@ use crate::workloads::{build, FIG14_MODELS};
 /// Runs the overhead measurement with CMSwitch.
 pub fn run(cfg: &ExpConfig) -> String {
     let arch = presets::dynaplasia();
-    let ours = by_name("cmswitch", arch).expect("known");
+    let ours = backend_for(BackendKind::CmSwitch, arch);
     let mut t = Table::new(&["model", "switch-process share of runtime"]);
     for &model in FIG14_MODELS {
         let Ok(w) = build(model, 1, 64, 64, cfg.scale, cfg.decode_samples) else {
@@ -37,7 +37,7 @@ mod tests {
     #[test]
     fn overhead_is_minor() {
         let arch = presets::dynaplasia();
-        let ours = by_name("cmswitch", arch).unwrap();
+        let ours = backend_for(BackendKind::CmSwitch, arch);
         let w = build("bert-base", 1, 64, 0, 0.08, 1).unwrap();
         let r = run_workload(ours.as_ref(), &w).unwrap();
         // The switch process must stay a small fraction of runtime —

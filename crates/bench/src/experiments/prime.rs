@@ -1,7 +1,7 @@
 //! §5.5 scalability: CMSwitch on the PRIME-like ReRAM configuration.
 
 use cmswitch_arch::presets;
-use cmswitch_baselines::by_name;
+use cmswitch_baselines::{backend_for, BackendKind};
 
 use crate::experiments::ExpConfig;
 use crate::harness::run_workload;
@@ -18,8 +18,8 @@ pub fn run(cfg: &ExpConfig) -> String {
         let Ok(w) = build(model, 1, inl, outl, cfg.scale, cfg.decode_samples) else {
             continue;
         };
-        let mlc = by_name("cim-mlc", arch.clone()).expect("known");
-        let ours = by_name("cmswitch", arch.clone()).expect("known");
+        let mlc = backend_for(BackendKind::CimMlc, arch.clone());
+        let ours = backend_for(BackendKind::CmSwitch, arch.clone());
         let (rm, ro) = match (
             run_workload(mlc.as_ref(), &w),
             run_workload(ours.as_ref(), &w),
@@ -44,8 +44,8 @@ mod tests {
     fn cmswitch_not_worse_on_prime() {
         let arch = presets::prime();
         let w = build("bert-large", 1, 64, 0, 0.08, 1).unwrap();
-        let mlc = by_name("cim-mlc", arch.clone()).unwrap();
-        let ours = by_name("cmswitch", arch).unwrap();
+        let mlc = backend_for(BackendKind::CimMlc, arch.clone());
+        let ours = backend_for(BackendKind::CmSwitch, arch);
         let rm = run_workload(mlc.as_ref(), &w).unwrap();
         let ro = run_workload(ours.as_ref(), &w).unwrap();
         assert!(ro.cycles <= rm.cycles * 1.02, "{} vs {}", ro.cycles, rm.cycles);

@@ -2,7 +2,7 @@
 //! memory-array ratio across sequence lengths and batch sizes.
 
 use cmswitch_arch::presets;
-use cmswitch_baselines::by_name;
+use cmswitch_baselines::{backend_for, BackendKind};
 
 use crate::experiments::ExpConfig;
 use crate::harness::run_workload;
@@ -32,8 +32,8 @@ pub fn run(cfg: &ExpConfig) -> String {
                 else {
                     continue;
                 };
-                let mlc = by_name("cim-mlc", arch.clone()).expect("known");
-                let ours = by_name("cmswitch", arch.clone()).expect("known");
+                let mlc = backend_for(BackendKind::CimMlc, arch.clone());
+                let ours = backend_for(BackendKind::CmSwitch, arch.clone());
                 let (rm, ro) = match (
                     run_workload(mlc.as_ref(), &w),
                     run_workload(ours.as_ref(), &w),
@@ -64,8 +64,8 @@ mod tests {
         // ~1.19x at short sequences to ~1.0x beyond 512, where the
         // workload turns compute-bound and both compilers converge.
         let arch = presets::dynaplasia();
-        let ours = by_name("cmswitch", arch.clone()).unwrap();
-        let mlc = by_name("cim-mlc", arch).unwrap();
+        let ours = backend_for(BackendKind::CmSwitch, arch.clone());
+        let mlc = backend_for(BackendKind::CimMlc, arch);
         let speedup = |seq: usize| {
             let w = build("bert-large", 4, seq, 0, 0.08, 1).unwrap();
             let ro = run_workload(ours.as_ref(), &w).unwrap();

@@ -153,12 +153,12 @@ mod tests {
     use super::*;
     use crate::workloads::build;
     use cmswitch_arch::presets;
-    use cmswitch_baselines::by_name;
+    use cmswitch_baselines::{backend_for, BackendKind};
 
     #[test]
     fn runs_single_and_generative() {
         let arch = presets::dynaplasia();
-        let backend = by_name("cmswitch", arch).unwrap();
+        let backend = backend_for(BackendKind::CmSwitch, arch);
         let w = build("bert-base", 1, 16, 0, 0.1, 1).unwrap();
         let r = run_workload(backend.as_ref(), &w).unwrap();
         assert!(r.cycles > 0.0);
@@ -179,7 +179,7 @@ mod tests {
         let arch = presets::dynaplasia();
         let backends: Vec<_> = ["cim-mlc", "cmswitch"]
             .iter()
-            .map(|n| by_name(n, arch.clone()).unwrap())
+            .map(|n| backend_for(BackendKind::from_name(n).expect("known backend"), arch.clone()))
             .collect();
         let w = build("bert-base", 1, 16, 0, 0.1, 1).unwrap();
         let par = run_backends(&backends, &w).unwrap();

@@ -123,6 +123,12 @@ pub struct AllocatorStats {
     pub fast_solves: AtomicU64,
     /// Cache hits.
     pub cache_hits: AtomicU64,
+    /// Cache lookups that missed and went to a solver (zero when the
+    /// allocator runs uncached).
+    pub cache_misses: AtomicU64,
+    /// MIP solves that fell back to the fast allocator's solution
+    /// (node-budget exhaustion or numerical trouble).
+    pub mip_fallbacks: AtomicU64,
 }
 
 impl AllocatorStats {
@@ -133,6 +139,16 @@ impl AllocatorStats {
             self.fast_solves.load(Ordering::Relaxed),
             self.cache_hits.load(Ordering::Relaxed),
         )
+    }
+
+    /// Cache lookups that missed and went to a solver.
+    pub fn misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// MIP solves that fell back to the fast allocator's solution.
+    pub fn fallbacks(&self) -> u64 {
+        self.mip_fallbacks.load(Ordering::Relaxed)
     }
 }
 
@@ -297,6 +313,7 @@ impl<'a> Allocator<'a> {
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return hit;
             }
+            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
         let result = match self.kind {
             AllocatorKind::Mip => self.solve_mip(ops, local_deps),
@@ -453,7 +470,10 @@ impl<'a> Allocator<'a> {
             Ok(sol) => sol,
             // Infeasible, node-limit or numerical trouble: the fast
             // solution (None when genuinely infeasible) stands.
-            Err(_) => return warm,
+            Err(_) => {
+                self.stats.mip_fallbacks.fetch_add(1, Ordering::Relaxed);
+                return warm;
+            }
         };
         let per_op: Vec<OpAllocation> = (0..ops.len())
             .map(|i| OpAllocation {

@@ -229,7 +229,8 @@ mod tests {
         let list = partition(&list, &arch, 1.0).unwrap();
         let cm = CostModel::new(&arch);
         let allocator = Allocator::new(CostModel::new(&arch), AllocatorKind::Mip, true);
-        let segres = segment(&list, &allocator, &cm, &opts).unwrap();
+        let segres =
+            segment(&list, &allocator, &cm, &opts, &crate::CancelToken::new()).unwrap();
         let flow = generate(graph.name(), &list, &segres.segments, &arch).unwrap();
         (flow, segres.segments.len())
     }

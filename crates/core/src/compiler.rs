@@ -1,5 +1,5 @@
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cmswitch_arch::DualModeArch;
 use cmswitch_graph::Graph;
@@ -7,9 +7,8 @@ use cmswitch_metaop::Flow;
 
 use crate::allocation::{AllocationCache, SegmentAllocation};
 use crate::frontend::SegOp;
-use crate::pipeline::{
-    EmitStage, LowerStage, PartitionStage, PipelineCx, SegmentStage, StageWall,
-};
+use crate::pipeline::StageWall;
+use crate::session::Session;
 use crate::{CompileError, CompilerOptions};
 
 /// One segment of the compiled plan, for reports and experiments.
@@ -88,12 +87,16 @@ impl CompiledProgram {
     }
 }
 
-/// The CMSwitch compiler: DEHA architecture + options.
+/// The legacy single-compile entry point, kept as a thin shim over
+/// [`Session`].
 ///
-/// See the crate docs for the pipeline; [`Compiler::compile`] runs it
-/// end-to-end by composing the [`crate::pipeline`] stages
-/// ([`LowerStage`] → [`PartitionStage`] → [`SegmentStage`] →
-/// [`EmitStage`]) through one [`PipelineCx`].
+/// New code should build a [`Session`] (`Session::builder(arch)`) and
+/// serve [`crate::CompileRequest`]s: that surface adds backend
+/// selection, batching, cancellation/deadlines, per-request option
+/// overrides and typed [`crate::Diagnostics`]. The shim preserves the
+/// old semantics exactly — [`Compiler::compile`] uses a fresh private
+/// allocation cache per call, [`Compiler::compile_with_cache`] a caller
+/// supplied shared one.
 #[derive(Debug, Clone)]
 pub struct Compiler {
     arch: DualModeArch,
@@ -102,6 +105,10 @@ pub struct Compiler {
 
 impl Compiler {
     /// Creates a compiler for `arch` with `options`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "build a `Session` via `Session::builder(arch).options(...)` instead"
+    )]
     pub fn new(arch: DualModeArch, options: CompilerOptions) -> Self {
         Compiler { arch, options }
     }
@@ -116,7 +123,8 @@ impl Compiler {
         &self.options
     }
 
-    /// Compiles a graph to a meta-operator flow.
+    /// Compiles a graph to a meta-operator flow through a one-shot
+    /// [`Session`] with a fresh private allocation cache.
     ///
     /// # Errors
     ///
@@ -125,55 +133,44 @@ impl Compiler {
     ///   chip even after partitioning,
     /// * [`CompileError::NoFeasibleSchedule`] if segmentation fails.
     pub fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
-        self.compile_inner(graph, None)
+        self.session(None).compile_graph(graph)
     }
 
     /// Compiles a graph like [`Compiler::compile`], but reads and writes
     /// per-segment allocations through the shared `cache` instead of a
-    /// fresh per-compilation one.
-    ///
-    /// Entries are keyed by architecture fingerprint, allocator kind and
-    /// segment signature, so sharing one cache across models — or across
-    /// compilers targeting different chips — is sound: a segment hit
-    /// yields the exact allocation a fresh solve would have produced.
-    /// This is the engine under [`crate::CompileService`]'s warm-cache
-    /// batch path. When `options.reuse_cache` is `false` the cache is
-    /// bypassed entirely.
+    /// fresh per-compilation one. Superseded by a [`Session`] built with
+    /// `.cache(...)`, which holds the shared cache once instead of
+    /// passing it per call.
     ///
     /// # Errors
     ///
     /// Same contract as [`Compiler::compile`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `Session::builder(arch).cache(cache).build()` and `compile_graph`"
+    )]
     pub fn compile_with_cache(
         &self,
         graph: &Graph,
         cache: &Arc<AllocationCache>,
     ) -> Result<CompiledProgram, CompileError> {
-        self.compile_inner(graph, Some(cache))
+        self.session(Some(Arc::clone(cache))).compile_graph(graph)
     }
 
-    fn compile_inner(
-        &self,
-        graph: &Graph,
-        cache: Option<&Arc<AllocationCache>>,
-    ) -> Result<CompiledProgram, CompileError> {
-        let start = Instant::now();
-        let mut cx = match cache {
-            Some(cache) => {
-                PipelineCx::with_shared_cache(&self.arch, &self.options, Arc::clone(cache))
-            }
-            None => PipelineCx::new(&self.arch, &self.options),
-        };
-        let lowered = cx.run(&LowerStage, graph)?;
-        let partitioned = cx.run(&PartitionStage, lowered)?;
-        let segmented = cx.run(&SegmentStage, partitioned)?;
-        let mut program = cx.run(&EmitStage, segmented)?;
-        cx.finalize(&mut program.stats);
-        program.stats.wall = start.elapsed();
-        Ok(program)
+    fn session(&self, cache: Option<Arc<AllocationCache>>) -> Session {
+        let builder = Session::builder(self.arch.clone())
+            .options(self.options.clone())
+            .workers(1);
+        match cache {
+            Some(cache) => builder.cache(cache),
+            None => builder,
+        }
+        .build()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // The shim's own regression tests exercise the deprecated entry points.
 mod tests {
     use super::*;
     use crate::{AllocatorKind, DpMode};

@@ -1,0 +1,229 @@
+//! Structured compilation diagnostics.
+//!
+//! Every compilation driven through a [`crate::Session`] (and therefore
+//! through [`crate::CompileService`] and the deprecated [`crate::Compiler`]
+//! shim) collects typed [`DiagnosticEvent`]s in a [`Diagnostics`] sink
+//! threaded through the [`crate::PipelineCx`]. The events replace the
+//! stringly prose that previously had to be fished out of summary text:
+//! callers match on variants and read counters instead of parsing lines.
+//!
+//! The sink is per-compilation: a [`crate::CompileOutcome`] carries exactly
+//! the events of its own run, and batch outcomes carry one sink per job.
+
+use std::fmt;
+
+/// One typed diagnostic event recorded during a compilation.
+///
+/// The enum is `#[non_exhaustive]`: future pipeline stages may add
+/// variants without breaking callers, so always keep a catch-all arm.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiagnosticEvent {
+    /// The segmentation DP enumerated `windows` candidate windows and
+    /// skipped `infeasible + bound_pruned` of them without paying an
+    /// allocator solve (see [`crate::DpMode::BoundPruned`]).
+    DpWindowsPruned {
+        /// Candidate windows enumerated by the DP.
+        windows: u64,
+        /// Windows skipped by the min-tiles capacity prefilter.
+        infeasible: u64,
+        /// Windows skipped because their analytic lower bound already
+        /// lost to the greedy incumbent schedule.
+        bound_pruned: u64,
+    },
+    /// The partition stage rounded the fractional array budget
+    /// (`fraction · n_arrays = exact`) to a whole-array budget.
+    ///
+    /// Emitted only when rounding actually moved the budget, i.e. the
+    /// exact product was not an integer.
+    PartitionBudgetRounded {
+        /// The requested [`crate::CompilerOptions::partition_budget`].
+        fraction: f64,
+        /// The exact (fractional) array product before rounding.
+        exact: f64,
+        /// The whole-array budget actually enforced.
+        arrays: usize,
+    },
+    /// Allocation-cache traffic of this compilation: `hits` lookups were
+    /// answered from the (private or session-shared) cache, `misses`
+    /// went to a solver.
+    CacheTraffic {
+        /// Lookups answered without a solver run.
+        hits: u64,
+        /// Lookups that required a solver run.
+        misses: u64,
+    },
+    /// The MIP allocator fell back to the fast allocator's solution
+    /// `count` times (node-budget exhaustion or numerical trouble in
+    /// branch-and-bound) — the baseline fallback path of
+    /// [`crate::AllocatorKind::Mip`].
+    MipFallback {
+        /// Number of segments whose MIP solve fell back.
+        count: u64,
+    },
+}
+
+impl fmt::Display for DiagnosticEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagnosticEvent::DpWindowsPruned {
+                windows,
+                infeasible,
+                bound_pruned,
+            } => write!(
+                f,
+                "segmentation DP: {windows} windows, {infeasible} infeasible-skipped, \
+                 {bound_pruned} bound-pruned"
+            ),
+            DiagnosticEvent::PartitionBudgetRounded {
+                fraction,
+                exact,
+                arrays,
+            } => write!(
+                f,
+                "partition budget {fraction} rounded: {exact:.3} -> {arrays} arrays"
+            ),
+            DiagnosticEvent::CacheTraffic { hits, misses } => {
+                write!(f, "allocation cache: {hits} hits, {misses} misses")
+            }
+            DiagnosticEvent::MipFallback { count } => {
+                write!(f, "MIP allocator fell back to the fast allocator {count}x")
+            }
+        }
+    }
+}
+
+/// The per-compilation sink of [`DiagnosticEvent`]s.
+///
+/// Collected by [`crate::PipelineCx`] while the stages run and handed
+/// back in the [`crate::CompileOutcome`] (or per-job in a
+/// [`crate::BatchOutcome`]). Convenience accessors aggregate the common
+/// counters so tests and dashboards do not have to fold the event list
+/// themselves.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    events: Vec<DiagnosticEvent>,
+}
+
+impl Diagnostics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, event: DiagnosticEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[DiagnosticEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total DP windows skipped without an allocator invocation, summed
+    /// over every [`DiagnosticEvent::DpWindowsPruned`] event.
+    pub fn windows_pruned(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                DiagnosticEvent::DpWindowsPruned {
+                    infeasible,
+                    bound_pruned,
+                    ..
+                } => infeasible + bound_pruned,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Aggregate allocation-cache `(hits, misses)` over every
+    /// [`DiagnosticEvent::CacheTraffic`] event.
+    pub fn cache_traffic(&self) -> (u64, u64) {
+        self.events.iter().fold((0, 0), |(h, m), e| match e {
+            DiagnosticEvent::CacheTraffic { hits, misses } => (h + hits, m + misses),
+            _ => (h, m),
+        })
+    }
+
+    /// Total MIP→fast fallbacks over every
+    /// [`DiagnosticEvent::MipFallback`] event.
+    pub fn mip_fallbacks(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                DiagnosticEvent::MipFallback { count } => *count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Whether the partition budget was rounded during this compilation.
+    pub fn partition_budget_rounded(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, DiagnosticEvent::PartitionBudgetRounded { .. }))
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    /// Renders one line per event (empty string when no events).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for event in &self.events {
+            writeln!(f, "{event}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Diagnostics {
+    type Item = &'a DiagnosticEvent;
+    type IntoIter = std::slice::Iter<'a, DiagnosticEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_and_renders() {
+        let mut d = Diagnostics::new();
+        assert!(d.is_empty());
+        d.push(DiagnosticEvent::DpWindowsPruned {
+            windows: 10,
+            infeasible: 3,
+            bound_pruned: 4,
+        });
+        d.push(DiagnosticEvent::CacheTraffic { hits: 5, misses: 2 });
+        d.push(DiagnosticEvent::MipFallback { count: 1 });
+        d.push(DiagnosticEvent::PartitionBudgetRounded {
+            fraction: 0.999,
+            exact: 63.936,
+            arrays: 64,
+        });
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.windows_pruned(), 7);
+        assert_eq!(d.cache_traffic(), (5, 2));
+        assert_eq!(d.mip_fallbacks(), 1);
+        assert!(d.partition_budget_rounded());
+        let text = d.to_string();
+        assert!(text.contains("10 windows"), "{text}");
+        assert!(text.contains("5 hits"), "{text}");
+        assert!(text.contains("63.936 -> 64 arrays"), "{text}");
+        assert_eq!((&d).into_iter().count(), 4);
+    }
+}

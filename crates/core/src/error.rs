@@ -20,6 +20,9 @@ pub enum CompileError {
     },
     /// The segmentation DP found no feasible schedule.
     NoFeasibleSchedule,
+    /// The compilation was cancelled — its [`crate::CancelToken`] was
+    /// triggered or its deadline passed — before it completed.
+    Cancelled,
     /// The allocation solver failed in an unexpected way.
     Solver(SolverError),
     /// Generated flow failed validation (internal invariant violation).
@@ -39,6 +42,9 @@ impl fmt::Display for CompileError {
                 "operator {op} needs {tiles_needed} arrays, chip has {available}"
             ),
             CompileError::NoFeasibleSchedule => write!(f, "no feasible schedule found"),
+            CompileError::Cancelled => {
+                write!(f, "compilation cancelled (token triggered or deadline passed)")
+            }
             CompileError::Solver(e) => write!(f, "solver error: {e}"),
             CompileError::InvalidFlow(e) => write!(f, "generated flow invalid: {e}"),
         }
@@ -81,5 +87,6 @@ mod tests {
             available: 96,
         };
         assert!(e.to_string().contains("fc"));
+        assert!(CompileError::Cancelled.to_string().contains("cancelled"));
     }
 }

@@ -24,27 +24,35 @@
 //! The steps are materialized as explicit [`pipeline`] stages
 //! ([`LowerStage`] → [`PartitionStage`] → [`SegmentStage`] →
 //! [`EmitStage`]) driven through a shared [`PipelineCx`], which carries
-//! the architecture, options, allocation cache and per-stage wall
-//! timings. [`Compiler`] composes exactly those stages, and so do the
-//! baseline backends (`cmswitch-baselines`) — they swap only the
+//! the architecture, options, allocation cache, cancellation token,
+//! diagnostics sink and per-stage wall timings. Every [`Backend`]
+//! strategy composes exactly those stages — [`CmSwitch`] natively, the
+//! baseline backends (`cmswitch-baselines`) by swapping only the
 //! segmentation stage.
 //!
-//! For model *fleets*, [`service`] wraps the compiler in a
-//! [`CompileService`]: concurrent batch compilation over a worker pool
-//! with a shared cross-model [`AllocationCache`], so repeated segment
-//! shapes — within a model or across models — are solved once.
+//! The public surface is the [`session`] module: a [`Session`] (built
+//! via [`Session::builder`]) serves typed [`CompileRequest`]s through
+//! any [`Backend`] strategy — CMSwitch itself or the baselines from
+//! `cmswitch-baselines` — with a shared cross-model
+//! [`AllocationCache`], a worker pool for batches
+//! ([`Session::compile_batch`]), deadline/token cancellation
+//! ([`CancelToken`]) and structured [`Diagnostics`] in every
+//! [`CompileOutcome`]. The [`service`] module keeps the job-oriented
+//! [`CompileService`] veneer over the same engine, and the old
+//! [`Compiler`] entry points remain as thin deprecated shims.
 //!
 //! # Example
 //!
 //! ```
 //! use cmswitch_arch::presets;
-//! use cmswitch_core::{Compiler, CompilerOptions};
+//! use cmswitch_core::{CompileRequest, Session};
 //!
 //! let graph = cmswitch_models::mlp::mlp(4, &[256, 512, 128]).unwrap();
-//! let compiler = Compiler::new(presets::tiny(), CompilerOptions::default());
-//! let program = compiler.compile(&graph)?;
-//! assert!(!program.flow.is_empty());
-//! assert!(program.predicted_latency > 0.0);
+//! let session = Session::builder(presets::tiny()).build();
+//! let outcome = session.compile(CompileRequest::new(graph))?;
+//! assert!(!outcome.program.flow.is_empty());
+//! assert!(outcome.program.predicted_latency > 0.0);
+//! assert!(!outcome.diagnostics.is_empty());
 //! # Ok::<(), cmswitch_core::CompileError>(())
 //! ```
 
@@ -54,22 +62,28 @@ mod compiler;
 mod error;
 
 pub mod allocation;
+pub mod backend;
 pub mod codegen;
 pub mod cost;
+pub mod diagnostics;
 pub mod frontend;
 pub mod partition;
 pub mod pipeline;
 pub mod segment;
 pub mod service;
+pub mod session;
 
 pub use allocation::AllocationCache;
+pub use backend::{Backend, BackendKind, CmSwitch, UnknownBackend};
 pub use compiler::{CompiledProgram, Compiler, CompileStats, SegmentPlan};
+pub use diagnostics::{DiagnosticEvent, Diagnostics};
 pub use error::CompileError;
 pub use pipeline::{
-    EmitStage, Lowered, LowerStage, Partitioned, PartitionStage, PipelineCx, Segmented,
-    SegmentStage, Stage, StageWall,
+    compile_with_segmenter, EmitStage, Lowered, LowerStage, Partitioned, PartitionStage,
+    PipelineCx, Segmented, SegmentStage, Stage, StageWall,
 };
 pub use service::{BatchJob, BatchOutcome, BatchReport, BatchStats, CompileService, ServiceOptions};
+pub use session::{CancelToken, CompileOutcome, CompileRequest, Session, SessionBuilder};
 
 /// Which per-segment allocator the compiler uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,6 +112,11 @@ pub enum DpMode {
 }
 
 /// Compiler options.
+///
+/// `#[non_exhaustive]` with `with_*` setters, so future knobs are
+/// non-breaking: start from [`CompilerOptions::default`] and chain
+/// setters instead of struct literals.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompilerOptions {
     /// Maximum operators per segment considered by the DP (bounds the
@@ -128,5 +147,52 @@ impl Default for CompilerOptions {
             partition_budget: 1.0,
             dp_mode: DpMode::default(),
         }
+    }
+}
+
+impl CompilerOptions {
+    /// Sets the maximum operators per DP segment window.
+    #[must_use]
+    pub fn with_max_segment_ops(mut self, max_segment_ops: usize) -> Self {
+        self.max_segment_ops = max_segment_ops;
+        self
+    }
+
+    /// Selects the per-segment allocator.
+    #[must_use]
+    pub fn with_allocator(mut self, allocator: AllocatorKind) -> Self {
+        self.allocator = allocator;
+        self
+    }
+
+    /// Enables or disables allocation-result reuse across identical
+    /// segment shapes.
+    #[must_use]
+    pub fn with_reuse_cache(mut self, reuse_cache: bool) -> Self {
+        self.reuse_cache = reuse_cache;
+        self
+    }
+
+    /// Enables or disables charging inter-segment switch overheads in
+    /// the DP (the overhead-oblivious ablation sets `false`).
+    #[must_use]
+    pub fn with_switch_aware(mut self, switch_aware: bool) -> Self {
+        self.switch_aware = switch_aware;
+        self
+    }
+
+    /// Sets the fraction of the chip a partitioned sub-operator may
+    /// claim.
+    #[must_use]
+    pub fn with_partition_budget(mut self, partition_budget: f64) -> Self {
+        self.partition_budget = partition_budget;
+        self
+    }
+
+    /// Selects how the segmentation DP explores candidate windows.
+    #[must_use]
+    pub fn with_dp_mode(mut self, dp_mode: DpMode) -> Self {
+        self.dp_mode = dp_mode;
+        self
     }
 }

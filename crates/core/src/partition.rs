@@ -14,9 +14,21 @@ use cmswitch_arch::DualModeArch;
 use crate::frontend::{OpList, SegOp};
 use crate::CompileError;
 
+/// The whole-array budget a fractional `budget_fraction` grants on
+/// `arch`.
+///
+/// Rounds to nearest: truncation would silently drop an array when the
+/// product lands just under an integer (0.999 · 64 = 63.936 must mean a
+/// 64-array budget, not 63). The partition stage emits a
+/// [`crate::DiagnosticEvent::PartitionBudgetRounded`] event whenever
+/// rounding moves the budget off the exact product.
+pub fn effective_budget(arch: &DualModeArch, budget_fraction: f64) -> usize {
+    ((arch.n_arrays() as f64 * budget_fraction).round() as usize).max(1)
+}
+
 /// Splits every operator whose weight tiles exceed
-/// `budget_fraction · n_arrays`, rewriting the op list and remapping
-/// dependencies.
+/// [`effective_budget`]`(arch, budget_fraction)`, rewriting the op list
+/// and remapping dependencies.
 ///
 /// # Errors
 ///
@@ -27,10 +39,7 @@ pub fn partition(
     arch: &DualModeArch,
     budget_fraction: f64,
 ) -> Result<OpList, CompileError> {
-    // Round to nearest: truncation would silently drop an array when the
-    // product lands just under an integer (0.999 · 64 = 63.936 must mean
-    // a 64-array budget, not 63).
-    let budget = ((arch.n_arrays() as f64 * budget_fraction).round() as usize).max(1);
+    let budget = effective_budget(arch, budget_fraction);
     let mut new_ops: Vec<SegOp> = Vec::with_capacity(list.ops.len());
     // Maps old op index -> (first chunk index, number of chunks).
     let mut spans: Vec<(usize, usize)> = Vec::with_capacity(list.ops.len());

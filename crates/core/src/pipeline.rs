@@ -33,9 +33,11 @@ use cmswitch_graph::Graph;
 use crate::allocation::{AllocationCache, Allocator, AllocatorStats};
 use crate::compiler::{CompiledProgram, CompileStats, SegmentPlan};
 use crate::cost::CostModel;
+use crate::diagnostics::{DiagnosticEvent, Diagnostics};
 use crate::frontend::{lower_graph, OpList};
-use crate::partition::partition;
+use crate::partition::{effective_budget, partition};
 use crate::segment::{self, chain_segments, DpStats, Segment};
+use crate::session::CancelToken;
 use crate::{codegen, CompileError, CompilerOptions};
 
 /// One compilation pass: consumes an input artifact, produces the next.
@@ -75,10 +77,14 @@ pub struct PipelineCx<'a> {
     arch: &'a DualModeArch,
     options: &'a CompilerOptions,
     shared_cache: Option<Arc<AllocationCache>>,
+    cancel: CancelToken,
+    diags: Diagnostics,
     timings: Vec<StageWall>,
     mip_solves: u64,
     fast_solves: u64,
     cache_hits: u64,
+    cache_misses: u64,
+    mip_fallbacks: u64,
     dp_windows_pruned: u64,
 }
 
@@ -91,12 +97,40 @@ impl<'a> PipelineCx<'a> {
             arch,
             options,
             shared_cache: None,
+            cancel: CancelToken::new(),
+            diags: Diagnostics::new(),
             timings: Vec::new(),
             mip_solves: 0,
             fast_solves: 0,
             cache_hits: 0,
+            cache_misses: 0,
+            mip_fallbacks: 0,
             dp_windows_pruned: 0,
         }
+    }
+
+    /// Attaches a cancellation token: [`PipelineCx::run`] checks it
+    /// before every stage, and the segmentation DP polls it inside its
+    /// window loop (see [`crate::segment::segment`]).
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The cancellation token in effect (never-cancelled by default).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Records a typed diagnostic event.
+    pub fn emit(&mut self, event: DiagnosticEvent) {
+        self.diags.push(event);
+    }
+
+    /// The diagnostics recorded so far.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diags
     }
 
     /// Creates a context whose allocations go through `cache`, which
@@ -154,26 +188,37 @@ impl<'a> PipelineCx<'a> {
         self.mip_solves += mip;
         self.fast_solves += fast;
         self.cache_hits += hits;
+        self.cache_misses += stats.misses();
+        self.mip_fallbacks += stats.fallbacks();
     }
 
     /// Folds the segmentation DP's window counters into the
-    /// compilation's statistics.
+    /// compilation's statistics and emits the matching
+    /// [`DiagnosticEvent::DpWindowsPruned`] event.
     pub fn record_dp(&mut self, dp: &DpStats) {
         self.dp_windows_pruned += dp.skipped();
+        self.diags.push(DiagnosticEvent::DpWindowsPruned {
+            windows: dp.windows,
+            infeasible: dp.infeasible_skipped,
+            bound_pruned: dp.bound_pruned,
+        });
     }
 
     /// Runs `stage` on `input`, recording its wall-clock time under
-    /// [`Stage::name`].
+    /// [`Stage::name`]. Checks the cancellation token first, so a fired
+    /// deadline aborts at the next stage boundary.
     ///
     /// # Errors
     ///
     /// Propagates the stage's error (the timing entry is still
-    /// recorded).
+    /// recorded), or [`CompileError::Cancelled`] when the token fired
+    /// (no timing entry: the stage never ran).
     pub fn run<I, S: Stage<I>>(
         &mut self,
         stage: &S,
         input: I,
     ) -> Result<S::Output, CompileError> {
+        self.cancel.check()?;
         let start = Instant::now();
         let result = stage.run(self, input);
         self.timings.push(StageWall {
@@ -190,13 +235,38 @@ impl<'a> PipelineCx<'a> {
 
     /// Consumes the context, stamping its timings and solver counters
     /// into `stats` (the driver sets `stats.wall` itself, so the total
-    /// covers driver overhead too).
-    pub fn finalize(self, stats: &mut CompileStats) {
+    /// covers driver overhead too), and returns the run's diagnostics.
+    pub fn finalize(mut self, stats: &mut CompileStats) -> Diagnostics {
+        self.flush_aggregate_events();
         stats.stage_wall = self.timings;
         stats.mip_solves = self.mip_solves;
         stats.fast_solves = self.fast_solves;
         stats.cache_hits = self.cache_hits;
         stats.dp_windows_pruned = self.dp_windows_pruned;
+        self.diags
+    }
+
+    /// Consumes the context and returns just its diagnostics — the
+    /// error path, where there is no [`CompileStats`] to stamp.
+    pub fn into_diagnostics(mut self) -> Diagnostics {
+        self.flush_aggregate_events();
+        self.diags
+    }
+
+    /// Emits the events derived from accumulated counters (cache
+    /// traffic, MIP fallbacks) exactly once, at context teardown.
+    fn flush_aggregate_events(&mut self) {
+        if self.cache_hits + self.cache_misses > 0 {
+            self.diags.push(DiagnosticEvent::CacheTraffic {
+                hits: self.cache_hits,
+                misses: self.cache_misses,
+            });
+        }
+        if self.mip_fallbacks > 0 {
+            self.diags.push(DiagnosticEvent::MipFallback {
+                count: self.mip_fallbacks,
+            });
+        }
     }
 }
 
@@ -295,9 +365,19 @@ impl Stage<Lowered> for PartitionStage {
     }
 
     fn run(&self, cx: &mut PipelineCx<'_>, input: Lowered) -> Result<Partitioned, CompileError> {
+        let fraction = cx.options().partition_budget;
+        let exact = cx.arch().n_arrays() as f64 * fraction;
+        let arrays = effective_budget(cx.arch(), fraction);
+        if (arrays as f64 - exact).abs() > 1e-12 {
+            cx.emit(DiagnosticEvent::PartitionBudgetRounded {
+                fraction,
+                exact,
+                arrays,
+            });
+        }
         Ok(Partitioned {
             name: input.name,
-            list: partition(&input.list, cx.arch(), cx.options().partition_budget)?,
+            list: partition(&input.list, cx.arch(), fraction)?,
         })
     }
 }
@@ -318,8 +398,11 @@ impl Stage<Partitioned> for SegmentStage {
     fn run(&self, cx: &mut PipelineCx<'_>, input: Partitioned) -> Result<Segmented, CompileError> {
         let allocator = cx.allocator();
         let cm = cx.cost_model();
-        let res = segment::segment(&input.list, &allocator, &cm, cx.options())?;
+        let cancel = cx.cancel_token().clone();
+        let res = segment::segment(&input.list, &allocator, &cm, cx.options(), &cancel);
+        // Solver counters are real work even when the DP aborts.
         cx.record_allocator(&allocator.stats);
+        let res = res?;
         cx.record_dp(&res.dp);
         Ok(Segmented {
             name: input.name,
@@ -376,6 +459,34 @@ impl Stage<Segmented> for EmitStage {
             segments: plans,
         })
     }
+}
+
+/// Drives the standard stage chain with a swapped-in segmentation
+/// stage: [`LowerStage`] → [`PartitionStage`] → `segmenter` →
+/// [`EmitStage`], all through `cx`.
+///
+/// This is the one compose-point every [`crate::Backend`] shares —
+/// CMSwitch passes [`SegmentStage`], the baselines pass theirs — so
+/// stage timings, cancellation checks and diagnostics are uniform
+/// across backends. The caller still owns `cx` afterwards (to
+/// [`PipelineCx::finalize`] it into the program's stats).
+///
+/// # Errors
+///
+/// Propagates any stage's [`CompileError`], including
+/// [`CompileError::Cancelled`] from the context's token.
+pub fn compile_with_segmenter<S>(
+    cx: &mut PipelineCx<'_>,
+    segmenter: &S,
+    graph: &Graph,
+) -> Result<CompiledProgram, CompileError>
+where
+    S: Stage<Partitioned, Output = Segmented>,
+{
+    let lowered = cx.run(&LowerStage, graph)?;
+    let partitioned = cx.run(&PartitionStage, lowered)?;
+    let segmented = cx.run(segmenter, partitioned)?;
+    cx.run(&EmitStage, segmented)
 }
 
 #[cfg(test)]
@@ -445,5 +556,38 @@ mod tests {
         assert!(cx.run(&LowerStage, &empty).is_err());
         assert_eq!(cx.timings().len(), 1);
         assert_eq!(cx.timings()[0].stage, "lower");
+    }
+
+    #[test]
+    fn cancelled_context_refuses_to_run_stages() {
+        let graph = cmswitch_models::mlp::mlp(1, &[64, 64]).unwrap();
+        let arch = presets::tiny();
+        let opts = CompilerOptions::default();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut cx = PipelineCx::new(&arch, &opts).with_cancel(token);
+        match cx.run(&LowerStage, &graph) {
+            Err(CompileError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // The stage never ran: no timing entry.
+        assert!(cx.timings().is_empty());
+    }
+
+    #[test]
+    fn compile_with_segmenter_emits_typed_diagnostics() {
+        let graph = cmswitch_models::mlp::mlp(2, &[128, 256, 128, 64]).unwrap();
+        let arch = presets::tiny();
+        // A fractional budget that rounds (8 arrays · 0.9 = 7.2 -> 7).
+        let opts = CompilerOptions::default().with_partition_budget(0.9);
+        let mut cx = PipelineCx::new(&arch, &opts);
+        let mut program = compile_with_segmenter(&mut cx, &SegmentStage, &graph).unwrap();
+        let diags = cx.finalize(&mut program.stats);
+        assert!(diags.partition_budget_rounded(), "{diags}");
+        // The DP ran: exactly one windows event, counts matching stats.
+        assert_eq!(diags.windows_pruned(), program.stats.dp_windows_pruned);
+        let (hits, misses) = diags.cache_traffic();
+        assert_eq!(hits, program.stats.cache_hits);
+        assert!(misses > 0, "cold compile must miss its private cache");
     }
 }

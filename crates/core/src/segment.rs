@@ -55,6 +55,7 @@ use std::collections::HashMap;
 use crate::allocation::{Allocator, SegmentAllocation};
 use crate::cost::CostModel;
 use crate::frontend::OpList;
+use crate::session::CancelToken;
 use crate::{CompileError, CompilerOptions, DpMode};
 
 /// One scheduled segment.
@@ -311,8 +312,9 @@ fn greedy_incumbent(
     opts: &CompilerOptions,
     window: usize,
     bounds: &Bounds,
+    cancel: &CancelToken,
     alloc_of: &mut dyn FnMut(usize, usize) -> Option<SegmentAllocation>,
-) -> f64 {
+) -> Result<f64, CompileError> {
     let m = list.ops.len();
     let mut total = 0.0f64;
     let mut prev: Option<((usize, usize), SegmentAllocation)> = None;
@@ -321,6 +323,7 @@ fn greedy_incumbent(
         let mut best: Option<(usize, SegmentAllocation)> = None;
         let mut j = start;
         while j < m && j - start < window {
+            cancel.check()?;
             if bounds.window_infeasible(start, j) {
                 break;
             }
@@ -333,7 +336,7 @@ fn greedy_incumbent(
             }
         }
         let Some((end, alloc)) = best else {
-            return f64::INFINITY;
+            return Ok(f64::INFINITY);
         };
         let inter = transition_cost(
             list,
@@ -347,22 +350,30 @@ fn greedy_incumbent(
         prev = Some(((start, end), alloc));
         start = end + 1;
     }
-    total + bounds.final_wb
+    Ok(total + bounds.final_wb)
 }
 
 /// Runs the segmentation DP ([`crate::DpMode`] selects exhaustive vs.
 /// bound-pruned; both return identical schedules).
 ///
+/// `cancel` is polled once per candidate window — in the greedy
+/// incumbent and in the DP sweep — so a fired token or passed deadline
+/// aborts the dominant compile cost mid-solve rather than only at stage
+/// boundaries. Pass [`CancelToken::new`] when cancellation is not
+/// needed.
+///
 /// # Errors
 ///
 /// Returns [`CompileError::OperatorTooLarge`] if some operator cannot fit
-/// the chip alone, or [`CompileError::NoFeasibleSchedule`] if no valid
-/// segmentation exists.
+/// the chip alone, [`CompileError::NoFeasibleSchedule`] if no valid
+/// segmentation exists, or [`CompileError::Cancelled`] when `cancel`
+/// fires.
 pub fn segment(
     list: &OpList,
     allocator: &Allocator<'_>,
     cm: &CostModel<'_>,
     opts: &CompilerOptions,
+    cancel: &CancelToken,
 ) -> Result<SegmentationResult, CompileError> {
     let m = list.ops.len();
     if m == 0 {
@@ -410,10 +421,10 @@ pub fn segment(
         DpMode::Exhaustive => None,
         DpMode::BoundPruned => Some(Bounds::new(list, cm, opts)),
     };
-    let incumbent = bounds
-        .as_ref()
-        .map(|b| greedy_incumbent(list, cm, opts, window, b, &mut alloc_of))
-        .unwrap_or(f64::INFINITY);
+    let incumbent = match &bounds {
+        Some(b) => greedy_incumbent(list, cm, opts, window, b, cancel, &mut alloc_of)?,
+        None => f64::INFINITY,
+    };
 
     // dp[(i, j)] = (total cost of ops 0..=j with last segment (i..=j),
     //               previous segment start or usize::MAX for none).
@@ -425,6 +436,9 @@ pub fn segment(
     for j in 0..m {
         let i_lo = j + 1 - window.min(j + 1);
         for i in i_lo..=j {
+            // Poll per window: each surviving window costs an allocator
+            // solve, so this is the finest useful abort granularity.
+            cancel.check()?;
             dp_stats.windows += 1;
             if let Some(b) = &bounds {
                 if b.window_infeasible(i, j) {
@@ -552,7 +566,7 @@ mod tests {
         let list = partition(&list, arch, opts.partition_budget).unwrap();
         let cm = CostModel::new(arch);
         let allocator = Allocator::new(CostModel::new(arch), opts.allocator, opts.reuse_cache);
-        segment(&list, &allocator, &cm, opts).unwrap()
+        segment(&list, &allocator, &cm, opts, &CancelToken::new()).unwrap()
     }
 
     /// Runs both DP modes on the same list and returns
@@ -574,7 +588,7 @@ mod tests {
             };
             let allocator =
                 Allocator::new(CostModel::new(arch), opts.allocator, opts.reuse_cache);
-            results.push(segment(&list, &allocator, &cm, &opts).unwrap());
+            results.push(segment(&list, &allocator, &cm, &opts, &CancelToken::new()).unwrap());
             let (mip, fast, _) = allocator.stats.snapshot();
             solves.push(mip + fast);
         }
@@ -734,6 +748,28 @@ mod tests {
             aware.total_latency,
             real
         );
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_dp_window_loop() {
+        // Cancellation is polled inside the window loop itself (not only
+        // at stage boundaries): calling the DP directly with a fired
+        // token must abort before any allocator work happens.
+        let g = cmswitch_models::mlp::mlp(2, &[256, 512, 256, 128, 64]).unwrap();
+        let arch = presets::tiny();
+        let opts = CompilerOptions::default();
+        let list = lower_graph(&g, &arch).unwrap();
+        let list = partition(&list, &arch, 1.0).unwrap();
+        let cm = CostModel::new(&arch);
+        let allocator = Allocator::new(CostModel::new(&arch), opts.allocator, opts.reuse_cache);
+        let token = CancelToken::new();
+        token.cancel();
+        match segment(&list, &allocator, &cm, &opts, &token) {
+            Err(CompileError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        let (mip, fast, _) = allocator.stats.snapshot();
+        assert_eq!(mip + fast, 0, "no allocator solve after cancellation");
     }
 
     #[test]

@@ -41,29 +41,47 @@
 //! assert!(report.stats.cache_hits > 0);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cmswitch_arch::DualModeArch;
 use cmswitch_graph::Graph;
-use parking_lot::Mutex;
 
 use crate::allocation::AllocationCache;
-use crate::{CompileError, CompiledProgram, Compiler, CompilerOptions};
+use crate::backend::Backend;
+use crate::diagnostics::Diagnostics;
+use crate::session::{BatchItem, CancelToken, Session};
+use crate::{CompileError, CompiledProgram, CompilerOptions};
 
 /// Configuration of a [`CompileService`].
 ///
 /// The default is auto-sized workers (`0`) and default
-/// [`CompilerOptions`].
+/// [`CompilerOptions`]. `#[non_exhaustive]` with `with_*` setters, so
+/// future fields are non-breaking.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ServiceOptions {
     /// Worker threads for batch compilation. `0` means auto: the
     /// machine's available parallelism, capped at 8.
     pub workers: usize,
-    /// Options passed to every per-model [`Compiler`].
+    /// Options applied to every compilation in the service.
     pub compiler: CompilerOptions,
+}
+
+impl ServiceOptions {
+    /// Sets the worker-thread count (`0` = auto).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-compilation compiler options.
+    #[must_use]
+    pub fn with_compiler(mut self, compiler: CompilerOptions) -> Self {
+        self.compiler = compiler;
+        self
+    }
 }
 
 /// One named compilation request in a batch.
@@ -86,12 +104,16 @@ impl BatchJob {
 }
 
 /// Result of one job in a batch.
+#[non_exhaustive]
 #[derive(Debug)]
 pub struct BatchOutcome {
-    /// The job's name.
+    /// The job's name (the request's label, or the graph's name).
     pub name: String,
     /// Wall-clock time this model spent compiling (on its worker).
     pub wall: Duration,
+    /// Typed diagnostics of this job's compilation (present even when
+    /// the compilation failed).
+    pub diagnostics: Diagnostics,
     /// The compiled program, or the per-model failure. One model failing
     /// never sinks the rest of the batch.
     pub result: Result<CompiledProgram, CompileError>,
@@ -228,9 +250,19 @@ impl BatchReport {
     }
 }
 
-/// A compilation service for model fleets: one architecture, one options
-/// set, a persistent cross-model [`AllocationCache`], and a thread pool
-/// per batch.
+/// A compilation service for model fleets: one backend strategy, one
+/// options set, a persistent cross-model [`AllocationCache`], and a
+/// thread pool per batch. A thin job-oriented veneer over [`Session`] —
+/// the session is the primitive; the service keeps the familiar
+/// [`BatchJob`] vocabulary.
+///
+/// The service is **backend-generic**: [`CompileService::with_backend`]
+/// runs a whole baseline fleet (PUMA, OCC, CIM-MLC — any
+/// [`Backend`]) through the same worker pool, cancellation handling
+/// and [`BatchReport`] accounting as CMSwitch itself. (The shared
+/// [`AllocationCache`] speeds up allocator-backed compiles — CMSwitch's
+/// dual-mode MIP/fast solves; the baselines' closed-form all-compute
+/// allocations never consult it.)
 ///
 /// The cache persists across [`CompileService::compile_batch`] calls, so
 /// a service that has compiled a fleet once recompiles it (or compiles
@@ -240,59 +272,83 @@ impl BatchReport {
 /// fingerprint, so entries never leak across architectures.
 #[derive(Debug)]
 pub struct CompileService {
-    compiler: Compiler,
-    workers: usize,
-    cache: Arc<AllocationCache>,
+    session: Session,
 }
 
 impl CompileService {
-    /// Creates a service for `arch` with a fresh empty cache.
+    /// Creates a CMSwitch service for `arch` with a fresh empty cache.
     pub fn new(arch: DualModeArch, options: ServiceOptions) -> Self {
         Self::with_cache(arch, options, AllocationCache::new())
     }
 
-    /// Creates a service reading and writing an existing (possibly
-    /// already warm, possibly shared) cache.
+    /// Creates a CMSwitch service reading and writing an existing
+    /// (possibly already warm, possibly shared) cache.
     pub fn with_cache(
         arch: DualModeArch,
         options: ServiceOptions,
         cache: Arc<AllocationCache>,
     ) -> Self {
-        let workers = if options.workers == 0 {
-            thread::available_parallelism().map_or(1, |n| n.get().min(8))
-        } else {
-            options.workers
-        };
         CompileService {
-            compiler: Compiler::new(arch, options.compiler),
-            workers,
-            cache,
+            session: Session::builder(arch)
+                .options(options.compiler)
+                .workers(options.workers)
+                .cache(cache)
+                .build(),
         }
+    }
+
+    /// Creates a service compiling through an arbitrary [`Backend`]
+    /// strategy (the backend brings its architecture), with a fresh
+    /// cache.
+    pub fn with_backend(backend: Box<dyn Backend>, options: ServiceOptions) -> Self {
+        let arch = backend.arch().clone();
+        CompileService {
+            session: Session::builder(arch)
+                .backend(backend)
+                .options(options.compiler)
+                .workers(options.workers)
+                .build(),
+        }
+    }
+
+    /// Wraps an existing session (any backend, any cache) as a service.
+    pub fn from_session(session: Session) -> Self {
+        CompileService { session }
+    }
+
+    /// The underlying session (the richer request-oriented surface).
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
     /// The target architecture.
     pub fn arch(&self) -> &DualModeArch {
-        self.compiler.arch()
+        self.session.arch()
+    }
+
+    /// The backend strategy's name.
+    pub fn backend_name(&self) -> &str {
+        self.session.backend_name()
     }
 
     /// The worker-thread count used by [`CompileService::compile_batch`].
     pub fn workers(&self) -> usize {
-        self.workers
+        self.session.workers()
     }
 
     /// The shared allocation cache (inspect hit counters, pre-warm it, or
     /// hand it to another service).
     pub fn cache(&self) -> &Arc<AllocationCache> {
-        &self.cache
+        self.session.cache()
     }
 
     /// Compiles a single graph through the shared cache.
     ///
     /// # Errors
     ///
-    /// Same contract as [`Compiler::compile`].
+    /// Propagates the backend's [`CompileError`].
     pub fn compile(&self, graph: &Graph) -> Result<CompiledProgram, CompileError> {
-        self.compiler.compile_with_cache(graph, &self.cache)
+        self.session.compile_graph(graph)
     }
 
     /// Compiles a batch of named graphs concurrently.
@@ -301,65 +357,26 @@ impl CompileService {
     /// work-stealing counter), every job compiles through the shared
     /// cache, and per-model failures are reported in the job's
     /// [`BatchOutcome`] without affecting the others. Outcomes are
-    /// returned in submission order regardless of completion order.
+    /// returned in submission order regardless of completion order. An
+    /// empty job slice returns an empty report without entering the
+    /// worker pool at all.
     pub fn compile_batch(&self, jobs: &[BatchJob]) -> BatchReport {
-        let start = Instant::now();
-        let (hits_before, misses_before) = (self.cache.hits(), self.cache.misses());
-        let workers = self.workers.clamp(1, jobs.len().max(1));
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<BatchOutcome>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-
-        thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let t = Instant::now();
-                    let result = self.compiler.compile_with_cache(&job.graph, &self.cache);
-                    *slots[i].lock() = Some(BatchOutcome {
-                        name: job.name.clone(),
-                        wall: t.elapsed(),
-                        result,
-                    });
-                });
-            }
-        });
-
-        let outcomes: Vec<BatchOutcome> = slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every job slot filled by scope exit"))
+        let items: Vec<BatchItem<'_>> = jobs
+            .iter()
+            .map(|job| BatchItem {
+                name: &job.name,
+                graph: &job.graph,
+                options: None,
+                cancel: CancelToken::new(),
+            })
             .collect();
+        self.session.compile_batch_items(items)
+    }
+}
 
-        let mut stats = BatchStats {
-            wall: start.elapsed(),
-            workers,
-            // Cache deltas rather than per-program sums: they also count
-            // the lookups of models that failed mid-compilation.
-            // Saturating: a concurrent `AllocationCache::clear` resets
-            // the counters, which must skew stats toward zero, not wrap.
-            cache_hits: self.cache.hits().saturating_sub(hits_before),
-            cache_misses: self.cache.misses().saturating_sub(misses_before),
-            ..BatchStats::default()
-        };
-        for o in &outcomes {
-            match &o.result {
-                Ok(p) => {
-                    stats.compiled += 1;
-                    stats.mip_solves += p.stats.mip_solves;
-                    stats.fast_solves += p.stats.fast_solves;
-                    stats.dp_windows_pruned += p.stats.dp_windows_pruned;
-                    for t in &p.stats.stage_wall {
-                        match stats.stage_wall.iter_mut().find(|s| s.stage == t.stage) {
-                            Some(s) => s.wall += t.wall,
-                            None => stats.stage_wall.push(t.clone()),
-                        }
-                    }
-                }
-                Err(_) => stats.failed += 1,
-            }
-        }
-        BatchReport { outcomes, stats }
+impl From<Session> for CompileService {
+    fn from(session: Session) -> Self {
+        CompileService::from_session(session)
     }
 }
 
@@ -510,11 +527,40 @@ mod tests {
     }
 
     #[test]
-    fn empty_batch_is_fine() {
+    fn empty_batch_returns_early_without_a_worker_pool() {
+        // Regression: an empty job slice used to enter `thread::scope`
+        // with one clamped worker; it must early-return instead.
         let report = service(3).compile_batch(&[]);
         assert!(report.outcomes.is_empty());
+        assert_eq!(report.stats.workers, 0, "no workers for an empty batch");
+        assert_eq!(report.stats.wall, Duration::ZERO);
         assert_eq!(report.stats.compiled + report.stats.failed, 0);
         assert_eq!(report.stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn generic_backend_service_matches_standalone_compiles() {
+        // The service is backend-generic: a non-default backend (here
+        // CMSwitch constructed explicitly through the generic path) gets
+        // the same pool + cache + report machinery.
+        let backend = crate::CmSwitch::new(presets::tiny());
+        let svc = CompileService::with_backend(
+            Box::new(backend),
+            ServiceOptions::default().with_workers(2),
+        );
+        assert_eq!(svc.backend_name(), "cmswitch");
+        let report = svc.compile_batch(&fleet());
+        assert_eq!(report.stats.compiled, 3);
+        let standalone = crate::Backend::compile(
+            &crate::CmSwitch::new(presets::tiny()),
+            &fleet()[0].graph,
+        )
+        .unwrap();
+        let batched = report.get("mlp-a").unwrap().result.as_ref().unwrap();
+        assert_eq!(batched.predicted_latency, standalone.predicted_latency);
+        assert_eq!(batched.flow, standalone.flow);
+        // Per-job typed diagnostics ride along.
+        assert!(!report.get("mlp-a").unwrap().diagnostics.is_empty());
     }
 
     #[test]

@@ -143,13 +143,14 @@ fn visit(stmts: &[Stmt], arch: &DualModeArch, model: &EnergyModel, report: &mut 
 mod tests {
     use super::*;
     use cmswitch_arch::presets;
-    use cmswitch_core::{Compiler, CompilerOptions};
+    use cmswitch_core::Session;
 
     fn flow_of(dims: &[usize]) -> (Flow, DualModeArch) {
         let arch = presets::tiny();
         let g = cmswitch_models::mlp::mlp(2, dims).unwrap();
-        let p = Compiler::new(arch.clone(), CompilerOptions::default())
-            .compile(&g)
+        let p = Session::builder(arch.clone())
+            .build()
+            .compile_graph(&g)
             .unwrap();
         (p.flow, arch)
     }

@@ -21,14 +21,13 @@
 //!
 //! ```
 //! use cmswitch_arch::presets;
-//! use cmswitch_core::{Compiler, CompilerOptions};
+//! use cmswitch_core::Session;
 //! use cmswitch_sim::timing::simulate;
 //!
 //! let graph = cmswitch_models::mlp::mlp(2, &[128, 256, 64]).unwrap();
-//! let program = Compiler::new(presets::tiny(), CompilerOptions::default())
-//!     .compile(&graph)
-//!     .unwrap();
-//! let report = simulate(&program.flow, &presets::tiny()).unwrap();
+//! let session = Session::builder(presets::tiny()).build();
+//! let program = session.compile_graph(&graph).unwrap();
+//! let report = simulate(&program.flow, session.arch()).unwrap();
 //! assert!(report.total_cycles > 0.0);
 //! ```
 

@@ -187,12 +187,13 @@ fn lane_of(c: &ComputeStmt, body: &[Stmt], arch: &DualModeArch) -> f64 {
 mod tests {
     use super::*;
     use cmswitch_arch::presets;
-    use cmswitch_core::{Compiler, CompilerOptions};
+    use cmswitch_core::Session;
 
     fn compiled(dims: &[usize]) -> (cmswitch_metaop::Flow, f64) {
         let g = cmswitch_models::mlp::mlp(2, dims).unwrap();
-        let p = Compiler::new(presets::tiny(), CompilerOptions::default())
-            .compile(&g)
+        let p = Session::builder(presets::tiny())
+            .build()
+            .compile_graph(&g)
             .unwrap();
         (p.flow, p.predicted_latency)
     }

@@ -12,35 +12,29 @@
 //! ```
 
 use cmswitch::arch::presets;
-use cmswitch::compiler::{BatchJob, CompileService, ServiceOptions};
+use cmswitch::compiler::{CompileRequest, Session};
 use cmswitch::models::registry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = presets::dynaplasia();
     let (batch, seq) = (1, 64);
-    let jobs: Vec<BatchJob> = registry::build_all(batch, seq)?
+    let requests: Vec<CompileRequest> = registry::build_all(batch, seq)?
         .into_iter()
-        .map(|(name, graph)| BatchJob::new(name, graph))
+        .map(|(name, graph)| CompileRequest::new(graph).with_label(name))
         .collect();
-    let service = CompileService::new(
-        arch,
-        ServiceOptions {
-            workers: 4,
-            ..ServiceOptions::default()
-        },
-    );
+    let session = Session::builder(arch).workers(4).build();
     println!(
         "fleet: {} models (batch {batch}, seq {seq}) on {} workers\n",
-        jobs.len(),
-        service.workers()
+        requests.len(),
+        session.workers()
     );
 
     println!("── cold batch (empty cache) ──");
-    let cold = service.compile_batch(&jobs);
+    let cold = session.compile_batch(&requests);
     print!("{}", cold.summary());
 
     println!("\n── warm batch (cache reused) ──");
-    let warm = service.compile_batch(&jobs);
+    let warm = session.compile_batch(&requests);
     print!("{}", warm.summary());
 
     println!(
@@ -65,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "cache: {} entries, lifetime hit rate {:.0}%",
-        service.cache().len(),
-        service.cache().hit_rate() * 100.0
+        session.cache().len(),
+        session.cache().hit_rate() * 100.0
     );
     Ok(())
 }

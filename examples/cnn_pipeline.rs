@@ -15,8 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = presets::dynaplasia();
     let graph = cmswitch::models::resnet::resnet18(1)?;
 
-    let compiler = Compiler::new(arch.clone(), CompilerOptions::default());
-    let program = compiler.compile(&graph)?;
+    let session = Session::builder(arch.clone()).build();
+    let program = session.compile_graph(&graph)?;
     println!(
         "resnet18: {} CIM ops -> {} segments, predicted {:.2}M cycles, compiled in {:?}",
         program.stats.n_ops,

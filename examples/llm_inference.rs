@@ -12,7 +12,7 @@
 //! ```
 
 use cmswitch::arch::presets;
-use cmswitch::baselines::by_name;
+use cmswitch::baselines::{backend_for, BackendKind};
 use cmswitch::bench::harness::run_workload;
 use cmswitch::bench::workloads::build;
 
@@ -28,16 +28,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut rows = Vec::new();
-    for name in ["puma", "occ", "cim-mlc", "cmswitch"] {
-        let backend = by_name(name, arch.clone()).expect("known backend");
+    for kind in BackendKind::ALL {
+        let backend = backend_for(kind, arch.clone());
         let r = run_workload(backend.as_ref(), &workload)?;
         println!(
-            "{name:>9}: {:>12.0} cycles   memory-array ratio {:>5.1}%   compile {:?}",
+            "{:>9}: {:>12.0} cycles   memory-array ratio {:>5.1}%   compile {:?}",
+            kind.name(),
             r.cycles,
             r.memory_ratio * 100.0,
             r.compile_time
         );
-        rows.push((name, r.cycles));
+        rows.push((kind.name(), r.cycles));
     }
     let mlc = rows.iter().find(|(n, _)| *n == "cim-mlc").expect("ran").1;
     let ours = rows.iter().find(|(n, _)| *n == "cmswitch").expect("ran").1;

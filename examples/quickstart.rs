@@ -31,9 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         arch.d_main()
     );
 
-    // 3. Compile: DP segmentation + MIP dual-mode allocation + codegen.
-    let compiler = Compiler::new(arch.clone(), CompilerOptions::default());
-    let program = compiler.compile(&graph)?;
+    // 3. A session (the unified entry point: backend-generic, cached,
+    //    cancellable), then compile: DP segmentation + MIP dual-mode
+    //    allocation + codegen.
+    let session = Session::builder(arch.clone()).build();
+    let outcome = session.compile(CompileRequest::new(graph).with_label("quickstart"))?;
+    let program = &outcome.program;
     println!(
         "\ncompiled {} ops into {} segments, predicted latency {:.0} cycles",
         program.stats.n_ops, program.stats.n_segments, program.predicted_latency
@@ -48,10 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 4. The meta-operator flow (Fig. 13 syntax) — note the CM.switch ops.
+    // 4. Typed diagnostics: what the compiler did, structurally.
+    print!("\ndiagnostics:\n{}", outcome.diagnostics);
+
+    // 5. The meta-operator flow (Fig. 13 syntax) — note the CM.switch ops.
     println!("\nmeta-operator flow:\n{}", print_flow(&program.flow));
 
-    // 5. Execute on the timing simulator.
+    // 6. Execute on the timing simulator.
     let report = simulate(&program.flow, &arch)?;
     println!(
         "simulated {:.0} cycles ({} array-switches to compute, {} to memory, switch process {:.2}% of time)",

@@ -17,28 +17,52 @@
 //!
 //! # Quickstart
 //!
+//! The public surface is the [`compiler::Session`] API: one typed entry
+//! point for every backend (CMSwitch and the PUMA / OCC / CIM-MLC
+//! baselines), with batching, cancellation/deadlines and structured
+//! diagnostics.
+//!
 //! ```
 //! use cmswitch::prelude::*;
 //!
-//! // A small model, the DynaPlasia chip (Table 2), default options.
+//! // A small model, a session for the tiny test chip (use
+//! // presets::dynaplasia() for the paper's Table 2 chip).
 //! let graph = cmswitch::models::mlp::mlp(4, &[256, 512, 128]).unwrap();
-//! let compiler = Compiler::new(presets::tiny(), CompilerOptions::default());
-//! let program = compiler.compile(&graph)?;
+//! let session = Session::builder(presets::tiny()).build();
+//! let outcome = session.compile(CompileRequest::new(graph).with_label("quickstart"))?;
 //!
 //! // The result is a meta-operator flow with explicit CM.switch ops …
-//! let text = print_flow(&program.flow);
+//! let text = print_flow(&outcome.program.flow);
 //! assert!(text.contains("CM.switch"));
 //!
-//! // … which the timing simulator executes.
-//! let report = simulate(&program.flow, compiler.arch()).unwrap();
+//! // … plus typed diagnostics (windows pruned, cache traffic, …) …
+//! assert!(!outcome.diagnostics.is_empty());
+//!
+//! // … and the timing simulator executes the flow.
+//! let report = simulate(&outcome.program.flow, session.arch()).unwrap();
 //! assert!(report.total_cycles > 0.0);
 //! # Ok::<(), cmswitch::compiler::CompileError>(())
 //! ```
 //!
-//! Compiling a *fleet* of models? [`compiler::CompileService`] batches
-//! compilations over a worker pool and shares one
-//! [`compiler::AllocationCache`] across models, so repeated segment
-//! shapes are solved once (see `examples/batch_compile.rs`).
+//! Baseline backends ride the same session (`SessionBackendExt` adds
+//! `.backend_kind(BackendKind::CimMlc)` to the builder), fleets batch
+//! through [`compiler::Session::compile_batch`] or the job-oriented
+//! [`compiler::CompileService`] over a worker pool with one shared
+//! [`compiler::AllocationCache`] (see `examples/batch_compile.rs`), and
+//! a [`compiler::CompileRequest::with_deadline`] aborts a compile
+//! mid-solve with [`compiler::CompileError::Cancelled`].
+//!
+//! # Migrating from the pre-session API
+//!
+//! The old entry points still work but are deprecated shims:
+//!
+//! * `Compiler::new(arch, options).compile(&g)` →
+//!   `Session::builder(arch).options(options).build().compile_graph(&g)`
+//! * `compiler.compile_with_cache(&g, &cache)` →
+//!   `Session::builder(arch).cache(cache).build().compile_graph(&g)`
+//! * `baselines::by_name(name, arch)` (now returning `Result`) →
+//!   `BackendKind::from_name(name)` + `baselines::backend_for(kind, arch)`,
+//!   or `.backend_kind(kind)` on the session builder.
 
 pub use cmswitch_arch as arch;
 pub use cmswitch_baselines as baselines;
@@ -54,11 +78,14 @@ pub use cmswitch_tensor as tensor;
 /// The items most programs need.
 pub mod prelude {
     pub use cmswitch_arch::{presets, ArrayMode, DualModeArch};
-    pub use cmswitch_baselines::{by_name, Backend};
+    #[allow(deprecated)] // `by_name` stays re-exported for compatibility.
+    pub use cmswitch_baselines::{backend_for, by_name, SessionBackendExt};
     pub use cmswitch_core::{
-        AllocationCache, BatchJob, BatchReport, CompiledProgram, Compiler, CompilerOptions,
-        CompileService, DpMode, EmitStage, LowerStage, PartitionStage, PipelineCx, SegmentStage,
-        ServiceOptions, Stage,
+        AllocationCache, Backend, BackendKind, BatchJob, BatchReport, CancelToken, CompileError,
+        CompileOutcome, CompileRequest, CompileService, CompileStats, CompiledProgram, Compiler,
+        CompilerOptions, DiagnosticEvent, Diagnostics, DpMode, EmitStage, LowerStage,
+        PartitionStage, PipelineCx, SegmentStage, ServiceOptions, Session, SessionBuilder, Stage,
+        UnknownBackend,
     };
     pub use cmswitch_graph::{Graph, GraphBuilder};
     pub use cmswitch_metaop::{print_flow, Flow};

@@ -1,23 +1,50 @@
-//! Smoke test: the backend registry exposed through the facade crate
-//! resolves every published backend name and rejects unknown ones.
+//! Smoke test: backend selection exposed through the facade crate —
+//! `BackendKind` parsing, `backend_for` instantiation, the session
+//! builder's by-kind/by-name selection, and the deprecated `by_name`
+//! shim (now returning `Result` with a suggestion-bearing error).
+
+#![allow(deprecated)] // This suite intentionally exercises the `by_name` shim.
 
 use cmswitch::prelude::*;
 
 #[test]
-fn by_name_resolves_all_published_backends() {
+fn backend_for_resolves_every_published_kind() {
+    for kind in BackendKind::ALL {
+        let backend = backend_for(kind, presets::tiny());
+        assert_eq!(backend.name(), kind.name());
+    }
+}
+
+#[test]
+fn session_builder_selects_backends_by_kind() {
+    for kind in BackendKind::ALL {
+        let session = Session::builder(presets::tiny()).backend_kind(kind).build();
+        assert_eq!(session.backend_name(), kind.name());
+    }
+}
+
+#[test]
+fn by_name_shim_resolves_all_published_backends() {
     for name in ["puma", "occ", "cim-mlc", "cmswitch"] {
         let backend = by_name(name, presets::tiny())
-            .unwrap_or_else(|| panic!("backend {name:?} must resolve"));
+            .unwrap_or_else(|e| panic!("backend {name:?} must resolve: {e}"));
         assert_eq!(backend.name(), name);
     }
 }
 
 #[test]
-fn by_name_rejects_unknown_names() {
+fn unknown_names_error_with_the_known_backend_list() {
     for bogus in ["", "gpu", "CMSWITCH", "cim_mlc", "puma "] {
+        let Err(err) = by_name(bogus, presets::tiny()) else {
+            panic!("unknown backend {bogus:?} must not resolve");
+        };
+        assert_eq!(err.requested(), bogus);
+        let msg = err.to_string();
         assert!(
-            by_name(bogus, presets::tiny()).is_none(),
-            "unknown backend {bogus:?} must not resolve"
+            msg.contains("known backends: puma, occ, cim-mlc, cmswitch"),
+            "error must suggest the known names, got: {msg}"
         );
+        // The same suggestion text backs `BackendKind::from_name`.
+        assert_eq!(BackendKind::from_name(bogus), Err(err));
     }
 }

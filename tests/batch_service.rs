@@ -15,21 +15,18 @@ fn registry_fleet() -> Vec<BatchJob> {
         .collect()
 }
 
-fn registry_service(workers: usize) -> CompileService {
+fn fast_options(workers: usize) -> ServiceOptions {
     // The fast allocator keeps this affordable in debug builds; caching
     // semantics are identical to the MIP path (the cache key embeds the
     // allocator kind), so the cold/warm invocation accounting is the same
     // property the MIP path has.
-    CompileService::new(
-        presets::dynaplasia(),
-        ServiceOptions {
-            workers,
-            compiler: CompilerOptions {
-                allocator: AllocatorKind::Fast,
-                ..CompilerOptions::default()
-            },
-        },
-    )
+    ServiceOptions::default()
+        .with_workers(workers)
+        .with_compiler(CompilerOptions::default().with_allocator(AllocatorKind::Fast))
+}
+
+fn registry_service(workers: usize) -> CompileService {
+    CompileService::new(presets::dynaplasia(), fast_options(workers))
 }
 
 #[test]
@@ -80,13 +77,7 @@ fn shared_cache_transfers_between_services_but_not_architectures() {
     // Same arch, warm cache handed over: zero solves.
     let same_arch = CompileService::with_cache(
         presets::dynaplasia(),
-        ServiceOptions {
-            workers: 1,
-            compiler: CompilerOptions {
-                allocator: AllocatorKind::Fast,
-                ..CompilerOptions::default()
-            },
-        },
+        fast_options(1),
         std::sync::Arc::clone(donor.cache()),
     );
     let transferred = same_arch.compile_batch(&jobs);
@@ -96,13 +87,7 @@ fn shared_cache_transfers_between_services_but_not_architectures() {
     // prior entry is effectively invalidated and real solves happen.
     let other_arch = CompileService::with_cache(
         presets::prime(),
-        ServiceOptions {
-            workers: 1,
-            compiler: CompilerOptions {
-                allocator: AllocatorKind::Fast,
-                ..CompilerOptions::default()
-            },
-        },
+        fast_options(1),
         std::sync::Arc::clone(donor.cache()),
     );
     let foreign = other_arch.compile_batch(&jobs);

@@ -34,8 +34,8 @@ proptest! {
     ) {
         let arch = random_arch(seed);
         let graph = cmswitch::models::mlp::mlp(batch, &widths).unwrap();
-        let compiler = Compiler::new(arch.clone(), CompilerOptions::default());
-        let program = match compiler.compile(&graph) {
+        let session = Session::builder(arch.clone()).build();
+        let program = match session.compile_graph(&graph) {
             Ok(p) => p,
             // Tiny chips may legitimately reject enormous layers.
             Err(cmswitch::compiler::CompileError::OperatorTooLarge { .. }) => return Ok(()),
@@ -72,8 +72,7 @@ proptest! {
         let arch = random_arch(seed);
         let widths = [64usize, 96, 64];
         let graph = cmswitch::models::mlp::mlp(1 + seed % 3, &widths).unwrap();
-        let program = Compiler::new(arch, CompilerOptions::default())
-            .compile(&graph)
+        let program = Session::builder(arch).build().compile_graph(&graph)
             .unwrap();
         let text = print_flow(&program.flow);
         let reparsed = cmswitch::metaop::parse(&text).unwrap();
@@ -85,19 +84,11 @@ proptest! {
         let arch = random_arch(seed);
         let widths = [32usize + (seed % 7) * 16, 64, 48];
         let graph = cmswitch::models::mlp::mlp(2, &widths).unwrap();
-        let mip = Compiler::new(
-            arch.clone(),
-            CompilerOptions::default(),
-        )
-        .compile(&graph);
-        let fast = Compiler::new(
-            arch,
-            CompilerOptions {
-                allocator: cmswitch::compiler::AllocatorKind::Fast,
-                ..CompilerOptions::default()
-            },
-        )
-        .compile(&graph);
+        let mip = Session::builder(arch.clone()).build().compile_graph(&graph);
+        let fast = Session::builder(arch)
+            .options(CompilerOptions::default().with_allocator(cmswitch::compiler::AllocatorKind::Fast))
+            .build()
+            .compile_graph(&graph);
         prop_assert_eq!(mip.is_ok(), fast.is_ok());
         if let (Ok(m), Ok(f)) = (mip, fast) {
             // Same DP, allocators optimizing the same objective: totals

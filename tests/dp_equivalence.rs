@@ -21,7 +21,7 @@ use cmswitch::compiler::cost::CostModel;
 use cmswitch::compiler::frontend::{lower_graph, OpList};
 use cmswitch::compiler::partition::partition;
 use cmswitch::compiler::segment::{segment, SegmentationResult};
-use cmswitch::compiler::{AllocatorKind, CompilerOptions, DpMode};
+use cmswitch::compiler::{AllocatorKind, CancelToken, CompilerOptions, DpMode};
 use cmswitch::models::registry;
 
 const TRANSFORMERS: &[&str] = &["bert-base", "bert-large", "llama2-7b", "opt-6.7b", "opt-13b"];
@@ -60,14 +60,12 @@ fn run_dp(
     mode: DpMode,
     allocator: AllocatorKind,
 ) -> (SegmentationResult, u64) {
-    let opts = CompilerOptions {
-        dp_mode: mode,
-        allocator,
-        ..CompilerOptions::default()
-    };
+    let opts = CompilerOptions::default()
+        .with_dp_mode(mode)
+        .with_allocator(allocator);
     let cm = CostModel::new(arch);
     let alloc = Allocator::new(CostModel::new(arch), opts.allocator, opts.reuse_cache);
-    let res = segment(list, &alloc, &cm, &opts).expect("feasible schedule");
+    let res = segment(list, &alloc, &cm, &opts, &CancelToken::new()).expect("feasible schedule");
     let (mip, fast, _) = alloc.stats.snapshot();
     (res, mip + fast)
 }

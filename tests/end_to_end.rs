@@ -2,7 +2,7 @@
 //! checking the paper's headline orderings hold across the stack.
 
 use cmswitch::arch::presets;
-use cmswitch::baselines::by_name;
+use cmswitch::baselines::{backend_for, BackendKind};
 use cmswitch::bench::harness::run_workload;
 use cmswitch::bench::workloads::build;
 use cmswitch::prelude::*;
@@ -13,7 +13,7 @@ fn every_benchmark_compiles_and_simulates_on_dynaplasia() {
     for model in ["mobilenetv2", "resnet18"] {
         let w = build(model, 1, 0, 0, 1.0, 1).unwrap();
         for backend_name in ["puma", "occ", "cim-mlc", "cmswitch"] {
-            let backend = by_name(backend_name, arch.clone()).unwrap();
+            let backend = backend_for(BackendKind::from_name(backend_name).expect("known backend"), arch.clone());
             let r = run_workload(backend.as_ref(), &w)
                 .unwrap_or_else(|e| panic!("{model}/{backend_name}: {e}"));
             assert!(
@@ -27,7 +27,7 @@ fn every_benchmark_compiles_and_simulates_on_dynaplasia() {
     // the two backends the paper's headline comparison needs.
     let w = build("vgg16", 1, 0, 0, 1.0, 1).unwrap();
     for backend_name in ["cim-mlc", "cmswitch"] {
-        let backend = by_name(backend_name, arch.clone()).unwrap();
+        let backend = backend_for(BackendKind::from_name(backend_name).expect("known backend"), arch.clone());
         let r = run_workload(backend.as_ref(), &w)
             .unwrap_or_else(|e| panic!("vgg16/{backend_name}: {e}"));
         assert!(r.cycles > 0.0);
@@ -39,7 +39,7 @@ fn transformers_compile_and_simulate_depth_scaled() {
     let arch = presets::dynaplasia();
     for model in ["bert-base", "bert-large", "llama2-7b", "opt-6.7b", "opt-13b"] {
         let w = build(model, 1, 32, 32, 0.06, 1).unwrap();
-        let backend = by_name("cmswitch", arch.clone()).unwrap();
+        let backend = backend_for(BackendKind::CmSwitch, arch.clone());
         let r = run_workload(backend.as_ref(), &w).unwrap();
         assert!(r.cycles > 0.0, "{model}");
     }
@@ -57,8 +57,8 @@ fn cmswitch_dominates_mlc_across_benchmark_sweep() {
         ("resnet18", 0, 0),
     ] {
         let w = build(model, 2, inl, outl, 0.06, 1).unwrap();
-        let mlc = by_name("cim-mlc", arch.clone()).unwrap();
-        let ours = by_name("cmswitch", arch.clone()).unwrap();
+        let mlc = backend_for(BackendKind::CimMlc, arch.clone());
+        let ours = backend_for(BackendKind::CmSwitch, arch.clone());
         let rm = run_workload(mlc.as_ref(), &w).unwrap();
         let ro = run_workload(ours.as_ref(), &w).unwrap();
         assert!(
@@ -76,8 +76,8 @@ fn decode_heavy_workload_shows_dual_mode_gain() {
     // sequence is where dual-mode switching pays off most.
     let arch = presets::dynaplasia();
     let w = build("opt-6.7b", 8, 256, 256, 0.06, 2).unwrap();
-    let mlc = by_name("cim-mlc", arch.clone()).unwrap();
-    let ours = by_name("cmswitch", arch).unwrap();
+    let mlc = backend_for(BackendKind::CimMlc, arch.clone());
+    let ours = backend_for(BackendKind::CmSwitch, arch);
     let rm = run_workload(mlc.as_ref(), &w).unwrap();
     let ro = run_workload(ours.as_ref(), &w).unwrap();
     let speedup = rm.cycles / ro.cycles;
@@ -101,8 +101,7 @@ fn compiled_flows_always_validate_and_roundtrip() {
             cmswitch::bench::workloads::Workload::Single(g) => g.clone(),
             cmswitch::bench::workloads::Workload::Generative(gen) => gen.prefill.clone(),
         };
-        let program = Compiler::new(arch.clone(), CompilerOptions::default())
-            .compile(&g)
+        let program = Session::builder(arch.clone()).build().compile_graph(&g)
             .unwrap();
         cmswitch::metaop::validate(&program.flow).unwrap();
         let text = print_flow(&program.flow);
@@ -122,8 +121,7 @@ fn predicted_latency_tracks_simulation() {
             cmswitch::bench::workloads::Workload::Single(g) => g.clone(),
             _ => unreachable!("cnn"),
         };
-        let program = Compiler::new(arch.clone(), CompilerOptions::default())
-            .compile(&g)
+        let program = Session::builder(arch.clone()).build().compile_graph(&g)
             .unwrap();
         let report = simulate(&program.flow, &arch).unwrap();
         let ratio = report.total_cycles / program.predicted_latency;

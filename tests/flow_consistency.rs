@@ -35,8 +35,7 @@ fn flow_covers_all_cim_work_exactly_once() {
     ];
     for graph in graphs {
         let arch = presets::dynaplasia();
-        let program = Compiler::new(arch, CompilerOptions::default())
-            .compile(&graph)
+        let program = Session::builder(arch).build().compile_graph(&graph)
             .unwrap();
         let stmts = compute_stmts(&program.flow);
 
@@ -64,8 +63,7 @@ fn flow_covers_all_cim_work_exactly_once() {
 fn per_op_allocation_matches_emitted_arrays() {
     let graph = cmswitch::models::mlp::mlp(2, &[256, 512, 128]).unwrap();
     let arch = presets::dynaplasia();
-    let program = Compiler::new(arch, CompilerOptions::default())
-        .compile(&graph)
+    let program = Session::builder(arch).build().compile_graph(&graph)
         .unwrap();
     let stmts = compute_stmts(&program.flow);
     let by_name: HashMap<&str, &cmswitch::metaop::ComputeStmt> =
@@ -87,8 +85,7 @@ fn switch_statements_reconcile_with_allocations() {
     // and forth) the total across segments.
     let graph = cmswitch::models::mlp::mlp(1, &[256, 256, 256, 256]).unwrap();
     let arch = presets::tiny();
-    let program = Compiler::new(arch, CompilerOptions::default())
-        .compile(&graph)
+    let program = Session::builder(arch).build().compile_graph(&graph)
         .unwrap();
     let stats = program.flow.stats();
     let max_compute = program
@@ -111,8 +108,7 @@ fn optimizer_preserves_compiled_flow_semantics() {
     // The peephole pass on a real compiled flow: still validates, never
     // adds statements, and reduces (or keeps) the switch count.
     let graph = cmswitch::models::mlp::mlp(2, &[256, 256, 256, 64]).unwrap();
-    let program = Compiler::new(presets::tiny(), CompilerOptions::default())
-        .compile(&graph)
+    let program = Session::builder(presets::tiny()).build().compile_graph(&graph)
         .unwrap();
     let (optimized, _) = cmswitch::metaop::optimize(&program.flow);
     cmswitch::metaop::validate(&optimized).unwrap();

@@ -1,0 +1,223 @@
+//! Facade-level tests of the unified Session/CompileRequest surface:
+//! backend-generic compilation and batching (bit-identical to
+//! sequential per-backend compiles), deadline/token cancellation
+//! reaching into the segmentation DP, and typed diagnostics that
+//! reconcile with `CompileStats`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cmswitch::prelude::*;
+
+fn small_graphs() -> Vec<(String, Graph)> {
+    vec![
+        ("mlp-a".into(), cmswitch::models::mlp::mlp(1, &[64, 64, 64, 64]).unwrap()),
+        ("mlp-b".into(), cmswitch::models::mlp::mlp(1, &[64, 64, 64, 64]).unwrap()),
+        ("mlp-c".into(), cmswitch::models::mlp::mlp(2, &[128, 256, 128]).unwrap()),
+    ]
+}
+
+#[test]
+fn one_session_entry_point_serves_all_four_backends() {
+    // The acceptance bar: one Session surface compiles via puma, occ,
+    // cim-mlc and cmswitch, with a shared cache and a worker pool.
+    let shared_cache = AllocationCache::new();
+    for kind in BackendKind::ALL {
+        let session = Session::builder(presets::tiny())
+            .backend_kind(kind)
+            .workers(2)
+            .cache(Arc::clone(&shared_cache))
+            .build();
+        assert_eq!(session.backend_name(), kind.name());
+        assert_eq!(session.workers(), 2);
+        let requests: Vec<CompileRequest> = small_graphs()
+            .into_iter()
+            .map(|(name, g)| CompileRequest::new(g).with_label(name))
+            .collect();
+        let report = session.compile_batch(&requests);
+        assert_eq!(report.stats.compiled, 3, "{kind}: {}", report.summary());
+        assert_eq!(report.stats.failed, 0);
+    }
+    // The dual-mode backend went through the shared cache.
+    assert!(shared_cache.hits() > 0);
+}
+
+#[test]
+fn batched_compiles_are_bit_identical_to_sequential_per_backend() {
+    for kind in BackendKind::ALL {
+        let session = Session::builder(presets::tiny())
+            .backend_kind(kind)
+            .workers(3)
+            .build();
+        let requests: Vec<CompileRequest> = small_graphs()
+            .into_iter()
+            .map(|(name, g)| CompileRequest::new(g).with_label(name))
+            .collect();
+        let report = session.compile_batch(&requests);
+        // Sequential reference: the standalone backend compile.
+        let backend = backend_for(kind, presets::tiny());
+        for ((_, graph), outcome) in small_graphs().iter().zip(&report.outcomes) {
+            let batched = outcome.result.as_ref().unwrap_or_else(|e| {
+                panic!("{kind}/{}: {e}", outcome.name);
+            });
+            let solo = backend.compile(graph).unwrap();
+            assert_eq!(
+                batched.predicted_latency.to_bits(),
+                solo.predicted_latency.to_bits(),
+                "{kind}/{}",
+                outcome.name
+            );
+            assert_eq!(batched.flow, solo.flow, "{kind}/{}", outcome.name);
+            assert_eq!(batched.segments, solo.segments, "{kind}/{}", outcome.name);
+        }
+    }
+}
+
+#[test]
+fn compile_service_is_backend_generic() {
+    // Baseline fleets get the same pool + cache + BatchReport as
+    // CMSwitch through the generic service constructor.
+    let svc = CompileService::with_backend(
+        backend_for(BackendKind::CimMlc, presets::tiny()),
+        ServiceOptions::default().with_workers(2),
+    );
+    assert_eq!(svc.backend_name(), "cim-mlc");
+    let jobs: Vec<BatchJob> = small_graphs()
+        .into_iter()
+        .map(|(name, g)| BatchJob::new(name, g))
+        .collect();
+    let report = svc.compile_batch(&jobs);
+    assert_eq!(report.stats.compiled, 3, "{}", report.summary());
+    let solo = backend_for(BackendKind::CimMlc, presets::tiny())
+        .compile(&small_graphs()[2].1)
+        .unwrap();
+    let batched = report.get("mlp-c").unwrap().result.as_ref().unwrap();
+    assert_eq!(batched.predicted_latency.to_bits(), solo.predicted_latency.to_bits());
+    assert_eq!(batched.flow, solo.flow);
+}
+
+#[test]
+fn empty_service_batch_early_returns() {
+    // Regression for the empty-slice worker-pool bug.
+    let svc = CompileService::new(presets::tiny(), ServiceOptions::default().with_workers(4));
+    let report = svc.compile_batch(&[]);
+    assert!(report.outcomes.is_empty());
+    assert_eq!(report.stats.workers, 0);
+}
+
+#[test]
+fn zero_deadline_on_transformer_cancels_before_the_dp_completes() {
+    let session = Session::builder(presets::dynaplasia()).build();
+    let graph = cmswitch::models::registry::build("bert-base", 1, 32).unwrap();
+    let err = session
+        .compile(CompileRequest::new(graph).with_deadline(Duration::ZERO))
+        .unwrap_err();
+    assert_eq!(err, CompileError::Cancelled);
+}
+
+#[test]
+fn short_deadline_aborts_a_transformer_mid_compile() {
+    // Lower+partition on bert-base take microseconds; the cold
+    // segmentation DP takes orders of magnitude longer than 2ms, so the
+    // deadline must fire inside the DP's window loop.
+    let session = Session::builder(presets::dynaplasia()).build();
+    let graph = cmswitch::models::registry::build("bert-base", 1, 32).unwrap();
+    let err = session
+        .compile(CompileRequest::new(graph).with_deadline(Duration::from_millis(2)))
+        .unwrap_err();
+    assert_eq!(err, CompileError::Cancelled);
+}
+
+#[test]
+fn explicit_cancel_token_is_shared_across_clones() {
+    let session = Session::builder(presets::tiny()).build();
+    let token = CancelToken::new();
+    let clone = token.clone();
+    clone.cancel();
+    let err = session
+        .compile(
+            CompileRequest::new(cmswitch::models::mlp::mlp(1, &[64, 64]).unwrap())
+                .with_cancel(token),
+        )
+        .unwrap_err();
+    assert_eq!(err, CompileError::Cancelled);
+}
+
+#[test]
+fn batch_requests_honor_per_request_deadlines() {
+    let session = Session::builder(presets::tiny()).workers(2).build();
+    let requests = vec![
+        CompileRequest::new(cmswitch::models::mlp::mlp(1, &[64, 64]).unwrap()).with_label("ok"),
+        CompileRequest::new(cmswitch::models::mlp::mlp(1, &[64, 64]).unwrap())
+            .with_label("doomed")
+            .with_deadline(Duration::ZERO),
+    ];
+    let report = session.compile_batch(&requests);
+    assert!(report.get("ok").unwrap().result.is_ok());
+    assert_eq!(
+        *report.get("doomed").unwrap().result.as_ref().unwrap_err(),
+        CompileError::Cancelled
+    );
+    assert_eq!(report.stats.compiled, 1);
+    assert_eq!(report.stats.failed, 1);
+}
+
+#[test]
+fn diagnostics_pruning_counts_match_compile_stats() {
+    // Five 256-wide layers on the 8-array tiny chip: the capacity
+    // prefilter provably skips every multi-op window.
+    let session = Session::builder(presets::tiny()).build();
+    let graph = cmswitch::models::mlp::mlp(1, &[256, 256, 256, 256, 256]).unwrap();
+    let outcome = session.compile(CompileRequest::new(graph)).unwrap();
+    assert!(outcome.stats().dp_windows_pruned > 0);
+    assert_eq!(
+        outcome.diagnostics.windows_pruned(),
+        outcome.stats().dp_windows_pruned,
+        "typed events must reconcile with CompileStats: {}",
+        outcome.diagnostics
+    );
+    // Cache traffic reconciles too.
+    let (hits, misses) = outcome.diagnostics.cache_traffic();
+    assert_eq!(hits, outcome.stats().cache_hits);
+    assert!(misses > 0, "a cold compile must miss");
+    // And the events are matchable (the typed replacement for prose).
+    assert!(outcome
+        .diagnostics
+        .events()
+        .iter()
+        .any(|e| matches!(e, DiagnosticEvent::DpWindowsPruned { infeasible, .. } if *infeasible > 0)));
+}
+
+#[test]
+fn exhaustive_override_reports_zero_pruning() {
+    let session = Session::builder(presets::tiny()).build();
+    let graph = cmswitch::models::mlp::mlp(2, &[128, 256, 128]).unwrap();
+    let outcome = session
+        .compile(
+            CompileRequest::new(graph)
+                .with_options(CompilerOptions::default().with_dp_mode(DpMode::Exhaustive)),
+        )
+        .unwrap();
+    assert_eq!(outcome.stats().dp_windows_pruned, 0);
+    assert_eq!(outcome.diagnostics.windows_pruned(), 0);
+}
+
+#[test]
+fn deprecated_compiler_shim_matches_session() {
+    #[allow(deprecated)]
+    let via_shim = {
+        let compiler = Compiler::new(presets::tiny(), CompilerOptions::default());
+        compiler
+            .compile(&cmswitch::models::mlp::mlp(2, &[128, 256, 128]).unwrap())
+            .unwrap()
+    };
+    let via_session = Session::builder(presets::tiny())
+        .build()
+        .compile_graph(&cmswitch::models::mlp::mlp(2, &[128, 256, 128]).unwrap())
+        .unwrap();
+    assert_eq!(
+        via_shim.predicted_latency.to_bits(),
+        via_session.predicted_latency.to_bits()
+    );
+    assert_eq!(via_shim.flow, via_session.flow);
+}
