@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use cmswitch_baselines::Backend;
 use cmswitch_core::CompileError;
-use cmswitch_sim::timing::simulate;
+use cmswitch_sim::EventEngine;
 
 use crate::workloads::Workload;
 
@@ -15,8 +15,13 @@ pub struct RunResult {
     pub backend: String,
     /// Workload name.
     pub workload: String,
-    /// Simulated end-to-end cycles (generative: prefill + weighted decode).
+    /// Simulated end-to-end cycles on the event engine (generative:
+    /// prefill + weighted decode).
     pub cycles: f64,
+    /// The same schedule fully serialized (the sequential reference
+    /// model) — `cycles <= serialized_cycles` always holds; the gap is
+    /// the latency hidden by overlap.
+    pub serialized_cycles: f64,
     /// The compiler's own latency prediction (cycles).
     pub predicted: f64,
     /// Total compilation wall time.
@@ -30,7 +35,10 @@ pub struct RunResult {
     pub switch_fraction: f64,
 }
 
-/// Compiles and simulates `workload` on `backend`.
+/// Compiles and simulates `workload` on `backend`, executing the
+/// compiled plan on the event-driven engine (`cmswitch-sim::engine`) so
+/// every backend is scored by the same cycle-level model, pipelining
+/// and contention included.
 ///
 /// Generative workloads compile the prefill graph and every decode
 /// sample, summing simulated cycles weighted by the steps each sample
@@ -41,15 +49,18 @@ pub struct RunResult {
 /// Propagates [`CompileError`] (simulation failures of validated flows
 /// are compiler bugs and surface as [`CompileError::InvalidFlow`]).
 pub fn run_workload(backend: &dyn Backend, workload: &Workload) -> Result<RunResult, CompileError> {
+    let engine = EventEngine::new();
     match workload {
         Workload::Single(graph) => {
             let program = backend.compile(graph)?;
-            let report =
-                simulate(&program.flow, backend.arch()).map_err(CompileError::InvalidFlow)?;
+            let report = engine
+                .simulate_program(&program, backend.arch())
+                .map_err(CompileError::InvalidFlow)?;
             Ok(RunResult {
                 backend: backend.name().to_string(),
                 workload: graph.name().to_string(),
                 cycles: report.total_cycles,
+                serialized_cycles: report.serialized_cycles,
                 predicted: program.predicted_latency,
                 compile_time: program.stats.wall,
                 segments: program.stats.n_segments,
@@ -59,15 +70,18 @@ pub fn run_workload(backend: &dyn Backend, workload: &Workload) -> Result<RunRes
         }
         Workload::Generative(gen) => {
             let mut cycles = 0.0;
+            let mut serialized = 0.0;
             let mut predicted = 0.0;
             let mut compile_time = Duration::ZERO;
             let mut mem_ratio_weighted = 0.0;
             let mut switch_weighted = 0.0;
 
             let prefill = backend.compile(&gen.prefill)?;
-            let report =
-                simulate(&prefill.flow, backend.arch()).map_err(CompileError::InvalidFlow)?;
+            let report = engine
+                .simulate_program(&prefill, backend.arch())
+                .map_err(CompileError::InvalidFlow)?;
             cycles += report.total_cycles;
+            serialized += report.serialized_cycles;
             predicted += prefill.predicted_latency;
             compile_time += prefill.stats.wall;
             let segments = prefill.stats.n_segments;
@@ -76,10 +90,12 @@ pub fn run_workload(backend: &dyn Backend, workload: &Workload) -> Result<RunRes
 
             for sample in &gen.decode_samples {
                 let program = backend.compile(&sample.graph)?;
-                let report = simulate(&program.flow, backend.arch())
+                let report = engine
+                    .simulate_program(&program, backend.arch())
                     .map_err(CompileError::InvalidFlow)?;
                 let step_cycles = report.total_cycles * sample.steps;
                 cycles += step_cycles;
+                serialized += report.serialized_cycles * sample.steps;
                 predicted += program.predicted_latency * sample.steps;
                 compile_time += program.stats.wall;
                 mem_ratio_weighted += program.average_memory_ratio() * step_cycles;
@@ -101,6 +117,7 @@ pub fn run_workload(backend: &dyn Backend, workload: &Workload) -> Result<RunRes
                 } else {
                     0.0
                 },
+                serialized_cycles: serialized,
                 cycles,
             })
         }
@@ -162,9 +179,16 @@ mod tests {
         let w = build("bert-base", 1, 16, 0, 0.1, 1).unwrap();
         let r = run_workload(backend.as_ref(), &w).unwrap();
         assert!(r.cycles > 0.0);
+        assert!(
+            r.cycles <= r.serialized_cycles,
+            "the event engine may never lose to the serial replay: {} vs {}",
+            r.cycles,
+            r.serialized_cycles
+        );
         let w = build("llama2-7b", 1, 8, 8, 0.06, 1).unwrap();
         let r = run_workload(backend.as_ref(), &w).unwrap();
         assert!(r.cycles > 0.0);
+        assert!(r.cycles <= r.serialized_cycles);
         assert!(r.memory_ratio >= 0.0 && r.memory_ratio <= 1.0);
     }
 

@@ -72,6 +72,12 @@ pub struct CompiledProgram {
     pub flow: Flow,
     /// The scheduled operators (after partitioning), in order.
     pub ops: Vec<SegOp>,
+    /// `(producer, consumer)` dependencies among [`CompiledProgram::ops`]
+    /// (indices into `ops`, producer first). Downstream consumers — the
+    /// event-driven simulator in `cmswitch-sim` — use these to tell
+    /// truly dependent segments apart from segments that merely sit next
+    /// to each other in the flow and may therefore overlap.
+    pub op_deps: Vec<(usize, usize)>,
     /// The segment plans in execution order.
     pub segments: Vec<SegmentPlan>,
     /// The DP's predicted end-to-end latency (cycles).

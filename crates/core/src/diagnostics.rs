@@ -61,6 +61,20 @@ pub enum DiagnosticEvent {
         /// Number of segments whose MIP solve fell back.
         count: u64,
     },
+    /// An event-engine simulation of the compiled program completed
+    /// (emitted by `cmswitch-sim`'s `Session::simulate` extension, not
+    /// by the compilation pipeline itself).
+    Simulated {
+        /// End-to-end makespan of the event schedule, cycles.
+        pipelined_cycles: f64,
+        /// The same flow fully serialized (the sequential reference
+        /// model), cycles — `pipelined ≤ serialized` always holds.
+        serialized_cycles: f64,
+        /// Estimated energy of the run, picojoules.
+        energy_pj: f64,
+        /// Total array mode switches executed (both directions).
+        switches: u64,
+    },
 }
 
 impl fmt::Display for DiagnosticEvent {
@@ -89,6 +103,17 @@ impl fmt::Display for DiagnosticEvent {
             DiagnosticEvent::MipFallback { count } => {
                 write!(f, "MIP allocator fell back to the fast allocator {count}x")
             }
+            DiagnosticEvent::Simulated {
+                pipelined_cycles,
+                serialized_cycles,
+                energy_pj,
+                switches,
+            } => write!(
+                f,
+                "simulated: {pipelined_cycles:.3e} cycles pipelined \
+                 ({serialized_cycles:.3e} serialized), {energy_pj:.3e} pJ, \
+                 {switches} mode switches"
+            ),
         }
     }
 }
@@ -168,6 +193,19 @@ impl Diagnostics {
             .sum()
     }
 
+    /// The simulated `(pipelined, serialized)` cycle pair of the most
+    /// recent [`DiagnosticEvent::Simulated`] event, if any.
+    pub fn simulated_cycles(&self) -> Option<(f64, f64)> {
+        self.events.iter().rev().find_map(|e| match e {
+            DiagnosticEvent::Simulated {
+                pipelined_cycles,
+                serialized_cycles,
+                ..
+            } => Some((*pipelined_cycles, *serialized_cycles)),
+            _ => None,
+        })
+    }
+
     /// Whether the partition budget was rounded during this compilation.
     pub fn partition_budget_rounded(&self) -> bool {
         self.events
@@ -225,5 +263,20 @@ mod tests {
         assert!(text.contains("5 hits"), "{text}");
         assert!(text.contains("63.936 -> 64 arrays"), "{text}");
         assert_eq!((&d).into_iter().count(), 4);
+    }
+
+    #[test]
+    fn simulated_event_renders_and_reports_cycles() {
+        let mut d = Diagnostics::new();
+        assert_eq!(d.simulated_cycles(), None);
+        d.push(DiagnosticEvent::Simulated {
+            pipelined_cycles: 90.0,
+            serialized_cycles: 100.0,
+            energy_pj: 1.5e6,
+            switches: 12,
+        });
+        assert_eq!(d.simulated_cycles(), Some((90.0, 100.0)));
+        let text = d.to_string();
+        assert!(text.contains("12 mode switches"), "{text}");
     }
 }

@@ -456,6 +456,7 @@ impl Stage<Segmented> for EmitStage {
                 ..CompileStats::default()
             },
             ops: input.list.ops,
+            op_deps: input.list.deps,
             segments: plans,
         })
     }

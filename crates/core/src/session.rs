@@ -20,7 +20,12 @@
 //!   [`CompileError::Cancelled`],
 //! * reports what happened structurally: every [`CompileOutcome`]
 //!   carries a typed [`Diagnostics`] sink next to the program and its
-//!   [`crate::CompileStats`].
+//!   [`crate::CompileStats`],
+//! * extends into simulation: the `cmswitch-sim` crate's
+//!   `SessionSimExt` adds `Session::simulate(&CompileOutcome)`, which
+//!   executes the compiled program on the event-driven engine and
+//!   reports a [`DiagnosticEvent::Simulated`](crate::DiagnosticEvent)
+//!   summary alongside the full engine report.
 //!
 //! # Example
 //!

@@ -90,51 +90,71 @@ fn visit(stmts: &[Stmt], arch: &DualModeArch, model: &EnergyModel, report: &mut 
     for stmt in stmts {
         match stmt {
             Stmt::Parallel(body) => visit(body, arch, model, report),
-            Stmt::Switch { arrays, .. } => {
-                report.switch_pj += arrays.len() as f64 * model.pj_per_switch;
+            other => accumulate_stmt(other, arch, model, report),
+        }
+    }
+}
+
+/// Charges one non-`parallel` statement's energy into `report`.
+///
+/// This is the per-event accounting both [`estimate`] and the event
+/// engine ([`crate::engine`]) use — energy is schedule-invariant, so
+/// attributing the same statements through the same function guarantees
+/// the two agree component-for-component regardless of how the events
+/// were scheduled. `parallel` blocks are containers, not events; passing
+/// one charges nothing.
+pub fn accumulate_stmt(
+    stmt: &Stmt,
+    arch: &DualModeArch,
+    model: &EnergyModel,
+    report: &mut EnergyReport,
+) {
+    match stmt {
+        Stmt::Parallel(_) => {}
+        Stmt::Switch { arrays, .. } => {
+            report.switch_pj += arrays.len() as f64 * model.pj_per_switch;
+        }
+        Stmt::Compute(c) => {
+            let macs = (c.units * c.m * c.k * c.n) as f64;
+            report.compute_pj += macs * model.pj_per_mac;
+            // Input stream: memory-mode arrays supply their bandwidth
+            // share, the rest comes over the DRAM link.
+            let mem_bw =
+                (c.mem_in_arrays.len() + c.mem_out_arrays.len()) as f64 * arch.d_cim();
+            let total_bw = mem_bw + arch.d_main();
+            let onchip_share = if total_bw > 0.0 { mem_bw / total_bw } else { 0.0 };
+            let moved = (c.in_bytes + c.out_bytes) as f64;
+            report.onchip_pj += moved * onchip_share * model.pj_per_onchip_byte;
+            report.dram_pj += moved * (1.0 - onchip_share) * model.pj_per_dram_byte;
+            let operand = (c.units * c.k * c.n) as f64;
+            if c.weight_static {
+                // Static weights are fetched from DRAM once per
+                // segment, regardless of how many replicas the arrays
+                // hold (the cell-write energy of replication is
+                // charged at the LoadWeights statement).
+                report.dram_pj += operand * model.pj_per_dram_byte;
+            } else {
+                // Runtime operand written into the arrays.
+                report.write_pj += operand * model.pj_per_write_byte;
+                report.onchip_pj += operand * onchip_share * model.pj_per_onchip_byte;
+                report.dram_pj +=
+                    operand * (1.0 - onchip_share) * model.pj_per_dram_byte;
             }
-            Stmt::Compute(c) => {
-                let macs = (c.units * c.m * c.k * c.n) as f64;
-                report.compute_pj += macs * model.pj_per_mac;
-                // Input stream: memory-mode arrays supply their bandwidth
-                // share, the rest comes over the DRAM link.
-                let mem_bw =
-                    (c.mem_in_arrays.len() + c.mem_out_arrays.len()) as f64 * arch.d_cim();
-                let total_bw = mem_bw + arch.d_main();
-                let onchip_share = if total_bw > 0.0 { mem_bw / total_bw } else { 0.0 };
-                let moved = (c.in_bytes + c.out_bytes) as f64;
-                report.onchip_pj += moved * onchip_share * model.pj_per_onchip_byte;
-                report.dram_pj += moved * (1.0 - onchip_share) * model.pj_per_dram_byte;
-                let operand = (c.units * c.k * c.n) as f64;
-                if c.weight_static {
-                    // Static weights are fetched from DRAM once per
-                    // segment, regardless of how many replicas the arrays
-                    // hold (the cell-write energy of replication is
-                    // charged at the LoadWeights statement).
-                    report.dram_pj += operand * model.pj_per_dram_byte;
-                } else {
-                    // Runtime operand written into the arrays.
-                    report.write_pj += operand * model.pj_per_write_byte;
-                    report.onchip_pj += operand * onchip_share * model.pj_per_onchip_byte;
-                    report.dram_pj +=
-                        operand * (1.0 - onchip_share) * model.pj_per_dram_byte;
+        }
+        Stmt::LoadWeights(w) => {
+            report.write_pj += w.bytes as f64 * model.pj_per_write_byte;
+        }
+        Stmt::Mem(m) => {
+            let bytes = m.bytes as f64;
+            match m.loc {
+                MemLoc::Main => report.dram_pj += bytes * model.pj_per_dram_byte,
+                MemLoc::Buffer | MemLoc::CimArrays(_) => {
+                    report.onchip_pj += bytes * model.pj_per_onchip_byte
                 }
             }
-            Stmt::LoadWeights(w) => {
-                report.write_pj += w.bytes as f64 * model.pj_per_write_byte;
-            }
-            Stmt::Mem(m) => {
-                let bytes = m.bytes as f64;
-                match m.loc {
-                    MemLoc::Main => report.dram_pj += bytes * model.pj_per_dram_byte,
-                    MemLoc::Buffer | MemLoc::CimArrays(_) => {
-                        report.onchip_pj += bytes * model.pj_per_onchip_byte
-                    }
-                }
-            }
-            Stmt::Vector(v) => {
-                report.vector_pj += v.flops as f64 * model.pj_per_vector_flop;
-            }
+        }
+        Stmt::Vector(v) => {
+            report.vector_pj += v.flops as f64 * model.pj_per_vector_flop;
         }
     }
 }

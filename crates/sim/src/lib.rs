@@ -5,11 +5,21 @@
 //! DynaPlasia, plus a functional simulator standing in for the PyTorch
 //! cross-check.
 //!
-//! * [`timing`] executes a compiled meta-operator flow statement by
-//!   statement against the chip state, charging the Table 2 latencies:
-//!   compute passes, memory/main-memory bandwidth, per-array mode
-//!   switches, weight loads and write-backs. `parallel` blocks execute
-//!   pipelined (lanes overlap, the segment takes its slowest lane).
+//! * [`engine`] is the event-driven, cycle-level simulator: per-array
+//!   timelines, a binary-heap completion queue, explicit mode-switch
+//!   events, shared-bus contention and inter-segment pipelining. It
+//!   returns an enriched [`EngineReport`] (per-segment and per-mode
+//!   latency/energy breakdown, array-utilization histogram, critical
+//!   path) and is surfaced through the `Session` API by
+//!   [`SessionSimExt`].
+//! * [`timing`] is the sequential reference model ([`SequentialModel`]):
+//!   it executes a compiled meta-operator flow statement by statement
+//!   against the chip state, charging the Table 2 latencies. The event
+//!   engine prices statements through the same [`model`] kernel and
+//!   must dominate it (equal on serial flows, faster wherever overlap
+//!   is legal).
+//! * [`energy`] estimates per-component energy of a flow
+//!   (schedule-invariant, so both simulators report identical totals).
 //! * [`functional`] executes the *graph* numerically with int8-quantized
 //!   CIM semantics (im2col + integer matmul, §2.1.2) and compares against
 //!   the f32 reference from `cmswitch-tensor` — verifying that what the
@@ -22,20 +32,34 @@
 //! ```
 //! use cmswitch_arch::presets;
 //! use cmswitch_core::Session;
-//! use cmswitch_sim::timing::simulate;
+//! use cmswitch_sim::{EventEngine, SequentialModel};
 //!
 //! let graph = cmswitch_models::mlp::mlp(2, &[128, 256, 64]).unwrap();
 //! let session = Session::builder(presets::tiny()).build();
 //! let program = session.compile_graph(&graph).unwrap();
-//! let report = simulate(&program.flow, session.arch()).unwrap();
-//! assert!(report.total_cycles > 0.0);
+//! let sequential = SequentialModel.simulate(&program.flow, session.arch()).unwrap();
+//! let pipelined = EventEngine::new()
+//!     .simulate_program(&program, session.arch())
+//!     .unwrap();
+//! assert!(pipelined.total_cycles > 0.0);
+//! assert!(pipelined.total_cycles <= sequential.total_cycles);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod chip;
 pub mod energy;
+pub mod engine;
 pub mod functional;
+pub mod model;
 pub mod stats;
 pub mod timing;
 
 pub use energy::{EnergyModel, EnergyReport};
-pub use stats::{SegmentTiming, SimReport};
+pub use engine::{
+    latency_lower_bound, EventEngine, SequentialModel, SessionSimExt, SimulationOutcome,
+};
+pub use stats::{
+    utilization_percent, ArrayTimeline, BusyBreakdown, BusyInterval, BusyKind, CriticalStep,
+    EngineReport, SegmentTiming, SegmentWindow, SimReport,
+};

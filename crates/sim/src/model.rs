@@ -1,0 +1,234 @@
+//! The shared statement-cost kernel.
+//!
+//! Both simulators — the [`crate::timing`] sequential replay and the
+//! event-driven [`crate::engine`] — charge every statement through the
+//! functions in this module, so the two models price identical work
+//! identically (bit-for-bit). They may only differ in *scheduling*: the
+//! sequential model serializes statements in flow order, the engine
+//! overlaps them where dependencies and resources allow. That shared
+//! kernel is what makes the engine-dominates-sequential invariant
+//! (`tests/sim_differential.rs`) provable rather than approximate.
+
+use cmswitch_arch::DualModeArch;
+use cmswitch_metaop::{ComputeStmt, MemLoc, MemStmt, Stmt, SwitchKind};
+
+/// Vector function-unit throughput (elementwise FLOPs/cycle), kept equal
+/// to the compiler's [`cmswitch_core::cost::FU_FLOPS_PER_CYCLE`].
+pub const FU_FLOPS_PER_CYCLE: f64 = 64.0;
+
+/// Cycles one `CM.switch` statement takes: the reconfiguration driver
+/// processes its `count` arrays serially at the per-array latency of
+/// Eq. 1 (`L_{m→c}` / `L_{c→m}`).
+pub fn switch_duration(kind: SwitchKind, count: usize, arch: &DualModeArch) -> f64 {
+    let per = match kind {
+        SwitchKind::ToCompute => arch.switch_m2c_cycles(),
+        SwitchKind::ToMemory => arch.switch_c2m_cycles(),
+    };
+    per as f64 * count as f64
+}
+
+/// Per-array cycles of a `CM.switch` statement (the stride at which the
+/// serial driver releases consecutive arrays).
+pub fn switch_stride(kind: SwitchKind, arch: &DualModeArch) -> f64 {
+    match kind {
+        SwitchKind::ToCompute => arch.switch_m2c_cycles() as f64,
+        SwitchKind::ToMemory => arch.switch_c2m_cycles() as f64,
+    }
+}
+
+/// Cycles a bulk memory statement takes at the bandwidth of its
+/// location: the main-memory link, the original on-chip buffer, or the
+/// aggregate bandwidth of the addressed memory-mode arrays.
+pub fn mem_duration(m: &MemStmt, arch: &DualModeArch) -> f64 {
+    let bw = match &m.loc {
+        MemLoc::Main => arch.extern_bw() as f64,
+        MemLoc::Buffer => arch.d_main(),
+        MemLoc::CimArrays(a) => (a.len().max(1) as f64) * arch.d_cim(),
+    };
+    m.bytes as f64 / bw
+}
+
+/// Cycles a weight load over `count` arrays takes — Eq. 2 semantics:
+/// per-array cell-write latency, serialized across one operator's
+/// arrays (different operators' loads overlap).
+pub fn load_duration(count: usize, arch: &DualModeArch) -> f64 {
+    count as f64 * arch.lat_write_array() as f64
+}
+
+/// Cycles a vector function-unit statement takes.
+pub fn vector_duration(flops: u64) -> f64 {
+    flops as f64 / FU_FLOPS_PER_CYCLE
+}
+
+/// Execution-lane time of one compute statement: operand write +
+/// streamed execution (Eq. 10) + fused vector work. Weight loads are a
+/// separate phase (Eq. 2), accounted by [`segment_phases`]. Vector
+/// statements named `<op>.aux` in the same body fuse into the
+/// operator's lane.
+pub fn lane_duration(c: &ComputeStmt, body: &[Stmt], arch: &DualModeArch) -> f64 {
+    let vec_cycles: f64 = body
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::Vector(v) if v.op.strip_suffix(".aux") == Some(&c.op) => {
+                Some(v.flops as f64 / FU_FLOPS_PER_CYCLE)
+            }
+            _ => None,
+        })
+        .sum();
+
+    let work = (c.units * c.m * c.k * c.n) as f64;
+    let compute_rate = c.compute_arrays.len() as f64 * arch.op_cim();
+    let mem_arrays = (c.mem_in_arrays.len() + c.mem_out_arrays.len()) as f64;
+    let ai = if c.in_bytes == 0 {
+        f64::INFINITY
+    } else {
+        work / c.in_bytes as f64
+    };
+    let mem_rate = (mem_arrays * arch.d_cim() + arch.d_main()) * ai;
+    let rate = compute_rate.min(mem_rate);
+    let exec = if rate > 0.0 { work / rate } else { f64::INFINITY };
+    let operand_write = if c.weight_static {
+        0.0
+    } else {
+        let bytes = (c.units * c.k * c.n) as f64;
+        bytes / (arch.d_main() + mem_arrays * arch.d_cim())
+    };
+    operand_write + exec + vec_cycles
+}
+
+/// The two phases of one segment body (Fig. 10 step 3 then execution).
+///
+/// First every operator's weights are written into its compute arrays —
+/// per-op loads overlap, serialized within one op, so the phase takes
+/// `max_o(Com_o · Latency_write)` exactly as Eq. 2 — then the pipelined
+/// execution phase runs, taking the slowest lane (Eq. 9). Body-level
+/// memory statements without a lane execute alongside the lanes as one
+/// serialized pseudo-lane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SegmentPhases {
+    /// Weight-load barrier: `max` over per-op load durations.
+    pub load_phase: f64,
+    /// Slowest compute lane.
+    pub exec_phase: f64,
+    /// Summed cycles of body memory statements without a lane.
+    pub loose_cycles: f64,
+    /// Number of compute operators in the body.
+    pub n_ops: usize,
+}
+
+impl SegmentPhases {
+    /// Cycles the post-barrier part of the segment takes: the slowest of
+    /// the compute lanes and the loose-memory pseudo-lane.
+    pub fn exec_and_loose(&self) -> f64 {
+        self.exec_phase.max(self.loose_cycles)
+    }
+
+    /// Total segment cycles when nothing overlaps from outside:
+    /// `load_phase + max(exec, loose)`.
+    pub fn total(&self) -> f64 {
+        self.load_phase + self.exec_and_loose()
+    }
+}
+
+/// Computes the phase timings of one segment body.
+pub fn segment_phases(body: &[Stmt], arch: &DualModeArch) -> SegmentPhases {
+    let mut phases = SegmentPhases::default();
+    for stmt in body {
+        match stmt {
+            Stmt::Compute(c) => {
+                phases.n_ops += 1;
+                phases.exec_phase = phases.exec_phase.max(lane_duration(c, body, arch));
+            }
+            Stmt::LoadWeights(w) => {
+                phases.load_phase = phases.load_phase.max(load_duration(w.arrays.len(), arch));
+            }
+            Stmt::Vector(_) => {} // folded into lanes via the `.aux` suffix
+            Stmt::Mem(m) => phases.loose_cycles += mem_duration(m, arch),
+            Stmt::Switch { .. } | Stmt::Parallel(_) => {}
+        }
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::{presets, ArrayId};
+    use cmswitch_metaop::{MemDirection, WeightLoadStmt};
+
+    fn compute(op: &str, arrays: Vec<ArrayId>, m: usize) -> Stmt {
+        Stmt::Compute(ComputeStmt {
+            op: op.into(),
+            compute_arrays: arrays,
+            mem_in_arrays: vec![],
+            mem_out_arrays: vec![],
+            m,
+            k: 64,
+            n: 64,
+            units: 1,
+            in_bytes: (m * 64) as u64,
+            out_bytes: (m * 64) as u64,
+            weight_static: true,
+        })
+    }
+
+    #[test]
+    fn switch_duration_serializes_arrays() {
+        let arch = presets::tiny();
+        let one = switch_duration(SwitchKind::ToCompute, 1, &arch);
+        let four = switch_duration(SwitchKind::ToCompute, 4, &arch);
+        assert_eq!(four, 4.0 * one);
+        assert_eq!(switch_stride(SwitchKind::ToCompute, &arch), one);
+    }
+
+    #[test]
+    fn mem_duration_uses_location_bandwidth() {
+        let arch = presets::tiny();
+        let mk = |loc| MemStmt {
+            loc,
+            direction: MemDirection::Write,
+            bytes: 1024,
+            label: "t".into(),
+        };
+        let main = mem_duration(&mk(MemLoc::Main), &arch);
+        let buffer = mem_duration(&mk(MemLoc::Buffer), &arch);
+        let cim = mem_duration(&mk(MemLoc::CimArrays(vec![ArrayId(0), ArrayId(1)])), &arch);
+        assert_eq!(main, 1024.0 / arch.extern_bw() as f64);
+        assert_eq!(buffer, 1024.0 / arch.d_main());
+        assert_eq!(cim, 1024.0 / (2.0 * arch.d_cim()));
+    }
+
+    #[test]
+    fn segment_phases_take_max_load_and_max_lane() {
+        let arch = presets::tiny();
+        let body = vec![
+            Stmt::LoadWeights(WeightLoadStmt {
+                op: "a".into(),
+                arrays: vec![ArrayId(0)],
+                bytes: 64,
+            }),
+            Stmt::LoadWeights(WeightLoadStmt {
+                op: "b".into(),
+                arrays: vec![ArrayId(1), ArrayId(2)],
+                bytes: 128,
+            }),
+            compute("a", vec![ArrayId(0)], 8),
+            compute("b", vec![ArrayId(1), ArrayId(2)], 512),
+        ];
+        let p = segment_phases(&body, &arch);
+        assert_eq!(p.n_ops, 2);
+        assert_eq!(p.load_phase, load_duration(2, &arch));
+        assert_eq!(
+            p.exec_phase,
+            lane_duration(
+                match &body[3] {
+                    Stmt::Compute(c) => c,
+                    _ => unreachable!(),
+                },
+                &body,
+                &arch
+            )
+        );
+        assert_eq!(p.total(), p.load_phase + p.exec_phase.max(p.loose_cycles));
+    }
+}

@@ -1,4 +1,10 @@
-//! Simulation reports.
+//! Simulation reports: the sequential [`SimReport`] and the event
+//! engine's enriched [`EngineReport`] with per-array timelines,
+//! utilization and critical-path data.
+
+use cmswitch_arch::{ArrayId, ArrayMode};
+
+use crate::energy::EnergyReport;
 
 /// Timing of one `parallel` segment.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +55,239 @@ impl SimReport {
     }
 }
 
+/// What kind of work kept an array busy during a [`BusyInterval`].
+///
+/// The kind implies the array's mode: [`BusyKind::WeightLoad`] and
+/// [`BusyKind::Compute`] happen in compute mode, [`BusyKind::MemTraffic`]
+/// in memory mode, and [`BusyKind::Switch`] is the transition itself —
+/// so aggregating intervals by kind (see [`BusyBreakdown`]) *is* the
+/// per-mode occupancy breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusyKind {
+    /// The array was being reconfigured between modes.
+    Switch,
+    /// Weights (or a runtime operand) were being written into the array.
+    WeightLoad,
+    /// The array executed streamed MACs in compute mode.
+    Compute,
+    /// The array buffered memory-mode traffic for an operator or a bulk
+    /// memory statement.
+    MemTraffic,
+}
+
+/// One busy window on one array's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusyInterval {
+    /// Start cycle.
+    pub start: f64,
+    /// End cycle (`end >= start`).
+    pub end: f64,
+    /// What occupied the array.
+    pub kind: BusyKind,
+}
+
+impl BusyInterval {
+    /// Length of the interval in cycles.
+    pub fn cycles(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The per-array busy timeline the event engine builds while scheduling.
+///
+/// Intervals are appended in start order and never overlap (shared
+/// endpoints are allowed): an array serves one event at a time — that is
+/// the resource constraint the engine schedules around, and
+/// `tests/sim_invariants.rs` verifies it holds on every compiled flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayTimeline {
+    /// The array this timeline belongs to.
+    pub array: ArrayId,
+    /// The array's mode after the flow completed.
+    pub final_mode: ArrayMode,
+    /// Busy windows in chronological order.
+    pub intervals: Vec<BusyInterval>,
+}
+
+impl ArrayTimeline {
+    /// Total busy cycles across all intervals.
+    pub fn busy_cycles(&self) -> f64 {
+        self.intervals.iter().map(BusyInterval::cycles).sum()
+    }
+
+    /// Busy cycles of one interval kind.
+    pub fn busy_cycles_of(&self, kind: BusyKind) -> f64 {
+        self.intervals
+            .iter()
+            .filter(|i| i.kind == kind)
+            .map(BusyInterval::cycles)
+            .sum()
+    }
+}
+
+/// Array-cycle occupancy aggregated over every timeline, by busy kind
+/// (the per-mode breakdown — see [`BusyKind`]) plus the vector
+/// function-unit's serialized cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BusyBreakdown {
+    /// Array-cycles spent in mode transitions.
+    pub switch: f64,
+    /// Array-cycles spent writing weights/operands (compute mode).
+    pub weight_load: f64,
+    /// Array-cycles spent executing MACs (compute mode).
+    pub compute: f64,
+    /// Array-cycles spent buffering traffic (memory mode).
+    pub mem_traffic: f64,
+    /// Serialized cycles of top-level vector statements (not
+    /// array-cycles: the vector unit is a single shared resource).
+    pub vector: f64,
+}
+
+impl BusyBreakdown {
+    /// Array-cycles in compute mode (weight loads + execution).
+    pub fn compute_mode(&self) -> f64 {
+        self.weight_load + self.compute
+    }
+
+    /// Array-cycles in memory mode.
+    pub fn memory_mode(&self) -> f64 {
+        self.mem_traffic
+    }
+}
+
+/// Scheduling window of one segment under the event engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentWindow {
+    /// Segment index in flow order.
+    pub index: usize,
+    /// Cycle the segment's weight-load barrier started.
+    pub start: f64,
+    /// Cycle the segment's slowest lane finished.
+    pub end: f64,
+    /// Weight-load barrier cycles (Eq. 2 `max_o Com_o · Latency_write`).
+    pub load_cycles: f64,
+    /// Post-barrier execution cycles (slowest lane / loose memory work).
+    pub exec_cycles: f64,
+    /// Number of compute operators in the segment.
+    pub compute_ops: usize,
+    /// Energy of the segment body's statements, picojoules.
+    pub energy_pj: f64,
+}
+
+/// One step of the engine's critical path: the chain of events whose
+/// start times bound each other, ending at the event that finished last.
+///
+/// Start times are non-decreasing along the chain, but consecutive
+/// windows may overlap: a predecessor can hand over the binding
+/// resource *before* its own end (a segment releases each lane's
+/// arrays as the lane drains), and each step reports the event's full
+/// window, not just the handoff instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalStep {
+    /// Human-readable event label (e.g. `seg2.exec`, `switch#5(TOC x12)`).
+    pub label: String,
+    /// Cycle the event started.
+    pub start: f64,
+    /// Cycle the event finished.
+    pub end: f64,
+}
+
+/// The event engine's enriched report: end-to-end makespan plus the
+/// per-segment, per-mode, per-array detail the sequential [`SimReport`]
+/// cannot express.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// End-to-end makespan of the event schedule (cycles).
+    pub total_cycles: f64,
+    /// What the same flow costs fully serialized — bit-identical to
+    /// [`crate::timing::simulate`]'s `total_cycles`, accumulated from
+    /// the same shared cost kernel in the same order.
+    pub serialized_cycles: f64,
+    /// Serialized cycles of the mode-switch process (switch statements
+    /// plus top-level write-backs/reloads — Fig. 10 steps 1 + 2).
+    pub switch_process_cycles: f64,
+    /// Total arrays switched to compute mode.
+    pub switches_to_compute: u64,
+    /// Total arrays switched to memory mode.
+    pub switches_to_memory: u64,
+    /// Array-cycle occupancy by kind (the per-mode breakdown).
+    pub breakdown: BusyBreakdown,
+    /// Per-segment scheduling windows, in flow order.
+    pub segments: Vec<SegmentWindow>,
+    /// Energy of the whole flow (schedule-invariant, so identical to
+    /// [`crate::energy::estimate`] on the same flow).
+    pub energy: EnergyReport,
+    /// Per-array busy timelines.
+    pub timelines: Vec<ArrayTimeline>,
+    /// The critical path, earliest event first.
+    pub critical_path: Vec<CriticalStep>,
+}
+
+impl EngineReport {
+    /// Cycles saved by overlapping events instead of serializing them.
+    pub fn overlap_saved(&self) -> f64 {
+        (self.serialized_cycles - self.total_cycles).max(0.0)
+    }
+
+    /// Fraction of the makespan the serialized mode-switch process
+    /// represents (§5.5 metric; overlap can hide part of it, so this is
+    /// an upper bound on the visible overhead).
+    pub fn switch_process_fraction(&self) -> f64 {
+        if self.total_cycles == 0.0 {
+            0.0
+        } else {
+            self.switch_process_cycles / self.total_cycles
+        }
+    }
+
+    /// Per-array utilization: busy cycles over the makespan, in array
+    /// order. Zero makespan yields zeros.
+    pub fn utilization(&self) -> Vec<f64> {
+        self.timelines
+            .iter()
+            .map(|t| {
+                if self.total_cycles > 0.0 {
+                    t.busy_cycles() / self.total_cycles
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Histogram of per-array utilization percentages in 11 buckets:
+    /// `0-9 %`, `10-19 %`, …, `90-99 %`, and exactly-100 % arrays in the
+    /// last bucket. Percentages are rounded to nearest
+    /// ([`utilization_percent`]), so a 99.5 %-busy array counts as 100 %.
+    pub fn utilization_histogram(&self) -> [u64; 11] {
+        let mut buckets = [0u64; 11];
+        for u in self.utilization() {
+            let pct = utilization_percent(u);
+            buckets[usize::from(pct) / 10] += 1;
+        }
+        buckets
+    }
+}
+
+/// Converts a busy fraction into a whole utilization percentage,
+/// rounding to nearest and clamping to `0..=100`.
+///
+/// Rounding (not truncation) matters at the top of the scale: an array
+/// busy 99.5 % of the makespan reports 100 %, not 99 % — truncating
+/// toward zero would under-report every almost-saturated array by a
+/// whole point and keep the 100 % histogram bucket empty on real
+/// workloads.
+pub fn utilization_percent(fraction: f64) -> u8 {
+    let pct = (fraction * 100.0).round();
+    if pct <= 0.0 {
+        0
+    } else if pct >= 100.0 {
+        100
+    } else {
+        pct as u8
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +306,72 @@ mod tests {
             ..SimReport::default()
         };
         assert!((r.switch_process_fraction() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_percent_rounds_to_nearest() {
+        // The 99.5 % → 100 % boundary: truncation toward zero reported
+        // 99 here; round-to-nearest must report 100.
+        assert_eq!(utilization_percent(0.995), 100);
+        assert_eq!(utilization_percent(0.9949), 99);
+        assert_eq!(utilization_percent(0.004), 0);
+        assert_eq!(utilization_percent(0.005), 1);
+        assert_eq!(utilization_percent(0.0), 0);
+        assert_eq!(utilization_percent(1.0), 100);
+        // Clamped, not wrapped, outside the meaningful range.
+        assert_eq!(utilization_percent(1.7), 100);
+        assert_eq!(utilization_percent(-0.2), 0);
+    }
+
+    #[test]
+    fn timeline_busy_accounting() {
+        let t = ArrayTimeline {
+            array: ArrayId(3),
+            final_mode: ArrayMode::Memory,
+            intervals: vec![
+                BusyInterval {
+                    start: 0.0,
+                    end: 4.0,
+                    kind: BusyKind::Switch,
+                },
+                BusyInterval {
+                    start: 4.0,
+                    end: 10.0,
+                    kind: BusyKind::Compute,
+                },
+            ],
+        };
+        assert_eq!(t.busy_cycles(), 10.0);
+        assert_eq!(t.busy_cycles_of(BusyKind::Switch), 4.0);
+        assert_eq!(t.busy_cycles_of(BusyKind::MemTraffic), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_full_utilization_separately() {
+        let timeline = |busy: f64| ArrayTimeline {
+            array: ArrayId(0),
+            final_mode: ArrayMode::Memory,
+            intervals: vec![BusyInterval {
+                start: 0.0,
+                end: busy,
+                kind: BusyKind::Compute,
+            }],
+        };
+        let r = EngineReport {
+            total_cycles: 100.0,
+            serialized_cycles: 100.0,
+            switch_process_cycles: 0.0,
+            switches_to_compute: 0,
+            switches_to_memory: 0,
+            breakdown: BusyBreakdown::default(),
+            segments: Vec::new(),
+            energy: EnergyReport::default(),
+            timelines: vec![timeline(99.5), timeline(94.0), timeline(5.0)],
+            critical_path: Vec::new(),
+        };
+        let h = r.utilization_histogram();
+        assert_eq!(h[10], 1, "99.5% rounds to the 100% bucket");
+        assert_eq!(h[9], 1);
+        assert_eq!(h[0], 1);
     }
 }

@@ -1,4 +1,5 @@
-//! Timing simulation of meta-operator flows.
+//! Timing simulation of meta-operator flows (the sequential reference
+//! model).
 //!
 //! Executes a flow against the chip state and the Table 2 latencies. The
 //! model matches the compiler's analytic cost model (Eqs. 1, 2, 10) in
@@ -8,16 +9,20 @@
 //! mode-discipline checking. Segment bodies run pipelined: each compute
 //! operator forms a lane (weight load → operand write → streamed
 //! execution → fused vector work) and the segment takes its slowest lane.
+//!
+//! Statements *between* segments execute strictly in flow order — this
+//! is the sequential reference the event-driven [`crate::engine`] must
+//! dominate. Both simulators price statements through the shared
+//! [`crate::model`] kernel and accumulate serial time in the same
+//! barrier order (segment arrival → load barrier → execution), so on a
+//! fully serial flow the two produce bit-identical totals.
 
 use cmswitch_arch::DualModeArch;
-use cmswitch_metaop::{ComputeStmt, Flow, MemLoc, MetaOpError, Stmt, SwitchKind};
+use cmswitch_metaop::{Flow, MetaOpError, Stmt, SwitchKind};
 
 use crate::chip::ChipState;
+use crate::model;
 use crate::stats::{SegmentTiming, SimReport};
-
-/// Vector function-unit throughput (elementwise FLOPs/cycle), kept equal
-/// to the compiler's [`cmswitch_core::cost::FU_FLOPS_PER_CYCLE`].
-const FU_FLOPS_PER_CYCLE: f64 = 64.0;
 
 /// Simulates `flow` on `arch`.
 ///
@@ -32,35 +37,27 @@ pub fn simulate(flow: &Flow, arch: &DualModeArch) -> Result<SimReport, MetaOpErr
     for (idx, stmt) in flow.stmts().iter().enumerate() {
         match stmt {
             Stmt::Parallel(body) => {
-                let t = simulate_segment(body, arch, &mut chip, idx)?;
+                let t = simulate_segment(body, arch, &mut chip, idx, &mut report)?;
                 report.segment_cycles += t.cycles;
-                report.total_cycles += t.cycles;
                 report.segments.push(t);
             }
             Stmt::Switch { kind, arrays } => {
                 chip.apply(stmt, idx)?;
-                let per = match kind {
+                match kind {
                     SwitchKind::ToCompute => {
                         report.switches_to_compute += arrays.len() as u64;
-                        arch.switch_m2c_cycles()
                     }
                     SwitchKind::ToMemory => {
                         report.switches_to_memory += arrays.len() as u64;
-                        arch.switch_c2m_cycles()
                     }
-                };
-                let cycles = per as f64 * arrays.len() as f64;
+                }
+                let cycles = model::switch_duration(*kind, arrays.len(), arch);
                 report.switch_cycles += cycles;
                 report.total_cycles += cycles;
             }
             Stmt::Mem(m) => {
                 chip.apply(stmt, idx)?;
-                let bw = match &m.loc {
-                    MemLoc::Main => arch.extern_bw() as f64,
-                    MemLoc::Buffer => arch.d_main(),
-                    MemLoc::CimArrays(a) => (a.len().max(1) as f64) * arch.d_cim(),
-                };
-                let cycles = m.bytes as f64 / bw;
+                let cycles = model::mem_duration(m, arch);
                 report.writeback_cycles += cycles;
                 report.total_cycles += cycles;
             }
@@ -68,12 +65,12 @@ pub fn simulate(flow: &Flow, arch: &DualModeArch) -> Result<SimReport, MetaOpErr
                 chip.apply(stmt, idx)?;
                 // Eq. 2 semantics: per-array cell-write latency,
                 // serialized across one op's arrays.
-                let cycles = w.arrays.len() as f64 * arch.lat_write_array() as f64;
+                let cycles = model::load_duration(w.arrays.len(), arch);
                 report.writeback_cycles += cycles;
                 report.total_cycles += cycles;
             }
             Stmt::Vector(v) => {
-                let cycles = v.flops as f64 / FU_FLOPS_PER_CYCLE;
+                let cycles = model::vector_duration(v.flops);
                 report.vector_cycles += cycles;
                 report.total_cycles += cycles;
             }
@@ -81,9 +78,8 @@ pub fn simulate(flow: &Flow, arch: &DualModeArch) -> Result<SimReport, MetaOpErr
                 // A bare compute statement outside `parallel` is a
                 // single-lane segment.
                 let body = std::slice::from_ref(stmt);
-                let t = simulate_segment(body, arch, &mut chip, idx)?;
+                let t = simulate_segment(body, arch, &mut chip, idx, &mut report)?;
                 report.segment_cycles += t.cycles;
-                report.total_cycles += t.cycles;
                 report.segments.push(t);
             }
         }
@@ -94,93 +90,32 @@ pub fn simulate(flow: &Flow, arch: &DualModeArch) -> Result<SimReport, MetaOpErr
 }
 
 /// One pipelined segment: lanes = compute ops with their attached weight
-/// loads and fused vector statements.
+/// loads and fused vector statements. Advances `report.total_cycles` in
+/// barrier order (load phase, then the slowest of execution lanes and
+/// loose memory work) — the same association the event engine uses, so
+/// serial flows compare bit-exactly across the two simulators.
 fn simulate_segment(
     body: &[Stmt],
     arch: &DualModeArch,
     chip: &mut ChipState,
     seg_idx: usize,
+    report: &mut SimReport,
 ) -> Result<SegmentTiming, MetaOpError> {
     // First apply every statement to the chip for discipline checking.
     for stmt in body {
         chip.apply(stmt, seg_idx)?;
     }
 
-    // The segment executes in the paper's two phases (Fig. 10 step 3 then
-    // execution): first every operator's weights are written into its
-    // compute arrays — per-op loads overlap, serialized within one op, so
-    // the phase takes `max_o(Com_o · Latency_write)` exactly as Eq. 2 —
-    // then the pipelined execution phase runs, taking the slowest lane
-    // (Eq. 9). Vector statements named "<op>.aux" fuse into their
-    // operator's lane.
-    let mut load_phase = 0.0f64;
-    let mut exec_phase = 0.0f64; // slowest lane
-    let mut loose_cycles = 0.0; // memory stmts without a lane
-    let mut n_ops = 0usize;
-    for stmt in body {
-        match stmt {
-            Stmt::Compute(c) => {
-                n_ops += 1;
-                exec_phase = exec_phase.max(lane_of(c, body, arch));
-            }
-            Stmt::LoadWeights(w) => {
-                load_phase = load_phase
-                    .max(w.arrays.len() as f64 * arch.lat_write_array() as f64);
-            }
-            Stmt::Vector(_) => {} // folded into lanes
-            Stmt::Mem(m) => {
-                let bw = match &m.loc {
-                    MemLoc::Main => arch.extern_bw() as f64,
-                    MemLoc::Buffer => arch.d_main(),
-                    MemLoc::CimArrays(a) => (a.len().max(1) as f64) * arch.d_cim(),
-                };
-                loose_cycles += m.bytes as f64 / bw;
-            }
-            Stmt::Switch { .. } | Stmt::Parallel(_) => {}
-        }
-    }
+    let phases = model::segment_phases(body, arch);
+    report.total_cycles += phases.load_phase;
+    report.total_cycles += phases.exec_and_loose();
 
     Ok(SegmentTiming {
         index: seg_idx,
-        cycles: load_phase + exec_phase.max(loose_cycles),
-        weight_load_cycles: load_phase,
-        compute_ops: n_ops,
+        cycles: phases.total(),
+        weight_load_cycles: phases.load_phase,
+        compute_ops: phases.n_ops,
     })
-}
-
-/// Execution-lane time of one compute statement: operand write +
-/// streamed execution (Eq. 10) + fused vector work. Weight loads are a
-/// separate phase (Eq. 2), accounted by the caller.
-fn lane_of(c: &ComputeStmt, body: &[Stmt], arch: &DualModeArch) -> f64 {
-    // Fused vector statements named "<op>.aux".
-    let vec_cycles: f64 = body
-        .iter()
-        .filter_map(|s| match s {
-            Stmt::Vector(v) if v.op.strip_suffix(".aux") == Some(&c.op) => {
-                Some(v.flops as f64 / FU_FLOPS_PER_CYCLE)
-            }
-            _ => None,
-        })
-        .sum();
-
-    let work = (c.units * c.m * c.k * c.n) as f64;
-    let compute_rate = c.compute_arrays.len() as f64 * arch.op_cim();
-    let mem_arrays = (c.mem_in_arrays.len() + c.mem_out_arrays.len()) as f64;
-    let ai = if c.in_bytes == 0 {
-        f64::INFINITY
-    } else {
-        work / c.in_bytes as f64
-    };
-    let mem_rate = (mem_arrays * arch.d_cim() + arch.d_main()) * ai;
-    let rate = compute_rate.min(mem_rate);
-    let exec = if rate > 0.0 { work / rate } else { f64::INFINITY };
-    let operand_write = if c.weight_static {
-        0.0
-    } else {
-        let bytes = (c.units * c.k * c.n) as f64;
-        bytes / (arch.d_main() + mem_arrays * arch.d_cim())
-    };
-    operand_write + exec + vec_cycles
 }
 
 #[cfg(test)]

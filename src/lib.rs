@@ -38,9 +38,12 @@
 //! // … plus typed diagnostics (windows pruned, cache traffic, …) …
 //! assert!(!outcome.diagnostics.is_empty());
 //!
-//! // … and the timing simulator executes the flow.
-//! let report = simulate(&outcome.program.flow, session.arch()).unwrap();
-//! assert!(report.total_cycles > 0.0);
+//! // … and the event-driven simulator executes the compiled plan on
+//! // per-array timelines (SessionSimExt). The pipelined makespan never
+//! // loses to the fully serialized replay.
+//! let sim = session.simulate(&outcome).unwrap();
+//! assert!(sim.report.total_cycles > 0.0);
+//! assert!(sim.report.total_cycles <= sim.report.serialized_cycles);
 //! # Ok::<(), cmswitch::compiler::CompileError>(())
 //! ```
 //!
@@ -90,4 +93,7 @@ pub mod prelude {
     pub use cmswitch_graph::{Graph, GraphBuilder};
     pub use cmswitch_metaop::{print_flow, Flow};
     pub use cmswitch_sim::timing::simulate;
+    pub use cmswitch_sim::{
+        EngineReport, EventEngine, SequentialModel, SessionSimExt, SimulationOutcome,
+    };
 }

@@ -26,6 +26,8 @@ const EXPECTED: &[&str] = &[
     "DpMode",
     "DualModeArch",
     "EmitStage",
+    "EngineReport",
+    "EventEngine",
     "Flow",
     "Graph",
     "GraphBuilder",
@@ -33,10 +35,13 @@ const EXPECTED: &[&str] = &[
     "PartitionStage",
     "PipelineCx",
     "SegmentStage",
+    "SequentialModel",
     "ServiceOptions",
     "Session",
     "SessionBackendExt",
     "SessionBuilder",
+    "SessionSimExt",
+    "SimulationOutcome",
     "Stage",
     "UnknownBackend",
     "backend_for",

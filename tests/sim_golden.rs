@@ -1,0 +1,72 @@
+//! Golden snapshots of the event-driven simulator over the full model
+//! registry.
+//!
+//! Pins the engine-report summaries (total latency, energy, switch
+//! count) for all 9 registry models compiled on the default DynaPlasia
+//! preset with default compiler options. The numbers are fully
+//! deterministic — the segmentation DP is exact, code generation is
+//! deterministic, and the event schedule depends only on the emitted
+//! flow — so any drift here means compiler or simulator behavior
+//! actually changed.
+//!
+//! Regenerating after an *intentional* change:
+//!
+//! ```text
+//! CMSWITCH_BLESS=1 cargo test --test sim_golden
+//! ```
+//!
+//! then review and commit the updated `tests/golden/sim_registry.txt`.
+
+use std::fmt::Write as _;
+
+use cmswitch::arch::presets;
+use cmswitch::models::registry;
+use cmswitch::prelude::*;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/sim_registry.txt"
+);
+
+/// One line per registry model: pipelined cycles, total energy and the
+/// number of array mode switches, printed with 9 significant digits.
+fn render() -> String {
+    let session = Session::builder(presets::dynaplasia()).build();
+    let mut out = String::new();
+    for &model in registry::ALL_MODELS {
+        let graph = registry::build(model, 1, 16).expect("registered model builds");
+        let outcome = session
+            .compile(CompileRequest::new(graph).with_label(model))
+            .expect("registered model compiles");
+        let sim = session.simulate(&outcome).expect("compiled flow simulates");
+        writeln!(
+            out,
+            "{model} cycles={:.9e} energy_pj={:.9e} switches={}",
+            sim.report.total_cycles,
+            sim.report.energy.total_pj(),
+            sim.report.switches_to_compute + sim.report.switches_to_memory,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+#[test]
+fn registry_engine_summaries_match_golden() {
+    let current = render();
+    if std::env::var_os("CMSWITCH_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &current).expect("write golden snapshot");
+        eprintln!("blessed {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden snapshot missing; regenerate with \
+         `CMSWITCH_BLESS=1 cargo test --test sim_golden`",
+    );
+    assert_eq!(
+        golden, current,
+        "engine summaries drifted from tests/golden/sim_registry.txt; if \
+         the change is intentional, regenerate with CMSWITCH_BLESS=1 and \
+         commit the diff"
+    );
+}

@@ -1,0 +1,196 @@
+//! Property tests for the event-driven simulator (vendored proptest:
+//! deterministic sampling, no shrinking).
+//!
+//! Invariants:
+//!
+//! * the event-engine makespan never beats the analytic
+//!   `latency_lower_bound` (the Eq. 9/10 whole-chip relaxation);
+//! * energy equals the sum of its per-component breakdown and matches
+//!   the schedule-independent flow oracle bit-for-bit;
+//! * per-array busy intervals never overlap (an array serves one event
+//!   at a time — the resource constraint the engine schedules around);
+//! * on single-segment flows the engine matches the sequential
+//!   reference model bit-exactly (no overlap is legal there, so the
+//!   two models must coincide, not merely agree approximately).
+
+use proptest::prelude::*;
+
+use cmswitch::arch::{presets, ArrayId, DualModeArch};
+use cmswitch::metaop::{
+    ComputeStmt, Flow, MemDirection, MemLoc, MemStmt, Stmt, SwitchKind, VectorStmt,
+    WeightLoadStmt,
+};
+use cmswitch::prelude::*;
+use cmswitch::sim::engine::latency_lower_bound;
+use cmswitch::sim::EngineReport;
+
+fn preset(idx: usize) -> DualModeArch {
+    match idx % 3 {
+        0 => presets::dynaplasia(),
+        1 => presets::prime(),
+        _ => presets::tiny(),
+    }
+}
+
+fn assert_timelines_disjoint(report: &EngineReport) -> Result<(), TestCaseError> {
+    for t in &report.timelines {
+        for pair in t.intervals.windows(2) {
+            prop_assert!(
+                pair[0].end <= pair[1].start,
+                "array {:?}: busy interval {:?} overlaps {:?}",
+                t.array,
+                pair[0],
+                pair[1]
+            );
+            prop_assert!(pair[0].start <= pair[0].end);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn compiled_flow_invariants(
+        width_idx in proptest::collection::vec(0usize..5, 2..5),
+        batch in 1usize..3,
+        preset_idx in 0usize..3,
+    ) {
+        const WIDTHS: [usize; 5] = [64, 96, 128, 192, 256];
+        let dims: Vec<usize> = width_idx.iter().map(|&i| WIDTHS[i]).collect();
+        let arch = preset(preset_idx);
+        let graph = cmswitch::models::mlp::mlp(batch, &dims).expect("mlp builds");
+        let session = Session::builder(arch.clone()).build();
+        let program = session.compile_graph(&graph).expect("mlp compiles");
+
+        let seq = SequentialModel.simulate(&program.flow, &arch).expect("sequential");
+        let eng = EventEngine::new().simulate_program(&program, &arch).expect("engine");
+
+        // Makespan sits between the analytic lower bound and the
+        // sequential replay.
+        let lb = latency_lower_bound(&program.flow, &arch);
+        prop_assert!(
+            eng.total_cycles >= lb,
+            "makespan {} beat the analytic lower bound {}",
+            eng.total_cycles,
+            lb
+        );
+        prop_assert!(eng.total_cycles <= seq.total_cycles);
+        prop_assert_eq!(eng.serialized_cycles.to_bits(), seq.total_cycles.to_bits());
+
+        // Energy equals the sum of its per-component breakdown …
+        let e = eng.energy;
+        let component_sum =
+            e.compute_pj + e.onchip_pj + e.dram_pj + e.write_pj + e.switch_pj + e.vector_pj;
+        prop_assert_eq!(e.total_pj().to_bits(), component_sum.to_bits());
+        for part in [e.compute_pj, e.onchip_pj, e.dram_pj, e.write_pj, e.switch_pj, e.vector_pj] {
+            prop_assert!(part.is_finite() && part >= 0.0);
+        }
+        // … and matches the schedule-independent flow oracle bit-for-bit.
+        let oracle = cmswitch::sim::energy::estimate(
+            &program.flow,
+            &arch,
+            &cmswitch::sim::EnergyModel::default(),
+        );
+        prop_assert_eq!(e.total_pj().to_bits(), oracle.total_pj().to_bits());
+
+        // Per-segment energy is a partition of a subset of the total.
+        let seg_sum: f64 = eng.segments.iter().map(|s| s.energy_pj).sum();
+        prop_assert!(seg_sum <= e.total_pj() * (1.0 + 1e-12) + 1e-9);
+        prop_assert_eq!(eng.segments.len(), program.segments.len());
+
+        // An array serves one event at a time.
+        assert_timelines_disjoint(&eng)?;
+    }
+}
+
+/// Builds a well-formed single-segment flow: one `TOC` switch covering
+/// every compute array, one `parallel` body (loads for static operators,
+/// compute statements, fused `.aux` vector work), one final write-back.
+fn single_segment_flow(
+    arch: &DualModeArch,
+    ms: &[usize],
+    ks: &[usize],
+    static_flags: &[usize],
+    aux_flags: &[usize],
+) -> Flow {
+    let n_ops = ms.len().min(ks.len()).min(static_flags.len()).min(aux_flags.len()).min(3);
+    let arrays_per_op = 2usize;
+    let mut flow = Flow::new("single-segment");
+    let compute_arrays: Vec<ArrayId> = (0..n_ops * arrays_per_op)
+        .map(|i| ArrayId(i as u32))
+        .collect();
+    flow.push(Stmt::switch(SwitchKind::ToCompute, compute_arrays.clone()));
+
+    // The remaining arrays stay in memory mode and buffer operator
+    // traffic (shared across operators on purpose).
+    let mem_arrays: Vec<ArrayId> = (n_ops * arrays_per_op..arch.n_arrays())
+        .map(|i| ArrayId(i as u32))
+        .collect();
+
+    let mut body = Vec::new();
+    for o in 0..n_ops {
+        let op = format!("op{o}");
+        let arrays = compute_arrays[o * arrays_per_op..(o + 1) * arrays_per_op].to_vec();
+        let weight_static = static_flags[o].is_multiple_of(2);
+        let (m, k) = (ms[o].max(1), ks[o].max(1));
+        if weight_static {
+            body.push(Stmt::LoadWeights(WeightLoadStmt {
+                op: op.clone(),
+                arrays: arrays.clone(),
+                bytes: (arrays.len() as u64) * arch.array_bytes(),
+            }));
+        }
+        body.push(Stmt::Compute(ComputeStmt {
+            op: op.clone(),
+            compute_arrays: arrays,
+            mem_in_arrays: if o == 0 { mem_arrays.clone() } else { Vec::new() },
+            mem_out_arrays: Vec::new(),
+            m,
+            k,
+            n: 64,
+            units: 1,
+            in_bytes: (m * k) as u64,
+            out_bytes: (m * 64) as u64,
+            weight_static,
+        }));
+        if aux_flags[o].is_multiple_of(2) {
+            body.push(Stmt::Vector(VectorStmt {
+                op: format!("{op}.aux"),
+                flops: (m * 64) as u64,
+            }));
+        }
+    }
+    flow.push(Stmt::Parallel(body));
+    flow.push(Stmt::Mem(MemStmt {
+        loc: MemLoc::Main,
+        direction: MemDirection::Write,
+        bytes: 4096,
+        label: "final output".into(),
+    }));
+    flow
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn single_segment_flows_match_sequential_bit_exactly(
+        ms in proptest::collection::vec(1usize..512, 1..4),
+        ks in proptest::collection::vec(1usize..160, 1..4),
+        static_flags in proptest::collection::vec(0usize..2, 1..4),
+        aux_flags in proptest::collection::vec(0usize..2, 1..4),
+        preset_idx in 0usize..3,
+    ) {
+        let arch = preset(preset_idx);
+        let flow = single_segment_flow(&arch, &ms, &ks, &static_flags, &aux_flags);
+        let seq = SequentialModel.simulate(&flow, &arch).expect("valid flow");
+        let eng = EventEngine::new().simulate(&flow, &arch).expect("valid flow");
+        // Single-segment flows admit no overlap, so the two models must
+        // coincide exactly, not merely agree approximately.
+        prop_assert_eq!(eng.total_cycles.to_bits(), seq.total_cycles.to_bits());
+        prop_assert_eq!(eng.serialized_cycles.to_bits(), seq.total_cycles.to_bits());
+        prop_assert!(eng.overlap_saved() == 0.0);
+        prop_assert!(eng.total_cycles >= latency_lower_bound(&flow, &arch));
+        assert_timelines_disjoint(&eng)?;
+    }
+}
