@@ -75,6 +75,16 @@ pub enum DiagnosticEvent {
         /// Total array mode switches executed (both directions).
         switches: u64,
     },
+    /// The static verifier ran over the compiled program (the opt-in
+    /// [`crate::VerifyStage`], or [`crate::Session::verify`] callers
+    /// recording their result).
+    Verified {
+        /// `Deny`-severity findings (any makes [`crate::VerifyStage`]
+        /// fail the compile).
+        deny: u64,
+        /// `Warn`-severity findings.
+        warn: u64,
+    },
 }
 
 impl fmt::Display for DiagnosticEvent {
@@ -114,6 +124,9 @@ impl fmt::Display for DiagnosticEvent {
                  ({serialized_cycles:.3e} serialized), {energy_pj:.3e} pJ, \
                  {switches} mode switches"
             ),
+            DiagnosticEvent::Verified { deny, warn } => {
+                write!(f, "verified: {deny} deny, {warn} warn findings")
+            }
         }
     }
 }
@@ -206,6 +219,15 @@ impl Diagnostics {
         })
     }
 
+    /// The `(deny, warn)` finding counts of the most recent
+    /// [`DiagnosticEvent::Verified`] event, if the verifier ran.
+    pub fn verified_counts(&self) -> Option<(u64, u64)> {
+        self.events.iter().rev().find_map(|e| match e {
+            DiagnosticEvent::Verified { deny, warn } => Some((*deny, *warn)),
+            _ => None,
+        })
+    }
+
     /// Whether the partition budget was rounded during this compilation.
     pub fn partition_budget_rounded(&self) -> bool {
         self.events
@@ -278,5 +300,15 @@ mod tests {
         assert_eq!(d.simulated_cycles(), Some((90.0, 100.0)));
         let text = d.to_string();
         assert!(text.contains("12 mode switches"), "{text}");
+    }
+
+    #[test]
+    fn verified_event_renders_and_reports_counts() {
+        let mut d = Diagnostics::new();
+        assert_eq!(d.verified_counts(), None);
+        d.push(DiagnosticEvent::Verified { deny: 2, warn: 1 });
+        assert_eq!(d.verified_counts(), Some((2, 1)));
+        let text = d.to_string();
+        assert!(text.contains("verified: 2 deny, 1 warn"), "{text}");
     }
 }

@@ -27,6 +27,10 @@ pub enum CompileError {
     Solver(SolverError),
     /// Generated flow failed validation (internal invariant violation).
     InvalidFlow(MetaOpError),
+    /// The opt-in static verifier found `Deny`-severity defects
+    /// ([`CompilerOptions::with_verify`](crate::CompilerOptions::with_verify));
+    /// the full report is attached.
+    VerifyRejected(Box<crate::verify::VerifyReport>),
 }
 
 impl fmt::Display for CompileError {
@@ -47,6 +51,12 @@ impl fmt::Display for CompileError {
             }
             CompileError::Solver(e) => write!(f, "solver error: {e}"),
             CompileError::InvalidFlow(e) => write!(f, "generated flow invalid: {e}"),
+            CompileError::VerifyRejected(report) => write!(
+                f,
+                "program verification rejected the compile ({} deny, {} warn):\n{report}",
+                report.deny_count(),
+                report.warn_count()
+            ),
         }
     }
 }

@@ -57,6 +57,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::needless_pass_by_value, clippy::redundant_clone)]
 
 mod compiler;
 mod error;
@@ -72,6 +73,7 @@ pub mod pipeline;
 pub mod segment;
 pub mod service;
 pub mod session;
+pub mod verify;
 
 pub use allocation::AllocationCache;
 pub use backend::{Backend, BackendKind, CmSwitch, UnknownBackend};
@@ -84,6 +86,9 @@ pub use pipeline::{
 };
 pub use service::{BatchJob, BatchOutcome, BatchReport, BatchStats, CompileService, ServiceOptions};
 pub use session::{CancelToken, CompileOutcome, CompileRequest, Session, SessionBuilder};
+pub use verify::{
+    Lint, Severity, Verifier, VerifyCx, VerifyFinding, VerifyReport, VerifyStage,
+};
 
 /// Which per-segment allocator the compiler uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -135,6 +140,9 @@ pub struct CompilerOptions {
     /// Whether the segmentation DP prunes candidate windows with
     /// analytic bounds before paying an allocation solve.
     pub dp_mode: DpMode,
+    /// Whether the static verifier ([`verify`]) runs as a final pipeline
+    /// stage, failing the compile on any `Deny` finding.
+    pub verify: bool,
 }
 
 impl Default for CompilerOptions {
@@ -146,6 +154,7 @@ impl Default for CompilerOptions {
             switch_aware: true,
             partition_budget: 1.0,
             dp_mode: DpMode::default(),
+            verify: false,
         }
     }
 }
@@ -193,6 +202,15 @@ impl CompilerOptions {
     #[must_use]
     pub fn with_dp_mode(mut self, dp_mode: DpMode) -> Self {
         self.dp_mode = dp_mode;
+        self
+    }
+
+    /// Enables or disables the static verification stage
+    /// ([`VerifyStage`]): when on, any `Deny` finding fails the compile
+    /// with [`CompileError::VerifyRejected`].
+    #[must_use]
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
         self
     }
 }

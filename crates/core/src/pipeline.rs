@@ -487,7 +487,12 @@ where
     let lowered = cx.run(&LowerStage, graph)?;
     let partitioned = cx.run(&PartitionStage, lowered)?;
     let segmented = cx.run(segmenter, partitioned)?;
-    cx.run(&EmitStage, segmented)
+    let program = cx.run(&EmitStage, segmented)?;
+    if cx.options().verify {
+        cx.run(&crate::verify::VerifyStage, program)
+    } else {
+        Ok(program)
+    }
 }
 
 #[cfg(test)]
@@ -525,7 +530,7 @@ mod tests {
         let partitioned = cx.run(&PartitionStage, lowered).unwrap();
         let cm = cx.cost_model();
         let allocator = cx.allocator();
-        let list = partitioned.list.clone();
+        let list = partitioned.list;
         let m = list.ops.len();
         // One segment per op, allocated with the real allocator.
         let parts: Vec<_> = (0..m)

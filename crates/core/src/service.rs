@@ -370,7 +370,7 @@ impl CompileService {
                 cancel: CancelToken::new(),
             })
             .collect();
-        self.session.compile_batch_items(items)
+        self.session.compile_batch_items(&items)
     }
 }
 

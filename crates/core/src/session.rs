@@ -433,11 +433,11 @@ impl Session {
                 cancel: r.effective_cancel(),
             })
             .collect();
-        self.compile_batch_items(items)
+        self.compile_batch_items(&items)
     }
 
     /// The engine under both batch entry points.
-    pub(crate) fn compile_batch_items(&self, items: Vec<BatchItem<'_>>) -> BatchReport {
+    pub(crate) fn compile_batch_items(&self, items: &[BatchItem<'_>]) -> BatchReport {
         if items.is_empty() {
             return BatchReport {
                 outcomes: Vec::new(),

@@ -1,0 +1,1702 @@
+//! Static verification of compiled programs: a lint framework over
+//! [`CompiledProgram`] + [`cmswitch_metaop::Flow`] + [`SegmentPlan`].
+//!
+//! `metaop::validate` enforces mode discipline but stops at the first
+//! error, and nothing cross-checks the emitted flow against the segment
+//! plans or the `op_deps` relation that the event-driven simulator
+//! trusts to decide which segments may legally overlap. This module is
+//! the collect-everything counterpart: each [`Lint`] walks the program
+//! and records **all** its findings in one [`VerifyReport`], so a
+//! defective artifact produces a complete defect list instead of one
+//! error.
+//!
+//! Five analyses ship by default (see [`Verifier::new`]):
+//!
+//! | lint | rules |
+//! |---|---|
+//! | mode-interval dataflow | `mode-discipline`, `use-before-load`, `dead-weight-load`, `redundant-switch` |
+//! | capacity | `capacity-arrays`, `capacity-weights`, `capacity-load-bytes`, `capacity-claim-mismatch` |
+//! | dependence soundness | `dep-order`, `dep-cycle`, `dep-missing` |
+//! | parallel races | `race-conflict`, `race-nested` |
+//! | flow/plan consistency | `plan-segments`, `plan-ops`, `plan-alloc-counts`, `plan-weight-loads` |
+//!
+//! Run it three ways: [`Session::verify`] on a
+//! [`CompileOutcome`], the opt-in pipeline stage
+//! ([`VerifyStage`], enabled via
+//! [`CompilerOptions::with_verify`](crate::CompilerOptions::with_verify),
+//! which fails the compile with [`CompileError::VerifyRejected`] on any
+//! `Deny` finding), or a hand-built [`Verifier`] for custom lint sets.
+//!
+//! The [`mutate`] submodule injects known defect classes into valid
+//! programs; the test suite uses it to prove every rule actually fires
+//! (mutation-kill testing).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use cmswitch_arch::{ArrayId, ArrayMode, DualModeArch};
+use cmswitch_metaop::walk::{walk_flow, FlowEvent};
+use cmswitch_metaop::{ComputeStmt, Flow, MemLoc, Stmt};
+
+use crate::compiler::{CompiledProgram, SegmentPlan};
+use crate::diagnostics::DiagnosticEvent;
+use crate::pipeline::{PipelineCx, Stage};
+use crate::session::{CompileOutcome, Session};
+use crate::CompileError;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not unsound: the program still executes correctly
+    /// (e.g. a weight load nothing consumes).
+    Warn,
+    /// Unsound: executing or overlapping this program as compiled would
+    /// be wrong. [`VerifyStage`] fails the compile on any `Deny`.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// Rule identifiers of the built-in lints, and the severity policy.
+///
+/// Findings carry one of these ids; the severity of a rule is fixed by
+/// [`rules::severity`] so reports stay consistent across lints.
+pub mod rules {
+    use super::Severity;
+
+    /// An array is used in the wrong mode (compute on a memory-mode
+    /// array, buffering or scratchpad access on a compute-mode array,
+    /// weight load into a memory-mode array).
+    pub const MODE_DISCIPLINE: &str = "mode-discipline";
+    /// A static-weight compute runs on arrays that do not hold its
+    /// weights (no load, or another op's weights).
+    pub const USE_BEFORE_LOAD: &str = "use-before-load";
+    /// A weight load is overwritten or mode-switched away before any
+    /// compute consumes it, or survives to the end of the flow unused.
+    pub const DEAD_WEIGHT_LOAD: &str = "dead-weight-load";
+    /// A switch targets arrays already in that mode, or re-switches
+    /// arrays untouched since their previous switch.
+    pub const REDUNDANT_SWITCH: &str = "redundant-switch";
+    /// A segment claims more physical arrays than the chip has, or
+    /// references an array id beyond the chip.
+    pub const CAPACITY_ARRAYS: &str = "capacity-arrays";
+    /// A static op's compute-array allocation cannot hold its weights
+    /// (fewer than `min_tiles` arrays).
+    pub const CAPACITY_WEIGHTS: &str = "capacity-weights";
+    /// A weight load writes more bytes than its destination arrays hold.
+    pub const CAPACITY_LOAD_BYTES: &str = "capacity-load-bytes";
+    /// The distinct arrays a segment's statements touch differ from the
+    /// arrays its [`SegmentAllocation`](crate::allocation::SegmentAllocation)
+    /// claims.
+    pub const CAPACITY_CLAIM_MISMATCH: &str = "capacity-claim-mismatch";
+    /// An `op_deps` edge runs backwards (producer at or after its
+    /// consumer) or out of range.
+    pub const DEP_ORDER: &str = "dep-order";
+    /// `op_deps` contains a cycle.
+    pub const DEP_CYCLE: &str = "dep-cycle";
+    /// A real data dependence (shared buffer arrays, or a planned Eq. 6
+    /// reuse) has no `op_deps` edge — the simulator would overlap
+    /// dependent segments.
+    pub const DEP_MISSING: &str = "dep-missing";
+    /// Conflicting array claims inside one `parallel` segment beyond the
+    /// Eq. 6 producer-out/consumer-in reuse pattern.
+    pub const RACE_CONFLICT: &str = "race-conflict";
+    /// A `parallel` block nests inside another.
+    pub const RACE_NESTED: &str = "race-nested";
+    /// The flow's segment count or the plans' op ranges do not tile the
+    /// program.
+    pub const PLAN_SEGMENTS: &str = "plan-segments";
+    /// A segment's compute statements do not match the ops its plan
+    /// promises (missing, reordered, or wrong-shaped).
+    pub const PLAN_OPS: &str = "plan-ops";
+    /// An emitted statement's array counts differ from the segment
+    /// allocation.
+    pub const PLAN_ALLOC_COUNTS: &str = "plan-alloc-counts";
+    /// Weight loads do not match the plan: missing for a static op,
+    /// duplicated, targeting foreign arrays, or for an op outside the
+    /// segment.
+    pub const PLAN_WEIGHT_LOADS: &str = "plan-weight-loads";
+
+    /// The fixed severity of a rule id (unknown ids are `Deny`, the
+    /// conservative default for custom lints).
+    pub fn severity(rule: &str) -> Severity {
+        match rule {
+            DEAD_WEIGHT_LOAD | REDUNDANT_SWITCH => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+}
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyFinding {
+    /// The rule that fired (see [`rules`]).
+    pub rule: &'static str,
+    /// Severity per [`rules::severity`].
+    pub severity: Severity,
+    /// Top-level flow statement index the finding anchors to, if any.
+    pub stmt: Option<usize>,
+    /// Index into [`CompiledProgram::ops`], if the finding is about one
+    /// op.
+    pub op: Option<usize>,
+    /// Arrays involved (possibly empty).
+    pub arrays: Vec<ArrayId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.severity, self.rule, self.message)?;
+        if let Some(stmt) = self.stmt {
+            write!(f, " (stmt {stmt})")?;
+        }
+        if let Some(op) = self.op {
+            write!(f, " (op {op})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything the lints found, in emission order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VerifyReport {
+    findings: Vec<VerifyFinding>,
+}
+
+impl VerifyReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a finding under `rule`, with the severity fixed by
+    /// [`rules::severity`].
+    pub fn push(
+        &mut self,
+        rule: &'static str,
+        stmt: Option<usize>,
+        op: Option<usize>,
+        arrays: Vec<ArrayId>,
+        message: impl Into<String>,
+    ) {
+        self.findings.push(VerifyFinding {
+            rule,
+            severity: rules::severity(rule),
+            stmt,
+            op,
+            arrays,
+            message: message.into(),
+        });
+    }
+
+    /// All findings, in emission order.
+    pub fn findings(&self) -> &[VerifyFinding] {
+        &self.findings
+    }
+
+    /// Number of `Deny` findings.
+    pub fn deny_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Deny).count()
+    }
+
+    /// Number of `Warn` findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Warn).count()
+    }
+
+    /// Whether the program passed: no `Deny` findings (warnings
+    /// allowed).
+    pub fn is_clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    /// Whether nothing at all was found.
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Whether any finding carries `rule`.
+    pub fn has_rule(&self, rule: &str) -> bool {
+        self.findings.iter().any(|f| f.rule == rule)
+    }
+
+    /// The distinct rule ids that fired, in first-seen order.
+    pub fn fired_rules(&self) -> Vec<&'static str> {
+        let mut seen = Vec::new();
+        for f in &self.findings {
+            if !seen.contains(&f.rule) {
+                seen.push(f.rule);
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    /// One line per finding plus a summary line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "verify: {} deny, {} warn",
+            self.deny_count(),
+            self.warn_count()
+        )
+    }
+}
+
+/// What a [`Lint`] sees: the program under verification and the chip it
+/// was compiled for.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyCx<'a> {
+    /// The program under verification.
+    pub program: &'a CompiledProgram,
+    /// The target architecture.
+    pub arch: &'a DualModeArch,
+}
+
+/// One static analysis over a compiled program.
+///
+/// A lint never stops at the first problem: it pushes every finding it
+/// can justify into the report (with rule ids from [`rules`], or its
+/// own `&'static` ids for custom lints — unknown ids default to
+/// [`Severity::Deny`]).
+pub trait Lint {
+    /// Stable analysis name (used in reports and docs).
+    fn id(&self) -> &'static str;
+
+    /// The rule ids this lint can emit.
+    fn rules(&self) -> &'static [&'static str];
+
+    /// Runs the analysis, appending findings to `report`.
+    fn check(&self, cx: &VerifyCx<'_>, report: &mut VerifyReport);
+}
+
+/// One segment of the flow, in the same counting the event engine uses:
+/// each top-level `parallel` block or bare compute statement.
+struct SegmentBlock<'a> {
+    stmt: usize,
+    body: &'a [Stmt],
+}
+
+fn segment_blocks(flow: &Flow) -> Vec<SegmentBlock<'_>> {
+    flow.stmts()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match s {
+            Stmt::Parallel(body) => Some(SegmentBlock { stmt: i, body }),
+            Stmt::Compute(_) => Some(SegmentBlock {
+                stmt: i,
+                body: std::slice::from_ref(s),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+fn block_computes<'a>(block: &SegmentBlock<'a>) -> Vec<&'a ComputeStmt> {
+    block
+        .body
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::Compute(c) => Some(c),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Formats a short array list for messages.
+fn fmt_arrays(arrays: &[ArrayId]) -> String {
+    let mut s = String::new();
+    for (i, a) in arrays.iter().take(6).enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("a{}", a.0));
+    }
+    if arrays.len() > 6 {
+        s.push_str(&format!(", … ({} total)", arrays.len()));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Lint 1: mode-interval dataflow.
+// ---------------------------------------------------------------------
+
+/// Reconstructs per-array mode timelines and flags wrong-mode uses,
+/// computes running before their weights are loaded, dead weight loads
+/// and redundant switches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModeIntervalLint;
+
+#[derive(Clone, Default)]
+struct ArrayState {
+    mode: Option<ArrayMode>, // None = initial memory mode
+    load: Option<PendingLoad>,
+    switched_at: Option<usize>,
+    used_since_switch: bool,
+}
+
+#[derive(Clone)]
+struct PendingLoad {
+    op: String,
+    stmt: usize,
+    consumed: bool,
+}
+
+impl ArrayState {
+    fn mode(&self) -> ArrayMode {
+        self.mode.unwrap_or(ArrayMode::Memory)
+    }
+}
+
+impl ModeIntervalLint {
+    fn touch(states: &mut HashMap<ArrayId, ArrayState>, a: ArrayId) -> &mut ArrayState {
+        states.entry(a).or_default()
+    }
+
+    fn flag_dead_load(report: &mut VerifyReport, a: ArrayId, load: &PendingLoad, why: &str) {
+        report.push(
+            rules::DEAD_WEIGHT_LOAD,
+            Some(load.stmt),
+            None,
+            vec![a],
+            format!("weights for {} loaded into a{} are {why}", load.op, a.0),
+        );
+    }
+}
+
+impl Lint for ModeIntervalLint {
+    fn id(&self) -> &'static str {
+        "mode-interval"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &[
+            rules::MODE_DISCIPLINE,
+            rules::USE_BEFORE_LOAD,
+            rules::DEAD_WEIGHT_LOAD,
+            rules::REDUNDANT_SWITCH,
+        ]
+    }
+
+    fn check(&self, cx: &VerifyCx<'_>, report: &mut VerifyReport) {
+        let mut states: HashMap<ArrayId, ArrayState> = HashMap::new();
+        let _: Result<(), std::convert::Infallible> =
+            walk_flow(&cx.program.flow, |event| {
+                let FlowEvent::Stmt { pos, stmt } = event else {
+                    return Ok(());
+                };
+                let idx = pos.stmt;
+                match stmt {
+                    Stmt::Switch { kind, arrays } => {
+                        let target = kind.target_mode();
+                        let mut same_mode = Vec::new();
+                        let mut unused = Vec::new();
+                        for &a in arrays {
+                            let st = Self::touch(&mut states, a);
+                            if st.mode() == target {
+                                same_mode.push(a);
+                            } else if st.switched_at.is_some() && !st.used_since_switch {
+                                unused.push(a);
+                            }
+                            if st.mode() != target {
+                                if let Some(load) = st.load.take() {
+                                    if !load.consumed {
+                                        Self::flag_dead_load(
+                                            report,
+                                            a,
+                                            &load,
+                                            "mode-switched away before any compute uses them",
+                                        );
+                                    }
+                                }
+                            }
+                            st.mode = Some(target);
+                            st.switched_at = Some(idx);
+                            st.used_since_switch = false;
+                        }
+                        if !same_mode.is_empty() {
+                            let list = fmt_arrays(&same_mode);
+                            report.push(
+                                rules::REDUNDANT_SWITCH,
+                                Some(idx),
+                                None,
+                                same_mode,
+                                format!(
+                                    "{} switches arrays already in {:?} mode: {list}",
+                                    kind.keyword(),
+                                    target
+                                ),
+                            );
+                        }
+                        if !unused.is_empty() {
+                            let list = fmt_arrays(&unused);
+                            report.push(
+                                rules::REDUNDANT_SWITCH,
+                                Some(idx),
+                                None,
+                                unused,
+                                format!(
+                                    "back-to-back switch: arrays untouched since their \
+                                     previous switch: {list}"
+                                ),
+                            );
+                        }
+                    }
+                    Stmt::Compute(c) => {
+                        let mut bad_compute = Vec::new();
+                        let mut bad_buffer = Vec::new();
+                        let mut unloaded = Vec::new();
+                        for &a in &c.compute_arrays {
+                            let st = Self::touch(&mut states, a);
+                            st.used_since_switch = true;
+                            if st.mode() != ArrayMode::Compute {
+                                bad_compute.push(a);
+                            }
+                            if c.weight_static {
+                                match &mut st.load {
+                                    Some(load) if load.op == c.op => load.consumed = true,
+                                    _ => unloaded.push(a),
+                                }
+                            }
+                        }
+                        for &a in c.mem_in_arrays.iter().chain(&c.mem_out_arrays) {
+                            let st = Self::touch(&mut states, a);
+                            st.used_since_switch = true;
+                            if st.mode() != ArrayMode::Memory {
+                                bad_buffer.push(a);
+                            }
+                        }
+                        if !bad_compute.is_empty() {
+                            let list = fmt_arrays(&bad_compute);
+                            report.push(
+                                rules::MODE_DISCIPLINE,
+                                Some(idx),
+                                None,
+                                bad_compute,
+                                format!("{} computes on memory-mode arrays: {list}", c.op),
+                            );
+                        }
+                        if !bad_buffer.is_empty() {
+                            let list = fmt_arrays(&bad_buffer);
+                            report.push(
+                                rules::MODE_DISCIPLINE,
+                                Some(idx),
+                                None,
+                                bad_buffer,
+                                format!("{} buffers on compute-mode arrays: {list}", c.op),
+                            );
+                        }
+                        if !unloaded.is_empty() {
+                            let list = fmt_arrays(&unloaded);
+                            report.push(
+                                rules::USE_BEFORE_LOAD,
+                                Some(idx),
+                                None,
+                                unloaded,
+                                format!(
+                                    "{} computes on arrays that do not hold its weights: {list}",
+                                    c.op
+                                ),
+                            );
+                        }
+                    }
+                    Stmt::LoadWeights(w) => {
+                        let mut wrong_mode = Vec::new();
+                        for &a in &w.arrays {
+                            let st = Self::touch(&mut states, a);
+                            st.used_since_switch = true;
+                            if st.mode() != ArrayMode::Compute {
+                                wrong_mode.push(a);
+                            }
+                            if let Some(prev) = st.load.replace(PendingLoad {
+                                op: w.op.clone(),
+                                stmt: idx,
+                                consumed: false,
+                            }) {
+                                if !prev.consumed {
+                                    Self::flag_dead_load(
+                                        report,
+                                        a,
+                                        &prev,
+                                        "overwritten before any compute uses them",
+                                    );
+                                }
+                            }
+                        }
+                        if !wrong_mode.is_empty() {
+                            let list = fmt_arrays(&wrong_mode);
+                            report.push(
+                                rules::MODE_DISCIPLINE,
+                                Some(idx),
+                                None,
+                                wrong_mode,
+                                format!(
+                                    "weight load for {} into memory-mode arrays: {list}",
+                                    w.op
+                                ),
+                            );
+                        }
+                    }
+                    Stmt::Mem(m) => {
+                        if let MemLoc::CimArrays(arrays) = &m.loc {
+                            let mut wrong_mode = Vec::new();
+                            for &a in arrays {
+                                let st = Self::touch(&mut states, a);
+                                st.used_since_switch = true;
+                                if st.mode() != ArrayMode::Memory {
+                                    wrong_mode.push(a);
+                                }
+                            }
+                            if !wrong_mode.is_empty() {
+                                let list = fmt_arrays(&wrong_mode);
+                                report.push(
+                                    rules::MODE_DISCIPLINE,
+                                    Some(idx),
+                                    None,
+                                    wrong_mode,
+                                    format!(
+                                        "scratchpad access `{}` on compute-mode arrays: {list}",
+                                        m.label
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    // Nested blocks are the race lint's business.
+                    Stmt::Vector(_) | Stmt::Parallel(_) => {}
+                }
+                Ok(())
+            });
+        // Loads never consumed by the end of the flow.
+        let mut leftovers: Vec<(ArrayId, PendingLoad)> = states
+            .into_iter()
+            .filter_map(|(a, st)| st.load.filter(|l| !l.consumed).map(|l| (a, l)))
+            .collect();
+        leftovers.sort_by_key(|(a, _)| a.0);
+        for (a, load) in leftovers {
+            Self::flag_dead_load(report, a, &load, "never consumed by any compute");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 2: capacity.
+// ---------------------------------------------------------------------
+
+/// Checks claimed arrays and loaded bytes against the chip's limits,
+/// cross-checking the flow's claims against each
+/// [`SegmentAllocation`](crate::allocation::SegmentAllocation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CapacityLint;
+
+impl Lint for CapacityLint {
+    fn id(&self) -> &'static str {
+        "capacity"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &[
+            rules::CAPACITY_ARRAYS,
+            rules::CAPACITY_WEIGHTS,
+            rules::CAPACITY_LOAD_BYTES,
+            rules::CAPACITY_CLAIM_MISMATCH,
+        ]
+    }
+
+    fn check(&self, cx: &VerifyCx<'_>, report: &mut VerifyReport) {
+        let program = cx.program;
+        let n_arrays = cx.arch.n_arrays();
+        let blocks = segment_blocks(&program.flow);
+        let aligned = blocks.len() == program.segments.len();
+
+        for (si, plan) in program.segments.iter().enumerate() {
+            let block_stmt = aligned.then(|| blocks[si].stmt);
+            // Plan-side capacity: Eq. 8.
+            let used = plan.alloc.arrays_used();
+            if used > n_arrays {
+                report.push(
+                    rules::CAPACITY_ARRAYS,
+                    block_stmt,
+                    None,
+                    Vec::new(),
+                    format!("segment {si} claims {used} arrays, chip has {n_arrays}"),
+                );
+            }
+            // Plan-side weight capacity: every static op needs at least
+            // its min-tiles worth of compute arrays to hold the [K,N]
+            // operand.
+            for (oi, a) in plan.alloc.ops.iter().enumerate() {
+                let gi = plan.range.0 + oi;
+                let Some(op) = program.ops.get(gi) else { continue };
+                if op.weight_static && a.compute < op.min_tiles {
+                    report.push(
+                        rules::CAPACITY_WEIGHTS,
+                        block_stmt,
+                        Some(gi),
+                        Vec::new(),
+                        format!(
+                            "{} gets {} compute arrays but needs {} to hold its weights",
+                            op.name, a.compute, op.min_tiles
+                        ),
+                    );
+                }
+            }
+            if !aligned {
+                continue;
+            }
+            // Flow-side cross-checks against the aligned block.
+            let block = &blocks[si];
+            let mut distinct: HashSet<ArrayId> = HashSet::new();
+            let mut out_of_range: Vec<ArrayId> = Vec::new();
+            for s in block.body {
+                for a in s.arrays_recursive() {
+                    if (a.0 as usize) >= n_arrays && !out_of_range.contains(&a) {
+                        out_of_range.push(a);
+                    }
+                    distinct.insert(a);
+                }
+                if let Stmt::LoadWeights(w) = s {
+                    let capacity = w.arrays.len() as u64 * cx.arch.array_bytes();
+                    if w.bytes > capacity {
+                        report.push(
+                            rules::CAPACITY_LOAD_BYTES,
+                            Some(block.stmt),
+                            None,
+                            w.arrays.clone(),
+                            format!(
+                                "weight load for {} writes {} bytes into {} arrays \
+                                 holding {capacity}",
+                                w.op,
+                                w.bytes,
+                                w.arrays.len()
+                            ),
+                        );
+                    }
+                }
+            }
+            if !out_of_range.is_empty() {
+                let list = fmt_arrays(&out_of_range);
+                report.push(
+                    rules::CAPACITY_ARRAYS,
+                    Some(block.stmt),
+                    None,
+                    out_of_range,
+                    format!("segment {si} references arrays beyond the chip: {list}"),
+                );
+            }
+            if distinct.len() != used {
+                report.push(
+                    rules::CAPACITY_CLAIM_MISMATCH,
+                    Some(block.stmt),
+                    None,
+                    Vec::new(),
+                    format!(
+                        "segment {si} touches {} distinct arrays but its allocation \
+                         claims {used}",
+                        distinct.len()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 3: dependence soundness.
+// ---------------------------------------------------------------------
+
+/// Checks that `op_deps` is acyclic, respects flow order, and covers
+/// every dependence implied by shared buffer arrays or planned reuse —
+/// the edges the event engine trusts when overlapping segments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DependenceLint;
+
+impl Lint for DependenceLint {
+    fn id(&self) -> &'static str {
+        "dependence"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &[rules::DEP_ORDER, rules::DEP_CYCLE, rules::DEP_MISSING]
+    }
+
+    fn check(&self, cx: &VerifyCx<'_>, report: &mut VerifyReport) {
+        let program = cx.program;
+        let n = program.ops.len();
+        let mut valid_edges: Vec<(usize, usize)> = Vec::new();
+        for (i, &(p, c)) in program.op_deps.iter().enumerate() {
+            if p >= n || c >= n {
+                report.push(
+                    rules::DEP_ORDER,
+                    None,
+                    None,
+                    Vec::new(),
+                    format!("op_deps[{i}] = ({p}, {c}) indexes past the {n} ops"),
+                );
+                continue;
+            }
+            if p >= c {
+                report.push(
+                    rules::DEP_ORDER,
+                    None,
+                    Some(p),
+                    Vec::new(),
+                    format!(
+                        "op_deps[{i}] = ({p}, {c}) runs backwards: {} is scheduled \
+                         at or after {}",
+                        program.ops[p].name, program.ops[c].name
+                    ),
+                );
+            }
+            valid_edges.push((p, c));
+        }
+
+        // Kahn's algorithm over the in-range edges: leftovers sit on a
+        // cycle. (Backwards edges are still counted here so a genuine
+        // cycle is reported as such, not only as order violations.)
+        let mut indegree = vec![0usize; n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(p, c) in &valid_edges {
+            indegree[c] += 1;
+            succs[p].push(c);
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for &c in &succs[i] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if visited < n {
+            let stuck: Vec<usize> =
+                (0..n).filter(|&i| indegree[i] > 0).take(8).collect();
+            report.push(
+                rules::DEP_CYCLE,
+                None,
+                stuck.first().copied(),
+                Vec::new(),
+                format!("op_deps contains a cycle through ops {stuck:?}"),
+            );
+        }
+
+        // Coverage: every dependence the program implies must have an
+        // edge, else the engine may overlap dependent segments.
+        let have: HashSet<(usize, usize)> = program.op_deps.iter().copied().collect();
+        let mut required: Vec<(usize, usize, String)> = Vec::new();
+        // (a) Planned Eq. 6 reuse, mapped to global op indices.
+        for plan in &program.segments {
+            let width = plan.range.1.saturating_sub(plan.range.0);
+            for &((lp, lc), r) in &plan.alloc.reuse {
+                if r == 0 || lp > width || lc > width {
+                    continue;
+                }
+                required.push((
+                    plan.range.0 + lp,
+                    plan.range.0 + lc,
+                    "planned buffer reuse".into(),
+                ));
+            }
+        }
+        // (b) Shared buffer arrays between computes of one block
+        // (producer's mem_out feeding a later op's mem_in).
+        let blocks = segment_blocks(&program.flow);
+        if blocks.len() == program.segments.len() {
+            for (plan, block) in program.segments.iter().zip(&blocks) {
+                let computes = block_computes(block);
+                if computes.len() != plan.range.1 - plan.range.0 + 1 {
+                    continue; // plan-ops reports the mismatch
+                }
+                for (i, prod) in computes.iter().enumerate() {
+                    let outs: HashSet<ArrayId> =
+                        prod.mem_out_arrays.iter().copied().collect();
+                    if outs.is_empty() {
+                        continue;
+                    }
+                    for (j, cons) in computes.iter().enumerate().skip(i + 1) {
+                        if cons.mem_in_arrays.iter().any(|a| outs.contains(a)) {
+                            required.push((
+                                plan.range.0 + i,
+                                plan.range.0 + j,
+                                "shared buffer arrays in the flow".into(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        let mut reported: HashSet<(usize, usize)> = HashSet::new();
+        for (p, c, why) in required {
+            if !have.contains(&(p, c)) && reported.insert((p, c)) {
+                let name = |i: usize| {
+                    program.ops.get(i).map_or_else(|| format!("op {i}"), |o| o.name.clone())
+                };
+                report.push(
+                    rules::DEP_MISSING,
+                    None,
+                    Some(p),
+                    Vec::new(),
+                    format!(
+                        "{} -> {} is a real dependence ({why}) but op_deps has no edge",
+                        name(p),
+                        name(c)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 4: parallel-block races.
+// ---------------------------------------------------------------------
+
+/// Reports **every** conflicting array claim inside each `parallel`
+/// segment — the same Eq. 6 legality `metaop::validate` enforces
+/// first-error-only — plus illegal nesting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelRaceLint;
+
+#[derive(Default)]
+struct BlockClaims {
+    compute: HashMap<ArrayId, Vec<String>>,
+    mem_in: HashMap<ArrayId, Vec<String>>,
+    mem_out: HashMap<ArrayId, Vec<String>>,
+}
+
+fn claim(map: &mut HashMap<ArrayId, Vec<String>>, a: ArrayId, op: &str) {
+    let ops = map.entry(a).or_default();
+    if !ops.iter().any(|o| o == op) {
+        ops.push(op.to_string());
+    }
+}
+
+impl Lint for ParallelRaceLint {
+    fn id(&self) -> &'static str {
+        "parallel-race"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &[rules::RACE_CONFLICT, rules::RACE_NESTED]
+    }
+
+    fn check(&self, cx: &VerifyCx<'_>, report: &mut VerifyReport) {
+        let mut claims: Option<BlockClaims> = None;
+        let _: Result<(), std::convert::Infallible> =
+            walk_flow(&cx.program.flow, |event| {
+                match event {
+                    FlowEvent::EnterParallel { .. } => claims = Some(BlockClaims::default()),
+                    FlowEvent::ExitParallel { stmt } => {
+                        if let Some(c) = claims.take() {
+                            Self::report_conflicts(&c, stmt, report);
+                        }
+                    }
+                    FlowEvent::Stmt { pos, stmt } => {
+                        if matches!(stmt, Stmt::Parallel(_)) {
+                            report.push(
+                                rules::RACE_NESTED,
+                                Some(pos.stmt),
+                                None,
+                                Vec::new(),
+                                "parallel block nested inside another parallel block",
+                            );
+                            return Ok(());
+                        }
+                        let (Some(claims), Stmt::Compute(c)) = (claims.as_mut(), stmt)
+                        else {
+                            return Ok(());
+                        };
+                        for &a in &c.compute_arrays {
+                            claim(&mut claims.compute, a, &c.op);
+                        }
+                        for &a in &c.mem_in_arrays {
+                            claim(&mut claims.mem_in, a, &c.op);
+                        }
+                        for &a in &c.mem_out_arrays {
+                            claim(&mut claims.mem_out, a, &c.op);
+                        }
+                    }
+                }
+                Ok(())
+            });
+    }
+}
+
+impl ParallelRaceLint {
+    fn report_conflicts(claims: &BlockClaims, stmt: usize, report: &mut VerifyReport) {
+        let mut arrays: Vec<ArrayId> = claims
+            .compute
+            .keys()
+            .chain(claims.mem_in.keys())
+            .chain(claims.mem_out.keys())
+            .copied()
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        arrays.sort_by_key(|a| a.0);
+        for a in arrays {
+            let comp = claims.compute.get(&a);
+            let ins = claims.mem_in.get(&a);
+            let outs = claims.mem_out.get(&a);
+            let conflict = match (comp, ins, outs) {
+                // Two operators computing on one array.
+                (Some(c), _, _) if c.len() > 1 => {
+                    Some(format!("computed on by {}", c.join(" and ")))
+                }
+                // Compute and buffer roles on one array — conflicting
+                // even within one operator.
+                (Some(c), Some(_), _) | (Some(c), _, Some(_)) => Some(format!(
+                    "both compute ({}) and buffer in one segment",
+                    c.join(", ")
+                )),
+                // Two operators' input buffers on one array.
+                (_, Some(i), _) if i.len() > 1 => {
+                    Some(format!("input buffer of {}", i.join(" and ")))
+                }
+                // Two operators' output buffers on one array. A single
+                // out + single in pair is the legal Eq. 6 reuse.
+                (_, _, Some(o)) if o.len() > 1 => {
+                    Some(format!("output buffer of {}", o.join(" and ")))
+                }
+                _ => None,
+            };
+            if let Some(why) = conflict {
+                report.push(
+                    rules::RACE_CONFLICT,
+                    Some(stmt),
+                    None,
+                    vec![a],
+                    format!("array a{} is {why}", a.0),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 5: flow/plan consistency.
+// ---------------------------------------------------------------------
+
+/// Checks that the emitted statements account for exactly the ops,
+/// tiles and weight loads the segment plans promise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowPlanLint;
+
+impl Lint for FlowPlanLint {
+    fn id(&self) -> &'static str {
+        "flow-plan"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &[
+            rules::PLAN_SEGMENTS,
+            rules::PLAN_OPS,
+            rules::PLAN_ALLOC_COUNTS,
+            rules::PLAN_WEIGHT_LOADS,
+        ]
+    }
+
+    fn check(&self, cx: &VerifyCx<'_>, report: &mut VerifyReport) {
+        let program = cx.program;
+        let blocks = segment_blocks(&program.flow);
+        if blocks.len() != program.segments.len() {
+            report.push(
+                rules::PLAN_SEGMENTS,
+                None,
+                None,
+                Vec::new(),
+                format!(
+                    "flow has {} segments but the plan promises {}",
+                    blocks.len(),
+                    program.segments.len()
+                ),
+            );
+            return;
+        }
+        // The plans must tile 0..ops contiguously.
+        let mut expected_start = 0usize;
+        let mut ranges_ok = true;
+        for (si, plan) in program.segments.iter().enumerate() {
+            let (lo, hi) = plan.range;
+            if lo != expected_start || hi < lo || hi >= program.ops.len() {
+                report.push(
+                    rules::PLAN_SEGMENTS,
+                    None,
+                    None,
+                    Vec::new(),
+                    format!(
+                        "segment {si} covers ops {lo}..={hi}, expected to start at \
+                         {expected_start} within {} ops",
+                        program.ops.len()
+                    ),
+                );
+                ranges_ok = false;
+                break;
+            }
+            if plan.alloc.ops.len() != hi - lo + 1 {
+                report.push(
+                    rules::PLAN_SEGMENTS,
+                    None,
+                    None,
+                    Vec::new(),
+                    format!(
+                        "segment {si} allocates {} ops for range {lo}..={hi}",
+                        plan.alloc.ops.len()
+                    ),
+                );
+                ranges_ok = false;
+            }
+            expected_start = hi + 1;
+        }
+        if ranges_ok && expected_start != program.ops.len() {
+            report.push(
+                rules::PLAN_SEGMENTS,
+                None,
+                None,
+                Vec::new(),
+                format!(
+                    "segments cover ops 0..{expected_start} but the program has {}",
+                    program.ops.len()
+                ),
+            );
+            ranges_ok = false;
+        }
+        if !ranges_ok {
+            return;
+        }
+
+        for (si, (plan, block)) in program.segments.iter().zip(&blocks).enumerate() {
+            Self::check_segment(cx, si, plan, block, report);
+        }
+    }
+}
+
+impl FlowPlanLint {
+    fn check_segment(
+        cx: &VerifyCx<'_>,
+        si: usize,
+        plan: &SegmentPlan,
+        block: &SegmentBlock<'_>,
+        report: &mut VerifyReport,
+    ) {
+        let program = cx.program;
+        let (lo, hi) = plan.range;
+        let computes = block_computes(block);
+        if computes.len() != hi - lo + 1 {
+            report.push(
+                rules::PLAN_OPS,
+                Some(block.stmt),
+                None,
+                Vec::new(),
+                format!(
+                    "segment {si} emits {} compute statements for {} planned ops",
+                    computes.len(),
+                    hi - lo + 1
+                ),
+            );
+            return;
+        }
+        for (oi, c) in computes.iter().enumerate() {
+            let gi = lo + oi;
+            let op = &program.ops[gi];
+            if c.op != op.name
+                || (c.m, c.k, c.n, c.units) != (op.m, op.k, op.n, op.units)
+            {
+                report.push(
+                    rules::PLAN_OPS,
+                    Some(block.stmt),
+                    Some(gi),
+                    Vec::new(),
+                    format!(
+                        "segment {si} emits {} {}x{}x{}x{} where the plan schedules \
+                         {} {}x{}x{}x{}",
+                        c.op, c.units, c.m, c.k, c.n, op.name, op.units, op.m, op.k, op.n
+                    ),
+                );
+            }
+            let a = &plan.alloc.ops[oi];
+            let emitted = (
+                c.compute_arrays.len(),
+                c.mem_in_arrays.len(),
+                c.mem_out_arrays.len(),
+            );
+            if emitted != (a.compute, a.mem_in, a.mem_out) {
+                report.push(
+                    rules::PLAN_ALLOC_COUNTS,
+                    Some(block.stmt),
+                    Some(gi),
+                    Vec::new(),
+                    format!(
+                        "{} emits {}/{}/{} compute/in/out arrays, allocation grants \
+                         {}/{}/{}",
+                        op.name, emitted.0, emitted.1, emitted.2, a.compute, a.mem_in,
+                        a.mem_out
+                    ),
+                );
+            }
+        }
+        // Weight loads: exactly one per static op with compute arrays,
+        // targeting exactly that op's compute arrays, sized to them.
+        let mut loads: HashMap<&str, Vec<&cmswitch_metaop::WeightLoadStmt>> =
+            HashMap::new();
+        for s in block.body {
+            if let Stmt::LoadWeights(w) = s {
+                loads.entry(w.op.as_str()).or_default().push(w);
+            }
+        }
+        for (oi, c) in computes.iter().enumerate() {
+            let gi = lo + oi;
+            let op = &program.ops[gi];
+            let seen = loads.remove(op.name.as_str()).unwrap_or_default();
+            let wants_load = op.weight_static && !c.compute_arrays.is_empty();
+            if !wants_load {
+                if !seen.is_empty() {
+                    report.push(
+                        rules::PLAN_WEIGHT_LOADS,
+                        Some(block.stmt),
+                        Some(gi),
+                        Vec::new(),
+                        format!("{} needs no weight load but the segment emits one", op.name),
+                    );
+                }
+                continue;
+            }
+            match seen.as_slice() {
+                [] => report.push(
+                    rules::PLAN_WEIGHT_LOADS,
+                    Some(block.stmt),
+                    Some(gi),
+                    c.compute_arrays.clone(),
+                    format!("{} has static weights but segment {si} loads none", op.name),
+                ),
+                [w] => {
+                    if w.arrays != c.compute_arrays {
+                        report.push(
+                            rules::PLAN_WEIGHT_LOADS,
+                            Some(block.stmt),
+                            Some(gi),
+                            w.arrays.clone(),
+                            format!(
+                                "weight load for {} targets [{}], its compute arrays \
+                                 are [{}]",
+                                op.name,
+                                fmt_arrays(&w.arrays),
+                                fmt_arrays(&c.compute_arrays)
+                            ),
+                        );
+                    } else if w.bytes != w.arrays.len() as u64 * cx.arch.array_bytes() {
+                        report.push(
+                            rules::PLAN_WEIGHT_LOADS,
+                            Some(block.stmt),
+                            Some(gi),
+                            w.arrays.clone(),
+                            format!(
+                                "weight load for {} writes {} bytes into {} arrays of \
+                                 {} bytes each",
+                                op.name,
+                                w.bytes,
+                                w.arrays.len(),
+                                cx.arch.array_bytes()
+                            ),
+                        );
+                    }
+                }
+                many => report.push(
+                    rules::PLAN_WEIGHT_LOADS,
+                    Some(block.stmt),
+                    Some(gi),
+                    Vec::new(),
+                    format!("{} is loaded {} times in segment {si}", op.name, many.len()),
+                ),
+            }
+        }
+        // Loads naming ops outside this segment.
+        let mut stray: Vec<&str> = loads.keys().copied().collect();
+        stray.sort_unstable();
+        for name in stray {
+            report.push(
+                rules::PLAN_WEIGHT_LOADS,
+                Some(block.stmt),
+                None,
+                Vec::new(),
+                format!("segment {si} loads weights for {name}, which it does not run"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The verifier.
+// ---------------------------------------------------------------------
+
+/// Runs a set of [`Lint`]s over a compiled program.
+pub struct Verifier {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Verifier {
+    /// A verifier with the five built-in analyses.
+    pub fn new() -> Self {
+        Verifier {
+            lints: vec![
+                Box::new(ModeIntervalLint),
+                Box::new(CapacityLint),
+                Box::new(DependenceLint),
+                Box::new(ParallelRaceLint),
+                Box::new(FlowPlanLint),
+            ],
+        }
+    }
+
+    /// A verifier with no lints; add them with [`Verifier::with_lint`].
+    pub fn empty() -> Self {
+        Verifier { lints: Vec::new() }
+    }
+
+    /// Adds a lint (builder style).
+    #[must_use]
+    pub fn with_lint(mut self, lint: Box<dyn Lint>) -> Self {
+        self.lints.push(lint);
+        self
+    }
+
+    /// The ids of the registered lints, in run order.
+    pub fn lint_ids(&self) -> Vec<&'static str> {
+        self.lints.iter().map(|l| l.id()).collect()
+    }
+
+    /// Every rule id the registered lints can emit, in run order.
+    pub fn rule_ids(&self) -> Vec<&'static str> {
+        self.lints.iter().flat_map(|l| l.rules().iter().copied()).collect()
+    }
+
+    /// Runs every lint over `program` as compiled for `arch`.
+    pub fn run(&self, program: &CompiledProgram, arch: &DualModeArch) -> VerifyReport {
+        let cx = VerifyCx { program, arch };
+        let mut report = VerifyReport::new();
+        for lint in &self.lints {
+            lint.check(&cx, &mut report);
+        }
+        report
+    }
+}
+
+impl fmt::Debug for Verifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Verifier").field("lints", &self.lint_ids()).finish()
+    }
+}
+
+impl Session {
+    /// Statically verifies a compiled outcome with the default lint set,
+    /// next to `simulate` from `cmswitch-sim`. Returns the full report;
+    /// check [`VerifyReport::is_clean`] for pass/fail.
+    pub fn verify(&self, outcome: &CompileOutcome) -> VerifyReport {
+        Verifier::new().run(&outcome.program, self.arch())
+    }
+}
+
+/// The opt-in verification stage: runs the default [`Verifier`] after
+/// emission, records a [`DiagnosticEvent::Verified`], and fails the
+/// compile with [`CompileError::VerifyRejected`] on any `Deny` finding.
+///
+/// Enabled via
+/// [`CompilerOptions::with_verify`](crate::CompilerOptions::with_verify);
+/// [`crate::compile_with_segmenter`] appends it for every backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyStage;
+
+impl Stage<CompiledProgram> for VerifyStage {
+    type Output = CompiledProgram;
+
+    fn name(&self) -> &'static str {
+        "verify"
+    }
+
+    fn run(
+        &self,
+        cx: &mut PipelineCx<'_>,
+        input: CompiledProgram,
+    ) -> Result<CompiledProgram, CompileError> {
+        let report = Verifier::new().run(&input, cx.arch());
+        cx.emit(DiagnosticEvent::Verified {
+            deny: report.deny_count() as u64,
+            warn: report.warn_count() as u64,
+        });
+        if report.is_clean() {
+            Ok(input)
+        } else {
+            Err(CompileError::VerifyRejected(Box::new(report)))
+        }
+    }
+}
+
+pub mod mutate {
+    //! Defect injection for mutation-kill testing of the verifier.
+    //!
+    //! Each [`Mutation`] plants one defect class into a valid
+    //! [`CompiledProgram`]; [`Mutation::expected_rule`] names the lint
+    //! rule that must fire on the mutant. A mutation returns `None` when
+    //! the program has no site to mutate (e.g. no planned reuse to drop
+    //! an edge for) — callers skip those, and the kill suite asserts
+    //! every *applicable* mutant is detected.
+
+    use cmswitch_arch::ArrayId;
+    use cmswitch_metaop::{Flow, Stmt, SwitchKind};
+
+    use super::rules;
+    use crate::compiler::CompiledProgram;
+
+    /// One injectable defect class.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Mutation {
+        /// Remove the first `CM.switch`: its arrays are then used in the
+        /// wrong mode.
+        DropSwitch,
+        /// Remove the first weight load: its op computes on unloaded
+        /// arrays.
+        DropWeightLoad,
+        /// Duplicate the first weight load: the first copy is dead.
+        DuplicateWeightLoad,
+        /// Prepend a `TOM` switch of array 0, which starts in memory
+        /// mode already.
+        InsertRedundantSwitch,
+        /// Remove the first compute statement of the first segment: the
+        /// flow no longer accounts for the planned ops.
+        DropComputeStmt,
+        /// Make a compute statement claim one of its own compute arrays
+        /// as an input buffer too.
+        DuplicateClaim,
+        /// Inflate a planned compute allocation far past any chip.
+        OversubscribeAlloc,
+        /// Reverse the first `op_deps` edge.
+        FlipDepEdge,
+        /// Append the reverse of the first `op_deps` edge, closing a
+        /// two-op cycle.
+        AddDepCycle,
+        /// Remove the `op_deps` edge backing the first planned buffer
+        /// reuse: a real dependence loses its edge.
+        DropReuseDepEdge,
+    }
+
+    /// Every mutation operator, for exhaustive kill suites.
+    pub const ALL: [Mutation; 10] = [
+        Mutation::DropSwitch,
+        Mutation::DropWeightLoad,
+        Mutation::DuplicateWeightLoad,
+        Mutation::InsertRedundantSwitch,
+        Mutation::DropComputeStmt,
+        Mutation::DuplicateClaim,
+        Mutation::OversubscribeAlloc,
+        Mutation::FlipDepEdge,
+        Mutation::AddDepCycle,
+        Mutation::DropReuseDepEdge,
+    ];
+
+    impl Mutation {
+        /// Stable operator name for reports.
+        pub fn name(self) -> &'static str {
+            match self {
+                Mutation::DropSwitch => "drop-switch",
+                Mutation::DropWeightLoad => "drop-weight-load",
+                Mutation::DuplicateWeightLoad => "duplicate-weight-load",
+                Mutation::InsertRedundantSwitch => "insert-redundant-switch",
+                Mutation::DropComputeStmt => "drop-compute-stmt",
+                Mutation::DuplicateClaim => "duplicate-claim",
+                Mutation::OversubscribeAlloc => "oversubscribe-alloc",
+                Mutation::FlipDepEdge => "flip-dep-edge",
+                Mutation::AddDepCycle => "add-dep-cycle",
+                Mutation::DropReuseDepEdge => "drop-reuse-dep-edge",
+            }
+        }
+
+        /// The rule id that must fire on the mutant (other rules may
+        /// fire too).
+        pub fn expected_rule(self) -> &'static str {
+            match self {
+                Mutation::DropSwitch => rules::MODE_DISCIPLINE,
+                Mutation::DropWeightLoad => rules::USE_BEFORE_LOAD,
+                Mutation::DuplicateWeightLoad => rules::DEAD_WEIGHT_LOAD,
+                Mutation::InsertRedundantSwitch => rules::REDUNDANT_SWITCH,
+                Mutation::DropComputeStmt => rules::PLAN_OPS,
+                Mutation::DuplicateClaim => rules::RACE_CONFLICT,
+                Mutation::OversubscribeAlloc => rules::CAPACITY_ARRAYS,
+                Mutation::FlipDepEdge => rules::DEP_ORDER,
+                Mutation::AddDepCycle => rules::DEP_CYCLE,
+                Mutation::DropReuseDepEdge => rules::DEP_MISSING,
+            }
+        }
+
+        /// Applies the mutation to a copy of `program`, or `None` when
+        /// the program offers no site for this defect class.
+        pub fn apply(self, program: &CompiledProgram) -> Option<CompiledProgram> {
+            match self {
+                Mutation::DropSwitch => mutate_stmts(program, |stmts| {
+                    let i = stmts.iter().position(|s| matches!(s, Stmt::Switch { .. }))?;
+                    stmts.remove(i);
+                    Some(())
+                }),
+                Mutation::DropWeightLoad => mutate_first_block(program, |body| {
+                    let i =
+                        body.iter().position(|s| matches!(s, Stmt::LoadWeights(_)))?;
+                    body.remove(i);
+                    Some(())
+                }),
+                Mutation::DuplicateWeightLoad => mutate_first_block(program, |body| {
+                    let i =
+                        body.iter().position(|s| matches!(s, Stmt::LoadWeights(_)))?;
+                    let dup = body[i].clone();
+                    body.insert(i, dup);
+                    Some(())
+                }),
+                Mutation::InsertRedundantSwitch => mutate_stmts(program, |stmts| {
+                    stmts.insert(
+                        0,
+                        Stmt::switch(SwitchKind::ToMemory, vec![ArrayId(0)]),
+                    );
+                    Some(())
+                }),
+                Mutation::DropComputeStmt => mutate_first_block(program, |body| {
+                    let i = body.iter().position(|s| matches!(s, Stmt::Compute(_)))?;
+                    body.remove(i);
+                    Some(())
+                }),
+                Mutation::DuplicateClaim => mutate_first_block(program, |body| {
+                    let c = body.iter_mut().find_map(|s| match s {
+                        Stmt::Compute(c) if !c.compute_arrays.is_empty() => Some(c),
+                        _ => None,
+                    })?;
+                    let stolen = c.compute_arrays[0];
+                    c.mem_in_arrays.push(stolen);
+                    Some(())
+                }),
+                Mutation::OversubscribeAlloc => {
+                    let mut out = program.clone();
+                    let op = out
+                        .segments
+                        .first_mut()
+                        .and_then(|s| s.alloc.ops.first_mut())?;
+                    op.compute += 1_000_000;
+                    Some(out)
+                }
+                Mutation::FlipDepEdge => {
+                    let mut out = program.clone();
+                    let &(p, c) = out.op_deps.first()?;
+                    out.op_deps[0] = (c, p);
+                    Some(out)
+                }
+                Mutation::AddDepCycle => {
+                    let mut out = program.clone();
+                    let &(p, c) = out.op_deps.first()?;
+                    out.op_deps.push((c, p));
+                    Some(out)
+                }
+                Mutation::DropReuseDepEdge => {
+                    let mut out = program.clone();
+                    let edge = out.segments.iter().find_map(|seg| {
+                        seg.alloc.reuse.iter().find_map(|&((lp, lc), r)| {
+                            (r > 0).then(|| (seg.range.0 + lp, seg.range.0 + lc))
+                        })
+                    })?;
+                    let i = out.op_deps.iter().position(|&e| e == edge)?;
+                    out.op_deps.remove(i);
+                    Some(out)
+                }
+            }
+        }
+    }
+
+    /// Clones the program, hands the top-level statement list to `f`,
+    /// and rebuilds the flow. `None` from `f` means no mutation site.
+    fn mutate_stmts(
+        program: &CompiledProgram,
+        f: impl FnOnce(&mut Vec<Stmt>) -> Option<()>,
+    ) -> Option<CompiledProgram> {
+        let mut stmts: Vec<Stmt> = program.flow.stmts().to_vec();
+        f(&mut stmts)?;
+        let mut flow = Flow::new(program.flow.name());
+        for s in stmts {
+            flow.push(s);
+        }
+        Some(CompiledProgram {
+            flow,
+            ..program.clone()
+        })
+    }
+
+    /// Like [`mutate_stmts`], but `f` edits the body of the first
+    /// `parallel` block.
+    fn mutate_first_block(
+        program: &CompiledProgram,
+        f: impl FnOnce(&mut Vec<Stmt>) -> Option<()>,
+    ) -> Option<CompiledProgram> {
+        mutate_stmts(program, |stmts| {
+            let body = stmts.iter_mut().find_map(|s| match s {
+                Stmt::Parallel(body) => Some(body),
+                _ => None,
+            })?;
+            f(body)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::CompileRequest;
+    use cmswitch_arch::presets;
+
+    fn compile_mlp() -> (CompiledProgram, DualModeArch) {
+        let arch = presets::tiny();
+        let graph = cmswitch_models::mlp::mlp(2, &[256, 256, 256, 64]).unwrap();
+        let program = Session::builder(arch.clone())
+            .build()
+            .compile_graph(&graph)
+            .unwrap();
+        (program, arch)
+    }
+
+    #[test]
+    fn clean_program_verifies_clean() {
+        let (program, arch) = compile_mlp();
+        let report = Verifier::new().run(&program, &arch);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.warn_count(), 0, "{report}");
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn verifier_lists_its_lints_and_rules() {
+        let v = Verifier::new();
+        assert_eq!(
+            v.lint_ids(),
+            ["mode-interval", "capacity", "dependence", "parallel-race", "flow-plan"]
+        );
+        let rule_ids = v.rule_ids();
+        assert_eq!(rule_ids.len(), 17);
+        for rule in &rule_ids {
+            // Severity policy covers every advertised rule.
+            let _ = rules::severity(rule);
+        }
+        assert!(Verifier::empty().lint_ids().is_empty());
+    }
+
+    #[test]
+    fn session_verify_runs_next_to_simulate() {
+        let arch = presets::tiny();
+        let graph = cmswitch_models::mlp::mlp(1, &[128, 128, 64]).unwrap();
+        let session = Session::builder(arch).build();
+        let outcome = session.compile(CompileRequest::new(graph)).unwrap();
+        let report = session.verify(&outcome);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn verify_stage_accepts_clean_and_emits_event() {
+        let arch = presets::tiny();
+        let graph = cmswitch_models::mlp::mlp(1, &[128, 128, 64]).unwrap();
+        let session = Session::builder(arch)
+            .options(crate::CompilerOptions::default().with_verify(true))
+            .build();
+        let outcome = session.compile(CompileRequest::new(graph)).unwrap();
+        assert_eq!(outcome.diagnostics.verified_counts(), Some((0, 0)));
+        let names: Vec<_> = outcome
+            .program
+            .stats
+            .stage_wall
+            .iter()
+            .map(|t| t.stage)
+            .collect();
+        assert_eq!(names, ["lower", "partition", "segment", "emit", "verify"]);
+    }
+
+    #[test]
+    fn verify_stage_rejects_mutants() {
+        let (program, arch) = compile_mlp();
+        let mutant = mutate::Mutation::FlipDepEdge.apply(&program).unwrap();
+        let opts = crate::CompilerOptions::default().with_verify(true);
+        let mut cx = PipelineCx::new(&arch, &opts);
+        match cx.run(&VerifyStage, mutant) {
+            Err(CompileError::VerifyRejected(report)) => {
+                assert!(report.has_rule(rules::DEP_ORDER), "{report}");
+                assert!(!report.is_clean());
+            }
+            other => panic!("expected VerifyRejected, got {other:?}"),
+        }
+        assert!(cx
+            .diagnostics()
+            .events()
+            .iter()
+            .any(|e| matches!(e, DiagnosticEvent::Verified { deny, .. } if *deny > 0)));
+    }
+
+    #[test]
+    fn every_mutation_is_killed_by_its_rule() {
+        let (program, arch) = compile_mlp();
+        let verifier = Verifier::new();
+        assert!(verifier.run(&program, &arch).is_empty());
+        let mut applied = 0usize;
+        for m in mutate::ALL {
+            let Some(mutant) = m.apply(&program) else { continue };
+            applied += 1;
+            let report = verifier.run(&mutant, &arch);
+            assert!(
+                report.has_rule(m.expected_rule()),
+                "{} survived; expected {}, fired {:?}\n{report}",
+                m.name(),
+                m.expected_rule(),
+                report.fired_rules()
+            );
+        }
+        assert!(applied >= 8, "only {applied} mutations applicable to the mlp");
+    }
+
+    #[test]
+    fn report_display_and_accessors() {
+        let mut report = VerifyReport::new();
+        assert!(report.is_clean() && report.is_empty());
+        report.push(rules::DEP_MISSING, None, Some(3), Vec::new(), "edge gone");
+        report.push(
+            rules::REDUNDANT_SWITCH,
+            Some(7),
+            None,
+            vec![ArrayId(1)],
+            "double switch",
+        );
+        assert_eq!(report.deny_count(), 1);
+        assert_eq!(report.warn_count(), 1);
+        assert!(!report.is_clean());
+        assert!(report.has_rule(rules::DEP_MISSING));
+        assert!(!report.has_rule(rules::DEP_CYCLE));
+        assert_eq!(
+            report.fired_rules(),
+            [rules::DEP_MISSING, rules::REDUNDANT_SWITCH]
+        );
+        let text = report.to_string();
+        assert!(text.contains("[deny] dep-missing"), "{text}");
+        assert!(text.contains("(stmt 7)"), "{text}");
+        assert!(text.contains("1 deny, 1 warn"), "{text}");
+    }
+}

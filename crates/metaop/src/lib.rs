@@ -27,6 +27,8 @@
 //! assert_eq!(flow.stats().arrays_switched_to(ArrayMode::Compute), 2);
 //! ```
 
+#![warn(clippy::needless_pass_by_value, clippy::redundant_clone)]
+
 mod error;
 mod flow;
 mod op;
@@ -34,6 +36,7 @@ pub mod optimize;
 mod parser;
 mod printer;
 mod validate;
+pub mod walk;
 
 pub use error::MetaOpError;
 pub use flow::{Flow, FlowStats};
@@ -42,3 +45,4 @@ pub use optimize::{optimize, OptimizeStats};
 pub use parser::parse;
 pub use printer::print_flow;
 pub use validate::validate;
+pub use walk::{walk_flow, FlowEvent, StmtPos};

@@ -143,8 +143,12 @@ impl Stmt {
         Stmt::Switch { kind, arrays }
     }
 
-    /// Arrays referenced by this statement (without recursing into
-    /// parallel blocks).
+    /// Arrays referenced by this statement *itself*.
+    ///
+    /// Deliberately returns nothing for `Parallel` blocks so that a
+    /// caller iterating a block's body and its container does not count
+    /// the same arrays twice; use [`Stmt::arrays_recursive`] when the
+    /// whole subtree's footprint is wanted.
     pub fn arrays(&self) -> Vec<ArrayId> {
         match self {
             Stmt::Switch { arrays, .. } => arrays.clone(),
@@ -161,6 +165,25 @@ impl Stmt {
             },
             Stmt::Vector(_) => Vec::new(),
             Stmt::Parallel(_) => Vec::new(),
+        }
+    }
+
+    /// Arrays referenced by this statement and, for `Parallel` blocks,
+    /// every statement in the subtree.
+    ///
+    /// Duplicates are preserved: an array claimed by two statements of a
+    /// block appears twice, so callers can both count distinct arrays
+    /// (`collect::<HashSet<_>>`) and detect double-claims.
+    pub fn arrays_recursive(&self) -> Vec<ArrayId> {
+        match self {
+            Stmt::Parallel(body) => {
+                let mut all = Vec::new();
+                for s in body {
+                    all.extend(s.arrays_recursive());
+                }
+                all
+            }
+            other => other.arrays(),
         }
     }
 }
@@ -194,6 +217,25 @@ mod tests {
         };
         let arrays = Stmt::Compute(c).arrays();
         assert_eq!(arrays, vec![ArrayId(0), ArrayId(1), ArrayId(2)]);
+    }
+
+    #[test]
+    fn parallel_arrays_require_recursion() {
+        let block = Stmt::Parallel(vec![
+            Stmt::switch(SwitchKind::ToCompute, vec![ArrayId(3)]),
+            Stmt::LoadWeights(WeightLoadStmt {
+                op: "fc".into(),
+                arrays: vec![ArrayId(3), ArrayId(4)],
+                bytes: 8,
+            }),
+        ]);
+        // Non-recursive: a block claims nothing itself.
+        assert!(block.arrays().is_empty());
+        // Recursive: the subtree's full footprint, duplicates kept.
+        assert_eq!(
+            block.arrays_recursive(),
+            vec![ArrayId(3), ArrayId(3), ArrayId(4)]
+        );
     }
 
     #[test]

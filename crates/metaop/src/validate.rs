@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 use cmswitch_arch::{ArrayId, ArrayMode};
 
+use crate::walk::{walk_flow, FlowEvent};
 use crate::{Flow, MemLoc, MetaOpError, Stmt};
 
 #[derive(Debug, Default)]
@@ -28,32 +29,35 @@ struct SegmentClaims {
 
 /// Validates a flow.
 ///
+/// A thin first-error wrapper over [`walk_flow`]: the shared walker
+/// delivers statements in program order and this visitor stops at the
+/// first violation. The collect-everything verifier in `cmswitch-core`
+/// rides the same walker but never stops.
+///
 /// # Errors
 ///
 /// Returns the first [`MetaOpError`] violation found.
 pub fn validate(flow: &Flow) -> Result<(), MetaOpError> {
     // All arrays start in memory mode.
     let mut modes: HashMap<ArrayId, ArrayMode> = HashMap::new();
-    let mode_of = |modes: &HashMap<ArrayId, ArrayMode>, a: ArrayId| {
-        *modes.get(&a).unwrap_or(&ArrayMode::Memory)
-    };
+    let mut claims: Option<SegmentClaims> = None;
 
-    for (idx, stmt) in flow.stmts().iter().enumerate() {
-        match stmt {
-            Stmt::Parallel(inner) => {
-                let mut claims = SegmentClaims::default();
-                for s in inner {
-                    if matches!(s, Stmt::Parallel(_)) {
-                        return Err(MetaOpError::NestedParallel { stmt: idx });
-                    }
-                    check_stmt(s, idx, &mut modes, Some(&mut claims))?;
-                }
-            }
-            s => check_stmt(s, idx, &mut modes, None)?,
+    walk_flow(flow, |event| match event {
+        FlowEvent::EnterParallel { .. } => {
+            claims = Some(SegmentClaims::default());
+            Ok(())
         }
-    }
-    let _ = mode_of;
-    Ok(())
+        FlowEvent::ExitParallel { .. } => {
+            claims = None;
+            Ok(())
+        }
+        FlowEvent::Stmt { pos, stmt } => {
+            if matches!(stmt, Stmt::Parallel(_)) {
+                return Err(MetaOpError::NestedParallel { stmt: pos.stmt });
+            }
+            check_stmt(stmt, pos.stmt, &mut modes, claims.as_mut())
+        }
+    })
 }
 
 fn check_stmt(

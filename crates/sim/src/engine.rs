@@ -205,6 +205,11 @@ impl EventEngine {
     /// [`EventEngine::simulate`] if the flow's segment count does not
     /// match the plan.
     ///
+    /// The engine *trusts* `op_deps`: a missing edge silently legalizes
+    /// an overlap that reads data before it exists. The `dep-missing`
+    /// lint of `cmswitch-core`'s `verify` module statically checks that
+    /// every shared-buffer and planned-reuse dependence has its edge.
+    ///
     /// # Errors
     ///
     /// Returns [`MetaOpError`] if the emitted flow violates mode

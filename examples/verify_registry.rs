@@ -1,0 +1,68 @@
+//! Static verification sweep: every registry model, every backend.
+//!
+//! Compiles the full benchmark registry (`cmswitch::models::registry`)
+//! with each of the four backends (CMSwitch plus the PUMA / OCC /
+//! CIM-MLC baselines) on the paper's DynaPlasia chip, runs the
+//! `cmswitch::compiler::verify` lint suite over every compiled program
+//! via [`Session::verify`], and prints the findings. Exits non-zero if
+//! any `Deny` finding fires — CI runs this as a whole-registry
+//! soundness gate.
+//!
+//! ```text
+//! cargo run --release --example verify_registry
+//! ```
+
+use cmswitch::arch::presets;
+use cmswitch::baselines::SessionBackendExt;
+use cmswitch::compiler::{BackendKind, CompileRequest, Session};
+use cmswitch::models::registry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = presets::dynaplasia();
+    let (batch, seq) = (1, 64);
+    let models = registry::build_all(batch, seq)?;
+    println!(
+        "verifying {} models x {} backends on {}\n",
+        models.len(),
+        BackendKind::ALL.len(),
+        arch.name()
+    );
+
+    let mut deny = 0usize;
+    let mut warn = 0usize;
+    let mut checked = 0usize;
+    for kind in BackendKind::ALL {
+        let session = Session::builder(arch.clone()).backend_kind(kind).build();
+        for (name, graph) in &models {
+            let outcome = session
+                .compile(CompileRequest::new(graph.clone()).with_label(name.clone()))?;
+            let report = session.verify(&outcome);
+            checked += 1;
+            deny += report.deny_count();
+            warn += report.warn_count();
+            let verdict = if !report.is_clean() {
+                "DENY"
+            } else if report.warn_count() > 0 {
+                "warn"
+            } else {
+                "ok"
+            };
+            println!(
+                "{:>8} {:<12} {:>3} segments  {:>2} findings  {verdict}",
+                kind.name(),
+                name,
+                outcome.program.segments.len(),
+                report.findings().len()
+            );
+            for finding in report.findings() {
+                println!("           {finding}");
+            }
+        }
+    }
+
+    println!("\n{checked} programs verified: {deny} deny, {warn} warn findings");
+    if deny > 0 {
+        return Err(format!("{deny} deny findings across the registry").into());
+    }
+    Ok(())
+}

@@ -87,8 +87,9 @@ pub mod prelude {
         AllocationCache, Backend, BackendKind, BatchJob, BatchReport, CancelToken, CompileError,
         CompileOutcome, CompileRequest, CompileService, CompileStats, CompiledProgram, Compiler,
         CompilerOptions, DiagnosticEvent, Diagnostics, DpMode, EmitStage, LowerStage,
-        PartitionStage, PipelineCx, SegmentStage, ServiceOptions, Session, SessionBuilder, Stage,
-        UnknownBackend,
+        Lint, PartitionStage, PipelineCx, SegmentStage, ServiceOptions, Session, SessionBuilder,
+        Severity, Stage, UnknownBackend, Verifier, VerifyCx, VerifyFinding, VerifyReport,
+        VerifyStage,
     };
     pub use cmswitch_graph::{Graph, GraphBuilder};
     pub use cmswitch_metaop::{print_flow, Flow};

@@ -31,6 +31,7 @@ const EXPECTED: &[&str] = &[
     "Flow",
     "Graph",
     "GraphBuilder",
+    "Lint",
     "LowerStage",
     "PartitionStage",
     "PipelineCx",
@@ -41,9 +42,15 @@ const EXPECTED: &[&str] = &[
     "SessionBackendExt",
     "SessionBuilder",
     "SessionSimExt",
+    "Severity",
     "SimulationOutcome",
     "Stage",
     "UnknownBackend",
+    "Verifier",
+    "VerifyCx",
+    "VerifyFinding",
+    "VerifyReport",
+    "VerifyStage",
     "backend_for",
     "by_name",
     "presets",
@@ -118,4 +125,8 @@ fn snapshot_items_exist_and_have_expected_shapes() {
     let _svc_opts: ServiceOptions = ServiceOptions::default().with_workers(1);
     let _token: CancelToken = CancelToken::new();
     let _diag: Diagnostics = Diagnostics::new();
+    let _verifier: Verifier = Verifier::new();
+    let _report: VerifyReport = VerifyReport::new();
+    assert!(Severity::Deny > Severity::Warn);
+    let _opts: CompilerOptions = CompilerOptions::default().with_verify(true);
 }

@@ -1,0 +1,211 @@
+//! The static verifier across the registry, plus mutation-kill testing.
+//!
+//! Three layers:
+//!
+//! * **Registry soundness** — every registry model, compiled by every
+//!   backend on the DynaPlasia chip, verifies with zero findings (not
+//!   even warnings), and the opt-in `VerifyStage` accepts the same
+//!   programs while recording its diagnostic event.
+//! * **Property sampling** — compiled MLPs verify clean across all
+//!   three architecture presets (vendored proptest: deterministic
+//!   sampling, no shrinking).
+//! * **Mutation kill** — every applicable defect-injection operator
+//!   (`verify::mutate`) produces a mutant that the verifier rejects
+//!   with the operator's expected rule id: no surviving mutants.
+
+use proptest::prelude::*;
+
+use cmswitch::arch::{presets, DualModeArch};
+use cmswitch::compiler::verify::{mutate, rules, Severity, Verifier};
+use cmswitch::compiler::CompiledProgram;
+use cmswitch::models::registry;
+use cmswitch::prelude::*;
+
+fn preset(idx: usize) -> DualModeArch {
+    match idx % 3 {
+        0 => presets::dynaplasia(),
+        1 => presets::prime(),
+        _ => presets::tiny(),
+    }
+}
+
+fn compile_registry(kind: BackendKind, arch: &DualModeArch) -> Vec<(String, CompiledProgram)> {
+    let session = Session::builder(arch.clone()).backend_kind(kind).build();
+    registry::ALL_MODELS
+        .iter()
+        .map(|&model| {
+            let graph = registry::build(model, 1, 16).expect("registered model builds");
+            let program = session
+                .compile_graph(&graph)
+                .unwrap_or_else(|e| panic!("{model} fails to compile on {kind:?}: {e}"));
+            (model.to_string(), program)
+        })
+        .collect()
+}
+
+#[test]
+fn registry_verifies_clean_on_every_backend() {
+    let arch = presets::dynaplasia();
+    let verifier = Verifier::new();
+    for kind in BackendKind::ALL {
+        for (model, program) in compile_registry(kind, &arch) {
+            let report = verifier.run(&program, &arch);
+            assert!(
+                report.is_empty(),
+                "{model} on {kind:?} has findings:\n{report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn verify_stage_accepts_the_registry_and_reports_counts() {
+    let arch = presets::dynaplasia();
+    let session = Session::builder(arch)
+        .options(CompilerOptions::default().with_verify(true))
+        .build();
+    for &model in registry::ALL_MODELS {
+        let graph = registry::build(model, 1, 16).expect("registered model builds");
+        let outcome = session
+            .compile(CompileRequest::new(graph).with_label(model))
+            .unwrap_or_else(|e| panic!("{model} rejected by the verify stage: {e}"));
+        assert_eq!(
+            outcome.diagnostics.verified_counts(),
+            Some((0, 0)),
+            "{model}: verify stage ran but counts disagree"
+        );
+    }
+}
+
+#[test]
+fn session_verify_matches_the_standalone_verifier() {
+    let arch = presets::tiny();
+    let session = Session::builder(arch.clone()).build();
+    let graph = cmswitch::models::mlp::mlp(2, &[128, 256, 128]).unwrap();
+    let outcome = session.compile(CompileRequest::new(graph)).unwrap();
+    let via_session = session.verify(&outcome);
+    let standalone = Verifier::new().run(&outcome.program, &arch);
+    assert_eq!(via_session, standalone);
+    assert!(via_session.is_clean());
+}
+
+/// Every applicable mutation operator must be detected — and detected by
+/// the rule the operator declares, not incidentally by another lint.
+#[test]
+fn no_mutant_survives_the_verifier() {
+    let arch = presets::dynaplasia();
+    let verifier = Verifier::new();
+    // Two shapes with different segment structure: a transformer and a
+    // CNN, compiled by the mode-switching backend.
+    let mut programs = Vec::new();
+    let session = Session::builder(arch.clone()).build();
+    for model in ["bert-base", "resnet18"] {
+        let graph = registry::build(model, 1, 16).expect("registered model builds");
+        programs.push((model, session.compile_graph(&graph).expect("compiles")));
+    }
+    let mlp = cmswitch::models::mlp::mlp(2, &[256, 256, 256, 64]).unwrap();
+    programs.push(("mlp", session.compile_graph(&mlp).expect("compiles")));
+
+    let mut killed: Vec<&'static str> = Vec::new();
+    let mut survivors: Vec<String> = Vec::new();
+    for (model, program) in &programs {
+        assert!(
+            verifier.run(program, &arch).is_empty(),
+            "{model}: baseline program must verify clean before mutation"
+        );
+        for m in mutate::ALL {
+            let Some(mutant) = m.apply(program) else {
+                continue;
+            };
+            let report = verifier.run(&mutant, &arch);
+            if report.has_rule(m.expected_rule()) {
+                if !killed.contains(&m.name()) {
+                    killed.push(m.name());
+                }
+            } else {
+                survivors.push(format!(
+                    "{model}/{}: expected {}, fired {:?}",
+                    m.name(),
+                    m.expected_rule(),
+                    report.fired_rules()
+                ));
+            }
+        }
+    }
+    assert!(survivors.is_empty(), "surviving mutants:\n{}", survivors.join("\n"));
+    // All ten defect classes must have found a mutation site somewhere.
+    assert_eq!(
+        killed.len(),
+        mutate::ALL.len(),
+        "defect classes never exercised: {:?}",
+        mutate::ALL
+            .iter()
+            .map(|m| m.name())
+            .filter(|n| !killed.contains(n))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Deny findings fail the compile when verification is enabled; the same
+/// defect sails through (into the simulator's hands) when it is not.
+#[test]
+fn verify_stage_is_opt_in_and_deny_fails_the_compile() {
+    let arch = presets::tiny();
+    let graph = cmswitch::models::mlp::mlp(1, &[128, 128, 64]).unwrap();
+    // Off by default: stage names end at "emit".
+    let off = Session::builder(arch.clone()).build();
+    let outcome = off.compile(CompileRequest::new(graph)).unwrap();
+    assert_eq!(outcome.diagnostics.verified_counts(), None);
+    let names: Vec<_> = outcome
+        .program
+        .stats
+        .stage_wall
+        .iter()
+        .map(|t| t.stage)
+        .collect();
+    assert!(!names.contains(&"verify"), "{names:?}");
+    // Severity policy: the two advisory rules warn, everything denies.
+    assert_eq!(rules::severity(rules::DEAD_WEIGHT_LOAD), Severity::Warn);
+    assert_eq!(rules::severity(rules::REDUNDANT_SWITCH), Severity::Warn);
+    for deny in [
+        rules::MODE_DISCIPLINE,
+        rules::USE_BEFORE_LOAD,
+        rules::CAPACITY_ARRAYS,
+        rules::DEP_MISSING,
+        rules::RACE_CONFLICT,
+        rules::PLAN_OPS,
+    ] {
+        assert_eq!(rules::severity(deny), Severity::Deny);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn compiled_mlps_verify_clean_on_every_preset(
+        width_idx in proptest::collection::vec(0usize..5, 2..5),
+        batch in 1usize..3,
+        preset_idx in 0usize..3,
+    ) {
+        const WIDTHS: [usize; 5] = [64, 96, 128, 192, 256];
+        let dims: Vec<usize> = width_idx.iter().map(|&i| WIDTHS[i]).collect();
+        let arch = preset(preset_idx);
+        let graph = cmswitch::models::mlp::mlp(batch, &dims).expect("mlp builds");
+        let session = Session::builder(arch.clone()).build();
+        let program = session.compile_graph(&graph).expect("mlp compiles");
+
+        let report = Verifier::new().run(&program, &arch);
+        prop_assert!(report.is_empty(), "findings on a clean compile:\n{report}");
+
+        // And a representative mutation is still caught on every preset.
+        if let Some(mutant) = mutate::Mutation::DropSwitch.apply(&program) {
+            let report = Verifier::new().run(&mutant, &arch);
+            prop_assert!(
+                report.has_rule(rules::MODE_DISCIPLINE),
+                "dropped switch survived on {}: {:?}",
+                arch.name(),
+                report.fired_rules()
+            );
+        }
+    }
+}
