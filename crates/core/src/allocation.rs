@@ -129,6 +129,12 @@ pub struct AllocatorStats {
     /// MIP solves that fell back to the fast allocator's solution
     /// (node-budget exhaustion or numerical trouble).
     pub mip_fallbacks: AtomicU64,
+    /// MIP solves whose selected warm start was feasible and seeded the
+    /// branch-and-bound incumbent.
+    pub warm_accepted: AtomicU64,
+    /// Warm-start candidates discarded: infeasible at check time, or set
+    /// on a solve that then failed and fell back.
+    pub warm_rejected: AtomicU64,
 }
 
 impl AllocatorStats {
@@ -149,6 +155,17 @@ impl AllocatorStats {
     /// MIP solves that fell back to the fast allocator's solution.
     pub fn fallbacks(&self) -> u64 {
         self.mip_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Warm starts that seeded a branch-and-bound incumbent.
+    pub fn warm_accepted(&self) -> u64 {
+        self.warm_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Warm-start candidates discarded as infeasible or wasted on a
+    /// failed solve.
+    pub fn warm_rejected(&self) -> u64 {
+        self.warm_rejected.load(Ordering::Relaxed)
     }
 }
 
@@ -247,6 +264,38 @@ impl AllocationCache {
     }
 }
 
+/// Per-flow memo of solved window allocations keyed by their full
+/// signature, consulted when sourcing a *neighbor* warm start for the
+/// MIP (same window start, one fewer op — see
+/// [`Allocator::neighbor_extension`]).
+///
+/// Unlike the optional shared [`AllocationCache`], this cache always
+/// exists (so warm starts work with `reuse_cache` off) and lives exactly
+/// as long as its allocator — one compilation. A miss is never wrong:
+/// the neighbor is then solved recursively through the regular
+/// [`Allocator::allocate`] path, and purity of the signature-keyed solve
+/// guarantees the recomputed allocation is identical to what a hit would
+/// have returned. Warm-start availability is therefore a pure function
+/// of the window signature, never of solve order or thread timing.
+#[derive(Debug, Default)]
+struct WarmStartCache {
+    map: RwLock<HashMap<u64, CacheEntry>>,
+}
+
+impl WarmStartCache {
+    fn get(&self, sig: &[u64]) -> Option<Option<SegmentAllocation>> {
+        match self.map.read().get(&stable_hash64(sig)) {
+            Some((stored, value)) if stored == sig => Some(value.clone()),
+            _ => None,
+        }
+    }
+
+    fn insert(&self, sig: Vec<u64>, value: Option<SegmentAllocation>) {
+        let key = stable_hash64(&sig);
+        self.map.write().insert(key, (sig, value));
+    }
+}
+
 /// The per-segment allocator with its signature cache.
 pub struct Allocator<'a> {
     cm: CostModel<'a>,
@@ -255,6 +304,8 @@ pub struct Allocator<'a> {
     /// `(arch fingerprint, allocator kind)` prefix of every cache
     /// signature this allocator produces.
     sig_prefix: [u64; 2],
+    /// Per-flow solved-window memo feeding MIP neighbor warm starts.
+    warm: WarmStartCache,
     /// Solve counters.
     pub stats: AllocatorStats,
 }
@@ -289,8 +340,21 @@ impl<'a> Allocator<'a> {
             kind,
             cache,
             sig_prefix,
+            warm: WarmStartCache::default(),
             stats: AllocatorStats::default(),
         }
+    }
+
+    /// Stable dedup key for a window's allocation problem: two windows
+    /// with the same key are guaranteed the same [`Self::allocate`]
+    /// result (the shared cache and the warm-start memo are keyed by
+    /// exactly this signature), so a batch scheduler may solve one
+    /// representative and share the answer. `None` when results are not
+    /// signature-determined (fast allocator with the cache off) — such
+    /// solves are pure anyway, but each caller pays its own.
+    pub fn window_key(&self, ops: &[SegOp], local_deps: &[(usize, usize, u64)]) -> Option<u64> {
+        let want_sig = self.cache.is_some() || self.kind == AllocatorKind::Mip;
+        want_sig.then(|| stable_hash64(&signature(&self.sig_prefix, ops, local_deps)))
     }
 
     /// Allocates dual-mode arrays for the segment `ops` with intra-segment
@@ -304,13 +368,17 @@ impl<'a> Allocator<'a> {
         if ops.is_empty() {
             return Some(SegmentAllocation::empty());
         }
-        let sig = self
-            .cache
-            .as_ref()
-            .map(|_| signature(&self.sig_prefix, ops, local_deps));
+        // The MIP path memoizes every solved window per flow (warm-start
+        // sourcing), so it needs the signature even when the shared
+        // cache is off.
+        let want_sig = self.cache.is_some() || self.kind == AllocatorKind::Mip;
+        let sig = want_sig.then(|| signature(&self.sig_prefix, ops, local_deps));
         if let (Some(cache), Some(sig)) = (&self.cache, &sig) {
             if let Some(hit) = cache.get(sig) {
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                if self.kind == AllocatorKind::Mip {
+                    self.warm.insert(sig.clone(), hit.clone());
+                }
                 return hit;
             }
             self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -319,8 +387,11 @@ impl<'a> Allocator<'a> {
             AllocatorKind::Mip => self.solve_mip(ops, local_deps),
             AllocatorKind::Fast => self.solve_fast(ops, local_deps),
         };
-        if let (Some(cache), Some(sig)) = (&self.cache, sig) {
-            cache.insert(sig, result.clone());
+        if let (Some(cache), Some(sig)) = (&self.cache, &sig) {
+            cache.insert(sig.clone(), result.clone());
+        }
+        if let (AllocatorKind::Mip, Some(sig)) = (self.kind, sig) {
+            self.warm.insert(sig, result.clone());
         }
         result
     }
@@ -331,11 +402,13 @@ impl<'a> Allocator<'a> {
         local_deps: &[(usize, usize, u64)],
     ) -> Option<SegmentAllocation> {
         self.stats.mip_solves.fetch_add(1, Ordering::Relaxed);
-        // The fast allocator's exact (uncoupled) solution warm-starts the
-        // branch-and-bound: with it as the initial incumbent the search
-        // only explores nodes that could beat it through the Eq. 6 reuse
-        // coupling.
+        // Two warm-start candidates for the branch-and-bound incumbent:
+        // the fast allocator's exact (uncoupled) solution, and the
+        // neighbor window's solution extended by one op. With either as
+        // the initial incumbent the search only explores nodes that
+        // could beat it through the Eq. 6 reuse coupling.
         let warm = self.solve_fast(ops, local_deps);
+        let neighbor = self.neighbor_extension(ops, local_deps);
         let arch = self.cm.arch();
         let n = arch.n_arrays() as f64;
         let op_cim = arch.op_cim();
@@ -432,11 +505,18 @@ impl<'a> Allocator<'a> {
         }
         mip.add_constraint(terms, Relation::Le, n).ok()?;
 
-        // Warm start from the fast allocator's solution.
-        if let Some(fast_alloc) = &warm {
-            let mut values = vec![0.0; mip.n_vars()];
+        // Warm start: pick the better feasible candidate. Both
+        // candidates are pure functions of the window signature and the
+        // pick is a deterministic argmax (ties keep the fast solution),
+        // so the seeded incumbent — and with it the returned solution —
+        // never depends on solve order or thread timing. Infeasible
+        // candidates (e.g. a neighbor extension that oversubscribes
+        // Eq. 8) are discarded rather than set, counted as rejected.
+        let n_vars = mip.n_vars();
+        let build_warm = |alloc: &SegmentAllocation| -> Vec<f64> {
+            let mut values = vec![0.0; n_vars];
             let mut z_val = f64::INFINITY;
-            for (i, (op, a)) in ops.iter().zip(&fast_alloc.ops).enumerate() {
+            for (i, (op, a)) in ops.iter().zip(&alloc.ops).enumerate() {
                 let mem_total = (a.mem_in + a.mem_out) as f64;
                 let compute_rate = a.compute as f64 * op_cim;
                 let mem_rate = if op.ai().is_finite() {
@@ -454,7 +534,7 @@ impl<'a> Allocator<'a> {
             values[z.index()] = z_val.max(0.0);
             for (((p, c), rvar), &(dp, dc, _)) in reuse_vars.iter().zip(local_deps) {
                 debug_assert_eq!((*p, *c), (dp, dc));
-                let r = fast_alloc
+                let r = alloc
                     .reuse
                     .iter()
                     .find(|((rp, rc), _)| (*rp, *rc) == (*p, *c))
@@ -462,19 +542,49 @@ impl<'a> Allocator<'a> {
                     .unwrap_or(0);
                 values[rvar.index()] = r as f64;
             }
+            values
+        };
+        let mut best_start: Option<(f64, Vec<f64>)> = None;
+        for cand in [warm.as_ref(), neighbor.as_ref()].into_iter().flatten() {
+            let values = build_warm(cand);
+            match mip.check_feasible(&values) {
+                Some(obj) => {
+                    if best_start.as_ref().is_none_or(|(b, _)| obj > *b) {
+                        best_start = Some((obj, values));
+                    }
+                }
+                None => {
+                    self.stats.warm_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let warm_set = if let Some((_, values)) = best_start {
             let accepted = mip.set_warm_start(values);
             debug_assert!(accepted, "warm start built against mip's own n_vars");
-        }
+            accepted
+        } else {
+            false
+        };
 
         let sol = match mip.solve() {
             Ok(sol) => sol,
             // Infeasible, node-limit or numerical trouble: the fast
             // solution (None when genuinely infeasible) stands.
             Err(_) => {
+                if warm_set {
+                    self.stats.warm_rejected.fetch_add(1, Ordering::Relaxed);
+                }
                 self.stats.mip_fallbacks.fetch_add(1, Ordering::Relaxed);
                 return warm;
             }
         };
+        if warm_set {
+            if sol.used_warm_start {
+                self.stats.warm_accepted.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.warm_rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let per_op: Vec<OpAllocation> = (0..ops.len())
             .map(|i| OpAllocation {
                 compute: sol.int_value(com[i]) as usize,
@@ -496,6 +606,53 @@ impl<'a> Allocator<'a> {
         self.trim_compute(ops, &mut alloc);
         self.balance_reload(ops, &mut alloc);
         Some(alloc)
+    }
+
+    /// The warm-start candidate sourced from the *neighbor* window: the
+    /// same ops minus the last one (with the deps it consumes dropped),
+    /// whose allocation is near-identical in structure, extended by a
+    /// minimal compute-only allocation for the appended op.
+    ///
+    /// The neighbor is resolved from the per-flow [`WarmStartCache`] or,
+    /// on a miss, solved recursively through [`Allocator::allocate`] —
+    /// so availability (and thus the warm start, and thus the MIP's
+    /// returned solution) is purely signature-determined: identical
+    /// windows get identical warm starts no matter which DP mode, batch
+    /// order or worker schedule asked first.
+    fn neighbor_extension(
+        &self,
+        ops: &[SegOp],
+        local_deps: &[(usize, usize, u64)],
+    ) -> Option<SegmentAllocation> {
+        if ops.len() < 2 {
+            return None;
+        }
+        let last = ops.len() - 1;
+        let n_ops = &ops[..last];
+        let n_deps: Vec<(usize, usize, u64)> = local_deps
+            .iter()
+            .copied()
+            .filter(|&(p, c, _)| p < last && c < last)
+            .collect();
+        let sig = signature(&self.sig_prefix, n_ops, &n_deps);
+        let base = match self.warm.get(&sig) {
+            Some(memoized) => memoized,
+            None => self.allocate(n_ops, &n_deps),
+        }?;
+        let mut ext_ops = base.ops;
+        ext_ops.push(OpAllocation {
+            compute: ops[last].min_tiles.max(1),
+            mem_in: 0,
+            mem_out: 0,
+        });
+        Some(SegmentAllocation {
+            ops: ext_ops,
+            // Local dep indices are unchanged by appending an op, and no
+            // dep involving the new op carries reuse.
+            reuse: base.reuse,
+            // Never read by the warm-vector construction.
+            latency: 0.0,
+        })
     }
 
     /// Trades intra-segment latency against the weight-reload cost the

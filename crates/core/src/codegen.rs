@@ -15,7 +15,7 @@ use cmswitch_metaop::{
 };
 
 use crate::cost::CostModel;
-use crate::frontend::OpList;
+use crate::frontend::{DepIndex, OpList};
 use crate::segment::Segment;
 use crate::CompileError;
 
@@ -36,6 +36,9 @@ pub fn generate(
     let mut modes = vec![ArrayMode::Memory; n];
     let mut flow = Flow::new(name);
     let cm = CostModel::new(arch);
+    // Indexed once: the per-boundary write-back queries below otherwise
+    // rescan the full dep list for every segment.
+    let deps = DepIndex::new(list);
 
     for (seg_idx, seg) in segments.iter().enumerate() {
         let (lo, hi) = seg.range;
@@ -46,7 +49,7 @@ pub fn generate(
             let prev = &segments[seg_idx - 1];
             let next_range = Some(seg.range);
             let spill_cycles =
-                cm.writeback_cost(list, prev.range, next_range, Some(&seg.alloc));
+                cm.writeback_cost_indexed(&deps, prev.range, next_range, Some(&seg.alloc));
             if spill_cycles > 0.0 {
                 let bytes =
                     (spill_cycles * arch.extern_bw() as f64 / 2.0).round() as u64;

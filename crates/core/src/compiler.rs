@@ -47,6 +47,16 @@ pub struct CompileStats {
     /// Candidate DP windows skipped without an allocator invocation
     /// (capacity prefilter + analytic bound, [`crate::DpMode`]).
     pub dp_windows_pruned: u64,
+    /// MIP solves whose injected warm start was accepted by the solver
+    /// (see [`crate::CompilerOptions::solve_workers`]).
+    pub warm_accepted: u64,
+    /// MIP warm-start candidates rejected: infeasible against the
+    /// problem, or ignored by the solver in favour of a cold search.
+    pub warm_rejected: u64,
+    /// Allocation batches fanned out by the segmentation DP. A pure
+    /// function of pruning decisions — identical at every
+    /// [`crate::CompilerOptions::solve_workers`] setting.
+    pub solve_batches: u64,
 }
 
 impl CompileStats {

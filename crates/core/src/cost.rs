@@ -3,7 +3,7 @@
 use cmswitch_arch::DualModeArch;
 
 use crate::allocation::{OpAllocation, SegmentAllocation};
-use crate::frontend::{OpList, SegOp};
+use crate::frontend::{DepIndex, OpList, SegOp};
 
 /// Vector function-unit throughput used to cost the non-CIM operators
 /// fused into segments (elementwise FLOPs per cycle).
@@ -133,9 +133,32 @@ impl<'a> CostModel<'a> {
         next_range: Option<(usize, usize)>,
         next_alloc: Option<&SegmentAllocation>,
     ) -> f64 {
+        self.writeback_from(list.crossing_deps(prev_range), next_range, next_alloc)
+    }
+
+    /// [`CostModel::writeback_cost`] over a pre-indexed dependency list —
+    /// the segmentation DP's hot path (`O(windows · window²)` calls per
+    /// compile), where rescanning the full dep list per call would make
+    /// the recurrence quadratic in model depth.
+    pub fn writeback_cost_indexed(
+        &self,
+        deps: &DepIndex,
+        prev_range: (usize, usize),
+        next_range: Option<(usize, usize)>,
+        next_alloc: Option<&SegmentAllocation>,
+    ) -> f64 {
+        self.writeback_from(deps.crossing(prev_range), next_range, next_alloc)
+    }
+
+    fn writeback_from(
+        &self,
+        crossing: impl Iterator<Item = (usize, usize, u64)>,
+        next_range: Option<(usize, usize)>,
+        next_alloc: Option<&SegmentAllocation>,
+    ) -> f64 {
         let mut to_next = 0u64;
         let mut beyond = 0u64;
-        for (_, c, bytes) in list.crossing_deps(prev_range) {
+        for (_, c, bytes) in crossing {
             match next_range {
                 Some((nlo, nhi)) if c >= nlo && c <= nhi => to_next += bytes,
                 _ => beyond += bytes,
@@ -176,6 +199,24 @@ impl<'a> CostModel<'a> {
         next_alloc: &SegmentAllocation,
     ) -> f64 {
         self.writeback_cost(list, prev_range, Some(next_range), Some(next_alloc))
+            + self.switch_cost(prev_alloc, next_alloc)
+            + self.reload_cost(next_ops, next_alloc)
+    }
+
+    /// [`CostModel::inter_cost`] with the write-back term answered by a
+    /// [`DepIndex`] — bit-identical arithmetic (the index iterates the
+    /// same crossing deps), only the lookup is indexed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn inter_cost_indexed(
+        &self,
+        deps: &DepIndex,
+        prev_range: (usize, usize),
+        prev_alloc: &SegmentAllocation,
+        next_range: (usize, usize),
+        next_ops: &[SegOp],
+        next_alloc: &SegmentAllocation,
+    ) -> f64 {
+        self.writeback_cost_indexed(deps, prev_range, Some(next_range), Some(next_alloc))
             + self.switch_cost(prev_alloc, next_alloc)
             + self.reload_cost(next_ops, next_alloc)
     }

@@ -61,6 +61,17 @@ pub enum DiagnosticEvent {
         /// Number of segments whose MIP solve fell back.
         count: u64,
     },
+    /// Warm-start traffic of the MIP allocator: `accepted` solves were
+    /// seeded with a feasible incumbent (from the fast allocator or the
+    /// neighbor-window extension), `rejected` candidates were discarded
+    /// as infeasible or wasted on a failed solve.
+    WarmStart {
+        /// Solves whose warm start seeded the branch-and-bound
+        /// incumbent.
+        accepted: u64,
+        /// Warm-start candidates discarded.
+        rejected: u64,
+    },
     /// An event-engine simulation of the compiled program completed
     /// (emitted by `cmswitch-sim`'s `Session::simulate` extension, not
     /// by the compilation pipeline itself).
@@ -112,6 +123,9 @@ impl fmt::Display for DiagnosticEvent {
             }
             DiagnosticEvent::MipFallback { count } => {
                 write!(f, "MIP allocator fell back to the fast allocator {count}x")
+            }
+            DiagnosticEvent::WarmStart { accepted, rejected } => {
+                write!(f, "MIP warm starts: {accepted} accepted, {rejected} rejected")
             }
             DiagnosticEvent::Simulated {
                 pipelined_cycles,
@@ -206,6 +220,15 @@ impl Diagnostics {
             .sum()
     }
 
+    /// Aggregate MIP warm-start `(accepted, rejected)` counts over every
+    /// [`DiagnosticEvent::WarmStart`] event.
+    pub fn warm_start_counts(&self) -> (u64, u64) {
+        self.events.iter().fold((0, 0), |(a, r), e| match e {
+            DiagnosticEvent::WarmStart { accepted, rejected } => (a + accepted, r + rejected),
+            _ => (a, r),
+        })
+    }
+
     /// The simulated `(pipelined, serialized)` cycle pair of the most
     /// recent [`DiagnosticEvent::Simulated`] event, if any.
     pub fn simulated_cycles(&self) -> Option<(f64, f64)> {
@@ -285,6 +308,23 @@ mod tests {
         assert!(text.contains("5 hits"), "{text}");
         assert!(text.contains("63.936 -> 64 arrays"), "{text}");
         assert_eq!((&d).into_iter().count(), 4);
+    }
+
+    #[test]
+    fn warm_start_event_renders_and_aggregates() {
+        let mut d = Diagnostics::new();
+        assert_eq!(d.warm_start_counts(), (0, 0));
+        d.push(DiagnosticEvent::WarmStart {
+            accepted: 7,
+            rejected: 2,
+        });
+        d.push(DiagnosticEvent::WarmStart {
+            accepted: 1,
+            rejected: 0,
+        });
+        assert_eq!(d.warm_start_counts(), (8, 2));
+        let text = d.to_string();
+        assert!(text.contains("7 accepted, 2 rejected"), "{text}");
     }
 
     #[test]

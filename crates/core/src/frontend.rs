@@ -87,6 +87,76 @@ impl OpList {
     }
 }
 
+/// Producer-sorted dependency index: answers "all deps produced inside
+/// op range `lo..=hi`" as one slice lookup instead of a scan over the
+/// full dependency list.
+///
+/// The segmentation DP queries dependencies per window and per
+/// transition — `O(windows · window²)` times per compile — so the
+/// linear [`OpList::crossing_deps`] scan turns quadratic on deep
+/// models (a 40-block decoder carries thousands of deps). Building
+/// the index once per compile makes every query proportional to the
+/// window's own dependency count.
+///
+/// Deps are ordered by `(producer, consumer, bytes)`, a pure function
+/// of the dependency *set* — so every construction order yields the
+/// same index and downstream iteration order stays deterministic.
+#[derive(Debug)]
+pub struct DepIndex {
+    /// `(producer, consumer, bytes)`, sorted ascending.
+    sorted: Vec<(usize, usize, u64)>,
+    /// `start[p]..start[p + 1]` spans the deps with producer `p`.
+    start: Vec<usize>,
+}
+
+impl DepIndex {
+    /// Builds the index for `list` (O(D log D) once per compile).
+    pub fn new(list: &OpList) -> Self {
+        let n = list.ops.len();
+        let mut sorted: Vec<(usize, usize, u64)> = list
+            .deps
+            .iter()
+            .zip(&list.dep_bytes)
+            .map(|(&(p, c), &b)| (p, c, b))
+            .collect();
+        sorted.sort_unstable();
+        let mut start = vec![0usize; n + 1];
+        for &(p, _, _) in &sorted {
+            start[p + 1] += 1;
+        }
+        for i in 1..=n {
+            start[i] += start[i - 1];
+        }
+        DepIndex { sorted, start }
+    }
+
+    /// All deps whose producer lies in `lo..=hi`, producer-ascending.
+    pub fn from_producers(&self, lo: usize, hi: usize) -> &[(usize, usize, u64)] {
+        &self.sorted[self.start[lo]..self.start[(hi + 1).min(self.start.len() - 1)]]
+    }
+
+    /// Deps crossing out of `range`: producer inside, consumer after.
+    /// The indexed equivalent of [`OpList::crossing_deps`].
+    pub fn crossing(&self, range: (usize, usize)) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        let hi = range.1;
+        self.from_producers(range.0, hi)
+            .iter()
+            .copied()
+            .filter(move |&(_, c, _)| c > hi)
+    }
+
+    /// The window's dependency list (`producer < consumer`, both inside
+    /// `lo..=hi`), re-indexed to window-local op positions — the
+    /// `local_deps` input of the allocators.
+    pub fn window_local(&self, lo: usize, hi: usize) -> Vec<(usize, usize, u64)> {
+        self.from_producers(lo, hi)
+            .iter()
+            .filter(|&&(p, c, _)| c <= hi && p < c)
+            .map(|&(p, c, b)| (p - lo, c - lo, b))
+            .collect()
+    }
+}
+
 /// Lowers `graph` into the compiler's operator list for `arch`.
 ///
 /// # Errors

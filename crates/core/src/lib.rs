@@ -73,6 +73,7 @@ pub mod pipeline;
 pub mod segment;
 pub mod service;
 pub mod session;
+pub mod solvepool;
 pub mod verify;
 
 pub use allocation::AllocationCache;
@@ -143,6 +144,12 @@ pub struct CompilerOptions {
     /// Whether the static verifier ([`verify`]) runs as a final pipeline
     /// stage, failing the compile on any `Deny` finding.
     pub verify: bool,
+    /// Worker threads the segmentation DP fans allocation solves out to
+    /// (via [`solvepool`]). `1` (the default) solves inline on the
+    /// calling thread; `0` means auto (available parallelism, capped at
+    /// 8). Plans are bit-identical at every worker count — see
+    /// [`segment`].
+    pub solve_workers: usize,
 }
 
 impl Default for CompilerOptions {
@@ -155,6 +162,7 @@ impl Default for CompilerOptions {
             partition_budget: 1.0,
             dp_mode: DpMode::default(),
             verify: false,
+            solve_workers: 1,
         }
     }
 }
@@ -212,5 +220,24 @@ impl CompilerOptions {
     pub fn with_verify(mut self, verify: bool) -> Self {
         self.verify = verify;
         self
+    }
+
+    /// Sets the solve-pool worker count for the segmentation DP
+    /// (`1` = inline, `0` = auto).
+    #[must_use]
+    pub fn with_solve_workers(mut self, solve_workers: usize) -> Self {
+        self.solve_workers = solve_workers;
+        self
+    }
+
+    /// The resolved solve-pool thread count: `0` maps to the machine's
+    /// available parallelism capped at 8 (mirroring the batch worker
+    /// pool of [`Session`]), anything else passes through.
+    pub fn effective_solve_workers(&self) -> usize {
+        if self.solve_workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+        } else {
+            self.solve_workers
+        }
     }
 }

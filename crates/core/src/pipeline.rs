@@ -85,7 +85,10 @@ pub struct PipelineCx<'a> {
     cache_hits: u64,
     cache_misses: u64,
     mip_fallbacks: u64,
+    warm_accepted: u64,
+    warm_rejected: u64,
     dp_windows_pruned: u64,
+    solve_batches: u64,
 }
 
 impl<'a> PipelineCx<'a> {
@@ -105,7 +108,10 @@ impl<'a> PipelineCx<'a> {
             cache_hits: 0,
             cache_misses: 0,
             mip_fallbacks: 0,
+            warm_accepted: 0,
+            warm_rejected: 0,
             dp_windows_pruned: 0,
+            solve_batches: 0,
         }
     }
 
@@ -190,6 +196,8 @@ impl<'a> PipelineCx<'a> {
         self.cache_hits += hits;
         self.cache_misses += stats.misses();
         self.mip_fallbacks += stats.fallbacks();
+        self.warm_accepted += stats.warm_accepted();
+        self.warm_rejected += stats.warm_rejected();
     }
 
     /// Folds the segmentation DP's window counters into the
@@ -197,6 +205,7 @@ impl<'a> PipelineCx<'a> {
     /// [`DiagnosticEvent::DpWindowsPruned`] event.
     pub fn record_dp(&mut self, dp: &DpStats) {
         self.dp_windows_pruned += dp.skipped();
+        self.solve_batches += dp.solve_batches;
         self.diags.push(DiagnosticEvent::DpWindowsPruned {
             windows: dp.windows,
             infeasible: dp.infeasible_skipped,
@@ -243,6 +252,9 @@ impl<'a> PipelineCx<'a> {
         stats.fast_solves = self.fast_solves;
         stats.cache_hits = self.cache_hits;
         stats.dp_windows_pruned = self.dp_windows_pruned;
+        stats.warm_accepted = self.warm_accepted;
+        stats.warm_rejected = self.warm_rejected;
+        stats.solve_batches = self.solve_batches;
         self.diags
     }
 
@@ -265,6 +277,12 @@ impl<'a> PipelineCx<'a> {
         if self.mip_fallbacks > 0 {
             self.diags.push(DiagnosticEvent::MipFallback {
                 count: self.mip_fallbacks,
+            });
+        }
+        if self.warm_accepted + self.warm_rejected > 0 {
+            self.diags.push(DiagnosticEvent::WarmStart {
+                accepted: self.warm_accepted,
+                rejected: self.warm_rejected,
             });
         }
     }

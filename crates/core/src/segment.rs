@@ -49,13 +49,35 @@
 //! bit-identical; only the number of allocator invocations drops. The
 //! greedy incumbent only ever allocates windows the exhaustive DP would
 //! allocate anyway, so the pruned DP's solve set is a strict subset.
+//! The per-window bound ingredients (`max op_lb`, `max static tiles`)
+//! are memoized in doubling sparse tables (`RangeMax`) built once from
+//! the prefix aggregates, so every `Bounds` query is O(1).
+//!
+//! # Parallel solves ([`crate::CompilerOptions::solve_workers`])
+//!
+//! The DP itself stays strictly sequential; only the allocation solves
+//! are fanned out. Each DP column `j` runs three passes: (1) a
+//! sequential pruning pass decides which candidate windows survive —
+//! these decisions read only prefix aggregates and `row_min` values from
+//! *earlier columns*, never thread timing; (2) the surviving windows not
+//! already memoized are batched through a [`crate::solvepool`] work
+//! queue (the greedy incumbent batches each step's candidate windows the
+//! same way); (3) the Eq. 3 recurrence then runs sequentially in the
+//! original window order against the completed memo. Bit-identity at
+//! every worker count follows because each window's allocation is a pure
+//! function of the window's operator signature (see
+//! [`crate::allocation`]: caching, and warm starts sourced from the
+//! signature-determined *neighbor* window, keep results independent of
+//! solve order), so the only thing the schedule can change is timing —
+//! never a result the recurrence consumes.
 
 use std::collections::HashMap;
 
 use crate::allocation::{Allocator, SegmentAllocation};
 use crate::cost::CostModel;
-use crate::frontend::OpList;
+use crate::frontend::{DepIndex, OpList};
 use crate::session::CancelToken;
+use crate::solvepool::{self, SolvePool};
 use crate::{CompileError, CompilerOptions, DpMode};
 
 /// One scheduled segment.
@@ -84,6 +106,12 @@ pub struct DpStats {
     /// Windows skipped because their analytic lower bound already lost
     /// to the incumbent schedule.
     pub bound_pruned: u64,
+    /// Non-empty solve batches fanned out to the
+    /// [`crate::solvepool`] work queue (greedy incumbent steps and DP
+    /// columns with at least one unmemoized surviving window). Purely a
+    /// function of the pruning decisions, so identical at every worker
+    /// count.
+    pub solve_batches: u64,
 }
 
 impl DpStats {
@@ -126,6 +154,9 @@ pub fn chain_segments(
     cm: &CostModel<'_>,
     parts: Vec<((usize, usize), SegmentAllocation)>,
 ) -> Vec<Segment> {
+    // One index for the whole chain: per-boundary write-back queries
+    // then cost O(segment deps), not O(all deps).
+    let deps = DepIndex::new(list);
     let mut segments: Vec<Segment> = Vec::with_capacity(parts.len());
     let mut prev: Option<((usize, usize), SegmentAllocation)> = None;
     for (range, alloc) in parts {
@@ -135,7 +166,9 @@ pub fn chain_segments(
                 cm.switch_cost(&SegmentAllocation::empty(), &alloc)
                     + cm.reload_cost(ops, &alloc)
             }
-            Some((prange, palloc)) => cm.inter_cost(list, *prange, palloc, range, ops, &alloc),
+            Some((prange, palloc)) => {
+                cm.inter_cost_indexed(&deps, *prange, palloc, range, ops, &alloc)
+            }
         };
         segments.push(Segment {
             range,
@@ -148,14 +181,64 @@ pub fn chain_segments(
     segments
 }
 
+/// O(1) range-max queries over a fixed value list, built as a doubling
+/// sparse table (O(m log m) once per DP run). Memoizes the per-window
+/// bound ingredients so [`Bounds`] queries stop rescanning windows.
+struct RangeMax<T> {
+    /// `levels[k][i]` = max of `values[i..i + 2^k]`.
+    levels: Vec<Vec<T>>,
+}
+
+impl<T: Copy + PartialOrd> RangeMax<T> {
+    fn new(values: Vec<T>) -> Self {
+        let mut levels = vec![values];
+        loop {
+            let prev = levels.last().unwrap();
+            let span = 1usize << (levels.len() - 1);
+            if prev.len() <= span {
+                break;
+            }
+            let next: Vec<T> = (0..prev.len() - span)
+                .map(|i| {
+                    if prev[i] >= prev[i + span] {
+                        prev[i]
+                    } else {
+                        prev[i + span]
+                    }
+                })
+                .collect();
+            levels.push(next);
+        }
+        RangeMax { levels }
+    }
+
+    /// Max over the inclusive index range `lo..=hi` as the max of two
+    /// overlapping power-of-two spans. Order-insensitive for the types
+    /// used here (non-NaN floats, integers), so memoization cannot
+    /// perturb the pruning decisions.
+    fn query(&self, lo: usize, hi: usize) -> T {
+        let len = hi - lo + 1;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        let a = self.levels[k][lo];
+        let b = self.levels[k][hi + 1 - (1 << k)];
+        if a >= b {
+            a
+        } else {
+            b
+        }
+    }
+}
+
 /// Prefix aggregates and analytic bounds powering the pruned DP.
 ///
-/// All window queries are O(window) or better; nothing here invokes an
-/// allocator.
+/// All window queries are O(1); nothing here invokes an allocator.
 struct Bounds {
-    /// Per-op lower bound on its Eq. 10 latency with the whole chip
-    /// granted ([`CostModel::op_latency_lower_bound`]).
-    op_lb: Vec<f64>,
+    /// Range-max over the per-op lower bounds on Eq. 10 latency with the
+    /// whole chip granted ([`CostModel::op_latency_lower_bound`]).
+    op_lb_max: RangeMax<f64>,
+    /// Range-max over per-op `min_tiles.max(1)` of weight-static ops
+    /// (0 for streaming ops), the Eq. 2 reload floor ingredient.
+    static_tiles_max: RangeMax<u64>,
     /// `prefix_work[i]` = Σ work of ops `0..i`.
     prefix_work: Vec<f64>,
     /// `prefix_tiles[i]` = Σ `min_tiles.max(1)` of ops `0..i`.
@@ -194,8 +277,20 @@ impl Bounds {
         for j in (0..m).rev() {
             suffix_op_lb[j] = suffix_op_lb[j + 1].max(op_lb[j]);
         }
+        let static_tiles: Vec<u64> = list
+            .ops
+            .iter()
+            .map(|op| {
+                if op.weight_static {
+                    op.min_tiles.max(1) as u64
+                } else {
+                    0
+                }
+            })
+            .collect();
         Bounds {
-            op_lb,
+            op_lb_max: RangeMax::new(op_lb),
+            static_tiles_max: RangeMax::new(static_tiles),
             prefix_work,
             prefix_tiles,
             suffix_op_lb,
@@ -220,31 +315,22 @@ impl Bounds {
     /// per-op latency in the window.
     fn intra_lb(&self, i: usize, j: usize) -> f64 {
         let work = self.prefix_work[j + 1] - self.prefix_work[i];
-        let mut lb = if self.chip_rate > 0.0 {
+        let lb = if self.chip_rate > 0.0 {
             work / self.chip_rate
         } else {
             0.0
         };
-        for &l in &self.op_lb[i..=j] {
-            lb = lb.max(l);
-        }
-        lb
+        lb.max(self.op_lb_max.query(i, j))
     }
 
     /// Lower bound on the inter cost the DP charges before segment
     /// `(i, j)`: the weight-reload floor (Eq. 2 at minimal tiles).
     /// The first segment of an overhead-oblivious DP charges nothing.
-    fn inter_lb(&self, list: &OpList, i: usize, j: usize) -> f64 {
+    fn inter_lb(&self, i: usize, j: usize) -> f64 {
         if i == 0 && !self.switch_aware {
             return 0.0;
         }
-        let max_static_tiles = list.ops[i..=j]
-            .iter()
-            .filter(|op| op.weight_static)
-            .map(|op| op.min_tiles.max(1))
-            .max()
-            .unwrap_or(0);
-        max_static_tiles as f64 * self.lat_write
+        self.static_tiles_max.query(i, j) as f64 * self.lat_write
     }
 
     /// Lower bound on the cost of scheduling ops `j+1..m` (zero when the
@@ -272,6 +358,7 @@ impl Bounds {
 /// the incumbent is a true upper bound on the DP's optimum.
 fn transition_cost(
     list: &OpList,
+    deps: &DepIndex,
     cm: &CostModel<'_>,
     switch_aware: bool,
     prev: Option<(&(usize, usize), &SegmentAllocation)>,
@@ -289,7 +376,7 @@ fn transition_cost(
         }
         Some((prange, palloc)) => {
             if switch_aware {
-                cm.inter_cost(list, *prange, palloc, range, ops, alloc)
+                cm.inter_cost_indexed(deps, *prange, palloc, range, ops, alloc)
             } else {
                 // Oblivious ablation: weight reloads still exist
                 // physically, but the DP ignores switch/writeback terms.
@@ -299,39 +386,126 @@ fn transition_cost(
     }
 }
 
+/// The per-window allocation memo plus the solve pool that fills it in
+/// batches. Results live on the DP thread; the pool only ever computes
+/// pure `(i, j) → allocation` jobs.
+type WindowPool<'p, 'e, F> = SolvePool<'p, 'e, (usize, usize), Option<SegmentAllocation>, F>;
+type AllocMemo = HashMap<(usize, usize), Option<SegmentAllocation>>;
+
+/// Fans the not-yet-memoized windows of `wanted` out as one solve batch
+/// and memoizes the results. The batch composition depends only on the
+/// (sequentially decided) `wanted` set and the memo contents, so
+/// [`DpStats::solve_batches`] is identical at every worker count.
+fn solve_missing<F, K>(
+    pool: &WindowPool<'_, '_, F>,
+    key: &K,
+    allocs: &mut AllocMemo,
+    stats: &mut DpStats,
+    wanted: impl IntoIterator<Item = (usize, usize)>,
+) -> Result<(), CompileError>
+where
+    F: Fn(&(usize, usize)) -> Option<SegmentAllocation> + Sync,
+    K: Fn(&(usize, usize)) -> Option<u64>,
+{
+    // Jobs are deduplicated by allocation *signature*, not just window
+    // index: two same-shaped windows in one batch (transformer blocks,
+    // repeated CNN stages) would otherwise both miss the shared cache
+    // while in flight and pay two identical solves. One representative
+    // per signature solves; every member shares its result — exactly
+    // what the sequential walk gets from the cache, decided before the
+    // fan-out so the batch is identical at every worker count. Batches
+    // of one window (the common transformer case: one fresh window per
+    // DP column) skip the key entirely — computing a signature to dedup
+    // a singleton would only add a second dependency scan per window.
+    let missing: Vec<(usize, usize)> = {
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        for w in wanted {
+            if !allocs.contains_key(&w) && !seen.contains(&w) {
+                seen.push(w);
+            }
+        }
+        seen
+    };
+    if missing.is_empty() {
+        return Ok(());
+    }
+    let mut jobs: Vec<(usize, usize)> = Vec::new();
+    let mut members: Vec<((usize, usize), usize)> = Vec::new();
+    if missing.len() == 1 {
+        jobs.push(missing[0]);
+        members.push((missing[0], 0));
+    } else {
+        let mut by_sig: HashMap<u64, usize> = HashMap::new();
+        for w in missing {
+            let slot = match key(&w) {
+                Some(sig) => *by_sig.entry(sig).or_insert_with(|| {
+                    jobs.push(w);
+                    jobs.len() - 1
+                }),
+                None => {
+                    jobs.push(w);
+                    jobs.len() - 1
+                }
+            };
+            members.push((w, slot));
+        }
+    }
+    stats.solve_batches += 1;
+    let results = pool.run_batch(jobs)?;
+    for (w, slot) in members {
+        allocs.insert(w, results[slot].clone());
+    }
+    Ok(())
+}
+
 /// A feasible schedule's exact DP-objective cost, built by longest-fit
 /// greedy packing. Returns `f64::INFINITY` when the greedy packer gets
 /// stuck (the DP then runs unpruned apart from the capacity prefilter).
 ///
-/// Only windows of DP-legal width are allocated, all through the shared
-/// memo, so no allocation happens here that the exhaustive DP would not
-/// also perform.
-fn greedy_incumbent(
+/// Each step batches its candidate windows (up to the capacity wall)
+/// through the pool, then picks the longest prefix of allocatable
+/// windows — the same choice the sequential walk makes. Only windows of
+/// DP-legal width are allocated, all through the shared memo, so no
+/// allocation happens here that the exhaustive DP would not also
+/// perform.
+#[allow(clippy::too_many_arguments)]
+fn greedy_incumbent<F, K>(
     list: &OpList,
+    deps: &DepIndex,
     cm: &CostModel<'_>,
     opts: &CompilerOptions,
     window: usize,
     bounds: &Bounds,
     cancel: &CancelToken,
-    alloc_of: &mut dyn FnMut(usize, usize) -> Option<SegmentAllocation>,
-) -> Result<f64, CompileError> {
+    pool: &WindowPool<'_, '_, F>,
+    key: &K,
+    allocs: &mut AllocMemo,
+    stats: &mut DpStats,
+) -> Result<f64, CompileError>
+where
+    F: Fn(&(usize, usize)) -> Option<SegmentAllocation> + Sync,
+    K: Fn(&(usize, usize)) -> Option<u64>,
+{
     let m = list.ops.len();
     let mut total = 0.0f64;
     let mut prev: Option<((usize, usize), SegmentAllocation)> = None;
     let mut start = 0usize;
     while start < m {
-        let mut best: Option<(usize, SegmentAllocation)> = None;
+        cancel.check()?;
+        let mut cand: Vec<(usize, usize)> = Vec::new();
         let mut j = start;
         while j < m && j - start < window {
-            cancel.check()?;
             if bounds.window_infeasible(start, j) {
                 break;
             }
-            match alloc_of(start, j) {
-                Some(a) => {
-                    best = Some((j, a));
-                    j += 1;
-                }
+            cand.push((start, j));
+            j += 1;
+        }
+        solve_missing(pool, key, allocs, stats, cand.iter().copied())?;
+        let mut best: Option<(usize, SegmentAllocation)> = None;
+        for &(s, e) in &cand {
+            match allocs.get(&(s, e)).expect("window solved by this batch") {
+                Some(a) => best = Some((e, a.clone())),
                 None => break,
             }
         }
@@ -340,6 +514,7 @@ fn greedy_incumbent(
         };
         let inter = transition_cost(
             list,
+            deps,
             cm,
             opts.switch_aware,
             prev.as_ref().map(|(r, a)| (r, a)),
@@ -356,11 +531,16 @@ fn greedy_incumbent(
 /// Runs the segmentation DP ([`crate::DpMode`] selects exhaustive vs.
 /// bound-pruned; both return identical schedules).
 ///
+/// Allocation solves are fanned out across
+/// [`crate::CompilerOptions::solve_workers`] pool threads (1 = inline);
+/// the DP recurrence itself stays sequential, so plans are bit-identical
+/// at every worker count (see the module docs for the argument).
+///
 /// `cancel` is polled once per candidate window — in the greedy
-/// incumbent and in the DP sweep — so a fired token or passed deadline
-/// aborts the dominant compile cost mid-solve rather than only at stage
-/// boundaries. Pass [`CancelToken::new`] when cancellation is not
-/// needed.
+/// incumbent, in the DP sweep and before every pooled solve — so a
+/// fired token or passed deadline aborts the dominant compile cost
+/// mid-batch rather than only at stage boundaries. Pass
+/// [`CancelToken::new`] when cancellation is not needed.
 ///
 /// # Errors
 ///
@@ -375,46 +555,68 @@ pub fn segment(
     opts: &CompilerOptions,
     cancel: &CancelToken,
 ) -> Result<SegmentationResult, CompileError> {
-    let m = list.ops.len();
-    if m == 0 {
+    if list.ops.is_empty() {
         return Ok(SegmentationResult {
             segments: Vec::new(),
             total_latency: 0.0,
             dp: DpStats::default(),
         });
     }
-    let window = opts.max_segment_ops.max(1);
-
-    // Lazily memoized per-range allocations.
-    let mut allocs: HashMap<(usize, usize), Option<SegmentAllocation>> = HashMap::new();
-    let mut alloc_of = |i: usize, j: usize| -> Option<SegmentAllocation> {
-        if let Some(hit) = allocs.get(&(i, j)) {
-            return hit.clone();
-        }
-        let ops = &list.ops[i..=j];
-        let local_deps: Vec<(usize, usize, u64)> = list
-            .deps
-            .iter()
-            .zip(&list.dep_bytes)
-            .filter(|(&(p, c), _)| p >= i && c <= j && p < c)
-            .map(|(&(p, c), &b)| (p - i, c - i, b))
-            .collect();
-        let result = allocator.allocate(ops, &local_deps);
-        allocs.insert((i, j), result.clone());
-        result
-    };
 
     // Single-op feasibility: every op must fit alone, otherwise no
     // segmentation exists at all.
-    for (idx, op) in list.ops.iter().enumerate() {
+    for op in &list.ops {
         if op.min_tiles > cm.arch().n_arrays() {
             return Err(CompileError::OperatorTooLarge {
-                op: list.ops[idx].name.clone(),
+                op: op.name.clone(),
                 tiles_needed: op.min_tiles,
                 available: cm.arch().n_arrays(),
             });
         }
     }
+
+    // Producer-sorted dep index: window dependency lists and the DP's
+    // write-back terms in time proportional to the window, not the model.
+    let deps = DepIndex::new(list);
+    // The pool job: a pure function of the window (the allocator result
+    // depends only on the windowed ops + local deps — caching and warm
+    // starts are signature-keyed), so any schedule yields the same memo.
+    let solve_window = |&(i, j): &(usize, usize)| -> Option<SegmentAllocation> {
+        allocator.allocate(&list.ops[i..=j], &deps.window_local(i, j))
+    };
+    // Batch-dedup key (see [`solve_missing`]).
+    let window_key = |&(i, j): &(usize, usize)| -> Option<u64> {
+        allocator.window_key(&list.ops[i..=j], &deps.window_local(i, j))
+    };
+    solvepool::with_pool(
+        opts.effective_solve_workers(),
+        cancel,
+        solve_window,
+        |pool| run_dp(list, &deps, cm, opts, cancel, pool, &window_key),
+    )
+}
+
+/// The sequential DP body behind [`segment`]: prune → batch-solve →
+/// recur, one column at a time.
+fn run_dp<F, K>(
+    list: &OpList,
+    deps: &DepIndex,
+    cm: &CostModel<'_>,
+    opts: &CompilerOptions,
+    cancel: &CancelToken,
+    pool: &WindowPool<'_, '_, F>,
+    key: &K,
+) -> Result<SegmentationResult, CompileError>
+where
+    F: Fn(&(usize, usize)) -> Option<SegmentAllocation> + Sync,
+    K: Fn(&(usize, usize)) -> Option<u64>,
+{
+    let m = list.ops.len();
+    let window = opts.max_segment_ops.max(1);
+
+    // Per-range allocations, memoized on the DP thread and filled in
+    // batches by the pool.
+    let mut allocs: AllocMemo = HashMap::new();
 
     let mut dp_stats = DpStats::default();
     let bounds = match opts.dp_mode {
@@ -422,7 +624,9 @@ pub fn segment(
         DpMode::BoundPruned => Some(Bounds::new(list, cm, opts)),
     };
     let incumbent = match &bounds {
-        Some(b) => greedy_incumbent(list, cm, opts, window, b, cancel, &mut alloc_of)?,
+        Some(b) => greedy_incumbent(
+            list, deps, cm, opts, window, b, cancel, pool, key, &mut allocs, &mut dp_stats,
+        )?,
         None => f64::INFINITY,
     };
 
@@ -435,6 +639,11 @@ pub fn segment(
 
     for j in 0..m {
         let i_lo = j + 1 - window.min(j + 1);
+
+        // Pass 1 (sequential): pruning decisions. These read only
+        // prefix aggregates and `row_min` of earlier columns, so the
+        // surviving set is independent of any solve scheduling.
+        let mut survivors: Vec<usize> = Vec::new();
         for i in i_lo..=j {
             // Poll per window: each surviving window costs an allocator
             // solve, so this is the finest useful abort granularity.
@@ -453,7 +662,7 @@ pub fn segment(
                     continue;
                 }
                 let optimistic =
-                    base + b.inter_lb(list, i, j) + b.intra_lb(i, j) + b.suffix_lb(j, m);
+                    base + b.inter_lb(i, j) + b.intra_lb(i, j) + b.suffix_lb(j, m);
                 // Strictly-worse bound with a relative safety margin:
                 // floating-point noise must never prune a tied path.
                 if optimistic > incumbent * (1.0 + 1e-9) + 1e-9 {
@@ -461,7 +670,23 @@ pub fn segment(
                     continue;
                 }
             }
-            let Some(alloc) = alloc_of(i, j) else {
+            survivors.push(i);
+        }
+
+        // Pass 2 (parallel): one batch for the column's unsolved
+        // survivors.
+        solve_missing(
+            pool,
+            key,
+            &mut allocs,
+            &mut dp_stats,
+            survivors.iter().map(|&i| (i, j)),
+        )?;
+
+        // Pass 3 (sequential): the Eq. 3 recurrence in original window
+        // order — every allocation it reads is a memo hit.
+        for &i in &survivors {
+            let Some(alloc) = allocs[&(i, j)].as_ref() else {
                 continue;
             };
             let intra = alloc.latency;
@@ -469,7 +694,7 @@ pub fn segment(
                 // First segment: all arrays start in memory mode; charge
                 // the switches to compute mode and the initial weight load.
                 let cost =
-                    transition_cost(list, cm, opts.switch_aware, None, (0, j), &alloc);
+                    transition_cost(list, deps, cm, opts.switch_aware, None, (0, j), alloc);
                 dp.insert((0, j), (cost + intra, usize::MAX));
                 row_min[j] = row_min[j].min(cost + intra);
                 continue;
@@ -482,16 +707,18 @@ pub fn segment(
                 let Some(&(prev_cost, _)) = dp.get(&(k, i - 1)) else {
                     continue;
                 };
-                let Some(prev_alloc) = alloc_of(k, i - 1) else {
-                    continue;
-                };
+                let prev_alloc = allocs
+                    .get(&(k, i - 1))
+                    .and_then(|a| a.as_ref())
+                    .expect("dp state implies a memoized allocation");
                 let inter = transition_cost(
                     list,
+                    deps,
                     cm,
                     opts.switch_aware,
-                    Some((&(k, i - 1), &prev_alloc)),
+                    Some((&(k, i - 1), prev_alloc)),
                     (i, j),
-                    &alloc,
+                    alloc,
                 );
                 let total = prev_cost + inter + intra;
                 if best.is_none_or(|(b, _)| total < b) {
@@ -537,7 +764,14 @@ pub fn segment(
     // physically real) inter costs.
     let parts: Vec<((usize, usize), SegmentAllocation)> = ranges
         .iter()
-        .map(|&(i, j)| ((i, j), alloc_of(i, j).expect("allocation on optimal path")))
+        .map(|&(i, j)| {
+            let alloc = allocs
+                .get(&(i, j))
+                .cloned()
+                .flatten()
+                .expect("allocation on optimal path");
+            ((i, j), alloc)
+        })
         .collect();
     let segments = chain_segments(list, cm, parts);
 
@@ -770,6 +1004,23 @@ mod tests {
         }
         let (mip, fast, _) = allocator.stats.snapshot();
         assert_eq!(mip + fast, 0, "no allocator solve after cancellation");
+    }
+
+    #[test]
+    fn solve_workers_do_not_change_the_plan_or_the_dp_stats() {
+        // Full SegmentationResult equality — including DpStats, so the
+        // batch count itself must be worker-invariant.
+        let g = cmswitch_models::mlp::mlp(2, &[256, 512, 256, 128, 64]).unwrap();
+        let arch = presets::tiny();
+        for mode in [DpMode::Exhaustive, DpMode::BoundPruned] {
+            let base_opts = CompilerOptions::default().with_dp_mode(mode);
+            let base = run(&g, &arch, &base_opts);
+            for workers in [0, 2, 4, 8] {
+                let opts = base_opts.clone().with_solve_workers(workers);
+                let r = run(&g, &arch, &opts);
+                assert_eq!(base, r, "workers={workers} mode={mode:?}");
+            }
+        }
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub struct MipSolution {
     /// Whether optimality was proven (false only if the node limit was hit
     /// after an incumbent was found).
     pub proven_optimal: bool,
+    /// Whether a supplied warm start was feasible and seeded the initial
+    /// incumbent (it may since have been displaced by a better one).
+    pub used_warm_start: bool,
 }
 
 impl MipSolution {
@@ -133,6 +136,19 @@ impl MipProblem {
         }
         self.warm_start = Some(values);
         true
+    }
+
+    /// Discards any stored warm start. The next [`MipProblem::solve`] runs
+    /// cold. This is the only way to drop an accepted warm start: a
+    /// *rejected* [`MipProblem::set_warm_start`] call deliberately leaves a
+    /// previously accepted one in place.
+    pub fn clear_warm_start(&mut self) {
+        self.warm_start = None;
+    }
+
+    /// Whether a warm start is currently stored.
+    pub fn has_warm_start(&self) -> bool {
+        self.warm_start.is_some()
     }
 
     /// Evaluates an assignment: `Some(objective)` if it satisfies bounds,
@@ -226,8 +242,10 @@ impl MipProblem {
                 values: values.clone(),
                 nodes_explored: 0,
                 proven_optimal: false,
+                used_warm_start: true,
             })
         });
+        let warm_seeded = incumbent.is_some();
         let mut nodes = 0usize;
 
         while let Some(node) = heap.pop() {
@@ -271,6 +289,7 @@ impl MipProblem {
                             values: round_integers(&relax, &self.integer),
                             nodes_explored: nodes,
                             proven_optimal: true,
+                            used_warm_start: warm_seeded,
                         });
                     }
                 }
@@ -408,6 +427,45 @@ mod tests {
         assert!(mip.set_warm_start(vec![2.0]));
         let sol = mip.solve().unwrap();
         assert_eq!(sol.int_value(x), 3);
+        assert!(sol.used_warm_start);
+    }
+
+    #[test]
+    fn rejected_warm_start_keeps_prior_and_clear_removes_it() {
+        let mut mip = MipProblem::new();
+        let x = mip.add_int_var(0.0, 5.0, 1.0);
+        mip.add_constraint(vec![(x, 2.0)], Relation::Le, 7.0).unwrap();
+        // Accept a feasible warm start …
+        assert!(mip.set_warm_start(vec![2.0]));
+        assert!(mip.has_warm_start());
+        // … then a rejected (wrong-length) call must clear nothing: the
+        // previously accepted start still seeds the incumbent.
+        assert!(!mip.set_warm_start(vec![1.0, 1.0]));
+        assert!(mip.has_warm_start());
+        let sol = mip.solve().unwrap();
+        assert_eq!(sol.int_value(x), 3);
+        assert!(sol.used_warm_start);
+        // clear_warm_start is the explicit way to drop it.
+        mip.clear_warm_start();
+        assert!(!mip.has_warm_start());
+        let sol = mip.solve().unwrap();
+        assert_eq!(sol.int_value(x), 3);
+        assert!(!sol.used_warm_start);
+    }
+
+    #[test]
+    fn infeasible_warm_start_ignored_without_changing_solution() {
+        let mut mip = MipProblem::new();
+        let x = mip.add_int_var(0.0, 5.0, 1.0);
+        mip.add_constraint(vec![(x, 2.0)], Relation::Le, 7.0).unwrap();
+        let cold = mip.solve().unwrap();
+        // x = 5 violates 2x <= 7: accepted at set time, ignored at solve
+        // time, and the returned solution is identical to the cold one.
+        assert!(mip.set_warm_start(vec![5.0]));
+        let warm = mip.solve().unwrap();
+        assert!(!warm.used_warm_start);
+        assert_eq!(warm.values, cold.values);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
     }
 
     #[test]

@@ -1,10 +1,15 @@
-//! Dense two-phase simplex with Bland's anti-cycling rule.
+//! Dense two-phase simplex with implicit variable bounds and Bland's
+//! anti-cycling rule.
 //!
-//! Problems are converted to standard form (shifted variables `y = x - lb ≥
-//! 0`, finite upper bounds as extra rows, slack/surplus/artificial columns),
-//! phase 1 drives the artificials to zero, phase 2 optimizes the real
-//! objective. Sizes in this codebase are tens of variables, so a dense
-//! tableau is the right tool.
+//! Problems are converted to standard form (shifted variables `y = x -
+//! lb ≥ 0`, slack/surplus/artificial columns); phase 1 drives the
+//! artificials to zero, phase 2 optimizes the real objective. Finite
+//! upper bounds are handled *implicitly* by the bounded-variable rules
+//! (bound flips via column complementing, upper-bound ratio tests on
+//! basic variables) instead of as extra tableau rows: the allocation
+//! MIPs bound every variable, so explicit rows would triple the row
+//! count and dominate branch-and-bound time. Sizes in this codebase are
+//! tens of variables, so a dense tableau is the right tool.
 
 use crate::problem::{LinearProgram, LpSolution, Relation};
 use crate::SolverError;
@@ -13,35 +18,65 @@ const TOL: f64 = 1e-9;
 const MAX_ITERS: usize = 50_000;
 
 struct Tableau {
-    /// Constraint matrix, m rows × n_total columns.
-    a: Vec<Vec<f64>>,
-    /// Right-hand side, all nonnegative.
+    /// Constraint matrix, row-major `m × n_total`.
+    a: Vec<f64>,
+    /// Values of the basic variables (in tableau space), `0 ≤ b[r]`.
     b: Vec<f64>,
     /// Basic variable of each row.
     basis: Vec<usize>,
+    /// Upper bound of each column in tableau space (∞ when unbounded;
+    /// complementing a column keeps its range `[0, u]`).
+    upper: Vec<f64>,
+    /// Columns currently substituted as `x = u - x̂` (nonbasic at upper
+    /// bound, or re-entered from it).
+    complemented: Vec<bool>,
     /// Columns that may never enter the basis (artificials in phase 2).
     banned: Vec<bool>,
     n_total: usize,
 }
 
+enum Step {
+    /// The entering column hit its own upper bound: no basis change.
+    BoundFlip,
+    /// Pivot at `row`; the leaving basic variable exits at its
+    /// `upper` bound (true) or at zero (false).
+    Pivot { row: usize, at_upper: bool },
+}
+
 impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, j: usize) -> f64 {
+        self.a[r * self.n_total + j]
+    }
+
+    fn row(&self, r: usize) -> &[f64] {
+        &self.a[r * self.n_total..(r + 1) * self.n_total]
+    }
+
     fn pivot(&mut self, row: usize, col: usize) {
-        let scale = self.a[row][col];
-        for v in self.a[row].iter_mut() {
+        let n = self.n_total;
+        let scale = self.at(row, col);
+        for v in &mut self.a[row * n..(row + 1) * n] {
             *v /= scale;
         }
         self.b[row] /= scale;
-        for r in 0..self.a.len() {
+        for r in 0..self.b.len() {
             if r == row {
                 continue;
             }
-            let factor = self.a[r][col];
+            let factor = self.at(r, col);
             if factor.abs() <= TOL {
                 continue;
             }
-            for j in 0..self.n_total {
-                let delta = factor * self.a[row][j];
-                self.a[r][j] -= delta;
+            let (before, from_row) = self.a.split_at_mut(row * n);
+            let (pivot_row, after) = from_row.split_at_mut(n);
+            let target = if r < row {
+                &mut before[r * n..(r + 1) * n]
+            } else {
+                &mut after[(r - row - 1) * n..(r - row) * n]
+            };
+            for (t, &p) in target.iter_mut().zip(pivot_row.iter()) {
+                *t -= factor * p;
             }
             self.b[r] -= factor * self.b[row];
             if self.b[r].abs() < TOL {
@@ -49,6 +84,60 @@ impl Tableau {
             }
         }
         self.basis[row] = col;
+    }
+
+    /// Substitutes column `col` as `x = upper - x̂`: negates the column,
+    /// shifts the basic values, and flips the reduced cost. Used when a
+    /// nonbasic variable moves to (or re-enters from) its upper bound.
+    fn complement(&mut self, col: usize, c_red: &mut [f64]) {
+        let u = self.upper[col];
+        for r in 0..self.b.len() {
+            let arj = self.a[r * self.n_total + col];
+            if arj != 0.0 {
+                self.b[r] -= arj * u;
+                self.a[r * self.n_total + col] = -arj;
+                if self.b[r].abs() < TOL {
+                    self.b[r] = 0.0;
+                }
+            } else {
+                self.a[r * self.n_total + col] = -arj;
+            }
+        }
+        c_red[col] = -c_red[col];
+        self.complemented[col] = !self.complemented[col];
+    }
+
+    /// Bounded-variable ratio test for entering column `col`: the step
+    /// is limited by the entering variable's own upper bound, by basic
+    /// variables dropping to zero, and by basic variables rising to
+    /// their upper bounds. Ties break on the smaller basic-variable
+    /// index (Bland-compatible).
+    fn ratio_test(&self, col: usize) -> Option<(Step, f64)> {
+        let mut best: Option<(Step, f64)> = None;
+        if self.upper[col].is_finite() {
+            best = Some((Step::BoundFlip, self.upper[col]));
+        }
+        for r in 0..self.b.len() {
+            let arj = self.at(r, col);
+            let (t, at_upper) = if arj > TOL {
+                (self.b[r] / arj, false)
+            } else if arj < -TOL && self.upper[self.basis[r]].is_finite() {
+                ((self.upper[self.basis[r]] - self.b[r]) / -arj, true)
+            } else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some((Step::BoundFlip, bt)) => t < *bt + TOL,
+                Some((Step::Pivot { row, .. }, bt)) => {
+                    t < *bt - TOL || (t < *bt + TOL && self.basis[r] < self.basis[*row])
+                }
+            };
+            if better {
+                best = Some((Step::Pivot { row: r, at_upper }, t));
+            }
+        }
+        best
     }
 
     /// Runs simplex iterations maximizing the objective described by
@@ -65,9 +154,7 @@ impl Tableau {
                 // Dantzig: most positive reduced cost.
                 (0..self.n_total)
                     .filter(|&j| !self.banned[j] && c_red[j] > TOL)
-                    .max_by(|&a, &b| {
-                        c_red[a].partial_cmp(&c_red[b]).expect("finite costs")
-                    })
+                    .max_by(|&a, &b| c_red[a].partial_cmp(&c_red[b]).expect("finite costs"))
             } else {
                 // Bland: smallest-index improving column (anti-cycling).
                 (0..self.n_total).find(|&j| !self.banned[j] && c_red[j] > TOL)
@@ -75,38 +162,46 @@ impl Tableau {
             let Some(col) = entering else {
                 return Ok(());
             };
-            // Ratio test, Bland tie-break on basis variable index.
-            let mut leave: Option<(usize, f64)> = None;
-            for r in 0..self.a.len() {
-                if self.a[r][col] > TOL {
-                    let ratio = self.b[r] / self.a[r][col];
-                    let better = match leave {
-                        None => true,
-                        Some((lr, lratio)) => {
-                            ratio < lratio - TOL
-                                || (ratio < lratio + TOL && self.basis[r] < self.basis[lr])
-                        }
-                    };
-                    if better {
-                        leave = Some((r, ratio));
-                    }
-                }
-            }
-            let Some((row, ratio)) = leave else {
+            let Some((step, t)) = self.ratio_test(col) else {
                 return Err(SolverError::Unbounded);
             };
-            if c_red[col] * ratio > TOL {
+            if c_red[col] * t > TOL {
                 stall = 0;
             } else {
                 stall += 1;
             }
-            *obj += c_red[col] * ratio;
-            self.pivot(row, col);
-            // Update reduced costs: eliminate the entering column.
-            let factor = c_red[col];
-            if factor.abs() > 0.0 {
-                for (cj, &arj) in c_red.iter_mut().zip(&self.a[row]) {
-                    *cj -= factor * arj;
+            *obj += c_red[col] * t;
+            match step {
+                Step::BoundFlip => {
+                    // The entering variable walks to its own upper bound
+                    // without driving any basic variable out.
+                    self.complement(col, c_red);
+                }
+                Step::Pivot { row, at_upper } => {
+                    if at_upper {
+                        // The leaving variable exits at its upper bound:
+                        // complement its column, then negate the row to
+                        // restore a nonnegative rhs. The two negations
+                        // cancel on the leaving column itself, which
+                        // keeps its canonical +1 coefficient.
+                        let leaving = self.basis[row];
+                        self.b[row] = self.upper[leaving] - self.b[row];
+                        let n = self.n_total;
+                        for (j, v) in self.a[row * n..(row + 1) * n].iter_mut().enumerate() {
+                            if j != leaving {
+                                *v = -*v;
+                            }
+                        }
+                        self.complemented[leaving] = !self.complemented[leaving];
+                    }
+                    self.pivot(row, col);
+                    // Update reduced costs: eliminate the entering column.
+                    let factor = c_red[col];
+                    if factor.abs() > 0.0 {
+                        for (cj, &arj) in c_red.iter_mut().zip(self.row(row)) {
+                            *cj -= factor * arj;
+                        }
+                    }
                 }
             }
         }
@@ -122,20 +217,13 @@ pub(crate) fn solve(
 ) -> Result<LpSolution, SolverError> {
     let n = lp.n_vars();
 
-    // Shift: y_j = x_j - lb_j >= 0; constant objective offset.
-    let mut obj_offset = 0.0;
-    for (c, lb) in lp.objective.iter().zip(lower) {
-        obj_offset += c * lb;
-    }
-
-    // Collect rows: original constraints with shifted RHS, plus upper-bound
-    // rows for finite upper bounds.
+    // Shift: y_j = x_j - lb_j in [0, ub_j - lb_j].
     struct Row {
         terms: Vec<(usize, f64)>,
         relation: Relation,
         rhs: f64,
     }
-    let mut rows: Vec<Row> = Vec::with_capacity(lp.constraints.len() + n);
+    let mut rows: Vec<Row> = Vec::with_capacity(lp.constraints.len());
     for c in &lp.constraints {
         let mut rhs = c.rhs;
         for &(j, coef) in &c.terms {
@@ -146,15 +234,6 @@ pub(crate) fn solve(
             relation: c.relation,
             rhs,
         });
-    }
-    for j in 0..n {
-        if upper[j].is_finite() {
-            rows.push(Row {
-                terms: vec![(j, 1.0)],
-                relation: Relation::Le,
-                rhs: upper[j] - lower[j],
-            });
-        }
     }
 
     // Normalize RHS signs.
@@ -174,44 +253,42 @@ pub(crate) fn solve(
 
     let m = rows.len();
     // Column layout: [structural 0..n | slack/surplus | artificial].
-    let n_slack = rows
-        .iter()
-        .filter(|r| r.relation != Relation::Eq)
-        .count();
-    let n_art = rows
-        .iter()
-        .filter(|r| r.relation != Relation::Le)
-        .count();
+    let n_slack = rows.iter().filter(|r| r.relation != Relation::Eq).count();
+    let n_art = rows.iter().filter(|r| r.relation != Relation::Le).count();
     let n_total = n + n_slack + n_art;
 
-    let mut a = vec![vec![0.0; n_total]; m];
+    let mut a = vec![0.0; m * n_total];
     let mut b = vec![0.0; m];
     let mut basis = vec![0usize; m];
     let mut is_artificial = vec![false; n_total];
+    let mut col_upper = vec![f64::INFINITY; n_total];
+    for j in 0..n {
+        col_upper[j] = upper[j] - lower[j];
+    }
     let mut slack_cursor = n;
     let mut art_cursor = n + n_slack;
 
     for (i, row) in rows.iter().enumerate() {
         for &(j, coef) in &row.terms {
-            a[i][j] += coef;
+            a[i * n_total + j] += coef;
         }
         b[i] = row.rhs;
         match row.relation {
             Relation::Le => {
-                a[i][slack_cursor] = 1.0;
+                a[i * n_total + slack_cursor] = 1.0;
                 basis[i] = slack_cursor;
                 slack_cursor += 1;
             }
             Relation::Ge => {
-                a[i][slack_cursor] = -1.0;
+                a[i * n_total + slack_cursor] = -1.0;
                 slack_cursor += 1;
-                a[i][art_cursor] = 1.0;
+                a[i * n_total + art_cursor] = 1.0;
                 is_artificial[art_cursor] = true;
                 basis[i] = art_cursor;
                 art_cursor += 1;
             }
             Relation::Eq => {
-                a[i][art_cursor] = 1.0;
+                a[i * n_total + art_cursor] = 1.0;
                 is_artificial[art_cursor] = true;
                 basis[i] = art_cursor;
                 art_cursor += 1;
@@ -223,6 +300,8 @@ pub(crate) fn solve(
         a,
         b,
         basis,
+        upper: col_upper,
+        complemented: vec![false; n_total],
         banned: vec![false; n_total],
         n_total,
     };
@@ -245,8 +324,8 @@ pub(crate) fn solve(
         // Drive remaining basic artificials out where possible.
         for r in 0..m {
             if is_artificial[tab.basis[r]] {
-                if let Some(col) = (0..n_total)
-                    .find(|&j| !is_artificial[j] && tab.a[r][j].abs() > 1e-7)
+                if let Some(col) =
+                    (0..n_total).find(|&j| !is_artificial[j] && tab.at(r, j).abs() > 1e-7)
                 {
                     tab.pivot(r, col);
                 }
@@ -259,37 +338,56 @@ pub(crate) fn solve(
         }
     }
 
-    // Phase 2: real objective.
+    // Phase 2: the real objective, expressed in tableau space (a
+    // complemented column contributes with its sign flipped).
     let mut c2 = vec![0.0; n_total];
-    c2[..n].copy_from_slice(&lp.objective[..n]);
+    for (j, c) in c2.iter_mut().enumerate().take(n) {
+        *c = if tab.complemented[j] {
+            -lp.objective[j]
+        } else {
+            lp.objective[j]
+        };
+    }
     let mut obj2 = 0.0;
     canonicalize(&tab, &mut c2, &mut obj2);
     tab.optimize(&mut c2, &mut obj2)?;
 
-    // Extract.
-    let mut values = lower.to_vec();
+    // Extract: nonbasic columns sit at 0 in tableau space (their upper
+    // bound when complemented); basic columns carry their row's value.
+    let mut tab_values = vec![0.0; n_total];
     for r in 0..m {
-        let var = tab.basis[r];
-        if var < n {
-            values[var] = lower[var] + tab.b[r];
-        }
+        tab_values[tab.basis[r]] = tab.b[r];
+    }
+    let mut in_basis = vec![false; n_total];
+    for &v in &tab.basis {
+        in_basis[v] = true;
+    }
+    let mut values = lower.to_vec();
+    for j in 0..n {
+        let y = if tab.complemented[j] {
+            tab.upper[j] - if in_basis[j] { tab_values[j] } else { 0.0 }
+        } else if in_basis[j] {
+            tab_values[j]
+        } else {
+            0.0
+        };
+        values[j] += y;
     }
     let objective = values
         .iter()
         .zip(&lp.objective)
         .map(|(x, c)| x * c)
         .sum::<f64>();
-    let _ = obj_offset; // objective recomputed from values for robustness
     Ok(LpSolution { objective, values })
 }
 
 /// Expresses objective `c` in the current basis: subtracts multiples of the
 /// basic rows so reduced costs of basic variables vanish.
 fn canonicalize(tab: &Tableau, c: &mut [f64], obj: &mut f64) {
-    for r in 0..tab.a.len() {
+    for r in 0..tab.b.len() {
         let coef = c[tab.basis[r]];
         if coef.abs() > 0.0 {
-            for (cj, &arj) in c.iter_mut().zip(&tab.a[r]) {
+            for (cj, &arj) in c.iter_mut().zip(tab.row(r)) {
                 *cj -= coef * arj;
             }
             *obj += coef * tab.b[r];
@@ -348,12 +446,49 @@ mod tests {
         assert!((sol.objective - 2.0).abs() < 1e-6);
     }
 
+    #[test]
+    fn bound_flip_reaches_the_upper_bound() {
+        // max x + y with x <= 3 (bound), x + y <= 5: x flips to its
+        // upper bound without ever entering the basis.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 3.0, 1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 5.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+        assert!((sol.value(x) + sol.value(y) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn basic_variable_leaves_at_its_upper_bound() {
+        // max 2x + y, y <= 4, x + y >= 3, x <= 2: the Ge row forces y
+        // basic early; pushing x up drives y to its upper bound.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 2.0, 2.0);
+        let y = lp.add_var(0.0, 4.0, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 3.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-6);
+        assert!((sol.value(y) - 4.0).abs() < 1e-6);
+        assert!((sol.objective - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_variables_bounded_tight_box() {
+        // Pure box problem, no rows at all.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 2.5, 3.0);
+        let y = lp.add_var(0.5, 1.5, -1.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 2.5).abs() < 1e-6);
+        assert!((sol.value(y) - 0.5).abs() < 1e-6);
+        assert!((sol.objective - 7.0).abs() < 1e-6);
+    }
+
     /// Brute-force LP check on a grid for 2-variable problems.
-    fn brute_force_2d(
-        lp: &LinearProgram,
-        xmax: f64,
-        ymax: f64,
-    ) -> Option<f64> {
+    fn brute_force_2d(lp: &LinearProgram, xmax: f64, ymax: f64) -> Option<f64> {
         let steps = 400;
         let mut best: Option<f64> = None;
         for i in 0..=steps {
@@ -406,6 +541,39 @@ mod tests {
                 }
                 Err(SolverError::Infeasible) => {
                     prop_assert!(brute_force_2d(&lp, 10.0, 10.0).is_none());
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+            }
+        }
+
+        #[test]
+        fn respects_random_boxes_and_matches_grid(seed in 0u64..10_000) {
+            // Same grid cross-check, but with random finite bounds on
+            // both variables — exercises bound flips and upper-bound
+            // leaves that the unbounded test above cannot reach.
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+            let mut lp = LinearProgram::new();
+            let ux = rng.gen_range(1.0..8.0);
+            let uy = rng.gen_range(1.0..8.0);
+            let x = lp.add_var(0.0, ux, rng.gen_range(-2.0..4.0));
+            let y = lp.add_var(0.0, uy, rng.gen_range(-2.0..4.0));
+            for _ in 0..rng.gen_range(1..4) {
+                let a = rng.gen_range(-2.0..3.0);
+                let b = rng.gen_range(-2.0..3.0);
+                let rhs = rng.gen_range(0.5..15.0);
+                lp.add_constraint(vec![(x, a), (y, b)], Relation::Le, rhs).unwrap();
+            }
+            match lp.solve() {
+                Ok(sol) => {
+                    prop_assert!(sol.value(x) <= ux + 1e-7);
+                    prop_assert!(sol.value(y) <= uy + 1e-7);
+                    let brute = brute_force_2d(&lp, ux, uy)
+                        .expect("solver found a solution so grid must too");
+                    prop_assert!(sol.objective >= brute - 1e-6);
+                    prop_assert!(sol.objective <= brute + 0.3);
+                }
+                Err(SolverError::Infeasible) => {
+                    prop_assert!(brute_force_2d(&lp, ux, uy).is_none());
                 }
                 Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
             }

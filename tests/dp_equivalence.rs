@@ -131,6 +131,83 @@ fn pruned_dp_identical_under_mip_allocator_on_transformer_prefix() {
     assert!(s_pr <= s_ex, "pruned {s_pr} vs exhaustive {s_ex}");
 }
 
+// --- Warm-start soundness ---------------------------------------------
+//
+// The parallel DP feeds `MipProblem::set_warm_start` from neighboring
+// windows' solutions. That is only sound if an injected warm start can
+// never make the solver return a *worse* objective than a cold solve —
+// a warm start may only seed the incumbent, never truncate the search
+// below the cold optimum (the solver runs with `relative_gap = 0` by
+// default, so "no worse" holds to integer tolerance).
+
+use cmswitch::solver::{MipProblem, Relation};
+
+/// A small random bounded-knapsack MIP: maximize Σ cᵢxᵢ subject to
+/// Σ wᵢxᵢ ≤ cap, 0 ≤ xᵢ ≤ ubᵢ integer. Always feasible (x = 0).
+fn knapsack(items: &[(f64, f64, u8)], cap: f64) -> MipProblem {
+    let mut mip = MipProblem::new();
+    let mut terms = Vec::new();
+    for &(value, weight, ub) in items {
+        let v = mip.add_int_var(0.0, f64::from(ub), value);
+        terms.push((v, weight));
+    }
+    mip.add_constraint(terms, Relation::Le, cap).unwrap();
+    mip
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn any_injected_warm_start_is_never_worse_than_the_cold_solve(
+        n_items in 1usize..5,
+        item_values in proptest::collection::vec(1.0f64..20.0, 4..5),
+        item_weights in proptest::collection::vec(1.0f64..10.0, 4..5),
+        item_ubs in proptest::collection::vec(1u8..4, 4..5),
+        cap in 1.0f64..30.0,
+        guess in proptest::collection::vec(0u8..4, 4..5),
+    ) {
+        let items: Vec<(f64, f64, u8)> = (0..n_items)
+            .map(|i| (item_values[i], item_weights[i], item_ubs[i]))
+            .collect();
+        let cold = knapsack(&items, cap).solve().expect("x = 0 is feasible");
+        let mut warm_mip = knapsack(&items, cap);
+        let values: Vec<f64> = guess[..items.len()]
+            .iter()
+            .map(|&g| f64::from(g))
+            .collect();
+        let feasible = warm_mip.check_feasible(&values);
+        prop_assert!(warm_mip.set_warm_start(values), "length always matches");
+        let warm = warm_mip.solve().expect("warm start never loses feasibility");
+        prop_assert!(
+            warm.objective >= cold.objective - 1e-6,
+            "warm start degraded the solve: {} < {} (seed feasible: {})",
+            warm.objective, cold.objective, feasible.is_some()
+        );
+        if feasible.is_none() {
+            // An infeasible seed must be ignored outright: same solution
+            // as cold, and the solver must not claim it used the seed.
+            prop_assert!(!warm.used_warm_start);
+            prop_assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+            prop_assert_eq!(&warm.values, &cold.values);
+        }
+    }
+}
+
+#[test]
+fn deliberately_infeasible_warm_start_is_rejected_without_changing_the_solution() {
+    // One item, weight 2, capacity 3: x = 3 violates the knapsack row.
+    let items = [(5.0, 2.0, 3u8)];
+    let cold = knapsack(&items, 3.0).solve().unwrap();
+    let mut mip = knapsack(&items, 3.0);
+    assert!(mip.check_feasible(&[3.0]).is_none(), "seed must violate capacity");
+    assert!(mip.set_warm_start(vec![3.0]), "right length, so accepted for the attempt");
+    let warm = mip.solve().unwrap();
+    assert!(!warm.used_warm_start, "infeasible seed may not claim credit");
+    assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+    assert_eq!(warm.values, cold.values);
+    assert_eq!(cold.values[0].round() as i64, 1, "optimum packs one item");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(36))]
     #[test]

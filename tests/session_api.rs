@@ -129,6 +129,28 @@ fn short_deadline_aborts_a_transformer_mid_compile() {
 }
 
 #[test]
+fn short_deadline_aborts_a_parallel_compile_without_poisoning_the_session() {
+    // Same 2 ms deadline as above, but with the DP's allocation solves
+    // fanned out across 4 workers: the CancelToken is polled inside the
+    // batch, so the deadline must still abort — and because the solve
+    // pool lives strictly inside one compile, the *same* session must
+    // compile cleanly afterwards (no poisoned pool state).
+    let session = Session::builder(presets::dynaplasia())
+        .solve_workers(4)
+        .build();
+    let graph = cmswitch::models::registry::build("bert-base", 1, 32).unwrap();
+    let err = session
+        .compile(CompileRequest::new(graph).with_deadline(Duration::from_millis(2)))
+        .unwrap_err();
+    assert_eq!(err, CompileError::Cancelled);
+    let small = cmswitch::models::mlp::mlp(1, &[64, 64, 32]).unwrap();
+    let outcome = session
+        .compile(CompileRequest::new(small))
+        .expect("session stays usable after a cancelled parallel compile");
+    assert!(!outcome.program.segments.is_empty());
+}
+
+#[test]
 fn explicit_cancel_token_is_shared_across_clones() {
     let session = Session::builder(presets::tiny()).build();
     let token = CancelToken::new();

@@ -1,0 +1,145 @@
+//! Solve-parallelism determinism: plans are bit-identical at every
+//! `solve_workers` setting.
+//!
+//! The segmentation DP fans allocation solves out across a worker pool
+//! ([`cmswitch::compiler::solvepool`]), but the set of windows to solve
+//! and the recurrence that consumes them stay sequential, and warm
+//! starts are a pure function of the window signature — so the compiled
+//! plan may not depend on worker count, scheduling, or batch interleave.
+//! This suite pins that contract:
+//!
+//! * the full 9-model registry × all 4 backends, compiled at
+//!   `solve_workers` ∈ {1, 2, 4, 8}, must produce bit-identical
+//!   [`CompiledProgram`]s (everything except wall-clock/concurrency
+//!   counters in `stats`) against the sequential baseline;
+//! * a property test over random MLP graphs × the 3 arch presets does
+//!   the same for shapes the registry does not cover.
+
+use proptest::prelude::*;
+
+use cmswitch::models::registry;
+use cmswitch::prelude::*;
+
+/// A fresh cold session: `kind` backend, `workers` solve workers. The
+/// CNN models get a narrower DP window (`max_segment_ops`): their large
+/// per-op tile counts make debug-build MIP solves expensive, and the
+/// bit-identity property under test is independent of the window cap —
+/// it only has to be the *same* cap at every worker count.
+fn session(kind: BackendKind, workers: usize, model: &str) -> Session {
+    let mut options = CompilerOptions::default();
+    if ["mobilenetv2", "resnet18", "resnet50", "vgg16"].contains(&model) {
+        options.max_segment_ops = 4;
+    }
+    options.solve_workers = workers;
+    Session::builder(presets::dynaplasia())
+        .backend_kind(kind)
+        .options(options)
+        .build()
+}
+
+/// Everything except `stats` must match bit-for-bit. Wall-clock times
+/// and solver-invocation counters may legitimately vary with worker
+/// count (duplicate in-flight solves are idempotent but counted); the
+/// plan-shaped stats may not.
+fn assert_same_plan(base: &CompiledProgram, other: &CompiledProgram, what: &str) {
+    assert_eq!(base.flow, other.flow, "flow differs: {what}");
+    assert_eq!(base.ops, other.ops, "ops differ: {what}");
+    assert_eq!(base.op_deps, other.op_deps, "op_deps differ: {what}");
+    assert_eq!(base.segments, other.segments, "segments differ: {what}");
+    assert_eq!(
+        base.predicted_latency.to_bits(),
+        other.predicted_latency.to_bits(),
+        "predicted_latency differs: {what} ({} vs {})",
+        base.predicted_latency,
+        other.predicted_latency
+    );
+    assert_eq!(base.stats.n_ops, other.stats.n_ops, "n_ops differ: {what}");
+    assert_eq!(
+        base.stats.n_segments, other.stats.n_segments,
+        "n_segments differ: {what}"
+    );
+    // Pruning decisions and batch composition are made sequentially, so
+    // these counters are worker-invariant by construction.
+    assert_eq!(
+        base.stats.dp_windows_pruned, other.stats.dp_windows_pruned,
+        "dp_windows_pruned differs: {what}"
+    );
+    assert_eq!(
+        base.stats.solve_batches, other.stats.solve_batches,
+        "solve_batches differ: {what}"
+    );
+}
+
+#[test]
+fn registry_plans_identical_at_every_worker_count_on_all_backends() {
+    // Sequence length 8 keeps the billion-parameter transformers
+    // affordable in debug builds; the bit-identity property under test
+    // is independent of the op count. The default backend gets the full
+    // {2, 4, 8} sweep; the baseline backends share the same DP + solve
+    // pool underneath, so one parallel point each suffices.
+    for kind in BackendKind::ALL {
+        let sweep: &[usize] = if kind == BackendKind::CmSwitch {
+            &[2, 4, 8]
+        } else {
+            &[4]
+        };
+        for &model in registry::ALL_MODELS {
+            let graph = registry::build(model, 1, 8).expect("registered model");
+            let base = session(kind, 1, model)
+                .compile_graph(&graph)
+                .expect("sequential baseline compiles");
+            for &workers in sweep {
+                let p = session(kind, workers, model)
+                    .compile_graph(&graph)
+                    .expect("parallel compile succeeds");
+                assert_same_plan(
+                    &base,
+                    &p,
+                    &format!("{model} on {} at {workers} workers", kind.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_worker_count_matches_the_sequential_plan() {
+    // `solve_workers = 0` resolves to available parallelism — whatever
+    // that is on the host, the plan must match workers = 1.
+    let graph = registry::build("resnet18", 1, 0).unwrap();
+    let base = session(BackendKind::CmSwitch, 1, "resnet18")
+        .compile_graph(&graph)
+        .unwrap();
+    let auto = session(BackendKind::CmSwitch, 0, "resnet18")
+        .compile_graph(&graph)
+        .unwrap();
+    assert_same_plan(&base, &auto, "resnet18 at auto workers");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn random_mlps_identical_across_presets_and_worker_counts(
+        preset_idx in 0usize..3,
+        widths in proptest::collection::vec(8usize..192, 2..5),
+        batch in 1usize..3,
+        workers in 2usize..9,
+    ) {
+        let arch = match preset_idx {
+            0 => presets::dynaplasia(),
+            1 => presets::prime(),
+            _ => presets::tiny(),
+        };
+        let graph = cmswitch::models::mlp::mlp(batch, &widths).expect("valid mlp");
+        let seq = Session::builder(arch.clone()).solve_workers(1).build()
+            .compile_graph(&graph);
+        // Oversized layers on the tiny preset fail identically in both
+        // modes; the determinism claim is about successful plans.
+        prop_assume!(seq.is_ok());
+        let base = seq.unwrap();
+        let par = Session::builder(arch).solve_workers(workers).build()
+            .compile_graph(&graph)
+            .expect("parallel compile succeeds where sequential did");
+        assert_same_plan(&base, &par, &format!("mlp{widths:?} at {workers} workers"));
+    }
+}
