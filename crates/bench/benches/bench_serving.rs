@@ -1,0 +1,251 @@
+//! Serving bench: the persistent artifact store across a process
+//! boundary (simulated with fresh sessions and stores over one
+//! directory), and the compile server's sustained throughput.
+//!
+//! Three measurements, written to `BENCH_serving.json` at the repo
+//! root:
+//!
+//! * **registry** — wall clock to compile the full model registry cold
+//!   vs disk-warm from a fresh session. The tentpole invariants are
+//!   asserted on every run (including CI's `CMSWITCH_BENCH_SMOKE`
+//!   pass): zero allocator solves when warm, every model served from
+//!   the store, and at least a 3x speedup.
+//! * **promotion** — export / import cost of the allocation-cache
+//!   snapshot (the L2 -> L1 promotion path). Entries carry memoized
+//!   signature hashes, so promotion must never re-hash; the criterion
+//!   group guards the latency.
+//! * **traffic** — the synthetic traffic generator: a [`CompileServer`]
+//!   at 1 / 2 / 4 workers, cold store vs primed store, reporting
+//!   sustained requests/sec with p50 / p99 reply latency.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cmswitch_arch::presets;
+use cmswitch_core::{AllocationCache, ArtifactStore, CompileRequest, Session};
+use cmswitch_models::registry;
+use cmswitch_serve::{CompileServer, ServeReply, ServeRequest, ServerOptions, Ticket};
+
+const BATCH: usize = 1;
+const SEQ: usize = 16;
+/// Rounds over the registry per traffic measurement (later rounds
+/// exercise the in-memory caches, like a real sustained workload).
+const ROUNDS: usize = 2;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmswitch-bench-serving-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn requests() -> Vec<CompileRequest> {
+    registry::build_all(BATCH, SEQ)
+        .expect("registry builds")
+        .into_iter()
+        .map(|(name, graph)| CompileRequest::new(graph).with_label(name))
+        .collect()
+}
+
+fn store_session(dir: &Path) -> Session {
+    let store = ArtifactStore::open(dir).expect("store opens");
+    Session::builder(presets::dynaplasia()).store(store).build()
+}
+
+/// Cold-vs-warm registry compile across a simulated process restart.
+/// Returns the JSON fragment for the report.
+fn measure_registry(dir: &Path) -> String {
+    let reqs = requests();
+
+    let session = store_session(dir);
+    let t0 = Instant::now();
+    let cold = session.compile_batch(&reqs);
+    let cold_wall = t0.elapsed();
+    assert!(cold.outcomes.iter().all(|o| o.result.is_ok()));
+    session.persist_alloc_snapshot().expect("snapshot persists");
+    let cold_solves: u64 = cold
+        .outcomes
+        .iter()
+        .filter_map(|o| o.result.as_ref().ok())
+        .map(|p| p.stats.mip_solves + p.stats.fast_solves)
+        .sum();
+    drop(session);
+
+    // The restart: nothing shared but the directory.
+    let session = store_session(dir);
+    let t0 = Instant::now();
+    let warm = session.compile_batch(&reqs);
+    let warm_wall = t0.elapsed();
+    assert!(warm.outcomes.iter().all(|o| o.result.is_ok()));
+    let warm_solves: u64 = warm
+        .outcomes
+        .iter()
+        .filter_map(|o| o.result.as_ref().ok())
+        .map(|p| p.stats.mip_solves + p.stats.fast_solves)
+        .sum();
+
+    // The tentpole acceptance criteria, enforced on every bench run.
+    assert_eq!(warm_solves, 0, "disk-warm registry compile must be solve-free");
+    assert_eq!(warm.stats.store_hits, reqs.len() as u64);
+    assert!(
+        warm_wall * 3 <= cold_wall,
+        "disk-warm must be >= 3x faster: cold {cold_wall:?}, warm {warm_wall:?}"
+    );
+
+    format!(
+        "{{\"models\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+         \"speedup\": {:.1}, \"cold_solves\": {cold_solves}, \
+         \"warm_solves\": {warm_solves}, \"store_hits\": {}}}",
+        reqs.len(),
+        cold_wall.as_secs_f64() * 1e3,
+        warm_wall.as_secs_f64() * 1e3,
+        cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9),
+        warm.stats.store_hits,
+    )
+}
+
+/// Export / import timing of the allocation snapshot (L2 promotion).
+fn measure_promotion(dir: &Path) -> (Arc<AllocationCache>, usize, String) {
+    // A cache warmed by the registry (reuse the primed store's snapshot).
+    let store = ArtifactStore::open(dir).expect("store opens");
+    let warmed = AllocationCache::new();
+    let entries = store.load_alloc_snapshot(&warmed);
+    assert!(entries > 0, "primed store must carry a snapshot");
+
+    let t0 = Instant::now();
+    let exported = warmed.export_entries();
+    let export_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let fresh = AllocationCache::new();
+    let t0 = Instant::now();
+    let imported = fresh.import_entries(exported);
+    let import_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(imported, entries);
+
+    let json = format!(
+        "{{\"entries\": {entries}, \"export_ms\": {export_ms:.3}, \"import_ms\": {import_ms:.3}}}"
+    );
+    (warmed, entries, json)
+}
+
+/// Drives `ROUNDS` full passes over the registry through a server and
+/// collects per-reply latency. Returns (walls, total).
+fn drive(server: &CompileServer) -> (Vec<Duration>, Duration) {
+    let models = registry::build_all(BATCH, SEQ).expect("registry builds");
+    let t0 = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::new();
+    for round in 0..ROUNDS {
+        for (name, graph) in &models {
+            tickets.push(
+                server
+                    .submit(ServeRequest::new(format!("{name}#{round}"), graph.clone()))
+                    .expect("queue sized for the benchmark"),
+            );
+        }
+    }
+    let replies: Vec<ServeReply> = tickets.into_iter().map(Ticket::wait).collect();
+    let total = t0.elapsed();
+    assert!(replies.iter().all(|r| r.outcome.is_ok()));
+    let mut walls: Vec<Duration> = replies.iter().map(|r| r.wall).collect();
+    walls.sort();
+    (walls, total)
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> f64 {
+    let idx = (sorted.len() * p / 100).min(sorted.len() - 1);
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+fn traffic_stats(walls: &[Duration], total: Duration) -> String {
+    format!(
+        "{{\"reqs\": {}, \"total_ms\": {:.3}, \"req_per_s\": {:.1}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+        walls.len(),
+        total.as_secs_f64() * 1e3,
+        walls.len() as f64 / total.as_secs_f64().max(1e-9),
+        percentile(walls, 50),
+        percentile(walls, 99),
+    )
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let warm_dir = temp_dir("warm");
+    let registry_json = measure_registry(&warm_dir);
+    let (warmed_cache, promo_entries, promotion_json) = measure_promotion(&warm_dir);
+
+    // Traffic generator: workers x {cold, warm}.
+    let mut traffic = String::new();
+    for workers in [1usize, 2, 4] {
+        let cold_dir = temp_dir(&format!("cold-{workers}"));
+        let opts = || {
+            ServerOptions::default()
+                .with_workers(workers)
+                .with_queue_capacity(registry::ALL_MODELS.len() * ROUNDS + 1)
+        };
+
+        let server = CompileServer::start(store_session(&cold_dir), opts());
+        let (cold_walls, cold_total) = drive(&server);
+        drop(server);
+        let _ = std::fs::remove_dir_all(&cold_dir);
+
+        let server = CompileServer::start(store_session(&warm_dir), opts());
+        let (warm_walls, warm_total) = drive(&server);
+        let warm_stats = server.session().store().expect("store attached").stats();
+        assert!(warm_stats.hits > 0, "warm traffic must hit the store");
+        drop(server);
+
+        if !traffic.is_empty() {
+            traffic.push(',');
+        }
+        write!(
+            traffic,
+            "\n  {{\"workers\": {workers}, \"cold\": {}, \"warm\": {}}}",
+            traffic_stats(&cold_walls, cold_total),
+            traffic_stats(&warm_walls, warm_total),
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\"bench\": \"serving\", \"batch\": {BATCH}, \"seq_len\": {SEQ}, \
+         \"rounds\": {ROUNDS},\n \"registry\": {registry_json},\n \
+         \"promotion\": {promotion_json},\n \"traffic\": [{traffic}\n]}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, json).expect("write BENCH_serving.json");
+
+    // Criterion samples: disk-warm serving throughput per worker count,
+    // and the snapshot-promotion guard (memoized hashes: import must
+    // stay cheap relative to solving).
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(3);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("warm_registry", workers), |b| {
+            b.iter(|| {
+                let server = CompileServer::start(
+                    store_session(&warm_dir),
+                    ServerOptions::default()
+                        .with_workers(workers)
+                        .with_queue_capacity(registry::ALL_MODELS.len() * ROUNDS + 1),
+                );
+                let (walls, _) = drive(&server);
+                walls.len()
+            })
+        });
+    }
+    group.bench_function(BenchmarkId::new("promote_snapshot", promo_entries), |b| {
+        b.iter(|| {
+            let fresh = AllocationCache::new();
+            fresh.import_entries(warmed_cache.export_entries())
+        })
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&warm_dir);
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -203,6 +203,33 @@ pub struct AllocationCache {
 /// lookup) and the allocation result (`None` = proven infeasible).
 type CacheEntry = (Vec<u64>, Option<SegmentAllocation>);
 
+/// One exported cache entry: `(bucket hash, full signature, result)` —
+/// the unit of the on-disk allocation snapshot
+/// ([`AllocationCache::export_entries`] /
+/// [`AllocationCache::import_entries`],
+/// [`crate::artifact::encode_alloc_entries`]). The hash is carried
+/// explicitly so importing never re-hashes a signature.
+pub type AllocEntry = (u64, Vec<u64>, Option<SegmentAllocation>);
+
+/// A segment signature paired with its `stable_hash64`, computed once.
+///
+/// The cache, the warm-start memo and the insert path all key by the
+/// same words; hashing them once per [`Allocator::allocate`] call (the
+/// satellite fix for the re-hash-on-every-probe path) halves the
+/// signature hashing per solved window.
+#[derive(Debug, Clone)]
+struct HashedSig {
+    words: Vec<u64>,
+    hash: u64,
+}
+
+impl HashedSig {
+    fn new(words: Vec<u64>) -> Self {
+        let hash = stable_hash64(&words);
+        HashedSig { words, hash }
+    }
+}
+
 impl AllocationCache {
     /// Creates an empty cache behind an [`Arc`], ready to be shared.
     pub fn new() -> Arc<Self> {
@@ -246,8 +273,18 @@ impl AllocationCache {
         self.misses.store(0, Ordering::Relaxed);
     }
 
+    /// Test-only convenience: hash-then-probe in one call (production
+    /// paths always carry a [`HashedSig`] and use the memoized hash).
+    #[cfg(test)]
     fn get(&self, sig: &[u64]) -> Option<Option<SegmentAllocation>> {
-        let hit = match self.map.read().get(&stable_hash64(sig)) {
+        self.get_hashed(stable_hash64(sig), sig)
+    }
+
+    /// Lookup with the bucket hash already computed ([`HashedSig`]);
+    /// the stored signature is still compared word-for-word, so a
+    /// memoized hash never weakens the anti-collision guarantee.
+    fn get_hashed(&self, hash: u64, sig: &[u64]) -> Option<Option<SegmentAllocation>> {
+        let hit = match self.map.read().get(&hash) {
             Some((stored, value)) if stored == sig => Some(value.clone()),
             _ => None,
         };
@@ -258,9 +295,46 @@ impl AllocationCache {
         hit
     }
 
+    /// Test-only convenience mirroring [`AllocationCache::get`].
+    #[cfg(test)]
     fn insert(&self, sig: Vec<u64>, value: Option<SegmentAllocation>) {
-        let key = stable_hash64(&sig);
-        self.map.write().insert(key, (sig, value));
+        self.insert_prehashed(stable_hash64(&sig), sig, value);
+    }
+
+    fn insert_prehashed(&self, hash: u64, sig: Vec<u64>, value: Option<SegmentAllocation>) {
+        debug_assert_eq!(hash, stable_hash64(&sig), "prehashed key out of sync");
+        self.map.write().insert(hash, (sig, value));
+    }
+
+    /// Snapshots every entry as `(hash, signature, result)`, sorted by
+    /// hash so the export (and hence the on-disk artifact bytes) is
+    /// deterministic regardless of `HashMap` iteration order.
+    pub fn export_entries(&self) -> Vec<AllocEntry> {
+        let map = self.map.read();
+        let mut entries: Vec<AllocEntry> = map
+            .iter()
+            .map(|(&hash, (sig, value))| (hash, sig.clone(), value.clone()))
+            .collect();
+        drop(map);
+        entries.sort_by_key(|&(hash, _, _)| hash);
+        entries
+    }
+
+    /// Bulk-inserts exported entries (the L2→L1 promotion at session
+    /// build), trusting each carried hash — zero signatures are
+    /// re-hashed no matter how many entries the snapshot holds. Safe to
+    /// trust: lookups compare the full signature, so an entry whose
+    /// hash lies can miss but can never serve a wrong allocation.
+    /// Returns the number of entries inserted.
+    pub fn import_entries(&self, entries: Vec<AllocEntry>) -> usize {
+        let mut map = self.map.write();
+        let mut inserted = 0;
+        for (hash, sig, value) in entries {
+            debug_assert_eq!(hash, stable_hash64(&sig), "imported entry hash mismatch");
+            map.insert(hash, (sig, value));
+            inserted += 1;
+        }
+        inserted
     }
 }
 
@@ -283,16 +357,17 @@ struct WarmStartCache {
 }
 
 impl WarmStartCache {
-    fn get(&self, sig: &[u64]) -> Option<Option<SegmentAllocation>> {
-        match self.map.read().get(&stable_hash64(sig)) {
-            Some((stored, value)) if stored == sig => Some(value.clone()),
+    fn get(&self, sig: &HashedSig) -> Option<Option<SegmentAllocation>> {
+        match self.map.read().get(&sig.hash) {
+            Some((stored, value)) if *stored == sig.words => Some(value.clone()),
             _ => None,
         }
     }
 
-    fn insert(&self, sig: Vec<u64>, value: Option<SegmentAllocation>) {
-        let key = stable_hash64(&sig);
-        self.map.write().insert(key, (sig, value));
+    fn insert(&self, sig: &HashedSig, value: Option<SegmentAllocation>) {
+        self.map
+            .write()
+            .insert(sig.hash, (sig.words.clone(), value));
     }
 }
 
@@ -370,14 +445,15 @@ impl<'a> Allocator<'a> {
         }
         // The MIP path memoizes every solved window per flow (warm-start
         // sourcing), so it needs the signature even when the shared
-        // cache is off.
+        // cache is off. Hashed once here; every probe and insert below
+        // reuses the memoized hash.
         let want_sig = self.cache.is_some() || self.kind == AllocatorKind::Mip;
-        let sig = want_sig.then(|| signature(&self.sig_prefix, ops, local_deps));
+        let sig = want_sig.then(|| HashedSig::new(signature(&self.sig_prefix, ops, local_deps)));
         if let (Some(cache), Some(sig)) = (&self.cache, &sig) {
-            if let Some(hit) = cache.get(sig) {
+            if let Some(hit) = cache.get_hashed(sig.hash, &sig.words) {
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                 if self.kind == AllocatorKind::Mip {
-                    self.warm.insert(sig.clone(), hit.clone());
+                    self.warm.insert(sig, hit.clone());
                 }
                 return hit;
             }
@@ -388,9 +464,9 @@ impl<'a> Allocator<'a> {
             AllocatorKind::Fast => self.solve_fast(ops, local_deps),
         };
         if let (Some(cache), Some(sig)) = (&self.cache, &sig) {
-            cache.insert(sig.clone(), result.clone());
+            cache.insert_prehashed(sig.hash, sig.words.clone(), result.clone());
         }
-        if let (AllocatorKind::Mip, Some(sig)) = (self.kind, sig) {
+        if let (AllocatorKind::Mip, Some(sig)) = (self.kind, &sig) {
             self.warm.insert(sig, result.clone());
         }
         result
@@ -634,7 +710,7 @@ impl<'a> Allocator<'a> {
             .copied()
             .filter(|&(p, c, _)| p < last && c < last)
             .collect();
-        let sig = signature(&self.sig_prefix, n_ops, &n_deps);
+        let sig = HashedSig::new(signature(&self.sig_prefix, n_ops, &n_deps));
         let base = match self.warm.get(&sig) {
             Some(memoized) => memoized,
             None => self.allocate(n_ops, &n_deps),
@@ -1081,6 +1157,42 @@ mod tests {
         };
         let allocs = [all_mem, all_compute];
         assert!((mean_memory_ratio(allocs.iter()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_import_restores_entries_for_zero_solve_reuse() {
+        // Solve once into a cache, snapshot it, import into a fresh
+        // cache: the second allocator must hit without any solver run —
+        // the in-memory form of the L2 disk promotion.
+        let arch = presets::tiny();
+        let warm = AllocationCache::new();
+        let a1 = shared(&arch, &warm);
+        let ops = vec![seg_op("block", 64, 64, 64, true)];
+        let deps = [(0usize, 0usize, 0u64)];
+        let _ = a1.allocate(&ops, &[]).unwrap();
+        let _ = a1.allocate(&ops[..0], &deps[..0]); // empty segment, uncached
+        let entries = warm.export_entries();
+        assert_eq!(entries.len(), warm.len());
+        assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+
+        let fresh = AllocationCache::new();
+        assert_eq!(fresh.import_entries(entries), warm.len());
+        let a2 = shared(&arch, &fresh);
+        let r = a2.allocate(&ops, &[]).unwrap();
+        assert_eq!(r, a1.allocate(&ops, &[]).unwrap());
+        let (_, fast2, hits2) = a2.stats.snapshot();
+        assert_eq!(fast2, 0, "imported entry must satisfy the lookup");
+        assert_eq!(hits2, 1);
+    }
+
+    #[test]
+    fn import_preserves_infeasible_entries() {
+        let cache = AllocationCache::new();
+        let sig = vec![9u64, 8, 7];
+        cache.insert(sig.clone(), None);
+        let fresh = AllocationCache::new();
+        fresh.import_entries(cache.export_entries());
+        assert_eq!(fresh.get(&sig), Some(None));
     }
 
     #[test]

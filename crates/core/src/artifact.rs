@@ -1,0 +1,903 @@
+//! Versioned binary wire format for compiled artifacts.
+//!
+//! The vendored `serde` is a no-op stand-in, so persistence is a small
+//! explicit codec instead of a derive: every value is written in
+//! little-endian with length-prefixed sequences, wrapped in a fixed
+//! header carrying a magic, a format version, an artifact kind, the
+//! payload length and an FNV-1a checksum of the payload. Two artifact
+//! kinds exist:
+//!
+//! * **Program** ([`encode_program`] / [`decode_program`]) — a complete
+//!   [`CompiledProgram`]: flow, operators, dependencies, segment plans
+//!   and compile statistics, bit-identical through a round trip
+//!   (`decode(encode(p)) == p`, and re-encoding yields the same bytes).
+//! * **Allocation snapshot** ([`encode_alloc_entries`] /
+//!   [`decode_alloc_entries`]) — the entries of an
+//!   [`crate::AllocationCache`], each carrying its precomputed bucket
+//!   hash so importing a snapshot never re-hashes a signature.
+//!
+//! # Wire layout
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"CMSWART\0"
+//!      8     4  format version, u32 LE   (currently 1)
+//!     12     4  artifact kind, u32 LE    (1 = program, 2 = alloc snapshot)
+//!     16     8  payload length, u64 LE
+//!     24     8  checksum, u64 LE         (FNV-1a over the payload bytes)
+//!     32     …  payload
+//! ```
+//!
+//! Primitive encodings inside the payload: `u8`/`u32`/`u64` are
+//! little-endian; `usize` is widened to `u64`; `bool` is one byte (0/1);
+//! `f64` is its IEEE-754 bit pattern as `u64` (NaN-safe, bit-exact);
+//! `Duration` is seconds `u64` + subsecond nanos `u32`; strings and
+//! sequences are a `u64` element count followed by the elements. Enum
+//! variants are a one-byte tag in declaration order.
+//!
+//! # Versioning policy
+//!
+//! The format version is bumped on **any** layout change; decoders
+//! refuse other versions with [`ArtifactError::UnsupportedVersion`]
+//! rather than guessing — a stale store entry then degrades to a cold
+//! compile (the [`crate::store::ArtifactStore`] treats every decode
+//! error as a miss-with-corruption). There is deliberately no
+//! cross-version migration: artifacts are a cache, never the source of
+//! truth.
+
+use std::fmt;
+use std::time::Duration;
+
+use cmswitch_arch::ArrayId;
+use cmswitch_metaop::{
+    ComputeStmt, Flow, MemDirection, MemLoc, MemStmt, Stmt, SwitchKind, VectorStmt,
+    WeightLoadStmt,
+};
+
+use crate::allocation::{AllocEntry, OpAllocation, SegmentAllocation};
+use crate::compiler::{CompiledProgram, CompileStats, SegmentPlan};
+use crate::frontend::SegOp;
+use crate::pipeline::StageWall;
+
+/// The 8-byte artifact magic.
+pub const MAGIC: [u8; 8] = *b"CMSWART\0";
+
+/// The current wire-format version (see the module docs for the bump
+/// policy).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Artifact kind tag: a serialized [`CompiledProgram`].
+pub const KIND_PROGRAM: u32 = 1;
+
+/// Artifact kind tag: an allocation-cache snapshot.
+pub const KIND_ALLOC_SNAPSHOT: u32 = 2;
+
+const HEADER_LEN: usize = 32;
+
+/// Why a byte slice failed to decode as an artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The input ended before the decoder was done (`needed` more bytes
+    /// than `available` at the failure point).
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes that were left.
+        available: usize,
+    },
+    /// The first 8 bytes are not [`MAGIC`] — not an artifact at all.
+    BadMagic,
+    /// The artifact was written by a different format version.
+    UnsupportedVersion(u32),
+    /// The artifact is valid but of a different kind than requested
+    /// (e.g. an allocation snapshot fed to [`decode_program`]).
+    WrongKind {
+        /// The kind the decoder expected.
+        expected: u32,
+        /// The kind found in the header.
+        found: u32,
+    },
+    /// The payload checksum does not match the header — the file was
+    /// corrupted after it was written.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload as read.
+        found: u64,
+    },
+    /// The payload passed the checksum but violated the grammar (an
+    /// unknown enum tag, trailing bytes, an out-of-range length) — this
+    /// indicates a encoder/decoder bug, not disk corruption.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Truncated { needed, available } => {
+                write!(f, "truncated artifact: needed {needed} bytes, had {available}")
+            }
+            ArtifactError::BadMagic => write!(f, "bad artifact magic"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact format version {v} (this build reads {FORMAT_VERSION})")
+            }
+            ArtifactError::WrongKind { expected, found } => {
+                write!(f, "wrong artifact kind: expected {expected}, found {found}")
+            }
+            ArtifactError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "artifact checksum mismatch: header {expected:#018x}, payload {found:#018x}"
+            ),
+            ArtifactError::Malformed(what) => write!(f, "malformed artifact payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// FNV-1a over raw bytes — the byte-level sibling of
+/// `cmswitch_solver::stable_hash64` (same constants), used for the
+/// payload checksum and for hashing strings into store keys.
+pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writer / reader
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn boolean(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn duration(&mut self, d: Duration) {
+        self.u64(d.as_secs());
+        self.u32(d.subsec_nanos());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        if self.remaining() < n {
+            return Err(ArtifactError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn usize(&mut self) -> Result<usize, ArtifactError> {
+        usize::try_from(self.u64()?).map_err(|_| ArtifactError::Malformed("usize overflow"))
+    }
+
+    fn boolean(&mut self) -> Result<bool, ArtifactError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(ArtifactError::Malformed("bool tag")),
+        }
+    }
+
+    fn f64(&mut self) -> Result<f64, ArtifactError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, ArtifactError> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ArtifactError::Malformed("utf-8 string"))
+    }
+
+    fn duration(&mut self) -> Result<Duration, ArtifactError> {
+        let secs = self.u64()?;
+        let nanos = self.u32()?;
+        if nanos >= 1_000_000_000 {
+            return Err(ArtifactError::Malformed("duration nanos"));
+        }
+        Ok(Duration::new(secs, nanos))
+    }
+
+    /// Reads a sequence length and guards it against the bytes actually
+    /// left (`min_elem` = minimum encoded size of one element), so a
+    /// garbage length can never trigger a huge allocation.
+    fn seq_len(&mut self, min_elem: usize) -> Result<usize, ArtifactError> {
+        let len = self.usize()?;
+        if len.saturating_mul(min_elem.max(1)) > self.remaining() {
+            return Err(ArtifactError::Truncated {
+                needed: len.saturating_mul(min_elem.max(1)),
+                available: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    fn finish(&self) -> Result<(), ArtifactError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(ArtifactError::Malformed("trailing payload bytes"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Header framing
+// ---------------------------------------------------------------------------
+
+fn frame(kind: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a_bytes(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn unframe(bytes: &[u8], expected_kind: u32) -> Result<&[u8], ArtifactError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(8)?;
+    if magic != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(ArtifactError::UnsupportedVersion(version));
+    }
+    let kind = r.u32()?;
+    if kind != expected_kind {
+        return Err(ArtifactError::WrongKind {
+            expected: expected_kind,
+            found: kind,
+        });
+    }
+    let payload_len = r.usize()?;
+    let checksum = r.u64()?;
+    let payload = r.take(payload_len)?;
+    if r.remaining() != 0 {
+        return Err(ArtifactError::Malformed("bytes after payload"));
+    }
+    let found = fnv1a_bytes(payload);
+    if found != checksum {
+        return Err(ArtifactError::ChecksumMismatch {
+            expected: checksum,
+            found,
+        });
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Stage-name interning
+// ---------------------------------------------------------------------------
+
+/// Stage names known at compile time ([`StageWall::stage`] is a
+/// `&'static str`, so decoding must produce one).
+const KNOWN_STAGES: &[&str] = &[
+    "lower",
+    "partition",
+    "segment",
+    "emit",
+    "verify",
+    "store",
+    "segment:puma-greedy",
+    "segment:occ-sequential",
+    "segment:cim-mlc-dp",
+];
+
+/// Interns a decoded stage name as `&'static str`: known names resolve
+/// to their compile-time constant; unknown names (a stage added by a
+/// newer build, say) are leaked exactly once and reused thereafter.
+fn intern_stage(name: &str) -> &'static str {
+    if let Some(s) = KNOWN_STAGES.iter().find(|s| **s == name) {
+        return s;
+    }
+    static EXTRA: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
+    let mut extra = EXTRA.lock().expect("stage intern table poisoned");
+    if let Some(s) = extra.iter().find(|s| **s == name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    extra.push(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------------
+// Domain encoders / decoders
+// ---------------------------------------------------------------------------
+
+fn put_array_ids(w: &mut Writer, ids: &[ArrayId]) {
+    w.usize(ids.len());
+    for id in ids {
+        w.u32(id.0);
+    }
+}
+
+fn get_array_ids(r: &mut Reader<'_>) -> Result<Vec<ArrayId>, ArtifactError> {
+    let len = r.seq_len(4)?;
+    let mut ids = Vec::with_capacity(len);
+    for _ in 0..len {
+        ids.push(ArrayId(r.u32()?));
+    }
+    Ok(ids)
+}
+
+fn put_stmt(w: &mut Writer, stmt: &Stmt) {
+    match stmt {
+        Stmt::Switch { kind, arrays } => {
+            w.u8(0);
+            w.u8(match kind {
+                SwitchKind::ToMemory => 0,
+                SwitchKind::ToCompute => 1,
+            });
+            put_array_ids(w, arrays);
+        }
+        Stmt::Compute(c) => {
+            w.u8(1);
+            w.str(&c.op);
+            put_array_ids(w, &c.compute_arrays);
+            put_array_ids(w, &c.mem_in_arrays);
+            put_array_ids(w, &c.mem_out_arrays);
+            w.usize(c.m);
+            w.usize(c.k);
+            w.usize(c.n);
+            w.usize(c.units);
+            w.u64(c.in_bytes);
+            w.u64(c.out_bytes);
+            w.boolean(c.weight_static);
+        }
+        Stmt::LoadWeights(l) => {
+            w.u8(2);
+            w.str(&l.op);
+            put_array_ids(w, &l.arrays);
+            w.u64(l.bytes);
+        }
+        Stmt::Mem(m) => {
+            w.u8(3);
+            match &m.loc {
+                MemLoc::Main => w.u8(0),
+                MemLoc::Buffer => w.u8(1),
+                MemLoc::CimArrays(ids) => {
+                    w.u8(2);
+                    put_array_ids(w, ids);
+                }
+            }
+            w.u8(match m.direction {
+                MemDirection::Read => 0,
+                MemDirection::Write => 1,
+            });
+            w.u64(m.bytes);
+            w.str(&m.label);
+        }
+        Stmt::Vector(v) => {
+            w.u8(4);
+            w.str(&v.op);
+            w.u64(v.flops);
+        }
+        Stmt::Parallel(body) => {
+            w.u8(5);
+            w.usize(body.len());
+            for s in body {
+                put_stmt(w, s);
+            }
+        }
+    }
+}
+
+fn get_stmt(r: &mut Reader<'_>) -> Result<Stmt, ArtifactError> {
+    Ok(match r.u8()? {
+        0 => Stmt::Switch {
+            kind: match r.u8()? {
+                0 => SwitchKind::ToMemory,
+                1 => SwitchKind::ToCompute,
+                _ => return Err(ArtifactError::Malformed("switch kind tag")),
+            },
+            arrays: get_array_ids(r)?,
+        },
+        1 => Stmt::Compute(ComputeStmt {
+            op: r.string()?,
+            compute_arrays: get_array_ids(r)?,
+            mem_in_arrays: get_array_ids(r)?,
+            mem_out_arrays: get_array_ids(r)?,
+            m: r.usize()?,
+            k: r.usize()?,
+            n: r.usize()?,
+            units: r.usize()?,
+            in_bytes: r.u64()?,
+            out_bytes: r.u64()?,
+            weight_static: r.boolean()?,
+        }),
+        2 => Stmt::LoadWeights(WeightLoadStmt {
+            op: r.string()?,
+            arrays: get_array_ids(r)?,
+            bytes: r.u64()?,
+        }),
+        3 => Stmt::Mem(MemStmt {
+            loc: match r.u8()? {
+                0 => MemLoc::Main,
+                1 => MemLoc::Buffer,
+                2 => MemLoc::CimArrays(get_array_ids(r)?),
+                _ => return Err(ArtifactError::Malformed("mem loc tag")),
+            },
+            direction: match r.u8()? {
+                0 => MemDirection::Read,
+                1 => MemDirection::Write,
+                _ => return Err(ArtifactError::Malformed("mem direction tag")),
+            },
+            bytes: r.u64()?,
+            label: r.string()?,
+        }),
+        4 => Stmt::Vector(VectorStmt {
+            op: r.string()?,
+            flops: r.u64()?,
+        }),
+        5 => {
+            let len = r.seq_len(1)?;
+            let mut body = Vec::with_capacity(len);
+            for _ in 0..len {
+                body.push(get_stmt(r)?);
+            }
+            Stmt::Parallel(body)
+        }
+        _ => return Err(ArtifactError::Malformed("stmt tag")),
+    })
+}
+
+fn put_flow(w: &mut Writer, flow: &Flow) {
+    w.str(flow.name());
+    w.usize(flow.stmts().len());
+    for stmt in flow.stmts() {
+        put_stmt(w, stmt);
+    }
+}
+
+fn get_flow(r: &mut Reader<'_>) -> Result<Flow, ArtifactError> {
+    let name = r.string()?;
+    let mut flow = Flow::new(name);
+    let len = r.seq_len(1)?;
+    for _ in 0..len {
+        flow.push(get_stmt(r)?);
+    }
+    Ok(flow)
+}
+
+fn put_seg_op(w: &mut Writer, op: &SegOp) {
+    w.usize(op.source);
+    w.str(&op.name);
+    w.usize(op.m);
+    w.usize(op.k);
+    w.usize(op.n);
+    w.usize(op.units);
+    w.boolean(op.weight_static);
+    w.f64(op.work);
+    w.u64(op.in_bytes);
+    w.u64(op.out_bytes);
+    w.u64(op.weight_bytes);
+    w.u64(op.aux_flops);
+    w.usize(op.min_tiles);
+}
+
+fn get_seg_op(r: &mut Reader<'_>) -> Result<SegOp, ArtifactError> {
+    Ok(SegOp {
+        source: r.usize()?,
+        name: r.string()?,
+        m: r.usize()?,
+        k: r.usize()?,
+        n: r.usize()?,
+        units: r.usize()?,
+        weight_static: r.boolean()?,
+        work: r.f64()?,
+        in_bytes: r.u64()?,
+        out_bytes: r.u64()?,
+        weight_bytes: r.u64()?,
+        aux_flops: r.u64()?,
+        min_tiles: r.usize()?,
+    })
+}
+
+fn put_alloc(w: &mut Writer, alloc: &SegmentAllocation) {
+    w.usize(alloc.ops.len());
+    for o in &alloc.ops {
+        w.usize(o.compute);
+        w.usize(o.mem_in);
+        w.usize(o.mem_out);
+    }
+    w.usize(alloc.reuse.len());
+    for &((p, c), n) in &alloc.reuse {
+        w.usize(p);
+        w.usize(c);
+        w.usize(n);
+    }
+    w.f64(alloc.latency);
+}
+
+fn get_alloc(r: &mut Reader<'_>) -> Result<SegmentAllocation, ArtifactError> {
+    let n_ops = r.seq_len(24)?;
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        ops.push(OpAllocation {
+            compute: r.usize()?,
+            mem_in: r.usize()?,
+            mem_out: r.usize()?,
+        });
+    }
+    let n_reuse = r.seq_len(24)?;
+    let mut reuse = Vec::with_capacity(n_reuse);
+    for _ in 0..n_reuse {
+        reuse.push(((r.usize()?, r.usize()?), r.usize()?));
+    }
+    Ok(SegmentAllocation {
+        ops,
+        reuse,
+        latency: r.f64()?,
+    })
+}
+
+fn put_segment_plan(w: &mut Writer, plan: &SegmentPlan) {
+    w.usize(plan.range.0);
+    w.usize(plan.range.1);
+    w.usize(plan.op_names.len());
+    for name in &plan.op_names {
+        w.str(name);
+    }
+    put_alloc(w, &plan.alloc);
+    w.f64(plan.intra);
+    w.f64(plan.inter_before);
+}
+
+fn get_segment_plan(r: &mut Reader<'_>) -> Result<SegmentPlan, ArtifactError> {
+    let range = (r.usize()?, r.usize()?);
+    let n_names = r.seq_len(8)?;
+    let mut op_names = Vec::with_capacity(n_names);
+    for _ in 0..n_names {
+        op_names.push(r.string()?);
+    }
+    Ok(SegmentPlan {
+        range,
+        op_names,
+        alloc: get_alloc(r)?,
+        intra: r.f64()?,
+        inter_before: r.f64()?,
+    })
+}
+
+fn put_stats(w: &mut Writer, stats: &CompileStats) {
+    w.duration(stats.wall);
+    w.usize(stats.stage_wall.len());
+    for t in &stats.stage_wall {
+        w.str(t.stage);
+        w.duration(t.wall);
+    }
+    w.usize(stats.n_ops);
+    w.usize(stats.n_segments);
+    w.u64(stats.mip_solves);
+    w.u64(stats.fast_solves);
+    w.u64(stats.cache_hits);
+    w.u64(stats.dp_windows_pruned);
+    w.u64(stats.warm_accepted);
+    w.u64(stats.warm_rejected);
+    w.u64(stats.solve_batches);
+}
+
+fn get_stats(r: &mut Reader<'_>) -> Result<CompileStats, ArtifactError> {
+    let wall = r.duration()?;
+    let n_stages = r.seq_len(20)?;
+    let mut stage_wall = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        let name = r.string()?;
+        stage_wall.push(StageWall {
+            stage: intern_stage(&name),
+            wall: r.duration()?,
+        });
+    }
+    Ok(CompileStats {
+        wall,
+        stage_wall,
+        n_ops: r.usize()?,
+        n_segments: r.usize()?,
+        mip_solves: r.u64()?,
+        fast_solves: r.u64()?,
+        cache_hits: r.u64()?,
+        dp_windows_pruned: r.u64()?,
+        warm_accepted: r.u64()?,
+        warm_rejected: r.u64()?,
+        solve_batches: r.u64()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Serializes a compiled program into a framed, checksummed artifact.
+pub fn encode_program(program: &CompiledProgram) -> Vec<u8> {
+    let mut w = Writer::default();
+    put_flow(&mut w, &program.flow);
+    w.usize(program.ops.len());
+    for op in &program.ops {
+        put_seg_op(&mut w, op);
+    }
+    w.usize(program.op_deps.len());
+    for &(p, c) in &program.op_deps {
+        w.usize(p);
+        w.usize(c);
+    }
+    w.usize(program.segments.len());
+    for plan in &program.segments {
+        put_segment_plan(&mut w, plan);
+    }
+    w.f64(program.predicted_latency);
+    put_stats(&mut w, &program.stats);
+    frame(KIND_PROGRAM, &w.buf)
+}
+
+/// Decodes a framed program artifact produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Every [`ArtifactError`] variant: truncation, a foreign magic, a
+/// version from another build, a kind mismatch, a checksum failure, or
+/// a grammar violation in the payload.
+pub fn decode_program(bytes: &[u8]) -> Result<CompiledProgram, ArtifactError> {
+    let payload = unframe(bytes, KIND_PROGRAM)?;
+    let mut r = Reader::new(payload);
+    let flow = get_flow(&mut r)?;
+    let n_ops = r.seq_len(8)?;
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        ops.push(get_seg_op(&mut r)?);
+    }
+    let n_deps = r.seq_len(16)?;
+    let mut op_deps = Vec::with_capacity(n_deps);
+    for _ in 0..n_deps {
+        op_deps.push((r.usize()?, r.usize()?));
+    }
+    let n_segments = r.seq_len(8)?;
+    let mut segments = Vec::with_capacity(n_segments);
+    for _ in 0..n_segments {
+        segments.push(get_segment_plan(&mut r)?);
+    }
+    let predicted_latency = r.f64()?;
+    let stats = get_stats(&mut r)?;
+    r.finish()?;
+    Ok(CompiledProgram {
+        flow,
+        ops,
+        op_deps,
+        segments,
+        predicted_latency,
+        stats,
+    })
+}
+
+/// Serializes allocation-cache entries (hash, signature, result) into a
+/// framed, checksummed snapshot artifact.
+pub fn encode_alloc_entries(entries: &[AllocEntry]) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.usize(entries.len());
+    for (hash, sig, value) in entries {
+        w.u64(*hash);
+        w.usize(sig.len());
+        for &word in sig {
+            w.u64(word);
+        }
+        match value {
+            None => w.u8(0),
+            Some(alloc) => {
+                w.u8(1);
+                put_alloc(&mut w, alloc);
+            }
+        }
+    }
+    frame(KIND_ALLOC_SNAPSHOT, &w.buf)
+}
+
+/// Decodes a snapshot artifact produced by [`encode_alloc_entries`].
+///
+/// # Errors
+///
+/// Same contract as [`decode_program`].
+pub fn decode_alloc_entries(bytes: &[u8]) -> Result<Vec<AllocEntry>, ArtifactError> {
+    let payload = unframe(bytes, KIND_ALLOC_SNAPSHOT)?;
+    let mut r = Reader::new(payload);
+    let n = r.seq_len(17)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let hash = r.u64()?;
+        let sig_len = r.seq_len(8)?;
+        let mut sig = Vec::with_capacity(sig_len);
+        for _ in 0..sig_len {
+            sig.push(r.u64()?);
+        }
+        let value = match r.u8()? {
+            0 => None,
+            1 => Some(get_alloc(&mut r)?),
+            _ => return Err(ArtifactError::Malformed("alloc option tag")),
+        };
+        entries.push((hash, sig, value));
+    }
+    r.finish()?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+    use crate::session::Session;
+
+    fn program() -> CompiledProgram {
+        let graph = cmswitch_models::mlp::mlp(2, &[128, 256, 128]).unwrap();
+        Session::builder(presets::tiny())
+            .build()
+            .compile_graph(&graph)
+            .unwrap()
+    }
+
+    #[test]
+    fn program_roundtrip_is_bit_identical() {
+        let p = program();
+        let bytes = encode_program(&p);
+        let decoded = decode_program(&bytes).unwrap();
+        assert_eq!(decoded, p);
+        // Canonical form: re-encoding reproduces the same bytes.
+        assert_eq!(encode_program(&decoded), bytes);
+    }
+
+    #[test]
+    fn alloc_entries_roundtrip() {
+        let entries: Vec<AllocEntry> = vec![
+            (7, vec![1, 2, 3], None),
+            (
+                9,
+                vec![4, 5],
+                Some(SegmentAllocation {
+                    ops: vec![OpAllocation {
+                        compute: 2,
+                        mem_in: 1,
+                        mem_out: 0,
+                    }],
+                    reuse: vec![((0, 1), 1)],
+                    latency: 3.5,
+                }),
+            ),
+        ];
+        let bytes = encode_alloc_entries(&entries);
+        assert_eq!(decode_alloc_entries(&bytes).unwrap(), entries);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = encode_program(&program());
+        for cut in [0, 4, HEADER_LEN - 1, HEADER_LEN + 3, bytes.len() - 1] {
+            let err = decode_program(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ArtifactError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_and_magic_are_rejected() {
+        let mut bytes = encode_program(&program());
+        bytes[8] = 0xFF; // version low byte
+        assert!(matches!(
+            decode_program(&bytes).unwrap_err(),
+            ArtifactError::UnsupportedVersion(_)
+        ));
+        let mut bytes = encode_program(&program());
+        bytes[0] = b'X';
+        assert_eq!(decode_program(&bytes).unwrap_err(), ArtifactError::BadMagic);
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        let snapshot = encode_alloc_entries(&[]);
+        assert!(matches!(
+            decode_program(&snapshot).unwrap_err(),
+            ArtifactError::WrongKind {
+                expected: KIND_PROGRAM,
+                found: KIND_ALLOC_SNAPSHOT,
+            }
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_checksum() {
+        let mut bytes = encode_program(&program());
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[mid] ^= 0x5A;
+        assert!(matches!(
+            decode_program(&bytes).unwrap_err(),
+            ArtifactError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_program(&program());
+        bytes.push(0);
+        assert!(matches!(
+            decode_program(&bytes).unwrap_err(),
+            ArtifactError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn stage_interning_resolves_known_and_unknown_names() {
+        assert_eq!(intern_stage("segment"), "segment");
+        let a = intern_stage("totally-new-stage");
+        let b = intern_stage("totally-new-stage");
+        assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()), "leak exactly once");
+    }
+}

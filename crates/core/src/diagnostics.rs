@@ -96,6 +96,28 @@ pub enum DiagnosticEvent {
         /// `Warn`-severity findings.
         warn: u64,
     },
+    /// The compilation was served from the persistent
+    /// [`crate::ArtifactStore`]: a valid artifact under `key` decoded,
+    /// passed the static verifier and replaced the entire pipeline run.
+    StoreHit {
+        /// The [`crate::StoreKey`] hash the artifact was addressed by.
+        key: u64,
+    },
+    /// The persistent store was probed at `key` and held no artifact;
+    /// the compilation ran cold and (on success) wrote one.
+    StoreMiss {
+        /// The [`crate::StoreKey`] hash probed.
+        key: u64,
+    },
+    /// A store artifact at `key` was rejected — checksum/decode failure
+    /// or a `Deny` finding from the verify-before-serve gate — and the
+    /// compilation degraded to a cold run that overwrote the entry.
+    StoreCorrupt {
+        /// The [`crate::StoreKey`] hash of the rejected artifact.
+        key: u64,
+        /// Human-readable rejection reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DiagnosticEvent {
@@ -140,6 +162,15 @@ impl fmt::Display for DiagnosticEvent {
             ),
             DiagnosticEvent::Verified { deny, warn } => {
                 write!(f, "verified: {deny} deny, {warn} warn findings")
+            }
+            DiagnosticEvent::StoreHit { key } => {
+                write!(f, "artifact store hit: served {key:#018x} from disk")
+            }
+            DiagnosticEvent::StoreMiss { key } => {
+                write!(f, "artifact store miss at {key:#018x}")
+            }
+            DiagnosticEvent::StoreCorrupt { key, reason } => {
+                write!(f, "artifact store entry {key:#018x} rejected: {reason}")
             }
         }
     }
@@ -251,6 +282,17 @@ impl Diagnostics {
         })
     }
 
+    /// Aggregate persistent-store traffic `(hits, misses, corrupt)`
+    /// over every store event of this compilation.
+    pub fn store_traffic(&self) -> (u64, u64, u64) {
+        self.events.iter().fold((0, 0, 0), |(h, m, c), e| match e {
+            DiagnosticEvent::StoreHit { .. } => (h + 1, m, c),
+            DiagnosticEvent::StoreMiss { .. } => (h, m + 1, c),
+            DiagnosticEvent::StoreCorrupt { .. } => (h, m, c + 1),
+            _ => (h, m, c),
+        })
+    }
+
     /// Whether the partition budget was rounded during this compilation.
     pub fn partition_budget_rounded(&self) -> bool {
         self.events
@@ -340,6 +382,23 @@ mod tests {
         assert_eq!(d.simulated_cycles(), Some((90.0, 100.0)));
         let text = d.to_string();
         assert!(text.contains("12 mode switches"), "{text}");
+    }
+
+    #[test]
+    fn store_events_render_and_aggregate() {
+        let mut d = Diagnostics::new();
+        assert_eq!(d.store_traffic(), (0, 0, 0));
+        d.push(DiagnosticEvent::StoreHit { key: 0xABCD });
+        d.push(DiagnosticEvent::StoreMiss { key: 0x1234 });
+        d.push(DiagnosticEvent::StoreCorrupt {
+            key: 0x5678,
+            reason: "checksum mismatch".into(),
+        });
+        assert_eq!(d.store_traffic(), (1, 1, 1));
+        let text = d.to_string();
+        assert!(text.contains("store hit"), "{text}");
+        assert!(text.contains("store miss"), "{text}");
+        assert!(text.contains("rejected: checksum mismatch"), "{text}");
     }
 
     #[test]

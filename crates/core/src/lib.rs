@@ -63,6 +63,7 @@ mod compiler;
 mod error;
 
 pub mod allocation;
+pub mod artifact;
 pub mod backend;
 pub mod codegen;
 pub mod cost;
@@ -74,9 +75,11 @@ pub mod segment;
 pub mod service;
 pub mod session;
 pub mod solvepool;
+pub mod store;
 pub mod verify;
 
 pub use allocation::AllocationCache;
+pub use artifact::ArtifactError;
 pub use backend::{Backend, BackendKind, CmSwitch, UnknownBackend};
 pub use compiler::{CompiledProgram, Compiler, CompileStats, SegmentPlan};
 pub use diagnostics::{DiagnosticEvent, Diagnostics};
@@ -87,6 +90,7 @@ pub use pipeline::{
 };
 pub use service::{BatchJob, BatchOutcome, BatchReport, BatchStats, CompileService, ServiceOptions};
 pub use session::{CancelToken, CompileOutcome, CompileRequest, Session, SessionBuilder};
+pub use store::{ArtifactStore, StoreFetch, StoreKey, StoreStats};
 pub use verify::{
     Lint, Severity, Verifier, VerifyCx, VerifyFinding, VerifyReport, VerifyStage,
 };

@@ -151,6 +151,18 @@ pub struct BatchStats {
     /// Segmentation-DP windows the batch's successfully compiled models
     /// skipped without an allocator invocation ([`crate::DpMode`]).
     pub dp_windows_pruned: u64,
+    /// MIP warm starts accepted by the batch's successfully compiled
+    /// models (solves whose seeded incumbent held).
+    pub warm_accepted: u64,
+    /// MIP warm-start candidates rejected (infeasible or wasted on a
+    /// failed solve) by the batch's successfully compiled models.
+    pub warm_rejected: u64,
+    /// Persistent-store probes answered from disk during the batch
+    /// (zero without an attached [`crate::ArtifactStore`]). Measured as
+    /// the store's counter delta, like the cache fields.
+    pub store_hits: u64,
+    /// Persistent-store probes that found no artifact during the batch.
+    pub store_misses: u64,
     /// Per-stage wall-clock time summed across the batch's successfully
     /// compiled models, in first-seen stage order (CPU time across
     /// workers, so it can exceed the batch wall).
@@ -243,6 +255,20 @@ impl BatchReport {
             s.hit_rate() * 100.0,
             s.dp_windows_pruned,
         );
+        if s.store_hits + s.store_misses > 0 {
+            let _ = writeln!(
+                out,
+                "store: {} served from disk, {} misses",
+                s.store_hits, s.store_misses,
+            );
+        }
+        if s.warm_accepted + s.warm_rejected > 0 {
+            let _ = writeln!(
+                out,
+                "warm starts: {} accepted, {} rejected",
+                s.warm_accepted, s.warm_rejected,
+            );
+        }
         if !s.stage_wall.is_empty() {
             let _ = writeln!(out, "stages (CPU time across workers): {}", s.stage_breakdown());
         }
@@ -578,6 +604,44 @@ mod tests {
         let report = svc2.compile_batch(&fleet());
         assert_eq!(report.stats.mip_solves + report.stats.fast_solves, 0);
         assert_eq!(report.stats.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn summary_surfaces_store_and_warm_start_traffic() {
+        let dir = std::env::temp_dir().join(format!(
+            "cmswitch-service-store-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::ArtifactStore::open(&dir).unwrap();
+        let svc = CompileService::from_session(
+            Session::builder(presets::tiny()).store(store).workers(1).build(),
+        );
+        let cold = svc.compile_batch(&fleet());
+        // mlp-a and mlp-b are content-identical, so with one worker the
+        // second job already hits the artifact the first one wrote —
+        // content addressing dedups even inside a cold batch.
+        assert_eq!(cold.stats.store_misses, 2);
+        assert_eq!(cold.stats.store_hits, 1);
+        assert!(
+            cold.stats.warm_accepted + cold.stats.warm_rejected > 0,
+            "default MIP allocator attempts warm starts"
+        );
+        let summary = cold.summary();
+        assert!(summary.contains("store:"), "{summary}");
+        assert!(summary.contains("warm starts:"), "{summary}");
+
+        // A fresh session on the same directory is a process restart in
+        // miniature: every model serves from disk, zero solver work.
+        let store2 = crate::ArtifactStore::open(&dir).unwrap();
+        let svc2 = CompileService::from_session(
+            Session::builder(presets::tiny()).store(store2).workers(1).build(),
+        );
+        let warm = svc2.compile_batch(&fleet());
+        assert_eq!(warm.stats.store_hits, 3);
+        assert_eq!(warm.stats.solver_invocations(), 0);
+        assert!(warm.summary().contains("served from disk"), "{}", warm.summary());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -56,9 +56,11 @@ use parking_lot::Mutex;
 use crate::allocation::AllocationCache;
 use crate::backend::{Backend, CmSwitch};
 use crate::compiler::CompiledProgram;
-use crate::diagnostics::Diagnostics;
-use crate::pipeline::PipelineCx;
+use crate::diagnostics::{DiagnosticEvent, Diagnostics};
+use crate::pipeline::{PipelineCx, StageWall};
 use crate::service::{BatchOutcome, BatchReport, BatchStats};
+use crate::store::{ArtifactStore, StoreFetch, StoreKey};
+use crate::verify::Verifier;
 use crate::{CompileError, CompilerOptions};
 
 /// A cloneable cancellation handle with an optional deadline.
@@ -245,6 +247,7 @@ pub struct SessionBuilder {
     options: CompilerOptions,
     workers: usize,
     cache: Option<Arc<AllocationCache>>,
+    store: Option<Arc<ArtifactStore>>,
 }
 
 impl SessionBuilder {
@@ -300,6 +303,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a persistent [`ArtifactStore`] — the on-disk L2 behind
+    /// the in-memory allocation cache. Compiles probe the store first
+    /// (decoded artifacts must pass the static verifier before being
+    /// served), successful cold compiles write back, and the store's
+    /// allocation snapshot is promoted into the session cache right
+    /// here at build time, so a fresh process starts warm.
+    #[must_use]
+    pub fn store(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Builds the session.
     pub fn build(self) -> Session {
         let backend = self.backend.unwrap_or_else(|| {
@@ -313,11 +328,18 @@ impl SessionBuilder {
         } else {
             self.workers
         };
+        let cache = self.cache.unwrap_or_default();
+        if let Some(store) = &self.store {
+            // L2 → L1 promotion: entries arrive pre-hashed, so this is
+            // pure insertion work regardless of snapshot size.
+            store.load_alloc_snapshot(&cache);
+        }
         Session {
             backend,
             options: self.options,
             workers,
-            cache: self.cache.unwrap_or_default(),
+            cache,
+            store: self.store,
         }
     }
 }
@@ -341,6 +363,7 @@ pub struct Session {
     options: CompilerOptions,
     workers: usize,
     cache: Arc<AllocationCache>,
+    store: Option<Arc<ArtifactStore>>,
 }
 
 /// One borrowed unit of batch work — how both [`Session::compile_batch`]
@@ -362,6 +385,7 @@ impl Session {
             options: CompilerOptions::default(),
             workers: 0,
             cache: None,
+            store: None,
         }
     }
 
@@ -389,6 +413,27 @@ impl Session {
     /// or hand it to another session).
     pub fn cache(&self) -> &Arc<AllocationCache> {
         &self.cache
+    }
+
+    /// The persistent artifact store, if one was attached at build.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
+    }
+
+    /// Writes the allocation cache's current entries to the attached
+    /// store's snapshot, making this session's solver work available to
+    /// future processes. Returns the number of entries written (`0`
+    /// without a store). Batch compiles that missed the cache call this
+    /// automatically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the snapshot write.
+    pub fn persist_alloc_snapshot(&self) -> std::io::Result<usize> {
+        match &self.store {
+            Some(store) => store.save_alloc_snapshot(&self.cache),
+            None => Ok(0),
+        }
     }
 
     /// Serves one request.
@@ -456,6 +501,7 @@ impl Session {
         }
         let start = Instant::now();
         let (hits_before, misses_before) = (self.cache.hits(), self.cache.misses());
+        let store_before = self.store.as_ref().map(|s| s.stats());
         let workers = self.workers.clamp(1, items.len());
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<BatchOutcome>>> =
@@ -505,6 +551,8 @@ impl Session {
                     stats.mip_solves += p.stats.mip_solves;
                     stats.fast_solves += p.stats.fast_solves;
                     stats.dp_windows_pruned += p.stats.dp_windows_pruned;
+                    stats.warm_accepted += p.stats.warm_accepted;
+                    stats.warm_rejected += p.stats.warm_rejected;
                     for t in &p.stats.stage_wall {
                         match stats.stage_wall.iter_mut().find(|s| s.stage == t.stage) {
                             Some(s) => s.wall += t.wall,
@@ -515,11 +563,29 @@ impl Session {
                 Err(_) => stats.failed += 1,
             }
         }
+        if let (Some(store), Some(before)) = (&self.store, store_before) {
+            let now = store.stats();
+            stats.store_hits = now.hits.saturating_sub(before.hits);
+            stats.store_misses = now.misses.saturating_sub(before.misses);
+            // New solver work happened → refresh the on-disk snapshot
+            // so the next process inherits it. Best-effort, like the
+            // program write-back.
+            if stats.cache_misses > 0 {
+                let _ = store.save_alloc_snapshot(&self.cache);
+            }
+        }
         BatchReport { outcomes, stats }
     }
 
     /// One compilation through the session's backend, cache and token.
     /// Diagnostics come back even when the compilation fails.
+    ///
+    /// With a store attached, the persistent L2 is probed first: a
+    /// decoded artifact that passes the static verifier replaces the
+    /// entire pipeline run (`StoreHit`); a decode failure or a `Deny`
+    /// finding degrades to a cold compile that overwrites the bad entry
+    /// (`StoreCorrupt`); a plain miss compiles cold and writes back
+    /// (`StoreMiss`).
     fn run_one(
         &self,
         graph: &Graph,
@@ -527,13 +593,77 @@ impl Session {
         cancel: &CancelToken,
     ) -> (Result<CompiledProgram, CompileError>, Diagnostics) {
         let start = Instant::now();
+        let key = self.store.is_some().then(|| {
+            StoreKey::for_compile(self.backend.arch(), self.backend.name(), options, graph)
+        });
+        let mut store_events: Vec<DiagnosticEvent> = Vec::new();
+        if let (Some(store), Some(key)) = (&self.store, key) {
+            match store.fetch_program(key) {
+                StoreFetch::Hit(program) => {
+                    let mut program = *program;
+                    // Never serve an unverified artifact: the checksum
+                    // catches bit rot, the verifier catches stale or
+                    // semantically unsound plans.
+                    let report = Verifier::new().run(&program, self.backend.arch());
+                    if report.deny_count() == 0 {
+                        let mut diagnostics = Diagnostics::new();
+                        diagnostics.push(DiagnosticEvent::StoreHit { key: key.hash() });
+                        diagnostics.push(DiagnosticEvent::Verified {
+                            deny: 0,
+                            warn: report.warn_count() as u64,
+                        });
+                        // The stats describe work done *this* process:
+                        // a served artifact cost no solver work, only
+                        // the fetch+decode+verify accounted as "store".
+                        program.stats.mip_solves = 0;
+                        program.stats.fast_solves = 0;
+                        program.stats.cache_hits = 0;
+                        program.stats.dp_windows_pruned = 0;
+                        program.stats.warm_accepted = 0;
+                        program.stats.warm_rejected = 0;
+                        program.stats.solve_batches = 0;
+                        program.stats.stage_wall = vec![StageWall {
+                            stage: "store",
+                            wall: start.elapsed(),
+                        }];
+                        program.stats.wall = start.elapsed();
+                        return (Ok(program), diagnostics);
+                    }
+                    store.record_corrupt();
+                    store_events.push(DiagnosticEvent::StoreCorrupt {
+                        key: key.hash(),
+                        reason: format!(
+                            "verify rejected: {} deny finding(s)",
+                            report.deny_count()
+                        ),
+                    });
+                }
+                StoreFetch::Miss => {
+                    store_events.push(DiagnosticEvent::StoreMiss { key: key.hash() });
+                }
+                StoreFetch::Corrupt(reason) => {
+                    store_events.push(DiagnosticEvent::StoreCorrupt {
+                        key: key.hash(),
+                        reason,
+                    });
+                }
+            }
+        }
         let mut cx =
             PipelineCx::with_shared_cache(self.backend.arch(), options, Arc::clone(&self.cache))
                 .with_cancel(cancel.clone());
+        for event in store_events {
+            cx.emit(event);
+        }
         match self.backend.compile_in(&mut cx, graph) {
             Ok(mut program) => {
                 let diagnostics = cx.finalize(&mut program.stats);
                 program.stats.wall = start.elapsed();
+                if let (Some(store), Some(key)) = (&self.store, key) {
+                    // Write-back is best-effort: a full disk must not
+                    // fail an otherwise successful compile.
+                    let _ = store.put_program(key, &program);
+                }
                 (Ok(program), diagnostics)
             }
             Err(e) => (Err(e), cx.into_diagnostics()),
@@ -549,6 +679,7 @@ impl fmt::Debug for Session {
             .field("options", &self.options)
             .field("workers", &self.workers)
             .field("cache_entries", &self.cache.len())
+            .field("store", &self.store.as_ref().map(|s| s.root().display().to_string()))
             .finish()
     }
 }

@@ -1,0 +1,404 @@
+//! Content-addressed on-disk artifact store — the persistent L2 behind
+//! the in-memory [`AllocationCache`].
+//!
+//! A [`ArtifactStore`] is a directory holding two things:
+//!
+//! * `programs/<key>.cmsart` — one framed [`crate::artifact`] file per
+//!   compiled program, addressed by a [`StoreKey`] over everything that
+//!   determines the compiler's output: the architecture fingerprint,
+//!   the backend, the compiler options and the graph itself. Same key
+//!   ⇒ same plan, so a fetch can skip the entire pipeline.
+//! * `alloc_cache.cmsart` — a snapshot of the allocation cache's
+//!   entries, promoted into a fresh process's L1 at session build so
+//!   even *novel* graphs that share segment signatures with prior runs
+//!   compile without solver invocations.
+//!
+//! The store is a cache, never the source of truth: every read
+//! validates the checksummed wire format, and [`crate::Session`]
+//! additionally runs the static verifier over fetched programs before
+//! serving them — any failure degrades to a cold compile that
+//! overwrites the bad entry. Writes go through a temp file + atomic
+//! rename, so concurrent processes sharing a store directory never
+//! observe half-written artifacts.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cmswitch_arch::DualModeArch;
+use cmswitch_graph::Graph;
+use cmswitch_solver::stable_hash64;
+
+use crate::allocation::AllocationCache;
+use crate::artifact::{self, fnv1a_bytes};
+use crate::compiler::CompiledProgram;
+use crate::{AllocatorKind, CompilerOptions, DpMode};
+
+/// Bumped whenever the key derivation below changes, so old store
+/// entries become unreachable (a silent miss) instead of wrongly hit.
+const KEY_SCHEMA_VERSION: u64 = 1;
+
+/// Content address of a compiled program: `stable_hash64` over the
+/// architecture fingerprint, the backend name, the compiler options
+/// and a structural signature of the graph.
+///
+/// `solve_workers` is deliberately **excluded**: the solve pool is
+/// deterministic, so plans are bit-identical at any worker count and
+/// a store primed at one parallelism serves every other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    hash: u64,
+}
+
+impl StoreKey {
+    /// Derives the key for compiling `graph` with `backend_name` on
+    /// `arch` under `options`.
+    pub fn for_compile(
+        arch: &DualModeArch,
+        backend_name: &str,
+        options: &CompilerOptions,
+        graph: &Graph,
+    ) -> StoreKey {
+        let words = [
+            KEY_SCHEMA_VERSION,
+            arch.fingerprint(),
+            fnv1a_bytes(backend_name.as_bytes()),
+            options.max_segment_ops as u64,
+            match options.allocator {
+                AllocatorKind::Mip => 0,
+                AllocatorKind::Fast => 1,
+            },
+            u64::from(options.reuse_cache),
+            u64::from(options.switch_aware),
+            options.partition_budget.to_bits(),
+            match options.dp_mode {
+                DpMode::Exhaustive => 0,
+                DpMode::BoundPruned => 1,
+            },
+            u64::from(options.verify),
+            graph_signature(graph),
+        ];
+        StoreKey {
+            hash: stable_hash64(&words),
+        }
+    }
+
+    /// The raw 64-bit address (also carried in store diagnostics).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The file stem used on disk: the address as 16 hex digits.
+    pub fn file_stem(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+}
+
+/// Structural signature of a graph: FNV-1a over the graph name and
+/// every node's id, name, operator (via its stable `Debug` form),
+/// inputs and shape. Two graphs share a signature iff they describe
+/// the same computation.
+pub fn graph_signature(graph: &Graph) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        // Length-prefix each field so concatenations can't collide.
+        for &b in (bytes.len() as u64)
+            .to_le_bytes()
+            .iter()
+            .chain(bytes.iter())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(graph.name().as_bytes());
+    for node in graph.nodes() {
+        mix(&(node.id.0 as u64).to_le_bytes());
+        mix(node.name.as_bytes());
+        mix(format!("{:?}", node.op).as_bytes());
+        for input in &node.inputs {
+            mix(&(input.0 as u64).to_le_bytes());
+        }
+        for &dim in &node.shape {
+            mix(&(dim as u64).to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Result of probing the store for a program.
+#[derive(Debug)]
+pub enum StoreFetch {
+    /// A valid artifact was found and decoded.
+    Hit(Box<CompiledProgram>),
+    /// No artifact exists under the key.
+    Miss,
+    /// An artifact exists but failed to read or decode; the reason is
+    /// human-readable. Callers recompile and overwrite.
+    Corrupt(String),
+}
+
+/// Monotonic counters describing store traffic since [`ArtifactStore::open`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Programs served from disk.
+    pub hits: u64,
+    /// Probes that found no artifact.
+    pub misses: u64,
+    /// Artifacts rejected as corrupt (decode failure or post-decode
+    /// verification failure).
+    pub corrupt: u64,
+    /// Programs written.
+    pub writes: u64,
+}
+
+/// A content-addressed artifact directory (see the module docs).
+///
+/// All methods take `&self`; the store is shared as an `Arc` between a
+/// session and its owner, and counters are atomic.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the directory layout.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Arc<ArtifactStore>> {
+        let root = root.into();
+        fs::create_dir_all(root.join("programs"))?;
+        Ok(Arc::new(ArtifactStore {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }))
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The on-disk path for `key`'s program artifact.
+    pub fn program_path(&self, key: StoreKey) -> PathBuf {
+        self.root
+            .join("programs")
+            .join(format!("{}.cmsart", key.file_stem()))
+    }
+
+    fn alloc_path(&self) -> PathBuf {
+        self.root.join("alloc_cache.cmsart")
+    }
+
+    /// Probes the store for the program at `key`, validating the wire
+    /// format (magic, version, checksum) on the way in.
+    pub fn fetch_program(&self, key: StoreKey) -> StoreFetch {
+        let path = self.program_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return StoreFetch::Miss;
+            }
+            Err(e) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                return StoreFetch::Corrupt(format!("read {}: {e}", path.display()));
+            }
+        };
+        match artifact::decode_program(&bytes) {
+            Ok(program) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                StoreFetch::Hit(Box::new(program))
+            }
+            Err(e) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                StoreFetch::Corrupt(e.to_string())
+            }
+        }
+    }
+
+    /// Writes (or overwrites) the program artifact at `key` via a temp
+    /// file and atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; encode itself is infallible.
+    pub fn put_program(&self, key: StoreKey, program: &CompiledProgram) -> io::Result<()> {
+        let bytes = artifact::encode_program(program);
+        self.write_atomic(&self.program_path(key), &bytes)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Counts an artifact that decoded cleanly but was rejected
+    /// downstream (the session's verify-before-serve gate).
+    pub fn record_corrupt(&self) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots `cache`'s entries to disk, replacing any prior
+    /// snapshot. Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_alloc_snapshot(&self, cache: &AllocationCache) -> io::Result<usize> {
+        let entries = cache.export_entries();
+        let bytes = artifact::encode_alloc_entries(&entries);
+        self.write_atomic(&self.alloc_path(), &bytes)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(entries.len())
+    }
+
+    /// Promotes the on-disk snapshot (if any) into `cache`, returning
+    /// the number of entries imported. A missing snapshot is 0; a
+    /// corrupt one counts in [`StoreStats::corrupt`] and is ignored.
+    pub fn load_alloc_snapshot(&self, cache: &AllocationCache) -> usize {
+        let bytes = match fs::read(self.alloc_path()) {
+            Ok(bytes) => bytes,
+            Err(_) => return 0,
+        };
+        match artifact::decode_alloc_entries(&bytes) {
+            Ok(entries) => cache.import_entries(entries),
+            Err(_) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                0
+            }
+        }
+    }
+
+    /// Number of program artifacts currently on disk.
+    pub fn program_count(&self) -> usize {
+        fs::read_dir(self.root.join("programs"))
+            .map(|dir| {
+                dir.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "cmsart"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Traffic counters since this handle was opened.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use cmswitch_arch::presets;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cmswitch-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn key_is_stable_and_content_sensitive() {
+        let arch = presets::tiny();
+        let options = CompilerOptions::default();
+        let g1 = cmswitch_models::mlp::mlp(2, &[64, 64]).unwrap();
+        let g2 = cmswitch_models::mlp::mlp(2, &[64, 128]).unwrap();
+        let k1 = StoreKey::for_compile(&arch, "cmswitch", &options, &g1);
+        assert_eq!(k1, StoreKey::for_compile(&arch, "cmswitch", &options, &g1));
+        assert_ne!(k1, StoreKey::for_compile(&arch, "cmswitch", &options, &g2));
+        assert_ne!(k1, StoreKey::for_compile(&arch, "occ", &options, &g1));
+        let fast = CompilerOptions::default().with_allocator(AllocatorKind::Fast);
+        assert_ne!(k1, StoreKey::for_compile(&arch, "cmswitch", &fast, &g1));
+        // solve_workers must NOT perturb the key.
+        let workers = CompilerOptions::default().with_solve_workers(7);
+        assert_eq!(k1, StoreKey::for_compile(&arch, "cmswitch", &workers, &g1));
+    }
+
+    #[test]
+    fn fetch_put_fetch_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let arch = presets::tiny();
+        let graph = cmswitch_models::mlp::mlp(2, &[64, 128, 64]).unwrap();
+        let session = Session::builder(arch.clone()).build();
+        let program = session.compile_graph(&graph).unwrap();
+        let key = StoreKey::for_compile(&arch, "cmswitch", session.options(), &graph);
+
+        assert!(matches!(store.fetch_program(key), StoreFetch::Miss));
+        store.put_program(key, &program).unwrap();
+        assert_eq!(store.program_count(), 1);
+        match store.fetch_program(key) {
+            StoreFetch::Hit(found) => assert_eq!(*found, program),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_reported_not_served() {
+        let dir = tempdir("corrupt");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let arch = presets::tiny();
+        let graph = cmswitch_models::mlp::mlp(1, &[64, 64]).unwrap();
+        let session = Session::builder(arch.clone()).build();
+        let program = session.compile_graph(&graph).unwrap();
+        let key = StoreKey::for_compile(&arch, "cmswitch", session.options(), &graph);
+        store.put_program(key, &program).unwrap();
+
+        let path = store.program_path(key);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        assert!(matches!(store.fetch_program(key), StoreFetch::Corrupt(_)));
+        assert_eq!(store.stats().corrupt, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn alloc_snapshot_roundtrips_through_disk() {
+        let dir = tempdir("snapshot");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let cache = AllocationCache::new();
+        let session = Session::builder(presets::tiny())
+            .cache(Arc::clone(&cache))
+            .build();
+        let graph = cmswitch_models::mlp::mlp(2, &[64, 128, 64]).unwrap();
+        session.compile_graph(&graph).unwrap();
+        assert!(!cache.is_empty());
+        let written = store.save_alloc_snapshot(&cache).unwrap();
+        assert_eq!(written, cache.len());
+
+        let fresh = AllocationCache::new();
+        assert_eq!(store.load_alloc_snapshot(&fresh), written);
+        assert_eq!(fresh.len(), cache.len());
+        assert_eq!(fresh.export_entries(), cache.export_entries());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,18 +1,25 @@
-//! Fleet compilation: every model in the registry, one service.
+//! Fleet compilation: every model in the registry, one service, one
+//! persistent artifact store.
 //!
 //! Builds the full benchmark registry (`cmswitch::models::registry`) and
-//! compiles it twice with a [`CompileService`] — once cold, once with the
-//! allocation cache warmed by the first pass — printing per-model
-//! compile times, solver invocations and the cache hit rate. Identical
-//! transformer blocks within and across models (BERT, LLaMA, OPT) make
-//! the warm pass skip almost every MIP solve.
+//! compiles it three times:
+//!
+//! 1. **cold** — empty in-memory cache, empty store: every solve is paid;
+//! 2. **warm cache** — the same session again: the allocation cache
+//!    (L1) skips almost every MIP solve;
+//! 3. **fresh process** — a brand-new session over the same store
+//!    directory, in-memory caches empty: programs come straight off
+//!    disk (L2) with *zero* solver invocations.
+//!
+//! The batch summaries print per-model compile times, solver
+//! invocations, warm-start acceptance and the store hit/miss traffic.
 //!
 //! ```text
 //! cargo run --release --example batch_compile
 //! ```
 
 use cmswitch::arch::presets;
-use cmswitch::compiler::{CompileRequest, Session};
+use cmswitch::compiler::{ArtifactStore, CompileRequest, Session};
 use cmswitch::models::registry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,18 +29,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .map(|(name, graph)| CompileRequest::new(graph).with_label(name))
         .collect();
-    let session = Session::builder(arch).workers(4).build();
+
+    let store_dir =
+        std::env::temp_dir().join(format!("cmswitch-batch-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let session = Session::builder(arch.clone())
+        .store(ArtifactStore::open(&store_dir)?)
+        .workers(4)
+        .build();
     println!(
-        "fleet: {} models (batch {batch}, seq {seq}) on {} workers\n",
+        "fleet: {} models (batch {batch}, seq {seq}) on {} workers, store at {}\n",
         requests.len(),
-        session.workers()
+        session.workers(),
+        store_dir.display()
     );
 
-    println!("── cold batch (empty cache) ──");
+    println!("── cold batch (empty cache, empty store) ──");
     let cold = session.compile_batch(&requests);
     print!("{}", cold.summary());
 
-    println!("\n── warm batch (cache reused) ──");
+    println!("\n── warm batch (in-memory cache reused) ──");
     let warm = session.compile_batch(&requests);
     print!("{}", warm.summary());
 
@@ -44,6 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cold.stats.solver_invocations() as f64 / warm.stats.solver_invocations().max(1) as f64,
         cold.stats.wall,
         warm.stats.wall,
+    );
+    println!(
+        "warm starts: cold {} accepted / {} rejected",
+        cold.stats.warm_accepted, cold.stats.warm_rejected
     );
     println!(
         "stage breakdown (cold, CPU time across workers): {}",
@@ -62,5 +81,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.cache().len(),
         session.cache().hit_rate() * 100.0
     );
+    session.persist_alloc_snapshot()?;
+
+    // The restart: a fresh session, nothing shared but the directory.
+    println!("\n── fresh process over the same store (disk-warm) ──");
+    let fresh = Session::builder(arch)
+        .store(ArtifactStore::open(&store_dir)?)
+        .workers(4)
+        .build();
+    let disk = fresh.compile_batch(&requests);
+    print!("{}", disk.summary());
+    println!(
+        "\ndisk-warm: {} solver invocations, {} of {} served from the store, {:.2?} wall \
+         ({:.1}x faster than cold)",
+        disk.stats.solver_invocations(),
+        disk.stats.store_hits,
+        requests.len(),
+        disk.stats.wall,
+        cold.stats.wall.as_secs_f64() / disk.stats.wall.as_secs_f64().max(1e-9),
+    );
+    assert_eq!(
+        disk.stats.solver_invocations(),
+        0,
+        "a primed store must serve the registry without solving"
+    );
+
+    let _ = std::fs::remove_dir_all(&store_dir);
     Ok(())
 }

@@ -13,6 +13,7 @@
 //! | [`compiler`] | `cmswitch-core` | the DACO compiler (§4.3) |
 //! | [`baselines`] | `cmswitch-baselines` | PUMA / OCC / CIM-MLC backends |
 //! | [`sim`] | `cmswitch-sim` | dual-mode chip simulator |
+//! | [`serve`] | `cmswitch-serve` | long-running compile server |
 //! | `bench` | `cmswitch-bench` | experiment harness (§5 figures) |
 //!
 //! # Quickstart
@@ -55,6 +56,14 @@
 //! a [`compiler::CompileRequest::with_deadline`] aborts a compile
 //! mid-solve with [`compiler::CompileError::Cancelled`].
 //!
+//! Compiled programs persist across processes: attach a
+//! [`compiler::ArtifactStore`] to the session builder and compiles are
+//! served from a content-addressed on-disk store (the L2 behind the
+//! in-memory allocation cache) with **zero solver invocations** after a
+//! priming run. The [`serve`] crate wraps such a session in a
+//! long-running server — bounded queue, per-tenant deadlines, worker
+//! pool — driven by the `cmswitch-serve` binary.
+//!
 //! # Migrating from the pre-session API
 //!
 //! The old entry points still work but are deprecated shims:
@@ -74,6 +83,7 @@ pub use cmswitch_core as compiler;
 pub use cmswitch_graph as graph;
 pub use cmswitch_metaop as metaop;
 pub use cmswitch_models as models;
+pub use cmswitch_serve as serve;
 pub use cmswitch_sim as sim;
 pub use cmswitch_solver as solver;
 pub use cmswitch_tensor as tensor;
@@ -84,14 +94,15 @@ pub mod prelude {
     #[allow(deprecated)] // `by_name` stays re-exported for compatibility.
     pub use cmswitch_baselines::{backend_for, by_name, SessionBackendExt};
     pub use cmswitch_core::{
-        AllocationCache, Backend, BackendKind, BatchJob, BatchReport, CancelToken, CompileError,
-        CompileOutcome, CompileRequest, CompileService, CompileStats, CompiledProgram, Compiler,
-        CompilerOptions, DiagnosticEvent, Diagnostics, DpMode, EmitStage, LowerStage,
-        Lint, PartitionStage, PipelineCx, SegmentStage, ServiceOptions, Session, SessionBuilder,
-        Severity, Stage, UnknownBackend, Verifier, VerifyCx, VerifyFinding, VerifyReport,
-        VerifyStage,
+        AllocationCache, ArtifactStore, Backend, BackendKind, BatchJob, BatchReport, CancelToken,
+        CompileError, CompileOutcome, CompileRequest, CompileService, CompileStats,
+        CompiledProgram, Compiler, CompilerOptions, DiagnosticEvent, Diagnostics, DpMode,
+        EmitStage, LowerStage, Lint, PartitionStage, PipelineCx, SegmentStage, ServiceOptions,
+        Session, SessionBuilder, Severity, Stage, StoreFetch, StoreKey, UnknownBackend, Verifier,
+        VerifyCx, VerifyFinding, VerifyReport, VerifyStage,
     };
     pub use cmswitch_graph::{Graph, GraphBuilder};
+    pub use cmswitch_serve::{CompileServer, ServeReply, ServeRequest, ServerOptions, Ticket};
     pub use cmswitch_metaop::{print_flow, Flow};
     pub use cmswitch_sim::timing::simulate;
     pub use cmswitch_sim::{

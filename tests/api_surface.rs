@@ -8,6 +8,7 @@
 const EXPECTED: &[&str] = &[
     "AllocationCache",
     "ArrayMode",
+    "ArtifactStore",
     "Backend",
     "BackendKind",
     "BatchJob",
@@ -16,6 +17,7 @@ const EXPECTED: &[&str] = &[
     "CompileError",
     "CompileOutcome",
     "CompileRequest",
+    "CompileServer",
     "CompileService",
     "CompileStats",
     "CompiledProgram",
@@ -37,6 +39,9 @@ const EXPECTED: &[&str] = &[
     "PipelineCx",
     "SegmentStage",
     "SequentialModel",
+    "ServeReply",
+    "ServeRequest",
+    "ServerOptions",
     "ServiceOptions",
     "Session",
     "SessionBackendExt",
@@ -45,6 +50,9 @@ const EXPECTED: &[&str] = &[
     "Severity",
     "SimulationOutcome",
     "Stage",
+    "StoreFetch",
+    "StoreKey",
+    "Ticket",
     "UnknownBackend",
     "Verifier",
     "VerifyCx",
@@ -129,4 +137,6 @@ fn snapshot_items_exist_and_have_expected_shapes() {
     let _report: VerifyReport = VerifyReport::new();
     assert!(Severity::Deny > Severity::Warn);
     let _opts: CompilerOptions = CompilerOptions::default().with_verify(true);
+    let _srv_opts: ServerOptions = ServerOptions::default().with_workers(1);
+    assert!(matches!(StoreFetch::Miss, StoreFetch::Miss));
 }

@@ -1,0 +1,200 @@
+//! The persistent artifact store across (simulated) process restarts.
+//!
+//! The contract under test is the tentpole acceptance criterion: after
+//! one priming run, a **fresh session over the same store directory**
+//! compiles the whole registry with *zero* allocator solves and at
+//! least 3× faster than the cold run — plus the integrity half of the
+//! story: corrupt or verifier-rejected artifacts are never served, but
+//! recompiled and overwritten in place.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cmswitch::arch::presets;
+use cmswitch::compiler::artifact::encode_program;
+use cmswitch::compiler::verify::mutate;
+use cmswitch::models::registry;
+use cmswitch::prelude::*;
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmswitch-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn registry_requests() -> Vec<CompileRequest> {
+    registry::build_all(1, 16)
+        .expect("registry builds")
+        .into_iter()
+        .map(|(name, graph)| CompileRequest::new(graph).with_label(name))
+        .collect()
+}
+
+fn solver_invocations(report: &BatchReport) -> u64 {
+    report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.result.as_ref().ok())
+        .map(|p| p.stats.mip_solves + p.stats.fast_solves)
+        .sum()
+}
+
+/// The headline guarantee: prime once, restart, compile the registry
+/// without a single allocator invocation — and measurably faster.
+#[test]
+fn fresh_session_compiles_registry_with_zero_solves() {
+    let dir = temp_store("zero-solve");
+
+    let cold_wall;
+    {
+        let store = ArtifactStore::open(&dir).unwrap();
+        let session = Session::builder(presets::dynaplasia()).store(store).build();
+        let t0 = Instant::now();
+        let report = session.compile_batch(&registry_requests());
+        cold_wall = t0.elapsed();
+        assert!(report.outcomes.iter().all(|o| o.result.is_ok()));
+        assert!(
+            solver_invocations(&report) > 0,
+            "cold run must actually solve"
+        );
+        session.persist_alloc_snapshot().unwrap();
+    }
+
+    // The restart: a brand-new store handle and session, nothing shared
+    // but the directory — in-memory caches start empty.
+    let store = ArtifactStore::open(&dir).unwrap();
+    let session = Session::builder(presets::dynaplasia())
+        .store(Arc::clone(&store))
+        .build();
+    let t0 = Instant::now();
+    let report = session.compile_batch(&registry_requests());
+    let warm_wall = t0.elapsed();
+
+    assert!(report.outcomes.iter().all(|o| o.result.is_ok()));
+    assert_eq!(
+        solver_invocations(&report),
+        0,
+        "disk-warm registry compile must not invoke the allocator"
+    );
+    assert_eq!(report.stats.store_hits, registry::ALL_MODELS.len() as u64);
+    assert_eq!(store.stats().corrupt, 0);
+    assert!(
+        warm_wall * 3 <= cold_wall,
+        "disk-warm must be at least 3x faster: cold {cold_wall:?}, warm {warm_wall:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Byte-level corruption is detected by the checksum, surfaced as a
+/// `StoreCorrupt` diagnostic, recompiled — and the bad artifact is
+/// overwritten so the *next* fetch hits clean.
+#[test]
+fn corrupt_artifact_is_recompiled_and_healed() {
+    let dir = temp_store("corrupt");
+    let store = ArtifactStore::open(&dir).unwrap();
+    let session = Session::builder(presets::tiny())
+        .store(Arc::clone(&store))
+        .build();
+    let graph = cmswitch::models::mlp::mlp(2, &[128, 256, 128]).unwrap();
+
+    session.compile(CompileRequest::new(graph.clone())).unwrap();
+    let key = StoreKey::for_compile(
+        &presets::tiny(),
+        "cmswitch",
+        &CompilerOptions::default(),
+        &graph,
+    );
+    let path = store.program_path(key);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = 32 + (bytes.len() - 32) / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // A fresh session (cold caches) must detect the corruption, report
+    // it, recompile, and overwrite the artifact.
+    let session = Session::builder(presets::tiny())
+        .store(Arc::clone(&store))
+        .build();
+    let outcome = session.compile(CompileRequest::new(graph.clone())).unwrap();
+    let (hits, _misses, corrupt) = outcome.diagnostics.store_traffic();
+    assert_eq!((hits, corrupt), (0, 1), "corruption must be diagnosed");
+    assert!(matches!(store.fetch_program(key), StoreFetch::Hit(_)));
+
+    // Healed: the next fresh session serves from disk again.
+    let session = Session::builder(presets::tiny()).store(store).build();
+    let outcome = session.compile(CompileRequest::new(graph)).unwrap();
+    assert_eq!(outcome.diagnostics.store_traffic().0, 1);
+    assert_eq!(outcome.stats().mip_solves + outcome.stats().fast_solves, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A well-formed artifact that fails static verification (simulated by
+/// writing a mutated program under the correct key) is rejected before
+/// serving: decoded bytes are never trusted without `core::verify`.
+#[test]
+fn verifier_rejected_artifact_is_never_served() {
+    let dir = temp_store("verify-reject");
+    let store = ArtifactStore::open(&dir).unwrap();
+    let session = Session::builder(presets::tiny())
+        .store(Arc::clone(&store))
+        .build();
+    let graph = cmswitch::models::mlp::mlp(2, &[128, 256, 128]).unwrap();
+    let honest = session.compile(CompileRequest::new(graph.clone())).unwrap();
+
+    // Craft a checksum-valid but semantically broken artifact: apply
+    // the first defect-injection operator that both mutates this
+    // program and draws a deny finding.
+    let arch = presets::tiny();
+    let verifier = Verifier::new();
+    let mutant = mutate::ALL
+        .iter()
+        .filter_map(|m| m.apply(&honest.program))
+        .find(|p| verifier.run(p, &arch).deny_count() > 0)
+        .expect("some mutation operator produces a deny-able program");
+    let key = StoreKey::for_compile(&arch, "cmswitch", &CompilerOptions::default(), &graph);
+    std::fs::write(store.program_path(key), encode_program(&mutant)).unwrap();
+
+    let session = Session::builder(presets::tiny())
+        .store(Arc::clone(&store))
+        .build();
+    let outcome = session.compile(CompileRequest::new(graph)).unwrap();
+    let (hits, _misses, corrupt) = outcome.diagnostics.store_traffic();
+    assert_eq!(hits, 0, "a verifier-rejected artifact must not be served");
+    assert_eq!(corrupt, 1, "the rejection must be diagnosed");
+    // And the recompile overwrote the poisoned entry with an honest one.
+    match store.fetch_program(key) {
+        StoreFetch::Hit(p) => assert_eq!(verifier.run(&p, &arch).deny_count(), 0),
+        other => panic!("store should hold a healed artifact, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The allocation-cache snapshot alone (no program artifacts) already
+/// eliminates solver work: L2 promotion into a fresh L1.
+#[test]
+fn alloc_snapshot_alone_warms_a_fresh_session() {
+    let dir = temp_store("snapshot-only");
+    {
+        let store = ArtifactStore::open(&dir).unwrap();
+        let session = Session::builder(presets::tiny())
+            .store(Arc::clone(&store))
+            .build();
+        let graph = cmswitch::models::mlp::mlp(3, &[256, 256, 256]).unwrap();
+        session.compile(CompileRequest::new(graph)).unwrap();
+        assert!(session.persist_alloc_snapshot().unwrap() > 0);
+        // Drop the program artifacts, keep only the snapshot.
+        std::fs::remove_dir_all(store.root().join("programs")).unwrap();
+    }
+
+    let store = ArtifactStore::open(&dir).unwrap();
+    let session = Session::builder(presets::tiny()).store(store).build();
+    let graph = cmswitch::models::mlp::mlp(3, &[256, 256, 256]).unwrap();
+    let outcome = session.compile(CompileRequest::new(graph)).unwrap();
+    assert_eq!(
+        outcome.stats().mip_solves + outcome.stats().fast_solves,
+        0,
+        "snapshot-promoted cache entries must satisfy every allocation"
+    );
+    assert!(outcome.stats().cache_hits > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
