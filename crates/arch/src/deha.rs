@@ -109,6 +109,37 @@ impl DualModeArch {
         self.extern_bw
     }
 
+    /// Per-array internal bandwidth in memory mode, bytes/cycle (the raw
+    /// Fig. 8 parameter behind [`DualModeArch::d_cim`]).
+    pub fn internal_bw(&self) -> u64 {
+        self.internal_bw
+    }
+
+    /// Bandwidth of the original (non-CIM) on-chip buffer, bytes/cycle.
+    pub fn buffer_bw(&self) -> u64 {
+        self.buffer_bw
+    }
+
+    /// Cycles for one full-array compute pass.
+    pub fn compute_pass_cycles(&self) -> u64 {
+        self.compute_pass_cycles
+    }
+
+    /// Cycles to write one array row of cells.
+    pub fn write_row_cycles(&self) -> u64 {
+        self.write_row_cycles
+    }
+
+    /// Rows written concurrently per cycle (write-port width).
+    pub fn write_parallelism(&self) -> u64 {
+        self.write_parallelism
+    }
+
+    /// Multiplier on cell-write cost (1 for eDRAM, >1 for ReRAM).
+    pub fn write_cost_factor(&self) -> u64 {
+        self.write_cost_factor
+    }
+
     /// Per-array switch latency memory→compute, cycles.
     pub fn switch_m2c_cycles(&self) -> u64 {
         self.switch_m2c_cycles
@@ -430,6 +461,17 @@ mod tests {
             .build()
             .unwrap();
         assert_ne!(base.fingerprint(), reram.fingerprint());
+    }
+
+    #[test]
+    fn raw_parameter_accessors() {
+        let a = DualModeArch::builder("d").build().unwrap();
+        assert_eq!(a.internal_bw(), 4);
+        assert_eq!(a.buffer_bw(), 32);
+        assert_eq!(a.compute_pass_cycles(), 64);
+        assert_eq!(a.write_row_cycles(), 1);
+        assert_eq!(a.write_parallelism(), 8);
+        assert_eq!(a.write_cost_factor(), 1);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Design-space exploration bench: sweep a grid of dual-mode chips
+//! around the DynaPlasia preset through the real compiler, verifier and
+//! event engine, then re-sweep the identical grid warm.
+//!
+//! Full mode sweeps 108 valid points (2 array sizes × 3 array counts ×
+//! 3 switch latencies × 2 buffer sizes × 3 bus widths) over the whole
+//! model registry, with a shared allocation cache (L1) and a persistent
+//! artifact store (L2), and writes a machine-readable `BENCH_dse.json`
+//! to the repository root: grid shape, cold/warm wall clock, solver and
+//! cache counters, and the Pareto frontier. Invariants asserted on
+//! every run (smoke included):
+//!
+//! * every valid point evaluates — no compile/verify/simulate failures
+//!   (the runner statically verifies each program; a `Deny` finding
+//!   fails the point),
+//! * the warm re-sweep (same runner: L0 record memo) pays **zero**
+//!   allocation solves and serves every point from the memo, and is
+//!   ≥3× faster than the cold sweep,
+//! * a disk-warm sweep (a *fresh* runner over the same store: L2) also
+//!   pays zero solves, with nonzero store hits, and
+//! * the frontier is non-empty, with records bit-identical across all
+//!   three sweeps.
+//!
+//! Under `CMSWITCH_BENCH_SMOKE` the grid shrinks to 2×2×2 around the
+//! tiny preset with two small models, so CI exercises the same path in
+//! seconds.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cmswitch_arch::presets;
+use cmswitch_core::ArtifactStore;
+use cmswitch_dse::{SweepReport, SweepRunner, SweepSpace};
+use cmswitch_graph::Graph;
+use cmswitch_models::registry;
+
+fn smoke_mode() -> bool {
+    std::env::var_os("CMSWITCH_BENCH_SMOKE").is_some()
+}
+
+/// The swept grid: 108 DynaPlasia-scale points in full mode, a 2×2×2
+/// corner of the tiny chip's neighborhood in smoke mode.
+fn grid() -> cmswitch_dse::SweepGrid {
+    if smoke_mode() {
+        SweepSpace::around(presets::tiny())
+            .with_array_counts([4, 8])
+            .with_switch_latencies([1, 8])
+            .with_bus_widths([8, 16])
+            .instantiate()
+    } else {
+        SweepSpace::around(presets::dynaplasia())
+            .with_array_sizes([(256, 256), (320, 320)])
+            .with_array_counts([64, 96, 128])
+            .with_switch_latencies([1, 4, 16])
+            .with_buffer_bytes([40 * 1024, 80 * 1024])
+            .with_bus_widths([16, 32, 64])
+            .instantiate()
+    }
+}
+
+/// Full mode evaluates the whole registered model zoo; smoke mode two
+/// small MLPs.
+fn workload() -> Vec<(String, Graph)> {
+    if smoke_mode() {
+        vec![
+            (
+                "mlp-wide".to_string(),
+                cmswitch_models::mlp::mlp(4, &[256, 512, 128]).unwrap(),
+            ),
+            (
+                "mlp-deep".to_string(),
+                cmswitch_models::mlp::mlp(2, &[128, 128, 128, 128, 64]).unwrap(),
+            ),
+        ]
+    } else {
+        registry::build_all(1, 32).expect("registry builds")
+    }
+}
+
+fn assert_sweep_ok(report: &SweepReport, label: &str) {
+    assert!(
+        report.failed.is_empty(),
+        "{label} sweep had failures: {:?}",
+        report.failed
+    );
+    assert!(report.rejected.is_empty(), "{label} grid must be fully valid");
+    assert!(!report.records.is_empty(), "{label} sweep measured nothing");
+    assert!(
+        !report.frontier().is_empty(),
+        "{label} sweep must have a frontier"
+    );
+}
+
+fn bench_dse_sweep(c: &mut Criterion) {
+    let grid = grid();
+    let min_points = if smoke_mode() { 8 } else { 100 };
+    assert!(
+        grid.points.len() >= min_points,
+        "grid has {} valid points, need >= {min_points}",
+        grid.points.len()
+    );
+
+    let store_dir = std::env::temp_dir().join(format!("cmswitch-bench-dse-{}", std::process::id()));
+    let store = ArtifactStore::open(&store_dir).expect("open artifact store");
+    let runner = SweepRunner::new(workload()).with_store(Arc::clone(&store));
+
+    // Instrumented pass: one cold sweep, one warm re-sweep of the
+    // identical grid through the same runner (L0 record memo), one
+    // disk-warm sweep through a fresh runner over the same store (L2).
+    let t0 = Instant::now();
+    let cold = runner.run(&grid);
+    let cold_wall = t0.elapsed();
+    assert_sweep_ok(&cold, "cold");
+    assert!(cold.solves > 0, "cold sweep must pay allocation solves");
+    assert_eq!(cold.point_hits, 0, "cold sweep must evaluate every point");
+
+    let t1 = Instant::now();
+    let warm = runner.run(&grid);
+    let warm_wall = t1.elapsed();
+    assert_sweep_ok(&warm, "warm");
+    assert_eq!(warm.solves, 0, "warm re-sweep must be solve-free");
+    assert_eq!(
+        warm.point_hits,
+        grid.points.len() as u64,
+        "warm re-sweep must be served entirely from the record memo"
+    );
+
+    let speedup = cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 3.0,
+        "warm re-sweep only {speedup:.2}x faster ({cold_wall:?} cold vs {warm_wall:?} warm)"
+    );
+
+    // A fresh runner has an empty memo but shares the artifact store:
+    // every compile is served from disk (L2 short-circuits before L1),
+    // so the sweep re-verifies and re-simulates but never solves.
+    let fresh = SweepRunner::new(workload()).with_store(Arc::clone(&store));
+    let t2 = Instant::now();
+    let disk_warm = fresh.run(&grid);
+    let disk_warm_wall = t2.elapsed();
+    assert_sweep_ok(&disk_warm, "disk-warm");
+    assert_eq!(disk_warm.solves, 0, "disk-warm sweep must be solve-free");
+    assert_eq!(disk_warm.point_hits, 0);
+    assert!(disk_warm.store_hits > 0, "store must serve the fresh runner");
+
+    // Measured results are identical across all three sweeps.
+    for (a, b) in cold.records.iter().zip(&warm.records) {
+        assert_eq!(a, b, "memo drift at {}", a.spec);
+    }
+    for (a, b) in cold.records.iter().zip(&disk_warm.records) {
+        assert_eq!(a.latency_cycles, b.latency_cycles, "drift at {}", a.spec);
+        assert_eq!(a.energy_pj, b.energy_pj, "drift at {}", a.spec);
+    }
+
+    let frontier = cold.frontier();
+    let mut points_json = String::new();
+    for (i, r) in cold.records.iter().enumerate() {
+        if !points_json.is_empty() {
+            points_json.push(',');
+        }
+        write!(
+            points_json,
+            "\n    {{\"point\": \"{}\", \"latency_cycles\": {:.0}, \"energy_pj\": {:.1}, \
+             \"area_mm2\": {:.4}, \"avg_power_mw\": {:.2}, \"solves\": {}, \"pareto\": {}}}",
+            r.spec,
+            r.latency_cycles,
+            r.energy_pj,
+            r.cost.area_mm2,
+            r.avg_power_mw,
+            r.solves,
+            frontier.contains(i),
+        )
+        .unwrap();
+    }
+    let disk_warm_speedup = cold_wall.as_secs_f64() / disk_warm_wall.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\"bench\": \"dse_sweep\", \"mode\": \"{}\", \"models\": {}, \
+         \"grid_points\": {}, \"frontier_points\": {},\n \
+         \"cold\": {{\"wall_ms\": {:.3}, \"solves\": {}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"store_hits\": {}, \"store_misses\": {}}},\n \
+         \"warm\": {{\"wall_ms\": {:.3}, \"solves\": {}, \"point_hits\": {}}},\n \
+         \"disk_warm\": {{\"wall_ms\": {:.3}, \"solves\": {}, \"store_hits\": {}}},\n \
+         \"warm_speedup\": {:.2}, \"disk_warm_speedup\": {:.2},\n \"points\": [{points_json}\n ]}}\n",
+        if smoke_mode() { "smoke" } else { "full" },
+        runner.models().len(),
+        cold.records.len(),
+        frontier.len(),
+        cold_wall.as_secs_f64() * 1e3,
+        cold.solves,
+        cold.cache_hits,
+        cold.cache_misses,
+        cold.store_hits,
+        cold.store_misses,
+        warm_wall.as_secs_f64() * 1e3,
+        warm.solves,
+        warm.point_hits,
+        disk_warm_wall.as_secs_f64() * 1e3,
+        disk_warm.solves,
+        disk_warm.store_hits,
+        speedup,
+        disk_warm_speedup,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dse.json");
+    std::fs::write(path, json).expect("write BENCH_dse.json");
+
+    // Criterion samples measure the warm re-sweep (the steady state a
+    // long-lived explorer lives in).
+    let mut group = c.benchmark_group("dse_sweep");
+    group.sample_size(2);
+    group.bench_function("warm_resweep", |b| {
+        b.iter(|| {
+            let report = runner.run(&grid);
+            assert_eq!(report.solves, 0);
+            report.records.len()
+        })
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+criterion_group!(benches, bench_dse_sweep);
+criterion_main!(benches);

@@ -236,12 +236,47 @@ impl CompilerOptions {
 
     /// The resolved solve-pool thread count: `0` maps to the machine's
     /// available parallelism capped at 8 (mirroring the batch worker
-    /// pool of [`Session`]), anything else passes through.
+    /// pool of [`Session`]); explicit counts are clamped to the
+    /// machine's available parallelism.
+    ///
+    /// The clamp is deliberate: plans are bit-identical at every worker
+    /// count, so extra workers only ever buy wall-clock — and a solve
+    /// pool wider than the machine *loses* wall-clock to scheduling
+    /// churn (on a 2-core container the full-registry cold compile runs
+    /// ~708 ms at 1 worker but ~899 ms when 4 workers contend for 2
+    /// cores; see `BENCH_pipeline.json`). A single oversubscribed
+    /// compile wastes milliseconds; a design-space sweep fanning out
+    /// hundreds of compiles compounds the waste into minutes. Callers
+    /// who really want to oversubscribe (e.g. to measure the churn)
+    /// can still size [`crate::solvepool::SolvePool`] directly.
     pub fn effective_solve_workers(&self) -> usize {
+        let available = std::thread::available_parallelism().map_or(1, |n| n.get());
         if self.solve_workers == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+            available.min(8)
         } else {
-            self.solve_workers
+            self.solve_workers.min(available)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_workers_clamp_to_available_parallelism() {
+        let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Auto mode: available parallelism, capped at 8.
+        let auto = CompilerOptions::default().with_solve_workers(0);
+        assert_eq!(auto.effective_solve_workers(), available.min(8));
+        // Inline mode always passes through.
+        let inline = CompilerOptions::default().with_solve_workers(1);
+        assert_eq!(inline.effective_solve_workers(), 1);
+        // An explicit count wider than the machine is clamped: an
+        // oversubscribed solve pool only loses wall-clock (see
+        // `BENCH_pipeline.json`), and plans are worker-count-invariant,
+        // so the clamp is observationally safe.
+        let oversubscribed = CompilerOptions::default().with_solve_workers(available + 7);
+        assert_eq!(oversubscribed.effective_solve_workers(), available);
     }
 }

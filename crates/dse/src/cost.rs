@@ -1,0 +1,371 @@
+//! CACTI-style analytic area/power pricing of a [`DualModeArch`] point.
+//!
+//! The paper fixes one chip and never asks what it costs; a design-space
+//! sweep has to. This module prices every structural parameter the DEHA
+//! exposes the way CACTI prices an SRAM: per-unit mat/cell costs plus
+//! peripheral terms that scale with the geometry knob they serve —
+//!
+//! * **CIM arrays** — per-cell area, per-row wordline drivers, per-column
+//!   sense/accumulate periphery, write-port circuitry that widens with
+//!   [`DualModeArch::write_parallelism`], and a fixed decode/control
+//!   block per array;
+//! * **mode-switch circuitry** — the driver bank that flips an array
+//!   between modes, scaling *inversely* with the switch latency (a
+//!   1-cycle switch drives every line at once; a 4-cycle switch reuses a
+//!   quarter-width bank four times) and with the switch method
+//!   ([`SwitchMethod::BitlineDriver`] reconfigures sense amplifiers,
+//!   costlier than the global-wordline trick);
+//! * **the buffer** — linear mat area plus per-bank overhead at a fixed
+//!   bank granularity (capacity scaling) plus port area per byte/cycle of
+//!   [`DualModeArch::buffer_bw`] (width scaling);
+//! * **interconnect** — on-chip lanes per array scaled by
+//!   [`DualModeArch::internal_bw`], and the off-chip link scaled by
+//!   [`DualModeArch::extern_bw`];
+//! * **the vector unit** — a fixed block.
+//!
+//! Static power is per-class leakage density × area, with *mode-aware*
+//! array densities: a compute-mode array keeps its periphery biased, a
+//! memory-mode array only its sense path, an idle array can drowse. That
+//! is why [`AreaPowerModel::average_power_mw`] takes the simulator's
+//! [`ModeOccupancy`] — the duty cycle decides how much of the worst-case
+//! leakage is actually paid. Dynamic energy comes from the same
+//! [`EnergyModel`] the simulator charges, so sweep energy and power
+//! agree by construction.
+
+use cmswitch_arch::{DualModeArch, SwitchMethod};
+use cmswitch_sim::{EnergyModel, ModeOccupancy};
+
+const UM2_PER_MM2: f64 = 1e6;
+
+/// What a [`DualModeArch`] point costs: silicon area, worst-case static
+/// power, and peak (all-engines-saturated) power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipCost {
+    /// Total die area, mm².
+    pub area_mm2: f64,
+    /// Worst-case static power (every array biased for compute), mW.
+    pub leakage_mw: f64,
+    /// Peak power: worst-case leakage plus every array computing, the
+    /// off-chip link, buffer ports and vector unit all saturated, mW.
+    pub peak_power_mw: f64,
+}
+
+/// Area by component class, mm² (sums to [`ChipCost::area_mm2`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// Dual-mode arrays: cells, row/column periphery, write ports,
+    /// per-array control.
+    pub arrays_mm2: f64,
+    /// Mode-switch driver banks (all arrays).
+    pub switch_mm2: f64,
+    /// The original on-chip buffer (mats, banks, ports).
+    pub buffer_mm2: f64,
+    /// On-chip array lanes plus the off-chip link.
+    pub interconnect_mm2: f64,
+    /// The vector function unit.
+    pub vector_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area, mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.arrays_mm2 + self.switch_mm2 + self.buffer_mm2 + self.interconnect_mm2
+            + self.vector_mm2
+    }
+}
+
+/// Analytic area/power coefficients (defaults are representative of a
+/// 28 nm eDRAM dual-mode CIM macro; swap in silicon-calibrated numbers
+/// to retarget).
+///
+/// All per-unit areas are in µm²; leakage densities in mW/mm².
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaPowerModel {
+    /// Area of one dual-mode cell (storage + compute transistors), µm².
+    pub cell_um2: f64,
+    /// Per-row periphery (wordline driver), µm².
+    pub row_periph_um2: f64,
+    /// Per-column periphery (sense amplifier + accumulation), µm².
+    pub col_periph_um2: f64,
+    /// Per-row, per-concurrent-write-port circuitry, µm² (total write
+    /// area = `rows × write_parallelism × this`).
+    pub write_port_um2: f64,
+    /// Fixed per-array decode/control block, µm².
+    pub array_fixed_um2: f64,
+    /// Per-row mode-switch driver at a 1-cycle switch, µm²; divided by
+    /// the mean switch latency (slower switches reuse narrower banks)
+    /// and multiplied by the switch-method factor.
+    pub switch_driver_um2: f64,
+    /// Area multiplier for [`SwitchMethod::BitlineDriver`] switching
+    /// (sense-path reconfiguration beats wordline gating in circuitry).
+    pub bitline_method_factor: f64,
+    /// Buffer mat area per byte, µm².
+    pub buffer_um2_per_byte: f64,
+    /// Buffer bank granularity, bytes (per-bank overhead below is paid
+    /// once per `ceil(capacity / bank_bytes)`).
+    pub buffer_bank_bytes: u64,
+    /// Per-bank overhead (decoder, repeaters), µm².
+    pub buffer_bank_um2: f64,
+    /// Buffer port area per byte/cycle of buffer bandwidth, µm².
+    pub buffer_port_um2: f64,
+    /// On-chip lane area per array per byte/cycle of internal
+    /// bandwidth, µm².
+    pub noc_um2_per_byte_cycle: f64,
+    /// Off-chip link area per byte/cycle of external bandwidth, µm².
+    pub bus_um2_per_byte_cycle: f64,
+    /// Vector function unit, µm².
+    pub vector_um2: f64,
+    /// Peak vector throughput used for peak power, FLOPs/cycle.
+    pub vector_flops_per_cycle: f64,
+    /// Leakage density of an array biased for compute, mW/mm².
+    pub leak_mw_per_mm2_array_compute: f64,
+    /// Leakage density of an array in memory mode, mW/mm².
+    pub leak_mw_per_mm2_array_memory: f64,
+    /// Leakage density of an idle (drowsy) array, mW/mm².
+    pub leak_mw_per_mm2_array_idle: f64,
+    /// Leakage density of the buffer SRAM, mW/mm².
+    pub leak_mw_per_mm2_buffer: f64,
+    /// Leakage density of logic (switch banks, interconnect, vector),
+    /// mW/mm².
+    pub leak_mw_per_mm2_logic: f64,
+    /// Clock frequency, GHz (converts pJ/cycle to mW: 1 pJ/cycle at
+    /// 1 GHz is exactly 1 mW).
+    pub clock_ghz: f64,
+    /// Dynamic energy coefficients — keep identical to the simulator's
+    /// model so sweep energy and power agree.
+    pub energy: EnergyModel,
+}
+
+impl Default for AreaPowerModel {
+    fn default() -> Self {
+        AreaPowerModel {
+            cell_um2: 0.30,
+            row_periph_um2: 1.2,
+            col_periph_um2: 2.5,
+            write_port_um2: 0.4,
+            array_fixed_um2: 2_000.0,
+            switch_driver_um2: 0.9,
+            bitline_method_factor: 1.5,
+            buffer_um2_per_byte: 0.60,
+            buffer_bank_bytes: 16 * 1024,
+            buffer_bank_um2: 15_000.0,
+            buffer_port_um2: 900.0,
+            noc_um2_per_byte_cycle: 120.0,
+            bus_um2_per_byte_cycle: 3_500.0,
+            vector_um2: 250_000.0,
+            vector_flops_per_cycle: 32.0,
+            leak_mw_per_mm2_array_compute: 15.0,
+            leak_mw_per_mm2_array_memory: 8.0,
+            leak_mw_per_mm2_array_idle: 3.0,
+            leak_mw_per_mm2_buffer: 20.0,
+            leak_mw_per_mm2_logic: 10.0,
+            clock_ghz: 1.0,
+            energy: EnergyModel::default(),
+        }
+    }
+}
+
+impl AreaPowerModel {
+    /// Mean per-array switch latency, floored at one cycle (the driver
+    /// bank cannot be wider than full-width).
+    fn mean_switch_cycles(arch: &DualModeArch) -> f64 {
+        ((arch.switch_m2c_cycles() + arch.switch_c2m_cycles()) as f64 / 2.0).max(1.0)
+    }
+
+    /// Area of the mode-switch driver bank of one array, µm².
+    fn switch_area_per_array_um2(&self, arch: &DualModeArch) -> f64 {
+        let method = match arch.switch_method() {
+            SwitchMethod::GlobalWordline => 1.0,
+            SwitchMethod::BitlineDriver => self.bitline_method_factor,
+        };
+        arch.array_rows() as f64 * self.switch_driver_um2 * method
+            / Self::mean_switch_cycles(arch)
+    }
+
+    /// Per-component area of `arch`, mm².
+    pub fn area_breakdown(&self, arch: &DualModeArch) -> AreaBreakdown {
+        let rows = arch.array_rows() as f64;
+        let cols = arch.array_cols() as f64;
+        let n = arch.n_arrays() as f64;
+        let array_um2 = rows * cols * self.cell_um2
+            + rows * self.row_periph_um2
+            + cols * self.col_periph_um2
+            + rows * arch.write_parallelism() as f64 * self.write_port_um2
+            + self.array_fixed_um2;
+        let banks = arch.buffer_bytes().div_ceil(self.buffer_bank_bytes.max(1)) as f64;
+        let buffer_um2 = arch.buffer_bytes() as f64 * self.buffer_um2_per_byte
+            + banks * self.buffer_bank_um2
+            + arch.buffer_bw() as f64 * self.buffer_port_um2;
+        let interconnect_um2 = n * arch.internal_bw() as f64 * self.noc_um2_per_byte_cycle
+            + arch.extern_bw() as f64 * self.bus_um2_per_byte_cycle;
+        AreaBreakdown {
+            arrays_mm2: n * array_um2 / UM2_PER_MM2,
+            switch_mm2: n * self.switch_area_per_array_um2(arch) / UM2_PER_MM2,
+            buffer_mm2: buffer_um2 / UM2_PER_MM2,
+            interconnect_mm2: interconnect_um2 / UM2_PER_MM2,
+            vector_mm2: self.vector_um2 / UM2_PER_MM2,
+        }
+    }
+
+    /// Worst-case static power of `arch` (every array biased for
+    /// compute), mW.
+    fn worst_case_leakage_mw(&self, areas: &AreaBreakdown) -> f64 {
+        areas.arrays_mm2 * self.leak_mw_per_mm2_array_compute
+            + areas.buffer_mm2 * self.leak_mw_per_mm2_buffer
+            + (areas.switch_mm2 + areas.interconnect_mm2 + areas.vector_mm2)
+                * self.leak_mw_per_mm2_logic
+    }
+
+    /// Prices `arch`: area, worst-case leakage, and peak power.
+    pub fn price(&self, arch: &DualModeArch) -> ChipCost {
+        let areas = self.area_breakdown(arch);
+        let leakage_mw = self.worst_case_leakage_mw(&areas);
+        // Peak dynamic event rate, pJ/cycle. An array is in exactly one
+        // mode at a time, so its peak is the *worst* of its modes:
+        // computing at the full MAC rate while streaming weight writes,
+        // buffering memory-mode traffic at the internal lane width, or
+        // burning a switch event. On top of the array pool, the off-chip
+        // link, buffer ports and vector unit all saturate at once.
+        let write_bytes_per_cycle = arch.array_cols() as f64
+            * arch.write_parallelism() as f64
+            / arch.write_row_cycles() as f64;
+        let compute_pj = arch.op_cim() * self.energy.pj_per_mac
+            + write_bytes_per_cycle * self.energy.pj_per_write_byte;
+        let memory_pj = arch.internal_bw() as f64 * self.energy.pj_per_onchip_byte;
+        let switch_pj = self.energy.pj_per_switch
+            / (arch.switch_m2c_cycles().min(arch.switch_c2m_cycles()).max(1) as f64);
+        let per_array_pj = compute_pj.max(memory_pj).max(switch_pj);
+        let peak_pj_per_cycle = arch.n_arrays() as f64 * per_array_pj
+            + arch.extern_bw() as f64 * self.energy.pj_per_dram_byte
+            + arch.buffer_bw() as f64 * self.energy.pj_per_onchip_byte
+            + self.vector_flops_per_cycle * self.energy.pj_per_vector_flop;
+        ChipCost {
+            area_mm2: areas.total_mm2(),
+            leakage_mw,
+            peak_power_mw: leakage_mw + peak_pj_per_cycle * self.clock_ghz,
+        }
+    }
+
+    /// Average power of a simulated run on `arch`, mW: mode-weighted
+    /// static power (the array pool's duty cycle decides which leakage
+    /// density each slice of array-time pays) plus the run's dynamic
+    /// energy spread over its makespan. Zero-cycle runs report only the
+    /// idle-weighted static term.
+    ///
+    /// Note this can exceed [`ChipCost::peak_power_mw`] on short,
+    /// fetch-dominated flows: the simulator's energy accounting bills
+    /// per-segment DRAM weight fetches without a byte-rate limit, while
+    /// the peak figure is a saturated-event-*rate* rating.
+    pub fn average_power_mw(
+        &self,
+        arch: &DualModeArch,
+        cycles: f64,
+        energy_pj: f64,
+        occupancy: ModeOccupancy,
+    ) -> f64 {
+        let areas = self.area_breakdown(arch);
+        // Switching time keeps the driver bank active — bill it at the
+        // compute density, the conservative end.
+        let array_density = occupancy.compute * self.leak_mw_per_mm2_array_compute
+            + occupancy.switching * self.leak_mw_per_mm2_array_compute
+            + occupancy.memory * self.leak_mw_per_mm2_array_memory
+            + occupancy.idle * self.leak_mw_per_mm2_array_idle;
+        let static_mw = areas.arrays_mm2 * array_density
+            + areas.buffer_mm2 * self.leak_mw_per_mm2_buffer
+            + (areas.switch_mm2 + areas.interconnect_mm2 + areas.vector_mm2)
+                * self.leak_mw_per_mm2_logic;
+        if cycles <= 0.0 {
+            return static_mw;
+        }
+        // pJ over ns is mW; cycles / GHz is ns.
+        let dynamic_mw = energy_pj / (cycles / self.clock_ghz);
+        static_mw + dynamic_mw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+
+    #[test]
+    fn dynaplasia_cost_is_plausible() {
+        let m = AreaPowerModel::default();
+        let cost = m.price(&presets::dynaplasia());
+        // Order-of-magnitude sanity: a 96-array 320x320 macro is a few
+        // mm², leaks tens of mW and peaks in the watts.
+        assert!(cost.area_mm2 > 1.0 && cost.area_mm2 < 20.0, "{cost:?}");
+        assert!(cost.leakage_mw > 10.0 && cost.leakage_mw < 500.0, "{cost:?}");
+        assert!(cost.peak_power_mw > cost.leakage_mw, "{cost:?}");
+        let areas = m.area_breakdown(&presets::dynaplasia());
+        assert!((areas.total_mm2() - cost.area_mm2).abs() < 1e-9);
+        assert!(areas.arrays_mm2 > areas.buffer_mm2);
+        assert!(areas.switch_mm2 > 0.0);
+    }
+
+    #[test]
+    fn every_axis_moves_the_price() {
+        let m = AreaPowerModel::default();
+        let base = presets::dynaplasia();
+        let cost = |a: &DualModeArch| m.price(a).area_mm2;
+        let more_arrays = DualModeArch::builder("x").n_arrays(128).build().unwrap();
+        assert!(cost(&more_arrays) > cost(&base));
+        let bigger = DualModeArch::builder("x").array_size(512, 512).build().unwrap();
+        assert!(cost(&bigger) > cost(&base));
+        let more_buffer = DualModeArch::builder("x")
+            .buffer_bytes(256 * 1024)
+            .build()
+            .unwrap();
+        assert!(cost(&more_buffer) > cost(&base));
+        let wider_bus = DualModeArch::builder("x").extern_bw(64).build().unwrap();
+        assert!(cost(&wider_bus) > cost(&base));
+        let wider_writes = DualModeArch::builder("x").write_parallelism(16).build().unwrap();
+        assert!(cost(&wider_writes) > cost(&base));
+    }
+
+    #[test]
+    fn faster_switching_costs_more_silicon() {
+        let m = AreaPowerModel::default();
+        let fast = DualModeArch::builder("f").switch_cycles(1, 1).build().unwrap();
+        let slow = DualModeArch::builder("s").switch_cycles(4, 4).build().unwrap();
+        let a_fast = m.area_breakdown(&fast).switch_mm2;
+        let a_slow = m.area_breakdown(&slow).switch_mm2;
+        assert!(
+            a_fast > a_slow,
+            "1-cycle switch {a_fast} mm² must out-cost 4-cycle {a_slow} mm²"
+        );
+        // The bitline-driver method pays the sense-path premium.
+        let bitline = DualModeArch::builder("b")
+            .switch_method(SwitchMethod::BitlineDriver)
+            .build()
+            .unwrap();
+        assert!(m.area_breakdown(&bitline).switch_mm2 > a_fast);
+    }
+
+    #[test]
+    fn average_power_respects_duty_cycle() {
+        let m = AreaPowerModel::default();
+        let arch = presets::dynaplasia();
+        let busy = ModeOccupancy {
+            compute: 0.8,
+            memory: 0.1,
+            switching: 0.0,
+            idle: 0.1,
+        };
+        let idle = ModeOccupancy {
+            idle: 1.0,
+            ..ModeOccupancy::default()
+        };
+        let p_busy = m.average_power_mw(&arch, 1000.0, 0.0, busy);
+        let p_idle = m.average_power_mw(&arch, 1000.0, 0.0, idle);
+        assert!(p_busy > p_idle, "compute-heavy duty cycle must leak more");
+        // Dynamic term: 1e6 pJ over 1000 cycles at 1 GHz = 1e6/1e3 ns = 1000 mW.
+        let with_dynamic = m.average_power_mw(&arch, 1000.0, 1e6, idle);
+        assert!((with_dynamic - p_idle - 1000.0).abs() < 1e-6);
+        // Zero-cycle runs degrade to the static term.
+        assert!(m.average_power_mw(&arch, 0.0, 123.0, idle) > 0.0);
+        // Average never exceeds peak when energy stays within the
+        // peak event rate.
+        assert!(p_busy < m.price(&arch).peak_power_mw);
+    }
+}

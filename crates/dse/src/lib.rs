@@ -1,0 +1,63 @@
+//! Architecture design-space exploration for dual-mode CIM chips.
+//!
+//! The paper evaluates CMSwitch on *one* fixed DynaPlasia-style chip
+//! (§5.1); this crate asks the question the compiler makes tractable:
+//! **which chip?** Because every [`cmswitch_core::Session`] compile is
+//! cached, verified and fast, sweeping hundreds of architecture
+//! variants through the *real* compiler and the *real* cycle-level
+//! simulator is cheap enough to run in CI — no proxy performance
+//! models.
+//!
+//! The crate has four pieces, meeting in [`SweepRunner`]:
+//!
+//! * [`cost`] — an [`AreaPowerModel`] pricing a
+//!   [`cmswitch_arch::DualModeArch`] with CACTI-style analytic area and
+//!   leakage terms ([`ChipCost`]: mm², static mW, peak mW), plus a
+//!   mode-occupancy-weighted average-power estimate.
+//! * [`space`] — a [`SweepSpace`] cartesian grid over array geometry,
+//!   array count, switch latency, buffer capacity and bus width; every
+//!   coordinate becomes a validated architecture or a typed
+//!   [`RejectedPoint`].
+//! * [`runner`] — the [`SweepRunner`] drives each point through the
+//!   session batch layer (shared allocation cache, optional persistent
+//!   artifact store — so re-sweeps are warm), statically verifies every
+//!   program, simulates it on the event engine and emits one
+//!   [`SweepRecord`] per point.
+//! * [`pareto`] — the [`ParetoFrontier`] over (latency, energy, area),
+//!   minimal and complete by construction, with text/CSV reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use cmswitch_arch::presets;
+//! use cmswitch_dse::{SweepRunner, SweepSpace};
+//!
+//! let grid = SweepSpace::around(presets::tiny())
+//!     .with_array_counts([4, 8])
+//!     .with_switch_latencies([1, 8])
+//!     .instantiate();
+//! let models = vec![(
+//!     "mlp".to_string(),
+//!     cmswitch_models::mlp::mlp(2, &[64, 96, 32]).unwrap(),
+//! )];
+//! let report = SweepRunner::new(models).run(&grid);
+//! assert_eq!(report.records.len(), 4);
+//! let frontier = report.frontier();
+//! assert!(!frontier.is_empty());
+//! println!("{}", frontier.table(&report.records));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::needless_pass_by_value, clippy::redundant_clone)]
+
+pub mod cost;
+pub mod pareto;
+pub mod runner;
+pub mod space;
+
+pub use cost::{AreaBreakdown, AreaPowerModel, ChipCost};
+pub use pareto::{dominates, frontier_indices, ParetoFrontier};
+pub use runner::{
+    FailedPoint, ModelResult, SweepFailure, SweepRecord, SweepReport, SweepRunner,
+};
+pub use space::{PointSpec, RejectedPoint, SweepError, SweepGrid, SweepPoint, SweepSpace};

@@ -1,0 +1,137 @@
+//! Pareto-frontier extraction over swept design points.
+//!
+//! The sweep reports three minimize-me objectives per point — end-to-end
+//! latency (cycles), energy (pJ) and silicon area (mm²) — and no single
+//! scalarization of the three is honest. The frontier keeps exactly the
+//! points no other point beats on all axes at once, which is the set an
+//! architect actually chooses from.
+
+use crate::runner::SweepRecord;
+
+/// Whether `a` dominates `b` under minimization: `a` is no worse on
+/// every objective and strictly better on at least one. Ties (and exact
+/// duplicates) dominate in neither direction, so both survive a
+/// frontier pass.
+pub fn dominates(a: &[f64; 3], b: &[f64; 3]) -> bool {
+    let mut strictly = false;
+    for i in 0..3 {
+        if a[i] > b[i] {
+            return false;
+        }
+        if a[i] < b[i] {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the non-dominated points, ascending. The result is
+/// *minimal* (no returned point dominates another returned point) and
+/// *complete* (every non-dominated input index is returned) — both
+/// properties are property-tested in `tests/dse_sweep.rs`.
+pub fn frontier_indices(points: &[[f64; 3]]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().any(|other| dominates(other, &points[i])))
+        .collect()
+}
+
+/// The Pareto frontier of a sweep over (latency, energy, area).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParetoFrontier {
+    /// Indices into the record slice the frontier was extracted from,
+    /// ascending.
+    pub indices: Vec<usize>,
+}
+
+impl ParetoFrontier {
+    /// Extracts the frontier of `records` over
+    /// (`latency_cycles`, `energy_pj`, `cost.area_mm2`).
+    pub fn extract(records: &[SweepRecord]) -> Self {
+        let objectives: Vec<[f64; 3]> = records.iter().map(SweepRecord::objectives).collect();
+        ParetoFrontier {
+            indices: frontier_indices(&objectives),
+        }
+    }
+
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the frontier is empty (true only for an empty sweep).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Whether record `idx` sits on the frontier.
+    pub fn contains(&self, idx: usize) -> bool {
+        self.indices.binary_search(&idx).is_ok()
+    }
+
+    /// The frontier's records, sorted fastest-first (latency ascending,
+    /// energy then area as tie-breaks) for display.
+    pub fn records<'a>(&self, records: &'a [SweepRecord]) -> Vec<&'a SweepRecord> {
+        let mut out: Vec<&SweepRecord> = self.indices.iter().map(|&i| &records[i]).collect();
+        out.sort_by(|a, b| {
+            a.objectives()
+                .partial_cmp(&b.objectives())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+
+    /// Renders the frontier as an aligned text table, fastest point
+    /// first.
+    pub fn table(&self, records: &[SweepRecord]) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<28} {:>12} {:>14} {:>9} {:>9} {:>9}\n",
+            "point", "cycles", "energy_uJ", "area_mm2", "peak_mW", "avg_mW"
+        ));
+        for r in self.records(records) {
+            s.push_str(&format!(
+                "{:<28} {:>12.0} {:>14.2} {:>9.3} {:>9.1} {:>9.1}\n",
+                r.spec.label(),
+                r.latency_cycles,
+                r.energy_pj / 1e6,
+                r.cost.area_mm2,
+                r.cost.peak_power_mw,
+                r.avg_power_mw,
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = [1.0, 2.0, 3.0];
+        assert!(!dominates(&a, &a), "a point never dominates itself");
+        assert!(dominates(&[1.0, 2.0, 2.9], &a));
+        assert!(dominates(&[0.0, 0.0, 0.0], &a));
+        assert!(!dominates(&[0.5, 2.1, 3.0], &a), "worse on one axis");
+        assert!(!dominates(&a, &[1.0, 2.0, 2.9]));
+    }
+
+    #[test]
+    fn frontier_prunes_dominated_keeps_incomparable_and_ties() {
+        let pts = [
+            [1.0, 9.0, 5.0], // frontier: best latency
+            [9.0, 1.0, 5.0], // frontier: best energy
+            [5.0, 5.0, 1.0], // frontier: best area
+            [9.0, 9.0, 9.0], // dominated by all three
+            [1.0, 9.0, 5.0], // duplicate of #0: both survive
+        ];
+        assert_eq!(frontier_indices(&pts), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        assert_eq!(frontier_indices(&[[3.0, 3.0, 3.0]]), vec![0]);
+        assert!(frontier_indices(&[]).is_empty());
+    }
+}

@@ -61,5 +61,5 @@ pub use engine::{
 };
 pub use stats::{
     utilization_percent, ArrayTimeline, BusyBreakdown, BusyInterval, BusyKind, CriticalStep,
-    EngineReport, SegmentTiming, SegmentWindow, SimReport,
+    EngineReport, ModeOccupancy, SegmentTiming, SegmentWindow, SimReport,
 };

@@ -153,6 +153,33 @@ impl BusyBreakdown {
     pub fn memory_mode(&self) -> f64 {
         self.mem_traffic
     }
+
+    /// Total array-cycles across every busy kind (switching included;
+    /// the vector unit is not an array and is excluded).
+    pub fn total_array_cycles(&self) -> f64 {
+        self.switch + self.weight_load + self.compute + self.mem_traffic
+    }
+}
+
+/// Time-averaged occupancy of the array pool over a schedule's makespan:
+/// the fractions of total array-time (`n_arrays × makespan`) spent in
+/// each mode. This is the duty-cycle input an average-power model needs —
+/// mode-dependent static power weighs compute-mode and memory-mode
+/// residency differently, and everything not busy is idle.
+///
+/// Produced by [`EngineReport::mode_occupancy`]; fractions are clamped to
+/// `[0, 1]` and `compute + memory + switching + idle == 1` up to float
+/// rounding (idle absorbs the remainder).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModeOccupancy {
+    /// Fraction of array-time in compute mode (weight loads + MACs).
+    pub compute: f64,
+    /// Fraction of array-time in memory mode (buffered traffic).
+    pub memory: f64,
+    /// Fraction of array-time spent switching between modes.
+    pub switching: f64,
+    /// Fraction of array-time idle.
+    pub idle: f64,
 }
 
 /// Scheduling window of one segment under the event engine.
@@ -255,6 +282,32 @@ impl EngineReport {
             .collect()
     }
 
+    /// The per-mode duty cycle of the whole array pool: busy-kind totals
+    /// over `n_arrays × makespan`, idle as the remainder. `n_arrays`
+    /// should be the chip's array count — timelines only exist for
+    /// arrays the schedule touched, so deriving the pool size from
+    /// `timelines.len()` would overstate occupancy on underused chips.
+    /// A zero makespan or zero `n_arrays` reports all-idle.
+    pub fn mode_occupancy(&self, n_arrays: usize) -> ModeOccupancy {
+        let denom = self.total_cycles * n_arrays as f64;
+        if denom <= 0.0 {
+            return ModeOccupancy {
+                idle: 1.0,
+                ..ModeOccupancy::default()
+            };
+        }
+        let frac = |c: f64| (c / denom).clamp(0.0, 1.0);
+        let compute = frac(self.breakdown.compute_mode());
+        let memory = frac(self.breakdown.memory_mode());
+        let switching = frac(self.breakdown.switch);
+        ModeOccupancy {
+            compute,
+            memory,
+            switching,
+            idle: (1.0 - compute - memory - switching).clamp(0.0, 1.0),
+        }
+    }
+
     /// Histogram of per-array utilization percentages in 11 buckets:
     /// `0-9 %`, `10-19 %`, …, `90-99 %`, and exactly-100 % arrays in the
     /// last bucket. Percentages are rounded to nearest
@@ -344,6 +397,39 @@ mod tests {
         assert_eq!(t.busy_cycles(), 10.0);
         assert_eq!(t.busy_cycles_of(BusyKind::Switch), 4.0);
         assert_eq!(t.busy_cycles_of(BusyKind::MemTraffic), 0.0);
+    }
+
+    #[test]
+    fn mode_occupancy_partitions_array_time() {
+        let r = EngineReport {
+            total_cycles: 100.0,
+            serialized_cycles: 100.0,
+            switch_process_cycles: 0.0,
+            switches_to_compute: 0,
+            switches_to_memory: 0,
+            breakdown: BusyBreakdown {
+                switch: 20.0,
+                weight_load: 30.0,
+                compute: 50.0,
+                mem_traffic: 100.0,
+                vector: 7.0, // not array-time; must not appear below
+            },
+            segments: Vec::new(),
+            energy: EnergyReport::default(),
+            timelines: Vec::new(),
+            critical_path: Vec::new(),
+        };
+        assert_eq!(r.breakdown.total_array_cycles(), 200.0);
+        let occ = r.mode_occupancy(4);
+        assert!((occ.compute - 0.2).abs() < 1e-12);
+        assert!((occ.memory - 0.25).abs() < 1e-12);
+        assert!((occ.switching - 0.05).abs() < 1e-12);
+        assert!((occ.idle - 0.5).abs() < 1e-12);
+        assert!(
+            (occ.compute + occ.memory + occ.switching + occ.idle - 1.0).abs() < 1e-12
+        );
+        // Degenerate pools report all-idle instead of dividing by zero.
+        assert_eq!(r.mode_occupancy(0).idle, 1.0);
     }
 
     #[test]

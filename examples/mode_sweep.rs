@@ -1,8 +1,10 @@
 //! Reproduces the paper's Fig. 1(b) motivation inline: normalized
 //! performance as a function of the fraction of arrays statically held in
 //! compute mode, for a compute-hungry CNN and a bandwidth-hungry LLM
-//! decode workload — then executes both dual-mode plans on the
-//! event-driven engine and prints its per-mode breakdown.
+//! decode workload — then hands the same workload to the design-space
+//! explorer ([`cmswitch::dse`]) and sweeps it across the three
+//! architecture presets (tiny, DynaPlasia, PRIME-like), reporting
+//! latency, energy, silicon area and the Pareto frontier.
 //!
 //! ```text
 //! cargo run --release --example mode_sweep
@@ -52,43 +54,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n(paper Fig. 1(b): CNNs peak near 80% compute; LLaMA2 peaks near 10%)"
     );
 
-    // The dual-mode plans themselves, executed on the event engine: the
-    // same comparison the static sweep approximates, now with overlap,
-    // contention and per-mode occupancy made visible.
-    println!("\nevent-engine breakdown (dual-mode CMSwitch plans):");
-    let session = Session::builder(arch.clone()).build();
-    for (name, graph) in [("resnet50", resnet), ("llama2-decode", decode)] {
-        let outcome = session.compile(CompileRequest::new(graph).with_label(name))?;
-        let sim = session.simulate(&outcome)?;
-        let r = &sim.report;
-        println!(
-            "  {name}: {:.3e} cycles pipelined ({:.3e} serialized, {:.2}% hidden by overlap)",
-            r.total_cycles,
-            r.serialized_cycles,
-            100.0 * r.overlap_saved() / r.serialized_cycles.max(1.0),
-        );
-        println!(
-            "    mode occupancy (array-cycles): compute {:.3e} (loads {:.3e}) | memory {:.3e} | switching {:.3e}",
-            r.breakdown.compute, r.breakdown.weight_load, r.breakdown.mem_traffic, r.breakdown.switch,
-        );
-        println!(
-            "    energy {:.3e} pJ over {} segments, {} mode switches, switch process {:.2}% of makespan",
-            r.energy.total_pj(),
-            r.segments.len(),
-            r.switches_to_compute + r.switches_to_memory,
-            100.0 * r.switch_process_fraction(),
-        );
-        let hist = r.utilization_histogram();
-        println!("    array-utilization histogram (0-100% in 10%-buckets): {hist:?}");
-        if let Some(step) = r.critical_path.last() {
-            println!(
-                "    critical path: {} steps, ends at `{}` [{:.0}..{:.0}]",
-                r.critical_path.len(),
-                step.label,
-                step.start,
-                step.end
-            );
-        }
+    // The same dual-mode question, asked across *chips* instead of
+    // across static partitions: the design-space sweep runner compiles
+    // and simulates the workload on each preset through the real
+    // session/batch layer, prices every chip with the analytic
+    // area/power model, and reports the Pareto frontier over
+    // (latency, energy, area).
+    let workload = vec![
+        ("resnet18".to_string(), cmswitch::models::resnet::resnet18(1)?),
+        ("llama2-decode".to_string(), decode),
+    ];
+    let runner = SweepRunner::new(workload);
+    let report = runner.run_archs(&[presets::tiny(), presets::dynaplasia(), presets::prime()]);
+    if let Some(failed) = report.failed.first() {
+        return Err(format!(
+            "preset {} failed on {}: {}",
+            failed.spec, failed.model, failed.failure
+        )
+        .into());
     }
+
+    println!("\npreset sweep (resnet18 + llama2-decode, `*` = Pareto-optimal):");
+    print!("{}", report.table());
+    println!("{}", report.summary());
+    for r in &report.records {
+        println!(
+            "  {:<28} occupancy: compute {:>5.1}% | memory {:>5.1}% | switching {:>5.1}% | idle {:>5.1}%",
+            r.arch_name,
+            100.0 * r.occupancy.compute,
+            100.0 * r.occupancy.memory,
+            100.0 * r.occupancy.switching,
+            100.0 * r.occupancy.idle,
+        );
+    }
+
+    let frontier = report.frontier();
+    assert!(!frontier.is_empty(), "a non-empty sweep has a frontier");
+    println!("\nPareto frontier over (latency, energy, area):");
+    print!("{}", frontier.table(&report.records));
     Ok(())
 }

@@ -13,6 +13,7 @@
 //! | [`compiler`] | `cmswitch-core` | the DACO compiler (§4.3) |
 //! | [`baselines`] | `cmswitch-baselines` | PUMA / OCC / CIM-MLC backends |
 //! | [`sim`] | `cmswitch-sim` | dual-mode chip simulator |
+//! | [`dse`] | `cmswitch-dse` | architecture design-space exploration |
 //! | [`serve`] | `cmswitch-serve` | long-running compile server |
 //! | `bench` | `cmswitch-bench` | experiment harness (§5 figures) |
 //!
@@ -64,6 +65,13 @@
 //! long-running server — bounded queue, per-tenant deadlines, worker
 //! pool — driven by the `cmswitch-serve` binary.
 //!
+//! Because compiles are cached and verified, exploring *architectures*
+//! is cheap too: the [`dse`] module sweeps a grid of chip variants
+//! ([`dse::SweepSpace`]) through the real compiler and simulator
+//! ([`dse::SweepRunner`]), prices each with an analytic area/power
+//! model ([`dse::AreaPowerModel`]) and reports the Pareto frontier over
+//! latency, energy and area (see `examples/dse_frontier.rs`).
+//!
 //! # Migrating from the pre-session API
 //!
 //! The old entry points still work but are deprecated shims:
@@ -80,6 +88,7 @@ pub use cmswitch_arch as arch;
 pub use cmswitch_baselines as baselines;
 pub use cmswitch_bench as bench;
 pub use cmswitch_core as compiler;
+pub use cmswitch_dse as dse;
 pub use cmswitch_graph as graph;
 pub use cmswitch_metaop as metaop;
 pub use cmswitch_models as models;
@@ -100,6 +109,10 @@ pub mod prelude {
         EmitStage, LowerStage, Lint, PartitionStage, PipelineCx, SegmentStage, ServiceOptions,
         Session, SessionBuilder, Severity, Stage, StoreFetch, StoreKey, UnknownBackend, Verifier,
         VerifyCx, VerifyFinding, VerifyReport, VerifyStage,
+    };
+    pub use cmswitch_dse::{
+        AreaPowerModel, ChipCost, ParetoFrontier, SweepRecord, SweepReport, SweepRunner,
+        SweepSpace,
     };
     pub use cmswitch_graph::{Graph, GraphBuilder};
     pub use cmswitch_serve::{CompileServer, ServeReply, ServeRequest, ServerOptions, Ticket};

@@ -7,6 +7,7 @@
 /// The blessed prelude surface, sorted.
 const EXPECTED: &[&str] = &[
     "AllocationCache",
+    "AreaPowerModel",
     "ArrayMode",
     "ArtifactStore",
     "Backend",
@@ -14,6 +15,7 @@ const EXPECTED: &[&str] = &[
     "BatchJob",
     "BatchReport",
     "CancelToken",
+    "ChipCost",
     "CompileError",
     "CompileOutcome",
     "CompileRequest",
@@ -35,6 +37,7 @@ const EXPECTED: &[&str] = &[
     "GraphBuilder",
     "Lint",
     "LowerStage",
+    "ParetoFrontier",
     "PartitionStage",
     "PipelineCx",
     "SegmentStage",
@@ -52,6 +55,10 @@ const EXPECTED: &[&str] = &[
     "Stage",
     "StoreFetch",
     "StoreKey",
+    "SweepRecord",
+    "SweepReport",
+    "SweepRunner",
+    "SweepSpace",
     "Ticket",
     "UnknownBackend",
     "Verifier",
@@ -139,4 +146,8 @@ fn snapshot_items_exist_and_have_expected_shapes() {
     let _opts: CompilerOptions = CompilerOptions::default().with_verify(true);
     let _srv_opts: ServerOptions = ServerOptions::default().with_workers(1);
     assert!(matches!(StoreFetch::Miss, StoreFetch::Miss));
+    let _model: AreaPowerModel = AreaPowerModel::default();
+    let cost: ChipCost = _model.price(&presets::tiny());
+    assert!(cost.area_mm2 > 0.0);
+    let _space: SweepSpace = SweepSpace::around(presets::tiny());
 }

@@ -1,7 +1,8 @@
 //! Offline stand-in for `proptest` covering the surface this workspace uses:
 //! the `proptest! {}` macro over `arg in strategy` bindings, integer/float
-//! `Range` strategies, `collection::vec`, `prop_assert!`/`prop_assert_eq!`,
-//! `prop_assume!`, `ProptestConfig::with_cases`, and `TestCaseError`.
+//! `Range` strategies, `collection::vec`, `array::uniform3`,
+//! `prop_assert!`/`prop_assert_eq!`, `prop_assume!`,
+//! `ProptestConfig::with_cases`, and `TestCaseError`.
 //!
 //! Cases are sampled deterministically (seeded xorshift), so failures
 //! reproduce exactly; there is no shrinking.
@@ -44,6 +45,31 @@ pub mod collection {
         fn sample(&self, rng: &mut CaseRng) -> Vec<S::Value> {
             let n = rng.gen_range(self.len.start..self.len.end);
             (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::{CaseRng, Strategy};
+
+    pub struct Uniform3<S> {
+        elem: S,
+    }
+
+    /// Strategy producing a `[T; 3]` with each element drawn from `elem`
+    /// (mirror of proptest's `array::uniform3`).
+    pub fn uniform3<S: Strategy>(elem: S) -> Uniform3<S> {
+        Uniform3 { elem }
+    }
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+        fn sample(&self, rng: &mut CaseRng) -> [S::Value; 3] {
+            [
+                self.elem.sample(rng),
+                self.elem.sample(rng),
+                self.elem.sample(rng),
+            ]
         }
     }
 }
@@ -97,6 +123,7 @@ pub mod test_runner {
 }
 
 pub mod prelude {
+    pub use crate::array;
     pub use crate::collection;
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
     pub use crate::Strategy;
