@@ -234,6 +234,35 @@ impl DualModeArch {
     pub fn chip_weight_capacity(&self) -> u64 {
         self.mem_capacity(self.n_arrays)
     }
+
+    /// A sub-chip view holding `n_arrays` of this chip's arrays: every
+    /// array/timing parameter is identical, only the array count
+    /// shrinks. This is the compile target of a static multi-tenant
+    /// partition — a tenant compiles (and is capacity-verified) against
+    /// exactly the arrays it owns, while shared resources the partition
+    /// does *not* split (the off-chip link, buffer, vector unit) keep
+    /// their full-chip parameters and are arbitrated at simulation
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::ZeroParameter`] when `n_arrays` is zero.
+    pub fn partition(&self, n_arrays: usize) -> Result<DualModeArch, ArchError> {
+        DualModeArch::builder(format!("{}/p{}", self.name, n_arrays))
+            .n_arrays(n_arrays)
+            .array_size(self.array_rows, self.array_cols)
+            .buffer_bytes(self.buffer_bytes)
+            .internal_bw(self.internal_bw)
+            .extern_bw(self.extern_bw)
+            .buffer_bw(self.buffer_bw)
+            .compute_pass_cycles(self.compute_pass_cycles)
+            .switch_cycles(self.switch_m2c_cycles, self.switch_c2m_cycles)
+            .write_row_cycles(self.write_row_cycles)
+            .write_parallelism(self.write_parallelism)
+            .write_cost_factor(self.write_cost_factor)
+            .switch_method(self.switch_method)
+            .build()
+    }
 }
 
 /// Builder for [`DualModeArch`] (validates on [`DualModeArchBuilder::build`]).
@@ -479,5 +508,24 @@ mod tests {
         let a = DualModeArch::builder("d").build().unwrap();
         assert_eq!(a.mem_capacity(2), 2 * 320 * 320);
         assert_eq!(a.chip_weight_capacity(), 96 * 320 * 320);
+    }
+
+    #[test]
+    fn partition_shrinks_only_the_array_count() {
+        let chip = DualModeArch::builder("d").build().unwrap();
+        let half = chip.partition(48).unwrap();
+        assert_eq!(half.n_arrays(), 48);
+        assert_eq!(half.array_rows(), chip.array_rows());
+        assert_eq!(half.extern_bw(), chip.extern_bw());
+        assert_eq!(half.buffer_bytes(), chip.buffer_bytes());
+        assert_eq!(half.switch_m2c_cycles(), chip.switch_m2c_cycles());
+        assert_eq!(half.lat_write_array(), chip.lat_write_array());
+        assert_eq!(half.chip_weight_capacity(), chip.chip_weight_capacity() / 2);
+        // Distinct compile target: the fingerprint (and thus every
+        // cache key) differs from the full chip's.
+        assert_ne!(half.fingerprint(), chip.fingerprint());
+        // A whole-chip "partition" reproduces the chip's fingerprint.
+        assert_eq!(chip.partition(96).unwrap().fingerprint(), chip.fingerprint());
+        assert!(chip.partition(0).is_err());
     }
 }

@@ -1,0 +1,147 @@
+//! Multi-tenant co-scheduling bench: chip decode throughput at tenancy
+//! 1, 2 and 4, with mid-flight re-segmentation, written to
+//! `BENCH_tenancy.json` at the repository root.
+//!
+//! Each tenancy level packs N copies of a small decoder onto one chip
+//! under static array partitions and drives [`DecodeLoop`] through a
+//! fixed number of decode steps with a tight KV headroom, so every
+//! level exercises re-segmentation. Invariants asserted on every run
+//! (including CI's `CMSWITCH_BENCH_SMOKE` pass):
+//!
+//! * every level completes at least one mid-flight re-segmentation,
+//! * a warm re-run of every level pays **zero** allocator solves
+//!   (all compiles served from the shared allocation cache), and
+//! * co-scheduling the final two-tenant program set beats running the
+//!   tenants back-to-back (`serialized_cycles > total_cycles`).
+//!
+//! Under `CMSWITCH_BENCH_SMOKE` the decoder shrinks and the step count
+//! drops, so CI exercises the same path in seconds.
+
+use std::fmt::Write as _;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cmswitch_arch::presets;
+use cmswitch_core::Session;
+use cmswitch_models::transformer::{decode_step, TransformerConfig};
+use cmswitch_sim::{DecodeLoop, DecodeOptions, DecodeReport, DecodeTenant};
+
+fn smoke_mode() -> bool {
+    std::env::var_os("CMSWITCH_BENCH_SMOKE").is_some()
+}
+
+fn decoder(name: &str) -> TransformerConfig {
+    let hidden = if smoke_mode() { 128 } else { 256 };
+    TransformerConfig {
+        name: name.into(),
+        layers: if smoke_mode() { 1 } else { 2 },
+        hidden,
+        heads: hidden / 32,
+        ffn_hidden: 2 * hidden,
+        vocab: 512,
+        gated_ffn: false,
+        lm_head: true,
+    }
+}
+
+fn steps() -> usize {
+    if smoke_mode() {
+        4
+    } else {
+        16
+    }
+}
+
+/// Runs a decode loop with `tenancy` equal tenants on `session`.
+fn run_level(session: &Session, tenancy: usize) -> DecodeReport {
+    let mut decode = DecodeLoop::new(session).with_options(DecodeOptions {
+        steps: steps(),
+        kv_headroom_bytes: 2048,
+        ..DecodeOptions::default()
+    });
+    for i in 0..tenancy {
+        let cfg = decoder(&format!("tenant{i}"));
+        // Stagger the starting KV lengths so tenants re-segment on
+        // different steps, like real continuous batching.
+        let kv_start = 8 + 4 * i;
+        decode = decode.tenant(DecodeTenant::new(
+            format!("tenant{i}"),
+            1,
+            kv_start,
+            1024,
+            move |kv| decode_step(&cfg, 1, kv),
+        ));
+    }
+    decode.run().expect("decode loop runs")
+}
+
+fn bench_tenancy(c: &mut Criterion) {
+    let arch = presets::dynaplasia();
+    let session = Session::builder(arch).build();
+
+    let mut levels_json = String::new();
+    let mut two_tenant_speedup = 0.0;
+    for tenancy in [1usize, 2, 4] {
+        let cold = run_level(&session, tenancy);
+        assert!(
+            cold.resegmentations > 0,
+            "tenancy {tenancy}: KV growth must force a re-segmentation"
+        );
+        let warm = run_level(&session, tenancy);
+        assert_eq!(
+            warm.solves, 0,
+            "tenancy {tenancy}: warm re-run must be solve-free"
+        );
+        assert_eq!(warm.total_cycles, cold.total_cycles);
+        if tenancy > 1 {
+            assert!(
+                cold.tenancy.total_cycles < cold.tenancy.serialized_cycles,
+                "tenancy {tenancy}: co-scheduling must beat serialization"
+            );
+        }
+        if tenancy == 2 {
+            two_tenant_speedup = cold.tenancy.speedup();
+        }
+        if !levels_json.is_empty() {
+            levels_json.push(',');
+        }
+        write!(
+            levels_json,
+            "\n    {{\"tenancy\": {tenancy}, \"tokens\": {}, \"total_cycles\": {:.0}, \
+             \"tokens_per_sec_chip\": {:.0}, \"resegmentations\": {}, \
+             \"cold_solves\": {}, \"warm_solves\": {}, \"speedup_vs_serialized\": {:.3}, \
+             \"fairness\": {:.4}}}",
+            cold.tokens,
+            cold.total_cycles,
+            cold.tokens_per_sec,
+            cold.resegmentations,
+            cold.solves,
+            warm.solves,
+            cold.tenancy.speedup(),
+            cold.tenancy.fairness,
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\"bench\": \"tenancy_decode\", \"mode\": \"{}\", \"steps\": {}, \
+         \"two_tenant_speedup\": {:.3},\n \"levels\": [{levels_json}\n ]}}\n",
+        if smoke_mode() { "smoke" } else { "full" },
+        steps(),
+        two_tenant_speedup,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tenancy.json");
+    std::fs::write(path, json).expect("write BENCH_tenancy.json");
+
+    // Criterion samples measure the warm two-tenant loop (the steady
+    // state of a serving chip: every compile cache-served).
+    let mut group = c.benchmark_group("tenancy");
+    group.sample_size(10);
+    group.bench_function("warm_decode_x2", |b| {
+        b.iter(|| run_level(&session, 2));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tenancy);
+criterion_main!(benches);

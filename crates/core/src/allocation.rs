@@ -19,11 +19,14 @@
 //! paper's §5.6 observation that "compilation results of a single block
 //! are reused across all layers.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+// `Condvar` comes from std: the vendored `parking_lot` stand-in hands
+// out plain `std::sync` guards, which is exactly what std's Condvar
+// waits on.
+use std::sync::{Arc, Condvar};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use cmswitch_solver::{alloc as fast, stable_hash64, MipProblem, Relation};
 
@@ -195,6 +198,11 @@ impl AllocatorStats {
 #[derive(Debug, Default)]
 pub struct AllocationCache {
     map: RwLock<HashMap<u64, CacheEntry>>,
+    /// Bucket hashes a solver is currently working on (single-flight):
+    /// a concurrent lookup of an in-flight signature blocks on
+    /// `inflight_done` instead of paying a redundant solve.
+    inflight: Mutex<HashSet<u64>>,
+    inflight_done: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -210,6 +218,34 @@ type CacheEntry = (Vec<u64>, Option<SegmentAllocation>);
 /// [`crate::artifact::encode_alloc_entries`]). The hash is carried
 /// explicitly so importing never re-hashes a signature.
 pub type AllocEntry = (u64, Vec<u64>, Option<SegmentAllocation>);
+
+/// Outcome of [`AllocationCache::probe_or_begin`]: the cached answer,
+/// or exclusive ownership of the solve for this signature.
+enum Flight<'a> {
+    /// The cache (possibly populated by a concurrent solver the probe
+    /// waited out) answered — no solver run needed.
+    Hit(Option<SegmentAllocation>),
+    /// The caller owns this solve. Concurrent probes of the same bucket
+    /// block until the guard drops.
+    Solve(FlightGuard<'a>),
+}
+
+/// Exclusive in-flight mark for one cache bucket. Dropping it — after
+/// the owner inserted its result, or during unwinding if the solve
+/// panicked — clears the mark and wakes every waiter; waiters re-probe
+/// the map, so an aborted solve is simply retried by the next claimant
+/// rather than wedging them.
+struct FlightGuard<'a> {
+    cache: &'a AllocationCache,
+    hash: u64,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.cache.inflight.lock().remove(&self.hash);
+        self.cache.inflight_done.notify_all();
+    }
+}
 
 /// A segment signature paired with its `stable_hash64`, computed once.
 ///
@@ -283,6 +319,9 @@ impl AllocationCache {
     /// Lookup with the bucket hash already computed ([`HashedSig`]);
     /// the stored signature is still compared word-for-word, so a
     /// memoized hash never weakens the anti-collision guarantee.
+    /// (Production probes go through [`Self::probe_or_begin`], which
+    /// adds single-flight dedup on top of this check.)
+    #[cfg(test)]
     fn get_hashed(&self, hash: u64, sig: &[u64]) -> Option<Option<SegmentAllocation>> {
         let hit = match self.map.read().get(&hash) {
             Some((stored, value)) if stored == sig => Some(value.clone()),
@@ -293,6 +332,43 @@ impl AllocationCache {
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         hit
+    }
+
+    /// Single-flight lookup: either answers from the cache, or hands the
+    /// caller exclusive responsibility for solving this signature. While
+    /// the returned [`FlightGuard`] lives, every concurrent probe of the
+    /// same bucket blocks — when the owner inserts (or unwinds without
+    /// inserting), waiters re-check the map, so two workers compiling
+    /// identical graphs pay exactly one solve between them instead of
+    /// racing miss/miss.
+    ///
+    /// Deadlock safety: a solve that probes *nested* signatures (the
+    /// MIP warm-start probing its window minus the trailing op) always
+    /// waits on a strictly shorter window, so the waits-on relation is
+    /// acyclic.
+    fn probe_or_begin(&self, hash: u64, sig: &[u64]) -> Flight<'_> {
+        let mut inflight = self.inflight.lock();
+        loop {
+            // Check the map while holding the in-flight lock: an owner
+            // publishes its result to the map *before* clearing its
+            // mark, so this check can never miss a completed solve.
+            if let Some((stored, value)) = self.map.read().get(&hash) {
+                if stored == sig {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Flight::Hit(value.clone());
+                }
+                // Bucket collision with a different signature: fall
+                // through and solve (last writer owns the bucket).
+            }
+            if inflight.insert(hash) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Flight::Solve(FlightGuard { cache: self, hash });
+            }
+            inflight = self
+                .inflight_done
+                .wait(inflight)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
     }
 
     /// Test-only convenience mirroring [`AllocationCache::get`].
@@ -449,15 +525,25 @@ impl<'a> Allocator<'a> {
         // reuses the memoized hash.
         let want_sig = self.cache.is_some() || self.kind == AllocatorKind::Mip;
         let sig = want_sig.then(|| HashedSig::new(signature(&self.sig_prefix, ops, local_deps)));
+        // Single-flight: either the cache answers (including after
+        // waiting out a concurrent solver working the same signature),
+        // or this call owns the solve and holds the in-flight mark
+        // until it has published the result.
+        let mut flight = None;
         if let (Some(cache), Some(sig)) = (&self.cache, &sig) {
-            if let Some(hit) = cache.get_hashed(sig.hash, &sig.words) {
-                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                if self.kind == AllocatorKind::Mip {
-                    self.warm.insert(sig, hit.clone());
+            match cache.probe_or_begin(sig.hash, &sig.words) {
+                Flight::Hit(hit) => {
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    if self.kind == AllocatorKind::Mip {
+                        self.warm.insert(sig, hit.clone());
+                    }
+                    return hit;
                 }
-                return hit;
+                Flight::Solve(guard) => {
+                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    flight = Some(guard);
+                }
             }
-            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
         let result = match self.kind {
             AllocatorKind::Mip => self.solve_mip(ops, local_deps),
@@ -466,6 +552,9 @@ impl<'a> Allocator<'a> {
         if let (Some(cache), Some(sig)) = (&self.cache, &sig) {
             cache.insert_prehashed(sig.hash, sig.words.clone(), result.clone());
         }
+        // Publish-then-release: waiters woken by this drop re-probe the
+        // map and find the result just inserted.
+        drop(flight);
         if let (AllocatorKind::Mip, Some(sig)) = (self.kind, &sig) {
             self.warm.insert(sig, result.clone());
         }
@@ -990,6 +1079,29 @@ mod tests {
         );
         assert!(am.arrays_used() <= arch.n_arrays());
         assert!(af.arrays_used() <= arch.n_arrays());
+    }
+
+    #[test]
+    fn concurrent_identical_windows_pay_one_solve_and_always_hit() {
+        // The latent race behind a flaky `hits() > 0`: workers probing
+        // the same signature before any of them inserted all counted
+        // misses and all paid a solver run. Single-flight makes the
+        // outcome exact under every interleaving — one thread owns the
+        // solve, every other thread blocks briefly and is served a hit.
+        let arch = presets::tiny();
+        let cache = AllocationCache::new();
+        let ops = vec![seg_op("a", 64, 64, 64, true), seg_op("b", 64, 64, 64, true)];
+        let deps = vec![(0usize, 1usize, 64 * 64u64)];
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    shared(&arch, &cache).allocate(&ops, &deps).unwrap();
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 1, "exactly one thread owns the solve");
+        assert_eq!(cache.hits(), 3, "every other thread is served a hit");
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

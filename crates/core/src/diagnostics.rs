@@ -118,6 +118,21 @@ pub enum DiagnosticEvent {
         /// Human-readable rejection reason.
         reason: String,
     },
+    /// A tenant's program was re-segmented mid-flight: its growing
+    /// memory-mode footprint (KV cache) no longer fit its chip
+    /// partition, so the decode loop recompiled the tenant's graph at
+    /// the grown sequence length through the real session (emitted by
+    /// `cmswitch-sim`'s tenancy driver, not the compilation pipeline).
+    Resegmented {
+        /// The tenant whose plan was replaced.
+        tenant: String,
+        /// The KV length (sequence position) the new plan was compiled
+        /// at.
+        kv_len: usize,
+        /// Allocator solves the re-segmentation paid (0 when served
+        /// warm from the allocation cache / artifact store).
+        solves: u64,
+    },
 }
 
 impl fmt::Display for DiagnosticEvent {
@@ -172,6 +187,14 @@ impl fmt::Display for DiagnosticEvent {
             DiagnosticEvent::StoreCorrupt { key, reason } => {
                 write!(f, "artifact store entry {key:#018x} rejected: {reason}")
             }
+            DiagnosticEvent::Resegmented {
+                tenant,
+                kv_len,
+                solves,
+            } => write!(
+                f,
+                "tenant {tenant} re-segmented at kv_len {kv_len} ({solves} solves)"
+            ),
         }
     }
 }
@@ -293,6 +316,15 @@ impl Diagnostics {
         })
     }
 
+    /// Number of [`DiagnosticEvent::Resegmented`] events recorded (the
+    /// tenancy decode loop's mid-flight plan replacements).
+    pub fn resegmentations(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, DiagnosticEvent::Resegmented { .. }))
+            .count() as u64
+    }
+
     /// Whether the partition budget was rounded during this compilation.
     pub fn partition_budget_rounded(&self) -> bool {
         self.events
@@ -399,6 +431,20 @@ mod tests {
         assert!(text.contains("store hit"), "{text}");
         assert!(text.contains("store miss"), "{text}");
         assert!(text.contains("rejected: checksum mismatch"), "{text}");
+    }
+
+    #[test]
+    fn resegmented_event_renders_and_counts() {
+        let mut d = Diagnostics::new();
+        assert_eq!(d.resegmentations(), 0);
+        d.push(DiagnosticEvent::Resegmented {
+            tenant: "t0".into(),
+            kv_len: 384,
+            solves: 0,
+        });
+        assert_eq!(d.resegmentations(), 1);
+        let text = d.to_string();
+        assert!(text.contains("tenant t0 re-segmented at kv_len 384"), "{text}");
     }
 
     #[test]

@@ -420,6 +420,33 @@ impl Session {
         self.store.as_ref()
     }
 
+    /// A session compiling against an `n_arrays`-array partition of
+    /// this session's chip — the re-segmentation hook of the
+    /// multi-tenant decode loop (`cmswitch-sim`'s `tenancy` module).
+    ///
+    /// The partition session shares this session's allocation cache
+    /// and artifact store, so re-planning a tenant mid-flight is near
+    /// solve-free once warm (cache keys embed the sub-chip fingerprint,
+    /// keeping partition sizes from cross-contaminating). It keeps the
+    /// session-default [`CompilerOptions`] but always compiles with the
+    /// default CMSwitch backend, targeted at the sub-chip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cmswitch_arch::ArchError`] when `n_arrays` is not a
+    /// valid array count (zero).
+    pub fn partitioned(&self, n_arrays: usize) -> Result<Session, cmswitch_arch::ArchError> {
+        let sub = self.arch().partition(n_arrays)?;
+        let mut builder = Session::builder(sub)
+            .options(self.options.clone())
+            .workers(self.workers)
+            .cache(Arc::clone(&self.cache));
+        if let Some(store) = &self.store {
+            builder = builder.store(Arc::clone(store));
+        }
+        Ok(builder.build())
+    }
+
     /// Writes the allocation cache's current entries to the attached
     /// store's snapshot, making this session's solver work available to
     /// future processes. Returns the number of entries written (`0`
@@ -824,6 +851,22 @@ mod tests {
         assert!(report.get("empty").unwrap().result.is_err());
         assert!(report.get("ok").unwrap().result.is_ok());
         assert!(!report.get("ok").unwrap().diagnostics.is_empty());
+    }
+
+    #[test]
+    fn partitioned_session_shares_the_cache_and_shrinks_the_chip() {
+        let session = Session::builder(presets::tiny()).build();
+        let full_arrays = session.arch().n_arrays();
+        let half = session.partitioned(full_arrays / 2).unwrap();
+        assert_eq!(half.arch().n_arrays(), full_arrays / 2);
+        assert!(Arc::ptr_eq(session.cache(), half.cache()));
+        assert!(session.partitioned(0).is_err());
+        // Distinct fingerprints keep partition sizes from
+        // cross-contaminating the shared cache; both compile fine.
+        let p_full = session.compile_graph(&graph()).unwrap();
+        let p_half = half.compile_graph(&graph()).unwrap();
+        assert!(p_full.predicted_latency > 0.0);
+        assert!(p_half.predicted_latency > 0.0);
     }
 
     #[test]

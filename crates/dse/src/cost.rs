@@ -33,7 +33,7 @@
 //! agree by construction.
 
 use cmswitch_arch::{DualModeArch, SwitchMethod};
-use cmswitch_sim::{EnergyModel, ModeOccupancy};
+use cmswitch_sim::{EnergyModel, EnergyReport, ModeOccupancy};
 
 const UM2_PER_MM2: f64 = 1e6;
 
@@ -252,15 +252,18 @@ impl AreaPowerModel {
     /// energy spread over its makespan. Zero-cycle runs report only the
     /// idle-weighted static term.
     ///
-    /// Note this can exceed [`ChipCost::peak_power_mw`] on short,
-    /// fetch-dominated flows: the simulator's energy accounting bills
-    /// per-segment DRAM weight fetches without a byte-rate limit, while
-    /// the peak figure is a saturated-event-*rate* rating.
+    /// DRAM fetch energy is billed over its *actual transfer window* —
+    /// the cycles the off-chip link needs at [`DualModeArch::extern_bw`]
+    /// to move the bytes behind [`EnergyReport::dram_pj`] — or the
+    /// makespan, whichever is longer. A fetch-dominated flow therefore
+    /// tops out at the link's saturated rate instead of compressing a
+    /// physically rate-limited transfer into a short makespan, and the
+    /// average stays below [`ChipCost::peak_power_mw`].
     pub fn average_power_mw(
         &self,
         arch: &DualModeArch,
         cycles: f64,
-        energy_pj: f64,
+        energy: &EnergyReport,
         occupancy: ModeOccupancy,
     ) -> f64 {
         let areas = self.area_breakdown(arch);
@@ -278,8 +281,20 @@ impl AreaPowerModel {
             return static_mw;
         }
         // pJ over ns is mW; cycles / GHz is ns.
-        let dynamic_mw = energy_pj / (cycles / self.clock_ghz);
-        static_mw + dynamic_mw
+        let makespan_ns = cycles / self.clock_ghz;
+        let other_mw = (energy.total_pj() - energy.dram_pj) / makespan_ns;
+        // The off-chip link can move at most `extern_bw` bytes/cycle, so
+        // the DRAM energy's transfer window is at least bytes / bw
+        // cycles even when the makespan is shorter (the simulator bills
+        // per-segment weight fetches without a byte-rate limit).
+        let dram_mw = if energy.dram_pj > 0.0 && self.energy.pj_per_dram_byte > 0.0 {
+            let bytes = energy.dram_pj / self.energy.pj_per_dram_byte;
+            let window = (bytes / arch.extern_bw().max(1) as f64).max(cycles);
+            energy.dram_pj / (window / self.clock_ghz)
+        } else {
+            energy.dram_pj / makespan_ns
+        };
+        static_mw + other_mw + dram_mw
     }
 }
 
@@ -356,16 +371,55 @@ mod tests {
             idle: 1.0,
             ..ModeOccupancy::default()
         };
-        let p_busy = m.average_power_mw(&arch, 1000.0, 0.0, busy);
-        let p_idle = m.average_power_mw(&arch, 1000.0, 0.0, idle);
+        let none = EnergyReport::default();
+        let p_busy = m.average_power_mw(&arch, 1000.0, &none, busy);
+        let p_idle = m.average_power_mw(&arch, 1000.0, &none, idle);
         assert!(p_busy > p_idle, "compute-heavy duty cycle must leak more");
         // Dynamic term: 1e6 pJ over 1000 cycles at 1 GHz = 1e6/1e3 ns = 1000 mW.
-        let with_dynamic = m.average_power_mw(&arch, 1000.0, 1e6, idle);
+        let compute = EnergyReport {
+            compute_pj: 1e6,
+            ..EnergyReport::default()
+        };
+        let with_dynamic = m.average_power_mw(&arch, 1000.0, &compute, idle);
         assert!((with_dynamic - p_idle - 1000.0).abs() < 1e-6);
         // Zero-cycle runs degrade to the static term.
-        assert!(m.average_power_mw(&arch, 0.0, 123.0, idle) > 0.0);
+        let some = EnergyReport {
+            dram_pj: 123.0,
+            ..EnergyReport::default()
+        };
+        assert!(m.average_power_mw(&arch, 0.0, &some, idle) > 0.0);
         // Average never exceeds peak when energy stays within the
         // peak event rate.
         assert!(p_busy < m.price(&arch).peak_power_mw);
+    }
+
+    #[test]
+    fn dram_energy_is_rate_limited_by_the_offchip_link() {
+        let m = AreaPowerModel::default();
+        let arch = presets::dynaplasia();
+        let idle = ModeOccupancy {
+            idle: 1.0,
+            ..ModeOccupancy::default()
+        };
+        // A fetch-dominated "flow": a huge DRAM energy crammed into a
+        // 10-cycle makespan. The naive makespan amortization would
+        // report ~6e6 mW; the transfer-window bill caps the DRAM term at
+        // extern_bw × pj_per_dram_byte × clock, i.e. under peak.
+        let fetch = EnergyReport {
+            dram_pj: 1e6 * m.energy.pj_per_dram_byte,
+            ..EnergyReport::default()
+        };
+        let avg = m.average_power_mw(&arch, 10.0, &fetch, idle);
+        let peak = m.price(&arch).peak_power_mw;
+        assert!(avg <= peak, "avg {avg} mW must not exceed peak {peak} mW");
+        // The cap is exactly the saturated-link rate plus static power.
+        let link_mw =
+            arch.extern_bw() as f64 * m.energy.pj_per_dram_byte * m.clock_ghz;
+        let static_mw = m.average_power_mw(&arch, 10.0, &EnergyReport::default(), idle);
+        assert!((avg - static_mw - link_mw).abs() < 1e-6);
+        // A leisurely makespan still amortizes over the makespan: the
+        // same energy over far more cycles than the window needs.
+        let slow = m.average_power_mw(&arch, 1e9, &fetch, idle);
+        assert!(slow < avg);
     }
 }

@@ -50,7 +50,8 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use cmswitch_core::{
-    CancelToken, CompileError, CompileOutcome, CompileRequest, DiagnosticEvent, Session,
+    CancelToken, CompileError, CompileOutcome, CompileRequest, CompilerOptions, DiagnosticEvent,
+    Session,
 };
 use cmswitch_graph::Graph;
 
@@ -117,6 +118,14 @@ pub struct ServeRequest {
     /// Per-request deadline, measured from admission — queue wait
     /// counts. Falls back to [`ServerOptions::default_deadline`].
     pub deadline: Option<Duration>,
+    /// Optional chip-share hint for multi-tenant co-scheduling: the
+    /// fraction of the chip this tenant expects to own, in `(0, 1]`.
+    /// Mapped onto
+    /// [`CompilerOptions::with_partition_budget`] so a single
+    /// partitioned sub-operator never claims more arrays than the
+    /// tenant's partition holds — the compiled program then admits
+    /// cleanly into a static partition of that share.
+    pub chip_share: Option<f64>,
 }
 
 impl ServeRequest {
@@ -127,6 +136,7 @@ impl ServeRequest {
             graph,
             tenant: "default".into(),
             deadline: None,
+            chip_share: None,
         }
     }
 
@@ -141,6 +151,14 @@ impl ServeRequest {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the tenant's expected chip share (clamped into `(0, 1]` at
+    /// compile time).
+    #[must_use]
+    pub fn with_chip_share(mut self, share: f64) -> Self {
+        self.chip_share = Some(share);
         self
     }
 }
@@ -226,9 +244,47 @@ pub struct ServerStats {
     pub cancelled: u64,
 }
 
+/// Lifecycle of a ticket's reply slot: `Pending` until either the
+/// worker installs a reply (`Ready`) or the waiting caller gives up on
+/// an expired deadline (`Abandoned`). Exactly one side wins, decided
+/// under the slot's mutex, which is what keeps the `cancelled` counter
+/// single-fire for waiter-side and worker-side cancellations alike.
+enum ReplySlot {
+    Pending,
+    Ready(Box<ServeReply>),
+    Taken,
+    Abandoned,
+}
+
+impl ReplySlot {
+    fn take_ready(&mut self) -> Option<ServeReply> {
+        if matches!(self, ReplySlot::Ready(_)) {
+            match std::mem::replace(self, ReplySlot::Taken) {
+                ReplySlot::Ready(reply) => Some(*reply),
+                _ => unreachable!("matched Ready above"),
+            }
+        } else {
+            None
+        }
+    }
+}
+
 struct TicketShared {
-    reply: Mutex<Option<ServeReply>>,
+    reply: Mutex<ReplySlot>,
     done: Condvar,
+    label: String,
+    tenant: String,
+    accepted: Instant,
+    /// The armed admission deadline, if any — what `Ticket::wait` times
+    /// out against while the request is still queued.
+    deadline: Option<Instant>,
+    /// The request's cancel token; fired by the waiter on expiry so a
+    /// still-queued job is dropped (and an in-flight compile aborts) at
+    /// the next poll.
+    cancel: CancelToken,
+    /// The server's `cancelled` counter, shared so the waiter can count
+    /// a queue-expiry cancellation identically to a dequeue-time one.
+    cancelled: Arc<AtomicU64>,
 }
 
 /// The caller's handle on an in-flight request.
@@ -238,19 +294,62 @@ pub struct Ticket {
 
 impl Ticket {
     /// Blocks until the reply is ready and returns it.
+    ///
+    /// When the request carries a deadline, the wait itself honors it:
+    /// if the deadline passes while the request is still queued (a
+    /// saturated queue under few workers), `wait` returns a
+    /// [`CompileError::Cancelled`] reply promptly instead of blocking
+    /// until a worker finally dequeues the job. The cancellation is
+    /// counted in [`ServerStats::cancelled`] exactly once.
     pub fn wait(self) -> ServeReply {
         let mut slot = self.shared.reply.lock().expect("ticket lock poisoned");
         loop {
-            if let Some(reply) = slot.take() {
+            if let Some(reply) = slot.take_ready() {
                 return reply;
             }
-            slot = self.shared.done.wait(slot).expect("ticket lock poisoned");
+            match self.shared.deadline {
+                None => {
+                    slot = self.shared.done.wait(slot).expect("ticket lock poisoned");
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        // No reply and the deadline has passed: give up
+                        // here. Marking the slot abandoned (under the
+                        // lock) makes the worker skip both the install
+                        // and the stats bump; firing the token makes it
+                        // skip the compile too.
+                        *slot = ReplySlot::Abandoned;
+                        drop(slot);
+                        self.shared.cancel.cancel();
+                        self.shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                        let waited = self.shared.accepted.elapsed();
+                        return ServeReply {
+                            label: self.shared.label.clone(),
+                            tenant: self.shared.tenant.clone(),
+                            queued: waited,
+                            wall: waited,
+                            outcome: Err(CompileError::Cancelled),
+                        };
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .done
+                        .wait_timeout(slot, deadline - now)
+                        .expect("ticket lock poisoned");
+                    slot = guard;
+                }
+            }
         }
     }
 
     /// Returns the reply if it is already ready, without blocking.
     pub fn try_take(&self) -> Option<ServeReply> {
-        self.shared.reply.lock().expect("ticket lock poisoned").take()
+        self.shared
+            .reply
+            .lock()
+            .expect("ticket lock poisoned")
+            .take_ready()
     }
 }
 
@@ -261,11 +360,8 @@ impl fmt::Debug for Ticket {
 }
 
 struct Job {
-    label: String,
-    tenant: String,
     graph: Graph,
-    cancel: CancelToken,
-    accepted: Instant,
+    options: Option<CompilerOptions>,
     ticket: Arc<TicketShared>,
 }
 
@@ -284,7 +380,9 @@ struct Shared {
     rejected: AtomicU64,
     served: AtomicU64,
     failed: AtomicU64,
-    cancelled: AtomicU64,
+    /// Arc'd (unlike its siblings) so tickets can count waiter-side
+    /// queue-expiry cancellations into the same server statistic.
+    cancelled: Arc<AtomicU64>,
 }
 
 /// A long-running compile server (see the [module docs](self)).
@@ -318,7 +416,7 @@ impl CompileServer {
             rejected: AtomicU64::new(0),
             served: AtomicU64::new(0),
             failed: AtomicU64::new(0),
-            cancelled: AtomicU64::new(0),
+            cancelled: Arc::new(AtomicU64::new(0)),
         });
         let handles = (0..workers.max(1))
             .map(|_| {
@@ -340,6 +438,7 @@ impl CompileServer {
     /// [`SubmitError::ShutDown`] once shutdown has begun.
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
         let deadline = request.deadline.or(self.shared.default_deadline);
+        let accepted = Instant::now();
         // The token starts ticking now: queue wait counts against the
         // tenant's deadline, which is what makes the bounded queue an
         // admission-control mechanism rather than just a buffer.
@@ -347,16 +446,29 @@ impl CompileServer {
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),
         };
-        let ticket_shared = Arc::new(TicketShared {
-            reply: Mutex::new(None),
-            done: Condvar::new(),
+        // A chip-share hint becomes a per-request partition budget: no
+        // partitioned sub-operator may claim more of the chip than the
+        // tenant's share, so the program admits into that partition.
+        let options = request.chip_share.map(|share| {
+            self.shared
+                .session
+                .options()
+                .clone()
+                .with_partition_budget(share.clamp(f64::MIN_POSITIVE, 1.0))
         });
-        let job = Job {
+        let ticket_shared = Arc::new(TicketShared {
+            reply: Mutex::new(ReplySlot::Pending),
+            done: Condvar::new(),
             label: request.label,
             tenant: request.tenant,
-            graph: request.graph,
+            accepted,
+            deadline: deadline.and_then(|d| accepted.checked_add(d)),
             cancel,
-            accepted: Instant::now(),
+            cancelled: Arc::clone(&self.shared.cancelled),
+        });
+        let job = Job {
+            graph: request.graph,
+            options,
             ticket: Arc::clone(&ticket_shared),
         };
         {
@@ -447,32 +559,43 @@ fn worker_loop(shared: &Shared) {
                     .expect("queue lock poisoned");
             }
         };
-        let queued = job.accepted.elapsed();
+        let ticket = &job.ticket;
+        let queued = ticket.accepted.elapsed();
         // A request whose deadline fired while queued is dropped here —
         // the whole point of counting queue wait against the deadline.
-        let outcome = if job.cancel.is_cancelled() {
+        let outcome = if ticket.cancel.is_cancelled() {
             Err(CompileError::Cancelled)
         } else {
-            shared.session.compile(
-                CompileRequest::new(job.graph)
-                    .with_label(job.label.clone())
-                    .with_cancel(job.cancel),
-            )
+            let mut request = CompileRequest::new(job.graph)
+                .with_label(ticket.label.clone())
+                .with_cancel(ticket.cancel.clone());
+            if let Some(options) = job.options {
+                request = request.with_options(options);
+            }
+            shared.session.compile(request)
         };
+        // Install under the slot lock: if the waiter abandoned the
+        // ticket on an expired deadline it already returned `Cancelled`
+        // and counted itself, so the worker must neither install nor
+        // count a second outcome for the same request.
+        let mut slot = ticket.reply.lock().expect("ticket lock poisoned");
+        if matches!(*slot, ReplySlot::Abandoned) {
+            continue;
+        }
         match &outcome {
             Ok(_) => shared.served.fetch_add(1, Ordering::Relaxed),
             Err(CompileError::Cancelled) => shared.cancelled.fetch_add(1, Ordering::Relaxed),
             Err(_) => shared.failed.fetch_add(1, Ordering::Relaxed),
         };
-        let reply = ServeReply {
-            label: job.label,
-            tenant: job.tenant,
+        *slot = ReplySlot::Ready(Box::new(ServeReply {
+            label: ticket.label.clone(),
+            tenant: ticket.tenant.clone(),
             queued,
-            wall: job.accepted.elapsed(),
+            wall: ticket.accepted.elapsed(),
             outcome,
-        };
-        *job.ticket.reply.lock().expect("ticket lock poisoned") = Some(reply);
-        job.ticket.done.notify_all();
+        }));
+        drop(slot);
+        ticket.done.notify_all();
     }
 }
 
@@ -576,6 +699,79 @@ mod tests {
         assert_eq!(reply.outcome.unwrap_err(), CompileError::Cancelled);
         assert_eq!(server.stats().cancelled, 1);
         assert_eq!(server.stats().failed, 0, "cancellation is not failure");
+    }
+
+    #[test]
+    fn queued_deadline_expiry_unblocks_wait_promptly() {
+        // One worker wedged behind a queue of slow compiles; a request
+        // with a 1 ms deadline sits at the back. Its `wait` must return
+        // `Cancelled` promptly (while the queue ahead of it is still
+        // draining), not block until the worker finally dequeues it.
+        let server = CompileServer::start(
+            Session::builder(presets::tiny()).build(),
+            ServerOptions::default()
+                .with_workers(1)
+                .with_queue_capacity(8),
+        );
+        // Distinct shapes so the allocation cache cannot make the queue
+        // drain instantly.
+        let slow: Vec<Ticket> = (0..5)
+            .map(|i| {
+                let g = mlp(4, &[512, 512, 512, 512, 256 + 16 * i]).unwrap();
+                server.submit(ServeRequest::new(format!("slow{i}"), g)).unwrap()
+            })
+            .collect();
+        let late = server
+            .submit(
+                ServeRequest::new("late", graph()).with_deadline(Duration::from_millis(1)),
+            )
+            .unwrap();
+        let reply = late.wait();
+        assert_eq!(reply.solver_invocations(), 0);
+        assert_eq!(reply.outcome.unwrap_err(), CompileError::Cancelled);
+        // Promptness: the queue ahead of the late request has not fully
+        // drained yet — `wait` did not ride out the whole backlog.
+        assert!(
+            slow.last().unwrap().try_take().is_none(),
+            "late.wait() returned only after the entire backlog drained"
+        );
+        for t in slow {
+            assert!(t.wait().outcome.is_ok());
+        }
+        // The waiter-side cancellation is counted exactly once, and
+        // identically to a dequeue-time cancellation.
+        let stats = server.stats();
+        assert_eq!(stats.served, 5);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.failed, 0, "cancellation is not failure");
+    }
+
+    #[test]
+    fn chip_share_hint_caps_the_partition_budget() {
+        let server = server(1);
+        let full = server
+            .submit(ServeRequest::new("full", graph()))
+            .unwrap()
+            .wait();
+        let quarter = server
+            .submit(ServeRequest::new("quarter", graph()).with_chip_share(0.25))
+            .unwrap()
+            .wait();
+        let full = full.outcome.unwrap();
+        let quarter = quarter.outcome.unwrap();
+        // A quarter-chip tenant may never claim more arrays in one
+        // sub-operator than its share allows, so its widest allocation
+        // is no wider than the full-chip compile's.
+        let widest = |o: &CompileOutcome| {
+            o.program
+                .segments
+                .iter()
+                .map(|s| s.alloc.arrays_used())
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(widest(&quarter) <= widest(&full));
+        assert!(quarter.program.predicted_latency > 0.0);
     }
 
     #[test]

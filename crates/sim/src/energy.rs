@@ -63,6 +63,18 @@ pub struct EnergyReport {
 }
 
 impl EnergyReport {
+    /// Adds `other` into this report, component by component — the
+    /// reduction used when summing per-model (or per-tenant) reports
+    /// into a workload/chip total.
+    pub fn absorb(&mut self, other: &EnergyReport) {
+        self.compute_pj += other.compute_pj;
+        self.onchip_pj += other.onchip_pj;
+        self.dram_pj += other.dram_pj;
+        self.write_pj += other.write_pj;
+        self.switch_pj += other.switch_pj;
+        self.vector_pj += other.vector_pj;
+    }
+
     /// Total energy, picojoules.
     pub fn total_pj(&self) -> f64 {
         self.compute_pj

@@ -50,6 +50,8 @@ use cmswitch_metaop::{Flow, MemLoc, MetaOpError, Stmt, SwitchKind};
 use crate::chip::ChipState;
 use crate::energy::{self, EnergyModel, EnergyReport};
 use crate::model;
+use crate::tenancy::{ChipScheduler, CoSimOptions, TenancyError, TenancyReport, TenantProgram};
+
 use crate::stats::{
     ArrayTimeline, BusyBreakdown, BusyInterval, BusyKind, CriticalStep, EngineReport,
     SegmentWindow, SimReport,
@@ -870,6 +872,19 @@ pub trait SessionSimExt {
     /// Returns [`MetaOpError`] if the compiled flow violates mode
     /// discipline (a compiler bug the simulator exists to catch).
     fn simulate(&self, outcome: &CompileOutcome) -> Result<SimulationOutcome, MetaOpError>;
+
+    /// Co-schedules several compiled programs on this session's chip
+    /// (see [`crate::tenancy::ChipScheduler`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TenancyError`] on admission rejection or malformed
+    /// partition shares.
+    fn co_simulate(
+        &self,
+        tenants: &[TenantProgram],
+        options: CoSimOptions,
+    ) -> Result<TenancyReport, TenancyError>;
 }
 
 impl SessionSimExt for Session {
@@ -886,6 +901,16 @@ impl SessionSimExt for Session {
             report,
             diagnostics,
         })
+    }
+
+    fn co_simulate(
+        &self,
+        tenants: &[TenantProgram],
+        options: CoSimOptions,
+    ) -> Result<TenancyReport, TenancyError> {
+        ChipScheduler::new(self.arch().clone())
+            .with_options(options)
+            .co_simulate(tenants)
     }
 }
 

@@ -26,6 +26,10 @@
 //!   compiler schedules is what the network computes.
 //! * [`chip`] tracks per-array modes/contents and dynamically enforces
 //!   mode discipline while flows execute.
+//! * [`tenancy`] co-schedules several compiled programs onto one chip
+//!   (static partitions or mode-switch-aware time-slicing) and drives
+//!   continuous-batching autoregressive decode with mid-flight
+//!   re-segmentation ([`ChipScheduler`], [`DecodeLoop`]).
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@ pub mod engine;
 pub mod functional;
 pub mod model;
 pub mod stats;
+pub mod tenancy;
 pub mod timing;
 
 pub use energy::{EnergyModel, EnergyReport};
@@ -62,4 +67,9 @@ pub use engine::{
 pub use stats::{
     utilization_percent, ArrayTimeline, BusyBreakdown, BusyInterval, BusyKind, CriticalStep,
     EngineReport, ModeOccupancy, SegmentTiming, SegmentWindow, SimReport,
+};
+pub use tenancy::{
+    ChipScheduler, CoSimOptions, DecodeLoop, DecodeOptions, DecodeReport, DecodeTenant,
+    DecodeTenantReport, SwitchAmortization, TenancyError, TenancyPolicy, TenancyReport,
+    TenantProgram, TenantReport,
 };

@@ -1,0 +1,1295 @@
+//! Multi-tenant chip co-scheduling and continuous-decode simulation.
+//!
+//! One physical dual-mode chip is rarely saturated by a single model:
+//! a decode-phase LLM touches a few arrays per step, and the mode
+//! switches it requests often leave arrays exactly where the next
+//! tenant wants them. This module admits several independently
+//! compiled programs onto one [`DualModeArch`] under two policies:
+//!
+//! * **Time-sliced** ([`TenancyPolicy::TimeSliced`]): every tenant sees
+//!   the whole chip; a mode-switch-aware arbiter interleaves their
+//!   statement streams, amortizing `CM.switch` requests whose arrays
+//!   are already in the target mode and charging *injected* re-switches
+//!   to whichever tenant flipped a neighbour's arrays.
+//! * **Partitioned** ([`TenancyPolicy::Partitioned`]): each tenant owns
+//!   a disjoint contiguous array range. Programs are compiled against
+//!   the shrunken sub-chip ([`DualModeArch::partition`]), re-verified
+//!   against that smaller capacity, then relocated onto the physical
+//!   arrays. The off-chip link and vector function unit remain shared
+//!   and are arbitrated like any other resource.
+//!
+//! Admission runs the static verifier's dependence and capacity lints
+//! on every program by default — a co-scheduler that trusts `op_deps`
+//! blindly would happily overlap tenants across a dropped edge — and
+//! rejections surface as [`TenancyError::Admission`].
+//!
+//! [`DecodeLoop`] drives the co-scheduler through continuous-batching
+//! autoregressive decode: each step grows every tenant's KV cache,
+//! inflating its memory-mode footprint, and when a plan no longer fits
+//! its partition the loop *re-segments* mid-flight through a
+//! [`Session`] sharing the parent's allocation cache and artifact
+//! store — warm re-planning is solve-free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cmswitch_arch::{ArchError, ArrayId, ArrayMode, DualModeArch};
+use cmswitch_core::verify::{CapacityLint, DependenceLint};
+use cmswitch_core::{
+    CompileError, CompileRequest, CompiledProgram, DiagnosticEvent, Diagnostics, Session,
+    Verifier, VerifyReport,
+};
+use cmswitch_graph::{Graph, GraphError};
+use cmswitch_metaop::{Flow, MemLoc, Stmt, SwitchKind};
+
+use crate::energy::{self, EnergyModel, EnergyReport};
+use crate::model;
+
+/// One admitted tenant: a label plus its compiled program.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantProgram<'a> {
+    /// Tenant label, used in reports and diagnostics.
+    pub name: &'a str,
+    /// The program to co-schedule.
+    pub program: &'a CompiledProgram,
+}
+
+impl<'a> TenantProgram<'a> {
+    /// Pairs a label with a compiled program.
+    pub fn new(name: &'a str, program: &'a CompiledProgram) -> Self {
+        TenantProgram { name, program }
+    }
+}
+
+/// How tenants divide the chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TenancyPolicy {
+    /// Every tenant sees the whole chip; the arbiter interleaves them.
+    TimeSliced,
+    /// Tenant `i` owns a contiguous range of `shares[i]` arrays;
+    /// programs must have been compiled against the matching
+    /// [`DualModeArch::partition`] sub-chip.
+    Partitioned {
+        /// Per-tenant array counts, in tenant order.
+        shares: Vec<usize>,
+    },
+}
+
+/// Options for [`ChipScheduler::co_simulate`].
+#[derive(Debug, Clone)]
+pub struct CoSimOptions {
+    /// Chip-division policy.
+    pub policy: TenancyPolicy,
+    /// Run the dependence and capacity lints on every admitted
+    /// program (default `true`). Opting out is for programs already
+    /// verified by the caller on the same architecture.
+    pub verify_admission: bool,
+    /// Energy coefficients for per-tenant attribution.
+    pub energy_model: EnergyModel,
+}
+
+impl Default for CoSimOptions {
+    fn default() -> Self {
+        CoSimOptions {
+            policy: TenancyPolicy::TimeSliced,
+            verify_admission: true,
+            energy_model: EnergyModel::default(),
+        }
+    }
+}
+
+/// Co-scheduling failures.
+#[derive(Debug)]
+pub enum TenancyError {
+    /// `co_simulate` was called with an empty tenant slice.
+    NoTenants,
+    /// A partitioned policy listed a different number of shares than
+    /// tenants.
+    ShareMismatch {
+        /// Tenants submitted.
+        tenants: usize,
+        /// Shares listed in the policy.
+        shares: usize,
+    },
+    /// The per-tenant shares exceed the physical array count.
+    PartitionOverflow {
+        /// Sum of requested shares.
+        requested: usize,
+        /// Arrays physically present.
+        available: usize,
+    },
+    /// A tenant's program failed admission verification.
+    Admission {
+        /// The rejected tenant.
+        tenant: String,
+        /// The verifier's findings.
+        report: Box<VerifyReport>,
+    },
+    /// Carving a partition sub-chip failed.
+    Arch(ArchError),
+    /// A decode tenant's graph builder failed.
+    Graph {
+        /// The failing tenant.
+        tenant: String,
+        /// The underlying graph error.
+        source: GraphError,
+    },
+    /// A decode tenant's (re-)compilation failed.
+    Compile {
+        /// The failing tenant.
+        tenant: String,
+        /// The underlying compile error.
+        source: Box<CompileError>,
+    },
+}
+
+impl fmt::Display for TenancyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenancyError::NoTenants => write!(f, "no tenants to co-schedule"),
+            TenancyError::ShareMismatch { tenants, shares } => write!(
+                f,
+                "partitioned policy lists {shares} shares for {tenants} tenants"
+            ),
+            TenancyError::PartitionOverflow {
+                requested,
+                available,
+            } => write!(
+                f,
+                "partition shares claim {requested} arrays, chip has {available}"
+            ),
+            TenancyError::Admission { tenant, report } => write!(
+                f,
+                "tenant {tenant} rejected at admission: {} deny finding(s)",
+                report.deny_count()
+            ),
+            TenancyError::Arch(e) => write!(f, "partitioning failed: {e}"),
+            TenancyError::Graph { tenant, source } => {
+                write!(f, "tenant {tenant} graph construction failed: {source}")
+            }
+            TenancyError::Compile { tenant, source } => {
+                write!(f, "tenant {tenant} compilation failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TenancyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TenancyError::Arch(e) => Some(e),
+            TenancyError::Graph { source, .. } => Some(source),
+            TenancyError::Compile { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for TenancyError {
+    fn from(e: ArchError) -> Self {
+        TenancyError::Arch(e)
+    }
+}
+
+/// How the arbiter's mode-switch handling played out.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SwitchAmortization {
+    /// Array-switches the programs requested.
+    pub requested: u64,
+    /// Array-switches actually driven.
+    pub executed: u64,
+    /// Requested switches skipped because a neighbour tenant had
+    /// already left the arrays in the target mode.
+    pub amortized: u64,
+    /// Re-switches injected because a neighbour flipped arrays a
+    /// tenant still needed.
+    pub injected: u64,
+    /// Total cycles spent reconfiguring arrays.
+    pub switch_cycles: f64,
+}
+
+/// One tenant's share of a co-scheduled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant label.
+    pub name: String,
+    /// Cycle at which the tenant's last event retired.
+    pub finish_cycles: f64,
+    /// Cycles the tenant actively held resources (incl. injected
+    /// re-switches charged to it).
+    pub busy_cycles: f64,
+    /// Makespan the same program achieves alone on an idle chip,
+    /// under the same arbiter.
+    pub solo_cycles: f64,
+    /// Energy attributed to this tenant (schedule-invariant).
+    pub energy: EnergyReport,
+}
+
+/// Result of co-scheduling N tenants on one chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenancyReport {
+    /// Per-tenant outcomes, in submission order.
+    pub tenants: Vec<TenantReport>,
+    /// Makespan of the co-scheduled run.
+    pub total_cycles: f64,
+    /// Sum of the tenants' solo makespans — what running them
+    /// back-to-back would cost.
+    pub serialized_cycles: f64,
+    /// Chip-level energy: the component-wise sum of tenant energies.
+    pub energy: EnergyReport,
+    /// Jain's fairness index over per-tenant slowdowns
+    /// (`solo/finish`); `1.0` means every tenant was slowed equally.
+    pub fairness: f64,
+    /// Mode-switch amortization statistics.
+    pub switches: SwitchAmortization,
+}
+
+impl TenancyReport {
+    /// Chip throughput gain over running the tenants back-to-back.
+    pub fn speedup(&self) -> f64 {
+        if self.total_cycles > 0.0 {
+            self.serialized_cycles / self.total_cycles
+        } else {
+            1.0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event extraction
+// ---------------------------------------------------------------------
+
+/// One arbitrated unit of work: a statement priced through the shared
+/// [`model`] kernel, with the resources it holds while running.
+#[derive(Debug, Clone)]
+struct Event {
+    /// Cycles the event holds its arrays (zero for switches, whose
+    /// cost depends on chip state at dispatch).
+    cycles: f64,
+    /// Arrays touched, each with the mode the event needs.
+    arrays: Vec<(ArrayId, ArrayMode)>,
+    /// Cycles of shared off-chip-link occupancy.
+    bus: f64,
+    /// Cycles of shared vector-FU occupancy.
+    fu: f64,
+    /// Mode-switch request: target kind plus addressed arrays.
+    switch: Option<(SwitchKind, Vec<ArrayId>)>,
+}
+
+impl Event {
+    fn exec(cycles: f64) -> Event {
+        Event {
+            cycles,
+            arrays: Vec::new(),
+            bus: 0.0,
+            fu: 0.0,
+            switch: None,
+        }
+    }
+}
+
+/// Collects `(array, mode)` needs from a segment body.
+fn collect_body_arrays(body: &[Stmt], out: &mut BTreeMap<u32, ArrayMode>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Compute(c) => {
+                for a in &c.compute_arrays {
+                    out.insert(a.0, ArrayMode::Compute);
+                }
+                for a in c.mem_in_arrays.iter().chain(&c.mem_out_arrays) {
+                    out.entry(a.0).or_insert(ArrayMode::Memory);
+                }
+            }
+            Stmt::LoadWeights(w) => {
+                for a in &w.arrays {
+                    out.insert(a.0, ArrayMode::Compute);
+                }
+            }
+            Stmt::Mem(m) => {
+                if let MemLoc::CimArrays(arrays) = &m.loc {
+                    for a in arrays {
+                        out.entry(a.0).or_insert(ArrayMode::Memory);
+                    }
+                }
+            }
+            Stmt::Parallel(inner) => collect_body_arrays(inner, out),
+            Stmt::Switch { .. } | Stmt::Vector(_) => {}
+        }
+    }
+}
+
+fn segment_event(body: &[Stmt], arch: &DualModeArch) -> Event {
+    let phases = model::segment_phases(body, arch);
+    let mut needs = BTreeMap::new();
+    collect_body_arrays(body, &mut needs);
+    // The off-chip link streams the weight fetches of the load phase
+    // plus any loose main-memory traffic in the body.
+    let loose_main: f64 = body
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::Mem(m) if matches!(m.loc, MemLoc::Main) => Some(model::mem_duration(m, arch)),
+            _ => None,
+        })
+        .sum();
+    let fu: f64 = body
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::Vector(v) => Some(model::vector_duration(v.flops)),
+            _ => None,
+        })
+        .sum();
+    Event {
+        cycles: phases.total(),
+        arrays: needs
+            .into_iter()
+            .map(|(a, m)| (ArrayId(a), m))
+            .collect(),
+        bus: phases.load_phase + loose_main,
+        fu,
+        switch: None,
+    }
+}
+
+/// Lowers a compiled flow into the arbiter's event stream. Statement
+/// order is preserved; every event is priced by the same kernel both
+/// simulators use, so a solo tenant costs exactly what the sequential
+/// model would charge for the same statements.
+fn extract_events(flow: &Flow, arch: &DualModeArch) -> Vec<Event> {
+    let mut events = Vec::with_capacity(flow.stmts().len());
+    for stmt in flow.stmts() {
+        match stmt {
+            Stmt::Switch { kind, arrays } => events.push(Event {
+                cycles: 0.0,
+                arrays: Vec::new(),
+                bus: 0.0,
+                fu: 0.0,
+                switch: Some((*kind, arrays.clone())),
+            }),
+            Stmt::Mem(m) => {
+                let cycles = model::mem_duration(m, arch);
+                let mut ev = Event::exec(cycles);
+                match &m.loc {
+                    MemLoc::Main => ev.bus = cycles,
+                    MemLoc::Buffer => {}
+                    MemLoc::CimArrays(arrays) => {
+                        ev.arrays = arrays.iter().map(|a| (*a, ArrayMode::Memory)).collect();
+                    }
+                }
+                events.push(ev);
+            }
+            Stmt::LoadWeights(w) => {
+                let cycles = model::load_duration(w.arrays.len(), arch);
+                let mut ev = Event::exec(cycles);
+                ev.arrays = w.arrays.iter().map(|a| (*a, ArrayMode::Compute)).collect();
+                ev.bus = cycles;
+                events.push(ev);
+            }
+            Stmt::Vector(v) => {
+                let cycles = model::vector_duration(v.flops);
+                let mut ev = Event::exec(cycles);
+                ev.fu = cycles;
+                events.push(ev);
+            }
+            Stmt::Parallel(body) => events.push(segment_event(body, arch)),
+            Stmt::Compute(_) => events.push(segment_event(std::slice::from_ref(stmt), arch)),
+        }
+    }
+    events
+}
+
+// ---------------------------------------------------------------------
+// The arbiter
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantOutcome {
+    finish: f64,
+    busy: f64,
+}
+
+/// Greedy deterministic list scheduler over per-tenant event streams.
+///
+/// Chip state is per-array mode (all arrays start in memory mode, as
+/// [`crate::chip::ChipState`] does) plus per-array, bus and FU
+/// free-times. Each round dispatches the tenant whose next event can
+/// start earliest; ties prefer the event that needs **no** mode flip
+/// (the switch-aware part — batching same-mode work before paying a
+/// reconfiguration), then the lower tenant index. One event retires
+/// per round, so the loop terminates and is bit-deterministic.
+fn arbitrate(
+    streams: &[Vec<Event>],
+    arch: &DualModeArch,
+) -> (Vec<TenantOutcome>, f64, SwitchAmortization) {
+    let n_arrays = arch.n_arrays();
+    let mut modes = vec![ArrayMode::Memory; n_arrays];
+    let mut array_free = vec![0.0f64; n_arrays];
+    let mut bus_free = 0.0f64;
+    let mut fu_free = 0.0f64;
+    let mut ready = vec![0.0f64; streams.len()];
+    let mut busy = vec![0.0f64; streams.len()];
+    let mut idx = vec![0usize; streams.len()];
+    let mut stats = SwitchAmortization::default();
+    let mut last: Option<usize> = None;
+
+    loop {
+        // Pick the dispatchable event with the earliest start. Ties
+        // prefer the tenant that ran last (batching one tenant's
+        // same-mode run instead of ping-ponging arrays between mode
+        // domains), then flip-free events, then the lower index.
+        let mut best: Option<(f64, bool, bool, usize)> = None;
+        for (t, stream) in streams.iter().enumerate() {
+            let Some(ev) = stream.get(idx[t]) else {
+                continue;
+            };
+            let mut start = ready[t];
+            let needs_flip;
+            if let Some((kind, arrays)) = &ev.switch {
+                let mut pending = 0usize;
+                for a in arrays {
+                    if modes[a.0 as usize] != kind.target_mode() {
+                        pending += 1;
+                        start = start.max(array_free[a.0 as usize]);
+                    }
+                }
+                needs_flip = pending > 0;
+            } else {
+                for (a, mode) in &ev.arrays {
+                    start = start.max(array_free[a.0 as usize]);
+                    if modes[a.0 as usize] != *mode {
+                        // An injected re-switch will be needed.
+                    }
+                }
+                if ev.bus > 0.0 {
+                    start = start.max(bus_free);
+                }
+                if ev.fu > 0.0 {
+                    start = start.max(fu_free);
+                }
+                needs_flip = ev
+                    .arrays
+                    .iter()
+                    .any(|(a, mode)| modes[a.0 as usize] != *mode);
+            }
+            let candidate = (start, last != Some(t), needs_flip, t);
+            let better = match &best {
+                None => true,
+                Some((bs, bl, bf, bt)) => {
+                    (candidate.0, candidate.1 as u8, candidate.2 as u8, candidate.3)
+                        < (*bs, *bl as u8, *bf as u8, *bt)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        let Some((start, _, _, t)) = best else {
+            break;
+        };
+        last = Some(t);
+
+        let ev = &streams[t][idx[t]];
+        idx[t] += 1;
+        if let Some((kind, arrays)) = &ev.switch {
+            let pending: Vec<ArrayId> = arrays
+                .iter()
+                .copied()
+                .filter(|a| modes[a.0 as usize] != kind.target_mode())
+                .collect();
+            stats.requested += arrays.len() as u64;
+            stats.amortized += (arrays.len() - pending.len()) as u64;
+            stats.executed += pending.len() as u64;
+            let dur = model::switch_duration(*kind, pending.len(), arch);
+            let end = start + dur;
+            for a in &pending {
+                modes[a.0 as usize] = kind.target_mode();
+                array_free[a.0 as usize] = end;
+            }
+            stats.switch_cycles += dur;
+            busy[t] += dur;
+            ready[t] = end;
+        } else {
+            // Re-align arrays a neighbour left in the wrong mode; the
+            // cost is charged to *this* tenant, which is what makes
+            // fairness numbers honest under time-slicing.
+            let mut to_compute = 0usize;
+            let mut to_memory = 0usize;
+            for (a, mode) in &ev.arrays {
+                if modes[a.0 as usize] != *mode {
+                    match mode {
+                        ArrayMode::Compute => to_compute += 1,
+                        ArrayMode::Memory => to_memory += 1,
+                    }
+                }
+            }
+            let flip = model::switch_duration(SwitchKind::ToCompute, to_compute, arch)
+                + model::switch_duration(SwitchKind::ToMemory, to_memory, arch);
+            stats.injected += (to_compute + to_memory) as u64;
+            stats.switch_cycles += flip;
+            let exec_start = start + flip;
+            let end = exec_start + ev.cycles;
+            for (a, mode) in &ev.arrays {
+                modes[a.0 as usize] = *mode;
+                array_free[a.0 as usize] = end;
+            }
+            if ev.bus > 0.0 {
+                bus_free = exec_start + ev.bus;
+            }
+            if ev.fu > 0.0 {
+                fu_free = exec_start + ev.fu;
+            }
+            busy[t] += flip + ev.cycles;
+            ready[t] = end;
+        }
+    }
+
+    let outcomes: Vec<TenantOutcome> = streams
+        .iter()
+        .enumerate()
+        .map(|(t, _)| TenantOutcome {
+            finish: ready[t],
+            busy: busy[t],
+        })
+        .collect();
+    let total = outcomes.iter().map(|o| o.finish).fold(0.0, f64::max);
+    (outcomes, total, stats)
+}
+
+/// Jain's fairness index over per-tenant progress shares.
+fn jain_fairness(shares: &[f64]) -> f64 {
+    let n = shares.len() as f64;
+    let sum: f64 = shares.iter().sum();
+    let sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sq > 0.0 {
+        (sum * sum) / (n * sq)
+    } else {
+        1.0
+    }
+}
+
+/// Relocates a partition-relative flow onto the physical chip by
+/// offsetting every array reference by the partition base.
+fn offset_flow(flow: &Flow, base: u32) -> Flow {
+    fn offset_stmt(stmt: &mut Stmt, base: u32) {
+        match stmt {
+            Stmt::Switch { arrays, .. } => {
+                for a in arrays {
+                    a.0 += base;
+                }
+            }
+            Stmt::Compute(c) => {
+                for a in c
+                    .compute_arrays
+                    .iter_mut()
+                    .chain(&mut c.mem_in_arrays)
+                    .chain(&mut c.mem_out_arrays)
+                {
+                    a.0 += base;
+                }
+            }
+            Stmt::LoadWeights(w) => {
+                for a in &mut w.arrays {
+                    a.0 += base;
+                }
+            }
+            Stmt::Mem(m) => {
+                if let MemLoc::CimArrays(arrays) = &mut m.loc {
+                    for a in arrays {
+                        a.0 += base;
+                    }
+                }
+            }
+            Stmt::Parallel(body) => {
+                for s in body {
+                    offset_stmt(s, base);
+                }
+            }
+            Stmt::Vector(_) => {}
+        }
+    }
+    let mut out = Flow::new(flow.name());
+    for stmt in flow.stmts() {
+        let mut s = stmt.clone();
+        offset_stmt(&mut s, base);
+        out.push(s);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// ChipScheduler
+// ---------------------------------------------------------------------
+
+/// Admits N compiled programs onto one chip and co-schedules them.
+#[derive(Debug, Clone)]
+pub struct ChipScheduler {
+    arch: DualModeArch,
+    options: CoSimOptions,
+}
+
+impl ChipScheduler {
+    /// A scheduler for `arch` with default (time-sliced, verified)
+    /// options.
+    pub fn new(arch: DualModeArch) -> Self {
+        ChipScheduler {
+            arch,
+            options: CoSimOptions::default(),
+        }
+    }
+
+    /// Replaces the co-simulation options.
+    pub fn with_options(mut self, options: CoSimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The chip being scheduled.
+    pub fn arch(&self) -> &DualModeArch {
+        &self.arch
+    }
+
+    fn admit(
+        &self,
+        name: &str,
+        program: &CompiledProgram,
+        arch: &DualModeArch,
+    ) -> Result<(), TenancyError> {
+        if !self.options.verify_admission {
+            return Ok(());
+        }
+        let verifier = Verifier::empty()
+            .with_lint(Box::new(DependenceLint))
+            .with_lint(Box::new(CapacityLint));
+        let report = verifier.run(program, arch);
+        if report.deny_count() > 0 {
+            return Err(TenancyError::Admission {
+                tenant: name.to_string(),
+                report: Box::new(report),
+            });
+        }
+        Ok(())
+    }
+
+    /// Co-schedules the tenants and reports per-tenant and chip-level
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// [`TenancyError::NoTenants`] on an empty slice;
+    /// [`TenancyError::Admission`] when a program fails the
+    /// dependence/capacity lints; share-shape errors under the
+    /// partitioned policy.
+    pub fn co_simulate(&self, tenants: &[TenantProgram]) -> Result<TenancyReport, TenancyError> {
+        if tenants.is_empty() {
+            return Err(TenancyError::NoTenants);
+        }
+
+        // Admission + event extraction, policy-dependent.
+        let mut streams = Vec::with_capacity(tenants.len());
+        let mut energies = Vec::with_capacity(tenants.len());
+        match &self.options.policy {
+            TenancyPolicy::TimeSliced => {
+                for t in tenants {
+                    self.admit(t.name, t.program, &self.arch)?;
+                    streams.push(extract_events(&t.program.flow, &self.arch));
+                    energies.push(energy::estimate(
+                        &t.program.flow,
+                        &self.arch,
+                        &self.options.energy_model,
+                    ));
+                }
+            }
+            TenancyPolicy::Partitioned { shares } => {
+                if shares.len() != tenants.len() {
+                    return Err(TenancyError::ShareMismatch {
+                        tenants: tenants.len(),
+                        shares: shares.len(),
+                    });
+                }
+                let requested: usize = shares.iter().sum();
+                if requested > self.arch.n_arrays() {
+                    return Err(TenancyError::PartitionOverflow {
+                        requested,
+                        available: self.arch.n_arrays(),
+                    });
+                }
+                let mut base = 0u32;
+                for (t, &share) in tenants.iter().zip(shares) {
+                    let sub = self.arch.partition(share)?;
+                    // Verify against the *shrunken* capacity: a plan
+                    // that fit the whole chip may not fit its slice.
+                    self.admit(t.name, t.program, &sub)?;
+                    let relocated = offset_flow(&t.program.flow, base);
+                    streams.push(extract_events(&relocated, &self.arch));
+                    // Energy is schedule- and placement-invariant;
+                    // price the flow against the sub-chip it was
+                    // compiled for.
+                    energies.push(energy::estimate(
+                        &t.program.flow,
+                        &sub,
+                        &self.options.energy_model,
+                    ));
+                    base += share as u32;
+                }
+            }
+        }
+
+        // Solo baselines: the same stream alone on an idle chip.
+        let mut solos = Vec::with_capacity(streams.len());
+        for stream in &streams {
+            let (outcome, _, _) = arbitrate(std::slice::from_ref(stream), &self.arch);
+            solos.push(outcome[0].finish);
+        }
+        let serialized_cycles: f64 = solos.iter().sum();
+
+        let (outcomes, total_cycles, switches) = arbitrate(&streams, &self.arch);
+
+        let mut chip_energy = EnergyReport::default();
+        for e in &energies {
+            chip_energy.absorb(e);
+        }
+        let progress: Vec<f64> = outcomes
+            .iter()
+            .zip(&solos)
+            .map(|(o, solo)| {
+                if o.finish > 0.0 {
+                    solo / o.finish
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        Ok(TenancyReport {
+            tenants: tenants
+                .iter()
+                .zip(&outcomes)
+                .zip(&solos)
+                .zip(&energies)
+                .map(|(((t, o), solo), e)| TenantReport {
+                    name: t.name.to_string(),
+                    finish_cycles: o.finish,
+                    busy_cycles: o.busy,
+                    solo_cycles: *solo,
+                    energy: *e,
+                })
+                .collect(),
+            total_cycles,
+            serialized_cycles,
+            energy: chip_energy,
+            fairness: jain_fairness(&progress),
+            switches,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// DecodeLoop
+// ---------------------------------------------------------------------
+
+/// One autoregressive tenant of a [`DecodeLoop`].
+pub struct DecodeTenant {
+    name: String,
+    batch: usize,
+    kv_start: usize,
+    kv_bytes_per_token: u64,
+    build: Box<dyn Fn(usize) -> Result<Graph, GraphError> + Send + Sync>,
+}
+
+impl fmt::Debug for DecodeTenant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecodeTenant")
+            .field("name", &self.name)
+            .field("batch", &self.batch)
+            .field("kv_start", &self.kv_start)
+            .field("kv_bytes_per_token", &self.kv_bytes_per_token)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DecodeTenant {
+    /// A decode tenant: `build(kv_len)` constructs the step graph at a
+    /// KV-cache length; `kv_bytes_per_token` is the per-step growth of
+    /// the tenant's memory-mode footprint (per batch element).
+    pub fn new(
+        name: impl Into<String>,
+        batch: usize,
+        kv_start: usize,
+        kv_bytes_per_token: u64,
+        build: impl Fn(usize) -> Result<Graph, GraphError> + Send + Sync + 'static,
+    ) -> Self {
+        DecodeTenant {
+            name: name.into(),
+            batch: batch.max(1),
+            kv_start,
+            kv_bytes_per_token,
+            build: Box::new(build),
+        }
+    }
+
+    /// Tenant label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Options for [`DecodeLoop::run`].
+#[derive(Debug, Clone)]
+pub struct DecodeOptions {
+    /// Decode steps to simulate.
+    pub steps: usize,
+    /// Clock frequency used only to convert cycles into tokens/sec.
+    pub clock_ghz: f64,
+    /// Re-segment once a tenant's KV cache has grown by this many
+    /// bytes since its last compile, even if the plan still fits the
+    /// partition. `u64::MAX` (the default) leaves re-segmentation
+    /// purely footprint-driven.
+    pub kv_headroom_bytes: u64,
+    /// Run admission lints in the co-scheduler (default `true`).
+    pub verify_admission: bool,
+    /// Energy coefficients.
+    pub energy_model: EnergyModel,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> Self {
+        DecodeOptions {
+            steps: 8,
+            clock_ghz: 1.0,
+            kv_headroom_bytes: u64::MAX,
+            verify_admission: true,
+            energy_model: EnergyModel::default(),
+        }
+    }
+}
+
+/// One tenant's decode-loop outcome.
+#[derive(Debug, Clone)]
+pub struct DecodeTenantReport {
+    /// Tenant label.
+    pub name: String,
+    /// KV-cache length after the last step.
+    pub final_kv: usize,
+    /// Mid-flight re-segmentations performed.
+    pub resegmentations: u64,
+    /// Allocator solves this tenant's compiles cost (initial + all
+    /// re-segmentations). Zero on a warm cache.
+    pub solves: u64,
+    /// The plan the tenant ended on — bit-identical to a cold compile
+    /// of the same graph at `final_kv` against the same partition.
+    pub final_program: CompiledProgram,
+}
+
+/// Result of a continuous-decode co-simulation.
+#[derive(Debug, Clone)]
+pub struct DecodeReport {
+    /// Steps simulated.
+    pub steps: usize,
+    /// Tokens produced across all tenants.
+    pub tokens: u64,
+    /// Total chip cycles across all steps.
+    pub total_cycles: f64,
+    /// Chip-level decode throughput at [`DecodeOptions::clock_ghz`].
+    pub tokens_per_sec: f64,
+    /// Mid-flight re-segmentations across all tenants.
+    pub resegmentations: u64,
+    /// Allocator solves across all compiles (zero on a warm cache).
+    pub solves: u64,
+    /// Typed events, including one [`DiagnosticEvent::Resegmented`]
+    /// per re-segmentation.
+    pub diagnostics: Diagnostics,
+    /// Per-tenant outcomes.
+    pub tenants: Vec<DecodeTenantReport>,
+    /// The co-scheduling report of the final program set.
+    pub tenancy: TenancyReport,
+}
+
+/// Drives continuous-batching autoregressive decode over a
+/// [`ChipScheduler`] with per-tenant static partitions.
+///
+/// Each step grows every tenant's KV cache by one token. A tenant's
+/// program is re-segmented mid-flight — recompiled through a
+/// [`Session::partitioned`] sub-session sharing the parent's
+/// allocation cache and artifact store — when the grown memory-mode
+/// footprint no longer fits beside the plan's widest segment, or when
+/// the growth exceeds [`DecodeOptions::kv_headroom_bytes`].
+pub struct DecodeLoop<'a> {
+    session: &'a Session,
+    tenants: Vec<DecodeTenant>,
+    options: DecodeOptions,
+}
+
+impl<'a> DecodeLoop<'a> {
+    /// A decode loop compiling through `session` (and re-segmenting
+    /// through its partition sub-sessions).
+    pub fn new(session: &'a Session) -> Self {
+        DecodeLoop {
+            session,
+            tenants: Vec::new(),
+            options: DecodeOptions::default(),
+        }
+    }
+
+    /// Adds a tenant.
+    pub fn tenant(mut self, tenant: DecodeTenant) -> Self {
+        self.tenants.push(tenant);
+        self
+    }
+
+    /// Replaces the options.
+    pub fn with_options(mut self, options: DecodeOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the decode loop.
+    ///
+    /// # Errors
+    ///
+    /// Graph construction, compilation, partitioning and admission
+    /// failures, each tagged with the offending tenant.
+    pub fn run(&self) -> Result<DecodeReport, TenancyError> {
+        if self.tenants.is_empty() {
+            return Err(TenancyError::NoTenants);
+        }
+        let arch = self.session.arch();
+        let n = self.tenants.len();
+        let share = arch.n_arrays() / n;
+        if share == 0 {
+            return Err(TenancyError::PartitionOverflow {
+                requested: n,
+                available: arch.n_arrays(),
+            });
+        }
+
+        struct TenantState {
+            session: Session,
+            program: CompiledProgram,
+            kv_compiled: usize,
+            kv: usize,
+            resegmentations: u64,
+            solves: u64,
+        }
+
+        let mut diagnostics = Diagnostics::new();
+        let mut states = Vec::with_capacity(n);
+        for t in &self.tenants {
+            let psession = self.session.partitioned(share)?;
+            let graph = (t.build)(t.kv_start).map_err(|source| TenancyError::Graph {
+                tenant: t.name.clone(),
+                source,
+            })?;
+            let outcome = psession
+                .compile(CompileRequest::new(graph).with_label(&t.name))
+                .map_err(|source| TenancyError::Compile {
+                    tenant: t.name.clone(),
+                    source: Box::new(source),
+                })?;
+            let solves = outcome.stats().mip_solves + outcome.stats().fast_solves;
+            states.push(TenantState {
+                session: psession,
+                program: outcome.program,
+                kv_compiled: t.kv_start,
+                kv: t.kv_start,
+                resegmentations: 0,
+                solves,
+            });
+        }
+
+        let scheduler = ChipScheduler::new(arch.clone()).with_options(CoSimOptions {
+            policy: TenancyPolicy::Partitioned {
+                shares: vec![share; n],
+            },
+            verify_admission: self.options.verify_admission,
+            energy_model: self.options.energy_model.clone(),
+        });
+
+        let co_sim = |states: &[TenantState]| -> Result<TenancyReport, TenancyError> {
+            let tenants: Vec<TenantProgram> = self
+                .tenants
+                .iter()
+                .zip(states)
+                .map(|(t, s)| TenantProgram::new(&t.name, &s.program))
+                .collect();
+            scheduler.co_simulate(&tenants)
+        };
+
+        let mut step_report = co_sim(&states)?;
+        let mut total_cycles = 0.0f64;
+        let mut tokens = 0u64;
+        for _step in 1..=self.options.steps {
+            let mut dirty = false;
+            for (t, state) in self.tenants.iter().zip(&mut states) {
+                state.kv += 1;
+                let grown_bytes = (state.kv - state.kv_compiled) as u64
+                    * t.kv_bytes_per_token
+                    * t.batch as u64;
+                let extra_arrays = grown_bytes.div_ceil(arch.array_bytes().max(1)) as usize;
+                let widest = state
+                    .program
+                    .segments
+                    .iter()
+                    .map(|s| s.alloc.arrays_used())
+                    .max()
+                    .unwrap_or(0);
+                if widest + extra_arrays > share || grown_bytes > self.options.kv_headroom_bytes {
+                    let graph = (t.build)(state.kv).map_err(|source| TenancyError::Graph {
+                        tenant: t.name.clone(),
+                        source,
+                    })?;
+                    let outcome = state
+                        .session
+                        .compile(CompileRequest::new(graph).with_label(&t.name))
+                        .map_err(|source| TenancyError::Compile {
+                            tenant: t.name.clone(),
+                            source: Box::new(source),
+                        })?;
+                    let solves = outcome.stats().mip_solves + outcome.stats().fast_solves;
+                    diagnostics.push(DiagnosticEvent::Resegmented {
+                        tenant: t.name.clone(),
+                        kv_len: state.kv,
+                        solves,
+                    });
+                    state.program = outcome.program;
+                    state.kv_compiled = state.kv;
+                    state.resegmentations += 1;
+                    state.solves += solves;
+                    dirty = true;
+                }
+            }
+            if dirty {
+                step_report = co_sim(&states)?;
+            }
+            total_cycles += step_report.total_cycles;
+            tokens += self.tenants.iter().map(|t| t.batch as u64).sum::<u64>();
+        }
+
+        let seconds = total_cycles / (self.options.clock_ghz * 1e9);
+        Ok(DecodeReport {
+            steps: self.options.steps,
+            tokens,
+            tokens_per_sec: if seconds > 0.0 {
+                tokens as f64 / seconds
+            } else {
+                0.0
+            },
+            total_cycles,
+            resegmentations: states.iter().map(|s| s.resegmentations).sum(),
+            solves: states.iter().map(|s| s.solves).sum(),
+            diagnostics,
+            tenants: self
+                .tenants
+                .iter()
+                .zip(&states)
+                .map(|(t, s)| DecodeTenantReport {
+                    name: t.name.clone(),
+                    final_kv: s.kv,
+                    resegmentations: s.resegmentations,
+                    solves: s.solves,
+                    final_program: s.program.clone(),
+                })
+                .collect(),
+            tenancy: step_report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmswitch_arch::presets;
+
+    fn compiled(graph: Graph, arch: &DualModeArch) -> CompiledProgram {
+        Session::builder(arch.clone())
+            .build()
+            .compile(CompileRequest::new(graph))
+            .unwrap()
+            .program
+    }
+
+    #[test]
+    fn empty_tenancy_is_rejected() {
+        let scheduler = ChipScheduler::new(presets::tiny());
+        assert!(matches!(
+            scheduler.co_simulate(&[]),
+            Err(TenancyError::NoTenants)
+        ));
+    }
+
+    #[test]
+    fn solo_tenant_matches_its_serialized_baseline() {
+        let arch = presets::tiny();
+        let p = compiled(cmswitch_models::mlp::mlp(2, &[96, 128, 64]).unwrap(), &arch);
+        let report = ChipScheduler::new(arch)
+            .co_simulate(&[TenantProgram::new("solo", &p)])
+            .unwrap();
+        assert_eq!(report.total_cycles, report.serialized_cycles);
+        assert_eq!(report.speedup(), 1.0);
+        assert_eq!(report.fairness, 1.0);
+        assert_eq!(report.switches.injected, 0);
+        assert_eq!(report.tenants[0].solo_cycles, report.total_cycles);
+    }
+
+    #[test]
+    fn two_tenants_amortize_switches_and_beat_serialization() {
+        let arch = presets::tiny();
+        let a = compiled(cmswitch_models::mlp::mlp(2, &[96, 128, 64]).unwrap(), &arch);
+        let b = compiled(cmswitch_models::mlp::mlp(2, &[64, 96, 32]).unwrap(), &arch);
+        let report = ChipScheduler::new(arch)
+            .co_simulate(&[TenantProgram::new("a", &a), TenantProgram::new("b", &b)])
+            .unwrap();
+        assert!(
+            report.total_cycles < report.serialized_cycles,
+            "co-scheduling {} must beat back-to-back {}",
+            report.total_cycles,
+            report.serialized_cycles
+        );
+        assert!(report.speedup() > 1.0);
+        assert!(report.fairness > 0.0 && report.fairness <= 1.0);
+        assert_eq!(
+            report.switches.requested,
+            report.switches.executed + report.switches.amortized
+        );
+    }
+
+    #[test]
+    fn partitioned_tenants_never_inject_cross_switches() {
+        let arch = presets::tiny();
+        let n = arch.n_arrays() / 2;
+        let sub = arch.partition(n).unwrap();
+        let a = compiled(cmswitch_models::mlp::mlp(2, &[96, 128, 64]).unwrap(), &sub);
+        let b = compiled(cmswitch_models::mlp::mlp(2, &[64, 96, 32]).unwrap(), &sub);
+        let report = ChipScheduler::new(arch)
+            .with_options(CoSimOptions {
+                policy: TenancyPolicy::Partitioned { shares: vec![n, n] },
+                ..CoSimOptions::default()
+            })
+            .co_simulate(&[TenantProgram::new("a", &a), TenantProgram::new("b", &b)])
+            .unwrap();
+        // Disjoint arrays: no tenant can flip a neighbour's arrays.
+        assert_eq!(report.switches.injected, 0);
+        assert!(report.total_cycles < report.serialized_cycles);
+    }
+
+    #[test]
+    fn partition_share_shape_errors_are_typed() {
+        let arch = presets::tiny();
+        let p = compiled(cmswitch_models::mlp::mlp(2, &[96, 128, 64]).unwrap(), &arch);
+        let tenants = [TenantProgram::new("a", &p)];
+        let mismatch = ChipScheduler::new(arch.clone())
+            .with_options(CoSimOptions {
+                policy: TenancyPolicy::Partitioned {
+                    shares: vec![1, 2],
+                },
+                ..CoSimOptions::default()
+            })
+            .co_simulate(&tenants);
+        assert!(matches!(mismatch, Err(TenancyError::ShareMismatch { .. })));
+        let overflow = ChipScheduler::new(arch.clone())
+            .with_options(CoSimOptions {
+                policy: TenancyPolicy::Partitioned {
+                    shares: vec![arch.n_arrays() + 1],
+                },
+                ..CoSimOptions::default()
+            })
+            .co_simulate(&tenants);
+        assert!(matches!(
+            overflow,
+            Err(TenancyError::PartitionOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn admission_rejects_a_program_with_a_dropped_dependence_edge() {
+        use cmswitch_core::verify::mutate::Mutation;
+        let arch = presets::dynaplasia();
+        // Reuse edges only appear when the allocator plans buffer
+        // reuse; probe a few shapes until the mutation applies.
+        let (good, bad) = [
+            cmswitch_models::mlp::mlp(2, &[256, 256, 256, 64]).unwrap(),
+            cmswitch_models::registry::build("resnet18", 1, 16).unwrap(),
+            cmswitch_models::registry::build("bert-base", 1, 16).unwrap(),
+        ]
+        .into_iter()
+        .find_map(|graph| {
+            let p = compiled(graph, &arch);
+            Mutation::DropReuseDepEdge.apply(&p).map(|bad| (p, bad))
+        })
+        .expect("some probe plan has a reuse edge to drop");
+        let scheduler = ChipScheduler::new(arch);
+        let err = scheduler
+            .co_simulate(&[
+                TenantProgram::new("good", &good),
+                TenantProgram::new("bad", &bad),
+            ])
+            .unwrap_err();
+        match err {
+            TenancyError::Admission { tenant, report } => {
+                assert_eq!(tenant, "bad");
+                assert!(report.deny_count() > 0);
+            }
+            other => panic!("expected admission rejection, got {other}"),
+        }
+        // Opting out admits the mutant — the flag exists for programs
+        // the caller already verified, and this proves it is the lint
+        // doing the rejecting.
+        let lax = ChipScheduler::new(presets::dynaplasia()).with_options(CoSimOptions {
+            verify_admission: false,
+            ..CoSimOptions::default()
+        });
+        assert!(lax
+            .co_simulate(&[TenantProgram::new("bad", &bad)])
+            .is_ok());
+    }
+
+    #[test]
+    fn offset_flow_relocates_every_array_reference() {
+        let arch = presets::tiny();
+        let sub = arch.partition(2).unwrap();
+        let p = compiled(cmswitch_models::mlp::mlp(1, &[64, 32]).unwrap(), &sub);
+        let shifted = offset_flow(&p.flow, 7);
+        let mut min_before = u32::MAX;
+        min_array(p.flow.stmts(), &mut min_before);
+        fn min_array(stmts: &[Stmt], min: &mut u32) {
+            for s in stmts {
+                match s {
+                    Stmt::Switch { arrays, .. } => {
+                        for a in arrays {
+                            *min = (*min).min(a.0);
+                        }
+                    }
+                    Stmt::LoadWeights(w) => {
+                        for a in &w.arrays {
+                            *min = (*min).min(a.0);
+                        }
+                    }
+                    Stmt::Compute(c) => {
+                        for a in c
+                            .compute_arrays
+                            .iter()
+                            .chain(&c.mem_in_arrays)
+                            .chain(&c.mem_out_arrays)
+                        {
+                            *min = (*min).min(a.0);
+                        }
+                    }
+                    Stmt::Mem(m) => {
+                        if let MemLoc::CimArrays(arrays) = &m.loc {
+                            for a in arrays {
+                                *min = (*min).min(a.0);
+                            }
+                        }
+                    }
+                    Stmt::Parallel(body) => min_array(body, min),
+                    Stmt::Vector(_) => {}
+                }
+            }
+        }
+        let mut min = u32::MAX;
+        min_array(shifted.stmts(), &mut min);
+        assert_eq!(
+            min,
+            min_before + 7,
+            "every reference moved up by the partition base"
+        );
+    }
+}

@@ -119,6 +119,8 @@ pub mod prelude {
     pub use cmswitch_metaop::{print_flow, Flow};
     pub use cmswitch_sim::timing::simulate;
     pub use cmswitch_sim::{
-        EngineReport, EventEngine, SequentialModel, SessionSimExt, SimulationOutcome,
+        ChipScheduler, CoSimOptions, DecodeLoop, DecodeOptions, DecodeTenant, EngineReport,
+        EventEngine, SequentialModel, SessionSimExt, SimulationOutcome, TenancyPolicy,
+        TenancyReport, TenantProgram,
     };
 }

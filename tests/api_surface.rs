@@ -16,6 +16,8 @@ const EXPECTED: &[&str] = &[
     "BatchReport",
     "CancelToken",
     "ChipCost",
+    "ChipScheduler",
+    "CoSimOptions",
     "CompileError",
     "CompileOutcome",
     "CompileRequest",
@@ -25,6 +27,9 @@ const EXPECTED: &[&str] = &[
     "CompiledProgram",
     "Compiler",
     "CompilerOptions",
+    "DecodeLoop",
+    "DecodeOptions",
+    "DecodeTenant",
     "DiagnosticEvent",
     "Diagnostics",
     "DpMode",
@@ -59,6 +64,9 @@ const EXPECTED: &[&str] = &[
     "SweepReport",
     "SweepRunner",
     "SweepSpace",
+    "TenancyPolicy",
+    "TenancyReport",
+    "TenantProgram",
     "Ticket",
     "UnknownBackend",
     "Verifier",

@@ -37,6 +37,7 @@ fn degenerate_single_point_space_sweeps_the_base_chip() {
     assert!(record.latency_cycles > 0.0);
     assert!(record.energy_pj > 0.0);
     assert!(record.cost.area_mm2 > 0.0);
+    assert!(record.avg_power_mw <= record.cost.peak_power_mw);
     // The single point trivially is the whole frontier.
     let frontier = report.frontier();
     assert_eq!(frontier.indices, vec![0]);
@@ -109,6 +110,15 @@ fn sweep_records_are_deterministic_across_worker_counts() {
             assert_eq!(a.cost, b.cost);
             assert_eq!(a.avg_power_mw, b.avg_power_mw);
             assert_eq!(a.per_model, b.per_model);
+            // Every measured point obeys the power envelope: DRAM
+            // energy is billed over its transfer window, so average
+            // power cannot exceed the saturated-rate peak rating.
+            assert!(
+                a.avg_power_mw <= a.cost.peak_power_mw,
+                "avg {} mW exceeds peak {} mW",
+                a.avg_power_mw,
+                a.cost.peak_power_mw
+            );
         }
         assert_eq!(report.frontier().indices, reference.frontier().indices);
     }

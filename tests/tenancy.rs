@@ -1,0 +1,154 @@
+//! Integration tests for multi-tenant co-scheduling (`sim::tenancy`):
+//! determinism across solve-worker counts, energy conservation across
+//! tenants, and mid-flight re-segmentation equivalence with cold
+//! compilation.
+
+use cmswitch::models::registry;
+use cmswitch::models::transformer::{decode_step, TransformerConfig};
+use cmswitch::prelude::*;
+use cmswitch::sim::{DecodeReport, TenancyError};
+
+fn tiny_llm(name: &str) -> TransformerConfig {
+    TransformerConfig {
+        name: name.into(),
+        layers: 2,
+        hidden: 128,
+        heads: 4,
+        ffn_hidden: 256,
+        vocab: 512,
+        gated_ffn: false,
+        lm_head: true,
+    }
+}
+
+/// Time-sliced co-simulation of two registry models is bit-identical
+/// no matter how many solver workers compiled the programs — and
+/// strictly beats running the tenants back-to-back.
+#[test]
+fn time_sliced_cosim_is_deterministic_across_solve_workers() {
+    let arch = presets::dynaplasia();
+    let reports: Vec<TenancyReport> = [1usize, 2, 4]
+        .into_iter()
+        .map(|workers| {
+            let session = Session::builder(arch.clone())
+                .options(CompilerOptions::default().with_solve_workers(workers))
+                .build();
+            let bert = session
+                .compile_graph(&registry::build("bert-base", 1, 16).unwrap())
+                .unwrap();
+            let resnet = session
+                .compile_graph(&registry::build("resnet18", 1, 16).unwrap())
+                .unwrap();
+            session
+                .co_simulate(
+                    &[
+                        TenantProgram::new("bert-base", &bert),
+                        TenantProgram::new("resnet18", &resnet),
+                    ],
+                    CoSimOptions::default(),
+                )
+                .unwrap()
+        })
+        .collect();
+
+    let reference = &reports[0];
+    // The acceptance bar: co-scheduling two tenants on one dynaplasia
+    // chip must outrun serializing them.
+    assert!(
+        reference.total_cycles < reference.serialized_cycles,
+        "co-scheduled {} must beat serialized {}",
+        reference.total_cycles,
+        reference.serialized_cycles
+    );
+    assert!(reference.speedup() > 1.0);
+    assert!(reference.fairness > 0.0 && reference.fairness <= 1.0);
+    for report in &reports[1..] {
+        // `TenancyReport` is PartialEq over f64 fields: bit-identity.
+        assert_eq!(report, reference);
+    }
+}
+
+/// The chip-level energy report is exactly the component-wise sum of
+/// the per-tenant reports — energy is schedule-invariant, so slicing
+/// the chip between tenants cannot create or destroy picojoules.
+#[test]
+fn tenant_energies_sum_to_the_chip_total() {
+    let arch = presets::dynaplasia();
+    let session = Session::builder(arch).build();
+    let a = session
+        .compile_graph(&cmswitch::models::mlp::mlp(2, &[256, 512, 256, 64]).unwrap())
+        .unwrap();
+    let b = session
+        .compile_graph(&registry::build("resnet18", 1, 16).unwrap())
+        .unwrap();
+    let report = session
+        .co_simulate(
+            &[TenantProgram::new("mlp", &a), TenantProgram::new("resnet", &b)],
+            CoSimOptions::default(),
+        )
+        .unwrap();
+
+    let mut sum = cmswitch::sim::EnergyReport::default();
+    for tenant in &report.tenants {
+        assert!(tenant.energy.total_pj() > 0.0);
+        sum.absorb(&tenant.energy);
+    }
+    assert_eq!(sum, report.energy);
+    assert!(report.energy.total_pj() > 0.0);
+}
+
+/// A decode loop that re-segments on every step of KV growth ends on
+/// exactly the plan a cold compile at the grown sequence length
+/// produces — re-segmentation is a shortcut, not a different compiler.
+#[test]
+fn reseg_final_plan_matches_cold_compile_at_grown_kv() {
+    let arch = presets::dynaplasia();
+    let session = Session::builder(arch.clone()).build();
+    let cfg = tiny_llm("tenant-llm");
+    let kv_start = 8;
+    let steps = 3;
+
+    let run = |session: &Session| -> Result<DecodeReport, TenancyError> {
+        let cfg = cfg.clone();
+        cmswitch::sim::DecodeLoop::new(session)
+            .tenant(DecodeTenant::new("llm", 1, kv_start, 1024, move |kv| {
+                decode_step(&cfg, 1, kv)
+            }))
+            .with_options(cmswitch::sim::DecodeOptions {
+                steps,
+                // Zero headroom: every step of KV growth forces a
+                // re-segmentation.
+                kv_headroom_bytes: 0,
+                ..cmswitch::sim::DecodeOptions::default()
+            })
+            .run()
+    };
+
+    let report = run(&session).unwrap();
+    assert_eq!(report.resegmentations, steps as u64);
+    assert_eq!(report.diagnostics.resegmentations(), steps as u64);
+    let tenant = &report.tenants[0];
+    assert_eq!(tenant.final_kv, kv_start + steps);
+
+    // Cold compile the same decode graph at the grown KV length
+    // against the same partition, with a completely fresh session.
+    let cold_session = Session::builder(arch.clone())
+        .build()
+        .partitioned(arch.n_arrays())
+        .unwrap();
+    let cold = cold_session
+        .compile_graph(&decode_step(&cfg, 1, tenant.final_kv).unwrap())
+        .unwrap();
+    let hot = &tenant.final_program;
+    assert_eq!(hot.flow.stmts(), cold.flow.stmts());
+    assert_eq!(hot.segments, cold.segments);
+    assert_eq!(hot.op_deps, cold.op_deps);
+    assert_eq!(hot.predicted_latency, cold.predicted_latency);
+
+    // Warm path: the same loop against the same parent session hits
+    // the shared allocation cache — zero allocator solves end to end.
+    let warm = run(&session).unwrap();
+    assert_eq!(warm.solves, 0, "warm re-run must be solve-free");
+    assert_eq!(warm.resegmentations, report.resegmentations);
+    assert_eq!(warm.total_cycles, report.total_cycles);
+}
